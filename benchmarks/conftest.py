@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation: it computes the reproduction's numbers, renders them next
+to the paper's published values, writes the rendering to
+``results/<experiment>.txt``, prints it (visible with ``pytest -s``),
+and asserts the qualitative claims (who wins, by roughly what factor,
+where crossovers fall).  The pytest-benchmark fixture times the
+experiment's computational kernel so ``--benchmark-only`` runs give a
+wall-clock profile of the harness itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, lines) -> str:
+    """Write an experiment rendering to results/ and echo it."""
+    text = "\n".join(lines) + "\n"
+    (results_dir / (name + ".txt")).write_text(text)
+    print("\n" + text)
+    return text
+
+
+def fmt_row(*cells, widths=None) -> str:
+    """Fixed-width row formatting for the experiment tables."""
+    widths = widths or [18] * len(cells)
+    return "  ".join(str(cell).ljust(width)
+                     for cell, width in zip(cells, widths)).rstrip()

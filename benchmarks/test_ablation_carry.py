@@ -1,0 +1,70 @@
+"""Ablation: the carry parallel computing mechanism (Section IV-A).
+
+The GU's reason to exist: gathering N_IPU aligned partial-sums with a
+naive ripple chain costs N_IPU * L bit-cycles of serial carry
+propagation, while carry-parallel gathering precomputes both carry
+cases and reduces the serial step to a 1-bit selection sweep — L +
+N_IPU cycles.  The ablation also verifies Equation (2)'s <=1-bit carry
+bound empirically and exercises the Figure 10 combining modes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit, fmt_row
+from repro.core.gu import (GatherUnit, carry_parallel_latency, gather,
+                           ripple_gather_latency)
+
+
+def test_ablation_gather_latency(results_dir, benchmark):
+    lines = ["Ablation: GU gather latency, ripple vs carry-parallel",
+             fmt_row("N_IPU", "ripple (cyc)", "carry-parallel (cyc)",
+                     "speedup", widths=[6, 13, 21, 9])]
+    for num_ipus in (2, 4, 8, 16, 32, 64):
+        ripple = ripple_gather_latency(num_ipus)
+        parallel = carry_parallel_latency(num_ipus)
+        lines.append(fmt_row(num_ipus, ripple, parallel,
+                             "%.1fx" % (ripple / parallel),
+                             widths=[6, 13, 21, 9]))
+        assert parallel < ripple
+    at_32 = ripple_gather_latency(32) / carry_parallel_latency(32)
+    lines += ["",
+              "at the hardware's N_IPU = 32: %.1fx gather speedup" % at_32]
+    emit(results_dir, "ablation_carry", lines)
+    assert at_32 > 10
+
+    rng = random.Random(3)
+    partial_sums = [rng.getrandbits(64) for _ in range(32)]
+    benchmark(gather, partial_sums, 32)
+
+
+def test_ablation_carry_bound(results_dir):
+    """Equation (2) holds over a large randomized sample."""
+    rng = random.Random(4)
+    worst = 0
+    for _ in range(3000):
+        count = rng.randrange(2, 33)
+        partial_sums = [rng.getrandbits(64) for _ in range(count)]
+        result = gather(partial_sums, 32)
+        worst = max(worst, result.max_carry)
+        assert result.total == sum(ps << (32 * i)
+                                   for i, ps in enumerate(partial_sums))
+    lines = ["Equation (2) check: max inter-part carry over 3000 random",
+             "gathers of 2L-bit partial sums: %d  (bound: 1)" % worst]
+    emit(results_dir, "ablation_carry_bound", lines)
+    assert worst <= 1
+
+
+def test_ablation_combining_modes(results_dir):
+    """Figure 10: FA-disable combining of 1/2/4/8/16/32 IPUs."""
+    rng = random.Random(5)
+    gu = GatherUnit(32, 32)
+    partial_sums = [rng.getrandbits(64) for _ in range(32)]
+    lines = ["Figure 10: GU combining modes (results per configuration)",
+             fmt_row("group size", "results", widths=[11, 8])]
+    for group in gu.valid_combines():
+        results = gu.combine(partial_sums, group)
+        lines.append(fmt_row(group, len(results), widths=[11, 8]))
+        assert len(results) == 32 // group
+    emit(results_dir, "fig10_combining", lines)

@@ -1,0 +1,84 @@
+"""Ablations over the hardware configuration (design-space sweep).
+
+DESIGN.md's design-choice list: how the PE/IPU counts and the q
+parameter trade area/power against multiply latency, and what the
+memory-agent duty cycle costs — the knobs behind the paper's chosen
+256 x 32 x q=4 @ 2 GHz point.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, fmt_row
+from repro.core.energy import area_mm2, power_w
+from repro.core.model import CambriconPConfig, CambriconPModel
+
+
+def test_ablation_pe_count(results_dir, benchmark):
+    lines = ["Ablation: PE count vs 35,904-bit multiply latency",
+             fmt_row("PEs", "area mm2", "power W", "cycles", "speedup",
+                     widths=[5, 10, 9, 8, 9])]
+    bits = 35904
+    baseline_cycles = None
+    for num_pes in (32, 64, 128, 256, 512):
+        config = CambriconPConfig(num_pes=num_pes)
+        model = CambriconPModel(config)
+        cycles = model.multiply_cycles(bits, bits)
+        if num_pes == 32:
+            baseline_cycles = cycles
+        lines.append(fmt_row(num_pes, "%.3f" % area_mm2(config),
+                             "%.2f" % power_w(config), "%.0f" % cycles,
+                             "%.2fx" % (baseline_cycles / cycles),
+                             widths=[5, 10, 9, 8, 9]))
+    emit(results_dir, "ablation_pe_count", lines)
+
+    quarter = CambriconPModel(CambriconPConfig(num_pes=64))
+    full = CambriconPModel(CambriconPConfig(num_pes=256))
+    # Compute-bound region: 4x the PEs buys ~4x at this size.
+    ratio = quarter.multiply_cycles(bits, bits) \
+        / full.multiply_cycles(bits, bits)
+    assert 2.5 < ratio < 4.5
+    # Area scales close to linearly with the array.
+    assert 3.0 < area_mm2(CambriconPConfig(num_pes=256)) \
+        / area_mm2(CambriconPConfig(num_pes=64)) < 4.5
+
+    benchmark(full.multiply_cycles, bits, bits)
+
+
+def test_ablation_q(results_dir):
+    """q trades Converter patterns (2^q) against MAC parallelism."""
+    from repro.core.bips import lambda_ratio
+    lines = ["Ablation: q (bitflows per IPU) at p_y = 32",
+             fmt_row("q", "patterns", "lambda", "PE area mm2",
+                     widths=[3, 9, 8, 12])]
+    for q in (2, 3, 4, 5, 6):
+        config = CambriconPConfig(q=q)
+        lines.append(fmt_row(q, 1 << q, "%.3f" % lambda_ratio(q, 32),
+                             "%.4f" % (area_mm2(config) / 256),
+                             widths=[3, 9, 8, 12]))
+    lines += ["", "q = 4 minimizes lambda; beyond it the 2^q pattern",
+              "hardware grows faster than the MAC savings."]
+    emit(results_dir, "ablation_q", lines)
+    assert lambda_ratio(4, 32) < lambda_ratio(3, 32)
+    assert lambda_ratio(4, 32) < lambda_ratio(6, 32)
+    assert area_mm2(CambriconPConfig(q=6)) \
+        > area_mm2(CambriconPConfig(q=4))
+
+
+def test_ablation_memory_duty(results_dir):
+    """What the 50% coherence reservation costs on streaming ops."""
+    import repro.core.memory as memory_module
+    model = CambriconPModel()
+    lines = ["Ablation: memory-agent duty cycle vs add throughput",
+             fmt_row("duty", "add cycles (1 Mbit)", widths=[6, 20])]
+    original = memory_module.MEMORY_AGENT_DUTY
+    try:
+        for duty in (0.25, 0.5, 1.0):
+            memory_module.MEMORY_AGENT_DUTY = duty
+            cycles = model.add_cycles(1 << 20)
+            lines.append(fmt_row("%.0f%%" % (duty * 100),
+                                 "%.0f" % cycles, widths=[6, 20]))
+    finally:
+        memory_module.MEMORY_AGENT_DUTY = original
+    lines += ["", "the paper runs at 50% to preserve CPU memory",
+              "ordering/coherence (Section VII-B)"]
+    emit(results_dir, "ablation_duty", lines)

@@ -1,0 +1,70 @@
+"""Section IV-B benefit analysis: the BIPS bops ratio lambda(q).
+
+lambda(q) = (1 + (2^q - 1)/p_y) / q reaches its minimum 0.367 at q = 4
+for p_y = 32 — BIPS needs only 36.7% of the straightforward bit-serial
+scheme's binary operations, which is why Cambricon-P processes four
+bitflows in parallel.  The measured sweep runs real operand vectors
+through both schemes and counts actual bops.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit, fmt_row
+from repro.core.bips import (best_q, bips_inner_product, bops_bips,
+                             bops_bit_serial, lambda_ratio,
+                             measured_bops_bips,
+                             measured_bops_bit_serial)
+
+
+def test_lambda_curve(results_dir, benchmark):
+    p_y = 32
+    rng = random.Random(42)
+    lines = ["Section IV-B: BIPS benefit ratio lambda(q) at p_y = 32",
+             fmt_row("q", "lambda (formula)", "bops ratio (worst case)",
+                     "measured (random)", widths=[3, 17, 24, 18])]
+    formula_values = {}
+    for q in range(1, 8):
+        formula = lambda_ratio(q, p_y)
+        formula_values[q] = formula
+        worst_case = bops_bips(q, 4096, p_y) / bops_bit_serial(q, 4096, p_y)
+        measured_b = measured_s = 0
+        for _ in range(60):
+            x_vec = [rng.getrandbits(32) for _ in range(q)]
+            y_vec = [rng.getrandbits(32) for _ in range(q)]
+            measured_b += measured_bops_bips(x_vec, y_vec)
+            measured_s += measured_bops_bit_serial(x_vec, y_vec)
+        lines.append(fmt_row(
+            q, "%.4f" % formula, "%.4f" % worst_case,
+            "%.4f" % (measured_b / measured_s),
+            widths=[3, 17, 24, 18]))
+    q_best, lambda_best = best_q(p_y)
+    lines += ["",
+              "lambda minimum: %.4f at q = %d  (paper: 0.367 at q = 4)"
+              % (lambda_best, q_best)]
+    emit(results_dir, "bips_lambda", lines)
+
+    assert q_best == 4
+    assert abs(lambda_best - 0.367) < 1e-3
+    # The curve is convex around the minimum.
+    assert formula_values[3] > formula_values[4] < formula_values[5]
+
+    # Benchmark the BIPS kernel itself.
+    x_vec = [rng.getrandbits(32) for _ in range(4)]
+    y_vec = [rng.getrandbits(32) for _ in range(4)]
+    benchmark(bips_inner_product, x_vec, y_vec)
+
+
+def test_lambda_other_index_widths(results_dir):
+    """Ablation: the optimal q shifts with the index bitwidth p_y."""
+    lines = ["Ablation: optimal q versus index bitwidth p_y",
+             fmt_row("p_y", "best q", "lambda_min", widths=[6, 8, 12])]
+    expectations = {8: (2, 3), 16: (3, 4), 32: (4, 4), 64: (4, 5),
+                    128: (5, 6)}
+    for p_y, (q_low, q_high) in expectations.items():
+        q_best, lambda_best = best_q(p_y)
+        lines.append(fmt_row(p_y, q_best, "%.4f" % lambda_best,
+                             widths=[6, 8, 12]))
+        assert q_low <= q_best <= q_high, p_y
+    emit(results_dir, "bips_lambda_py_sweep", lines)

@@ -1,0 +1,91 @@
+"""Figure 2: APC application profiling on CPU and GPU.
+
+Left panel: general-purpose APC runs ~32x slower on V100+XMP than on a
+single Xeon core, because unbatched kernel launches dominate.
+Right panel: low-level operators take ~97.8% of CPU runtime and the
+kernel operators (Multiply/Add/Shift) ~87.2%, with Multiply alone above
+half.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, fmt_row
+from repro.apps import WORKLOADS
+from repro.platforms import cpu, gpu
+from repro.profiling import classify_breakdown
+
+
+def classify(breakdown: dict) -> dict:
+    """Collapse a per-kernel breakdown into Figure 2's classes."""
+    return classify_breakdown(breakdown).as_dict()
+
+
+@pytest.fixture(scope="module")
+def traces():
+    collected = {}
+    for name, (runner, sweeps) in WORKLOADS.items():
+        _, trace = runner(**sweeps[0])
+        collected[name] = trace
+    return collected
+
+
+def test_fig02_right_runtime_breakdown(results_dir, traces, benchmark):
+    lines = ["Figure 2 (right): CPU runtime breakdown by operator class",
+             fmt_row("app", "Multiply", "Add", "Shift", "other-low",
+                     "high-level", widths=[8, 10, 10, 10, 10, 10])]
+    kernel_shares = []
+    low_level_shares = []
+    multiply_shares = []
+    for name, trace in traces.items():
+        report = benchmark(cpu.price_trace, trace) \
+            if name == "Pi" else cpu.price_trace(trace)
+        classes = classify(report.breakdown())
+        kernel = classes["Multiply"] + classes["Add"] + classes["Shift"]
+        low = kernel + classes["OtherLow"]
+        kernel_shares.append(kernel)
+        low_level_shares.append(low)
+        multiply_shares.append(classes["Multiply"])
+        lines.append(fmt_row(
+            name, *("%.1f%%" % (classes[c] * 100)
+                    for c in ("Multiply", "Add", "Shift", "OtherLow",
+                              "HighLevel")),
+            widths=[8, 10, 10, 10, 10, 10]))
+    avg_low = sum(low_level_shares) / len(low_level_shares)
+    avg_kernel = sum(kernel_shares) / len(kernel_shares)
+    avg_multiply = sum(multiply_shares) / len(multiply_shares)
+    lines += [
+        "",
+        "average low-level share: %.1f%%  (paper: 97.8%%)" % (avg_low * 100),
+        "average kernel (Mul/Add/Shift) share: %.1f%%  (paper: 87.2%%)"
+        % (avg_kernel * 100),
+        "average Multiply share: %.1f%%  (paper: >50%%)"
+        % (avg_multiply * 100),
+    ]
+    emit(results_dir, "fig02_breakdown", lines)
+    # Qualitative claims.
+    assert avg_low > 0.90
+    assert avg_kernel > 0.75
+    assert avg_multiply > 0.50
+
+
+def test_fig02_left_gpu_slowdown(results_dir, traces):
+    lines = ["Figure 2 (left): general-purpose APC, GPU vs single CPU core",
+             fmt_row("app", "CPU (s)", "GPU (s)", "slowdown",
+                     widths=[8, 12, 12, 10])]
+    slowdowns = []
+    for name, trace in traces.items():
+        cpu_seconds = cpu.price_trace(trace).seconds
+        gpu_seconds = gpu.price_trace(trace, batch=1)
+        slowdowns.append(gpu_seconds / cpu_seconds)
+        lines.append(fmt_row(name, "%.3e" % cpu_seconds,
+                             "%.3e" % gpu_seconds,
+                             "%.1fx" % (gpu_seconds / cpu_seconds),
+                             widths=[8, 12, 12, 10]))
+    avg = sum(slowdowns) / len(slowdowns)
+    lines += ["", "average GPU slowdown: %.1fx  (paper: 32.2x)" % avg]
+    emit(results_dir, "fig02_gpu", lines)
+    # The qualitative claim: the GPU loses decisively on unbatched APC,
+    # by one to two orders of magnitude.
+    assert 5.0 < avg < 500.0

@@ -1,0 +1,91 @@
+"""Figure 3: memory-hierarchy bandwidth utilization and the roofline.
+
+(b) Random Access saturates remote levels, Matrix Multiply concentrates
+between L1 and the register file, and APC Multiply is stuck at the
+register file with remote levels nearly idle.
+(c) The APC-multiply roofline: operational intensity collapses from the
+remote levels toward the RF, making the near-end bandwidth the binding
+ceiling despite the workload looking compute-bound from DRAM.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, fmt_row
+from repro.platforms.cache import (CacheHierarchy, run_apc_multiply,
+                                   run_matrix_multiply, run_random_access)
+from repro.platforms.roofline import (CPU_PEAK_GOPS, binding_level,
+                                      roofline_points)
+
+BANDWIDTHS = {"RF": 888.0, "L1": 256.0, "L2": 128.0, "L3": 64.0,
+              "DRAM": 24.0}
+
+
+@pytest.fixture(scope="module")
+def reports():
+    workloads = {
+        "RandomAccess": lambda h: run_random_access(h, 1 << 16),
+        "MatrixMultiply": lambda h: run_matrix_multiply(h, 72),
+        "APC Multiply": lambda h: run_apc_multiply(h, 64 * 1024),
+    }
+    collected = {}
+    for name, runner in workloads.items():
+        hierarchy = CacheHierarchy()
+        runner(hierarchy)
+        collected[name] = hierarchy.report()
+    return collected
+
+
+def test_fig03b_bandwidth_utilization(results_dir, reports, benchmark):
+    benchmark(lambda: run_apc_multiply(CacheHierarchy(), 64 * 256))
+    levels = ["RF", "L1", "L2", "L3", "DRAM"]
+    lines = ["Figure 3(b): bandwidth utilization per hierarchy level",
+             fmt_row("workload", *levels,
+                     widths=[16, 8, 8, 8, 8, 8])]
+    for name, report in reports.items():
+        lines.append(fmt_row(
+            name, *("%.0f%%" % (report.utilization[level] * 100)
+                    for level in levels),
+            widths=[16, 8, 8, 8, 8, 8]))
+    lines += [
+        "",
+        "bottlenecks: " + ", ".join(
+            "%s->%s" % (name, report.bottleneck())
+            for name, report in reports.items()),
+        "(paper: RandomAccess->remote, MatrixMultiply->L1/RF, "
+        "APC Multiply->RF with remote levels nearly idle)",
+    ]
+    emit(results_dir, "fig03b_bandwidth", lines)
+
+    assert reports["APC Multiply"].bottleneck() == "RF"
+    assert reports["APC Multiply"].utilization["DRAM"] < 0.5
+    assert reports["MatrixMultiply"].bottleneck() in ("L1", "RF")
+    assert reports["RandomAccess"].bottleneck() in ("L2", "L3", "DRAM")
+
+
+def test_fig03c_roofline_collapse(results_dir, reports):
+    report = reports["APC Multiply"]
+    total_ops = float(report.alu_ops)
+    points = roofline_points(total_ops, report.traffic_bytes, BANDWIDTHS,
+                             CPU_PEAK_GOPS)
+    lines = ["Figure 3(c): APC-multiply roofline per level",
+             fmt_row("level", "OI (ops/B)", "attained Gops", "bound",
+                     widths=[6, 12, 14, 8])]
+    by_level = {}
+    for point in points:
+        by_level[point.level] = point
+        lines.append(fmt_row(
+            point.level, "%.3f" % point.operational_intensity,
+            "%.2f" % point.attained_gops,
+            "mem" if point.memory_bound else "compute",
+            widths=[6, 12, 14, 8]))
+    bound = binding_level(points)
+    lines += ["", "binding level: %s (paper: RF)" % bound.level]
+    emit(results_dir, "fig03c_roofline", lines)
+
+    # Operational intensity collapses monotonically toward the RF.
+    assert by_level["RF"].operational_intensity \
+        < by_level["L1"].operational_intensity \
+        < by_level["DRAM"].operational_intensity
+    assert bound.level == "RF"

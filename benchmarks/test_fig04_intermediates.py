@@ -1,0 +1,76 @@
+"""Figure 4 + Section II-C: decomposition intermediates.
+
+Figure 4: one schoolbook split of an n-bit multiply touches 20n bits
+against 4n for the monolithic operation (5x), and the final result
+depends on carries from the partial products.
+
+Section II-C: a 1,000,000-bit Karatsuba multiplication generates 1.72GB
+of intermediates when decomposed to 32-bit limbs versus 223.71MB at
+1024-bit limbs — 7.68x less with the coarse decomposition.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, fmt_row
+from repro.platforms.intermediates import (
+    intermediates_reduction_ratio, karatsuba_intermediate_megabytes,
+    monolithic_total_bits, schoolbook_decomposition_rows,
+    schoolbook_total_bits)
+
+
+def test_fig04_schoolbook_table(results_dir, benchmark):
+    rows = benchmark(schoolbook_decomposition_rows, 1.0)
+    lines = ["Figure 4: accessed bits after one schoolbook split (n = 1)",
+             fmt_row("op", "input bits", "output bits", "total",
+                     widths=[14, 12, 12, 8])]
+    for row in rows:
+        lines.append(fmt_row(row.operation, "%.1fn" % row.input_bits,
+                             "%.1fn" % row.output_bits,
+                             "%.1fn" % row.total_bits,
+                             widths=[14, 12, 12, 8]))
+    total = schoolbook_total_bits(1.0)
+    monolithic = monolithic_total_bits(1.0)
+    lines += [
+        "",
+        "decomposed total: %.0fn   monolithic: %.0fn   blow-up: %.1fx"
+        % (total, monolithic, total / monolithic),
+        "(paper: 20n vs 4n, 5x)",
+    ]
+    emit(results_dir, "fig04_schoolbook", lines)
+    assert total == 20.0 and monolithic == 4.0
+
+
+def test_section2c_karatsuba_intermediates(results_dir):
+    n_bits = 1_000_000
+    lines = ["Section II-C: Karatsuba intermediates for a 1,000,000-bit "
+             "multiply",
+             fmt_row("limb size", "intermediates", "paper",
+                     widths=[12, 16, 12])]
+    fine = karatsuba_intermediate_megabytes(n_bits, 32)
+    coarse = karatsuba_intermediate_megabytes(n_bits, 1024)
+    lines.append(fmt_row("32-bit", "%.1f MB" % fine, "1720 MB",
+                         widths=[12, 16, 12]))
+    lines.append(fmt_row("1024-bit", "%.2f MB" % coarse, "223.71 MB",
+                         widths=[12, 16, 12]))
+    ratio = intermediates_reduction_ratio(n_bits, 1024, 32)
+    lines += ["", "reduction ratio: %.2fx  (paper: 7.68x)" % ratio]
+    emit(results_dir, "fig04_karatsuba_traffic", lines)
+
+    assert abs(ratio - 7.68) < 0.15
+    assert abs(fine - 1720) / 1720 < 0.05
+    assert abs(coarse - 223.71) / 223.71 < 0.05
+
+
+def test_monolithic_sweep(results_dir):
+    """Extension: intermediates vs limb size across the sweep."""
+    n_bits = 1_000_000
+    lines = ["Intermediates vs decomposition granularity (1 Mbit multiply)",
+             fmt_row("limb bits", "intermediates (MB)", widths=[10, 20])]
+    previous = float("inf")
+    for limb_bits in (32, 64, 128, 256, 512, 1024, 4096, 35904):
+        megabytes = karatsuba_intermediate_megabytes(n_bits, limb_bits)
+        lines.append(fmt_row(limb_bits, "%.2f" % megabytes,
+                             widths=[10, 20]))
+        assert megabytes < previous  # coarser limbs, fewer intermediates
+        previous = megabytes
+    emit(results_dir, "fig04_sweep", lines)

@@ -1,0 +1,116 @@
+"""Figure 11: time of N-bit natural multiplication across platforms.
+
+CPU+GMP and Cambricon-P+MPApca over 64 .. 64,000,000 bits, with
+V100+CGBN and AVX512IFMA over their applicable ranges.  The paper's
+regime structure:
+
+* monolithic hardware range (N <= 35,904): up to 100.98x over the CPU
+  (covers GMP's schoolbook and Toom-{2,3,4,6H} ranges);
+* Toom range: 18.06x-67.78x;
+* SSA range: 3.87x-14.89x, with MPApca's power-of-two padding zigzag;
+* V100+CGBN (batched) roughly matches Cambricon-P's throughput within
+  its limited operand range.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, fmt_row
+from repro.platforms import avx512, cpu, gpu
+from repro.runtime import mpapca
+
+SWEEP = [64, 256, 1024, 4096, 16384, 35904, 65536, 131072, 262144,
+         524288, 1048576, 2097152, 4194304, 8388608, 16777216,
+         33554432, 67108864]
+
+MONOLITHIC_MAX = 35904
+TOOM_MAX = 80 * 35904  # MPApca's SSA threshold
+
+
+def test_fig11_multiplication_curve(results_dir, benchmark):
+    lines = ["Figure 11: N-bit multiplication time (seconds)",
+             fmt_row("N (bits)", "CPU+GMP", "Cambricon-P", "V100+CGBN",
+                     "AVX512IFMA", "speedup",
+                     widths=[10, 12, 12, 12, 12, 9])]
+    speedups = {}
+    for bits in SWEEP:
+        cpu_seconds = cpu.multiply_seconds(bits)
+        camp_seconds = mpapca.multiply_seconds(bits)
+        gpu_cell = ("%.3e" % gpu.multiply_seconds(bits)
+                    if gpu.applicable(bits) else "-")
+        avx_cell = ("%.3e" % avx512.multiply_seconds(bits)
+                    if avx512.applicable(bits) else "-")
+        speedups[bits] = cpu_seconds / camp_seconds
+        lines.append(fmt_row(
+            bits, "%.3e" % cpu_seconds, "%.3e" % camp_seconds,
+            gpu_cell, avx_cell, "%.2fx" % speedups[bits],
+            widths=[10, 12, 12, 12, 12, 9]))
+
+    monolithic = [s for b, s in speedups.items() if b <= MONOLITHIC_MAX]
+    toom = [s for b, s in speedups.items()
+            if MONOLITHIC_MAX < b <= TOOM_MAX]
+    ssa = [s for b, s in speedups.items() if b > TOOM_MAX]
+    lines += [
+        "",
+        "peak speedup (monolithic range): %.2fx  (paper: up to 100.98x)"
+        % max(monolithic),
+        "Toom range: %.2fx - %.2fx  (paper: 18.06x - 67.78x)"
+        % (min(toom), max(toom)),
+        "SSA range: %.2fx - %.2fx  (paper: 3.87x - 14.89x)"
+        % (min(ssa), max(ssa)),
+    ]
+    emit(results_dir, "fig11_multiply", lines)
+
+    # Shape assertions: regime ordering and rough magnitudes.
+    assert 70 < max(monolithic) < 140
+    assert all(10 < s < 95 for s in toom)
+    assert all(2 < s < 25 for s in ssa)
+    assert max(monolithic) > max(toom) > max(ssa)
+    # Crossover: the CPU wins only at the very small end.
+    assert speedups[64] < 1 < speedups[4096]
+
+    benchmark(mpapca.multiply_seconds, 1 << 20)
+
+
+def test_fig11_ssa_zigzag(results_dir):
+    """MPApca's power-of-two padding produces the zigzag; GMP's tuned
+    parameter selection stays smooth."""
+    lines = ["Figure 11 inset: SSA zigzag from MPApca's 2^k padding",
+             fmt_row("N (bits)", "MPApca (s)", "CPU (s)",
+                     widths=[10, 12, 12])]
+    base = 1 << 23
+    mpapca_jump = None
+    cpu_jump = None
+    for bits in (base, base + (1 << 18)):
+        lines.append(fmt_row(bits, "%.3e" % mpapca.multiply_seconds(bits),
+                             "%.3e" % cpu.multiply_seconds(bits),
+                             widths=[10, 12, 12]))
+    mpapca_jump = (mpapca.multiply_seconds(base + (1 << 18))
+                   / mpapca.multiply_seconds(base))
+    cpu_jump = (cpu.multiply_seconds(base + (1 << 18))
+                / cpu.multiply_seconds(base))
+    lines += ["",
+              "cost jump just past 2^23: MPApca %.2fx vs CPU %.2fx"
+              % (mpapca_jump, cpu_jump)]
+    emit(results_dir, "fig11_zigzag", lines)
+    assert mpapca_jump > cpu_jump
+    assert mpapca_jump > 1.2
+
+
+def test_fig11_gpu_parity_where_applicable(results_dir):
+    """Batched CGBN roughly matches Cambricon-P throughput (Table III's
+    0.98x) inside its applicable window."""
+    from repro.core.model import CambriconPModel
+    model = CambriconPModel()
+    lines = ["Figure 11 / Table III: batched GPU vs Cambricon-P throughput",
+             fmt_row("N (bits)", "CGBN amortized", "Cambricon-P tput",
+                     "ratio", widths=[10, 15, 17, 8])]
+    for bits in (1024, 4096, 16384, 32768):
+        gpu_seconds = gpu.multiply_seconds(bits, batch=100000)
+        camp_seconds = model.multiply_throughput_seconds(bits, bits)
+        ratio = gpu_seconds / camp_seconds
+        lines.append(fmt_row(bits, "%.3e" % gpu_seconds,
+                             "%.3e" % camp_seconds, "%.2fx" % ratio,
+                             widths=[10, 15, 17, 8]))
+        if bits == 4096:
+            assert 0.7 < ratio < 1.4  # paper: 0.98x
+    emit(results_dir, "fig11_gpu_parity", lines)

@@ -1,0 +1,67 @@
+"""Figure 12: the roofline for APC multiplication on Cambricon-P.
+
+The monolithic limb granularity keeps operational intensity high at the
+accelerator's single memory interface (the LLC, derated to 50% duty for
+CPU coherence), so unlike the CPU — whose intensity collapses at the
+register file (Figure 3c) — Cambricon-P reaches its compute roof once
+operands exceed the compute/bandwidth balance point (~4 Kbit).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, fmt_row
+from repro.core.model import CambriconPModel
+from repro.platforms.roofline import (CAMBRICON_P_PEAK_GOPS,
+                                      CPU_PEAK_GOPS,
+                                      cambricon_p_roofline)
+
+
+def test_fig12_cambricon_p_roofline(results_dir, benchmark):
+    lines = ["Figure 12: Cambricon-P roofline (LLC at 50% duty: 256 GB/s)",
+             fmt_row("N (bits)", "OI (ops/B)", "attained Gops", "regime",
+                     widths=[10, 12, 14, 10])]
+    balance_crossed = False
+    previous_attained = 0.0
+    for bits in (512, 1024, 4096, 16384, 35904):
+        point = benchmark.pedantic(
+            cambricon_p_roofline, args=(bits,), iterations=1,
+            rounds=1)[0] if bits == 512 else cambricon_p_roofline(bits)[0]
+        regime = "memory" if point.memory_bound else "compute"
+        if not point.memory_bound:
+            balance_crossed = True
+        lines.append(fmt_row(bits, "%.2f" % point.operational_intensity,
+                             "%.1f" % point.attained_gops, regime,
+                             widths=[10, 12, 14, 10]))
+        assert point.attained_gops >= previous_attained
+        previous_attained = point.attained_gops
+    lines += [
+        "",
+        "compute roof: %.0f Gops (64-bit MAC equivalents)"
+        % CAMBRICON_P_PEAK_GOPS,
+        "CPU single-core peak for comparison: %.1f Gops" % CPU_PEAK_GOPS,
+        "peak ratio: %.0fx — the scale behind Figure 11's speedups"
+        % (CAMBRICON_P_PEAK_GOPS / CPU_PEAK_GOPS),
+    ]
+    emit(results_dir, "fig12_roofline", lines)
+    assert balance_crossed
+    assert cambricon_p_roofline(512)[0].memory_bound
+    assert not cambricon_p_roofline(35904)[0].memory_bound
+
+
+def test_fig12_memory_agent_duty(results_dir):
+    """The paper keeps the memory agent idle 50% of cycles for CPU
+    coherence; the derated bandwidth is what the roofline uses."""
+    from repro.core.memory import (LLC_BANDWIDTH_BYTES_PER_SEC,
+                                   MEMORY_AGENT_DUTY)
+    model = CambriconPModel()
+    effective = model.streaming_bits_per_cycle()
+    lines = [
+        "Figure 12 note: memory-agent duty derating",
+        "LLC bandwidth: %.0f GB/s" % (LLC_BANDWIDTH_BYTES_PER_SEC / 1e9),
+        "duty cycle reserved for coherence: %.0f%%"
+        % (MEMORY_AGENT_DUTY * 100),
+        "effective streaming: %.0f bits/cycle @ 2 GHz" % effective,
+    ]
+    emit(results_dir, "fig12_duty", lines)
+    assert MEMORY_AGENT_DUTY == 0.5
+    assert effective == 1024.0

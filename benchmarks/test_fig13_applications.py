@@ -1,0 +1,143 @@
+"""Figure 13: application time and energy, Cambricon-P vs CPU.
+
+Paper speedup bands across the precision sweeps:
+
+* Pi    5.82x - 16.65x  (avg 11.22x)
+* Frac  6.71x - 63.92x  (avg 38.62x)
+* zkcm  3.38x - 34.97x  (avg 21.30x)
+* RSA   1.51x - 166.02x (avg 21.94x)
+* overall average 23.41x; energy benefit 30.16x.
+
+Methodology: small sweep points run functionally on our own software
+stack under the operator profiler; paper-scale points use the synthetic
+trace generators (validated against functional runs in the test suite).
+Both are priced on the Xeon+GMP model and the Cambricon-P+MPApca model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, fmt_row
+from repro.apps import WORKLOADS, synthetic
+from repro.platforms import cpu
+from repro.runtime import mpapca
+
+#: Paper-scale sweep points per app (synthetic traces).
+LARGE_SWEEPS = {
+    "Pi": [{"digits": 10 ** 5}, {"digits": 10 ** 6}, {"digits": 10 ** 7}],
+    "Frac": [{"zoom_exponent": 2000, "precision": 8192},
+             {"zoom_exponent": 10000, "precision": 40960},
+             {"zoom_exponent": 60000, "precision": 262144}],
+    # zkcm's realistic precisions are moderate (long gate sequences at
+    # a few thousand bits); at huge precisions the workload degenerates
+    # to pure large multiplies and leaves the paper's app regime.
+    "zkcm": [{"num_qubits": 6, "precision": 2048},
+             {"num_qubits": 6, "precision": 3072},
+             {"num_qubits": 6, "precision": 4096}],
+    "RSA": [{"bits": 8192}, {"bits": 32768}, {"bits": 131072}],
+}
+
+#: Paper bands per app: (min, max) speedup.
+PAPER_BANDS = {
+    "Pi": (5.82, 16.65),
+    "Frac": (6.71, 63.92),
+    "zkcm": (3.38, 34.97),
+    "RSA": (1.51, 166.02),
+}
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    results = {}
+    for app, (runner, sweeps) in WORKLOADS.items():
+        rows = []
+        # Functional points (small precisions).
+        for params in sweeps[:2]:
+            _, trace = runner(**params)
+            rows.append(("functional", params, trace))
+        # Paper-scale synthetic points.
+        generator = synthetic.GENERATORS[app]
+        for params in LARGE_SWEEPS[app]:
+            rows.append(("synthetic", params, generator(**params)))
+        results[app] = rows
+    return results
+
+
+def test_fig13_time(results_dir, sweep_results, benchmark):
+    lines = ["Figure 13 (top): application runtime, CPU vs Cambricon-P",
+             fmt_row("app", "point", "mode", "CPU (s)", "CamP (s)",
+                     "speedup", widths=[6, 30, 11, 11, 11, 8])]
+    all_speedups = []
+    per_app = {}
+    for app, rows in sweep_results.items():
+        speedups = []
+        for mode, params, trace in rows:
+            cpu_seconds = cpu.price_trace(trace).seconds
+            camp_seconds = mpapca.price_trace(trace).seconds
+            speedup = cpu_seconds / camp_seconds
+            speedups.append((mode, speedup))
+            lines.append(fmt_row(
+                app, str(params)[:29], mode, "%.3e" % cpu_seconds,
+                "%.3e" % camp_seconds, "%.2fx" % speedup,
+                widths=[6, 30, 11, 11, 11, 8]))
+        per_app[app] = speedups
+        all_speedups.extend(s for _, s in speedups)
+    overall = sum(all_speedups) / len(all_speedups)
+    lines += [""]
+    for app, speedups in per_app.items():
+        large = [s for mode, s in speedups if mode == "synthetic"]
+        band = PAPER_BANDS[app]
+        lines.append(
+            "%-5s paper-scale speedups: %s  (paper band: %.2fx-%.2fx)"
+            % (app, ", ".join("%.2fx" % s for s in large), *band))
+    lines += ["",
+              "overall average (all points): %.2fx  (paper: 23.41x "
+              "across its sweeps)" % overall]
+    emit(results_dir, "fig13_time", lines)
+
+    # Shape assertions on the paper-scale points.
+    for app, speedups in per_app.items():
+        large = [s for mode, s in speedups if mode == "synthetic"]
+        low, high = PAPER_BANDS[app]
+        for speedup in large:
+            assert 0.5 * low < speedup < 2.0 * high, (app, speedup)
+        # Every app is accelerated at paper scale.
+        assert min(large) > 1.0, app
+
+    benchmark(cpu.price_trace, sweep_results["Pi"][0][2])
+
+
+def test_fig13_energy(results_dir, sweep_results):
+    lines = ["Figure 13 (bottom): application energy, CPU vs Cambricon-P",
+             fmt_row("app", "point", "CPU (J)", "CamP (J)", "benefit",
+                     widths=[6, 30, 11, 11, 8])]
+    benefits = []
+    time_ratios = []
+    for app, rows in sweep_results.items():
+        for mode, params, trace in rows:
+            if mode != "synthetic":
+                continue
+            cpu_cost = cpu.price_trace(trace)
+            camp_cost = mpapca.price_trace(trace)
+            benefit = cpu_cost.joules / camp_cost.joules
+            benefits.append(benefit)
+            time_ratios.append(cpu_cost.seconds / camp_cost.seconds)
+            lines.append(fmt_row(
+                app, str(params)[:29], "%.3e" % cpu_cost.joules,
+                "%.3e" % camp_cost.joules, "%.2fx" % benefit,
+                widths=[6, 30, 11, 11, 8]))
+    average = sum(benefits) / len(benefits)
+    avg_time = sum(time_ratios) / len(time_ratios)
+    lines += [
+        "",
+        "average energy benefit: %.2fx  (paper: 30.16x)" % average,
+        "average speedup at the same points: %.2fx  (paper: 23.41x)"
+        % avg_time,
+        "energy benefit exceeds speedup (paper observes the same), "
+        "ratio %.2f (paper: 1.29)" % (average / avg_time),
+    ]
+    emit(results_dir, "fig13_energy", lines)
+
+    assert average > avg_time  # CamP (3.6W+LLC) vs CPU (7.4W)
+    assert 5 < average < 120

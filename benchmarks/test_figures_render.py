@@ -1,0 +1,33 @@
+"""Render the headline curves as ASCII figures into results/."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.report import figure_11, figure_13, render_loglog
+
+
+def test_render_figure_11(results_dir, benchmark):
+    chart = benchmark.pedantic(figure_11, kwargs={"max_bits": 1 << 24},
+                               iterations=1, rounds=1)
+    emit(results_dir, "fig11_ascii", [chart])
+    # Every platform appears, and the chart carries data glyphs.
+    for name in ("CPU+GMP", "Cambricon-P", "V100+CGBN", "AVX512IFMA"):
+        assert name in chart
+    assert chart.count("x") > 5 and chart.count("o") > 5
+
+
+def test_render_figure_13(results_dir):
+    chart = figure_13()
+    emit(results_dir, "fig13_ascii", [chart])
+    for name in ("Pi", "Frac", "zkcm", "RSA"):
+        assert name in chart
+
+
+def test_render_loglog_basics():
+    chart = render_loglog({"a": [(1, 1), (10, 100)],
+                           "b": [(1, 100), (10, 1)]},
+                          width=20, height=8, title="t",
+                          x_label="x", y_label="y")
+    assert chart.startswith("t")
+    assert "legend: o a   x b" in chart
+    assert render_loglog({}) == "(no data)"

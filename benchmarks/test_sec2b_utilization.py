@@ -1,0 +1,84 @@
+"""Section II-B: hardware utilization of CPUs and GPUs on APC.
+
+"The utilization of CPU is only 19.1% of a single core, and the
+utilization of GPU is even less than 0.001%" — measured as the ratio of
+achieved to peak performance over the four workloads.  We reproduce the
+methodology: effective useful MAC64 throughput (schoolbook-equivalent
+limb products of every kernel operation) over the platform's peak,
+with each platform's own modeled runtime in the denominator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, fmt_row
+from repro.apps import WORKLOADS
+from repro.platforms import cpu, gpu
+from repro.platforms.roofline import CPU_PEAK_GOPS
+from repro.profiling import OperationTrace
+
+#: V100 packed-integer peak used by the paper's utilization estimate
+#: (excluding tensor cores), ops/s.
+GPU_PEAK_OPS = 15.7e12  # FP32-equivalent scalar throughput
+
+
+def useful_mac64(trace: OperationTrace) -> float:
+    """Schoolbook-equivalent 64-bit MACs of the trace's kernel work."""
+    total = 0.0
+    for op in trace.ops:
+        limbs_a = max(1, op.bits_a / 64.0)
+        limbs_b = max(1, op.bits_b / 64.0)
+        if op.name in ("mul",):
+            total += limbs_a * limbs_b
+        elif op.name == "powmod":
+            total += 2.5 * op.bits_b * limbs_a * limbs_a
+        elif op.name in ("add", "sub", "shift", "cmp", "logic"):
+            total += max(limbs_a, limbs_b)
+        elif op.name in ("div", "mod"):
+            total += limbs_a * limbs_b
+        elif op.name == "sqrt":
+            total += 2 * limbs_a * limbs_a
+    return total
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: runner(**sweeps[0])[1]
+            for name, (runner, sweeps) in WORKLOADS.items()}
+
+
+def test_sec2b_hardware_utilization(results_dir, traces, benchmark):
+    lines = ["Section II-B: hardware utilization over the four workloads",
+             fmt_row("app", "CPU util", "GPU util",
+                     widths=[8, 10, 12])]
+    cpu_utils = []
+    gpu_utils = []
+    for name, trace in traces.items():
+        work = useful_mac64(trace)
+        cpu_seconds = cpu.price_trace(trace).seconds
+        cpu_util = work / (cpu_seconds * CPU_PEAK_GOPS * 1e9)
+        gpu_seconds = gpu.price_trace(trace, batch=1)
+        gpu_util = work / (gpu_seconds * GPU_PEAK_OPS)
+        cpu_utils.append(cpu_util)
+        gpu_utils.append(gpu_util)
+        lines.append(fmt_row(name, "%.1f%%" % (cpu_util * 100),
+                             "%.5f%%" % (gpu_util * 100),
+                             widths=[8, 10, 12]))
+    avg_cpu = sum(cpu_utils) / len(cpu_utils)
+    avg_gpu = sum(gpu_utils) / len(gpu_utils)
+    lines += [
+        "",
+        "average CPU utilization: %.1f%%  (paper: 19.1%%)"
+        % (avg_cpu * 100),
+        "average GPU utilization: %.5f%%  (paper: <0.001%%)"
+        % (avg_gpu * 100),
+    ]
+    emit(results_dir, "sec2b_utilization", lines)
+
+    # Shape: the CPU runs in the tens of percent at best; the GPU's
+    # unbatched utilization is negligible.
+    assert 0.03 < avg_cpu < 0.6
+    assert avg_gpu < 0.001
+
+    benchmark(useful_mac64, traces["Pi"])

@@ -1,0 +1,143 @@
+"""Table I: asymptotic complexity of the low-level operators.
+
+The implementations must actually exhibit the table's exponents:
+schoolbook O(n^2), Karatsuba O(n^1.585), Toom-3 O(n^1.465), Toom-4
+O(n^1.404), Toom-6 O(n^1.338), and linear addition/subtraction/
+comparison.  We fit exponents from measured limb-operation counts (not
+wall clock, which Python noise would pollute).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from benchmarks.conftest import emit, fmt_row
+from repro.mpn import nat
+from repro.mpn.karatsuba import mul_karatsuba
+from repro.mpn.schoolbook import mul_schoolbook
+from repro.mpn.toom import mul_toom
+
+#: Table I exponents.
+PAPER_EXPONENTS = {
+    "schoolbook": 2.0,
+    "karatsuba": math.log(3, 2),     # 1.585
+    "toom3": math.log(5, 3),         # 1.465
+    "toom4": math.log(7, 4),         # 1.404
+    "toom6": math.log(11, 6),        # 1.338
+}
+
+
+class OpCounter:
+    """Counts basecase limb-pair products under a recursive algorithm."""
+
+    def __init__(self, algorithm: str) -> None:
+        self.algorithm = algorithm
+        self.limb_products = 0
+
+    def mul(self, a, b):
+        if self.algorithm == "schoolbook" or len(a) <= 4 or len(b) <= 4:
+            self.limb_products += max(1, len(a)) * max(1, len(b))
+            return nat.nat_from_int(
+                nat.nat_to_int(a) * nat.nat_to_int(b))
+        if self.algorithm == "karatsuba":
+            return mul_karatsuba(a, b, self.mul)
+        k = {"toom3": 3, "toom4": 4, "toom6": 6}[self.algorithm]
+        return mul_toom(a, b, k, self.mul)
+
+
+def fitted_exponent(algorithm: str, sizes) -> float:
+    rng = random.Random(9)
+    points = []
+    for bits in sizes:
+        counter = OpCounter(algorithm)
+        a = nat.nat_from_int(rng.getrandbits(bits) | (1 << (bits - 1)))
+        b = nat.nat_from_int(rng.getrandbits(bits) | (1 << (bits - 1)))
+        if algorithm == "schoolbook":
+            counter.limb_products = len(a) * len(b)
+            mul_schoolbook(a, b)
+        else:
+            counter.mul(a, b)
+        points.append((math.log(bits), math.log(counter.limb_products)))
+    # Least-squares slope.
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    slope = (sum((x - mean_x) * (y - mean_y) for x, y in points)
+             / sum((x - mean_x) ** 2 for x, _ in points))
+    return slope
+
+
+@pytest.mark.parametrize("algorithm", list(PAPER_EXPONENTS))
+def test_tab01_multiplication_exponents(algorithm, results_dir):
+    sizes = [1 << 12, 1 << 14, 1 << 16, 1 << 18]
+    exponent = fitted_exponent(algorithm, sizes)
+    expected = PAPER_EXPONENTS[algorithm]
+    lines = [
+        "Table I: fitted complexity exponent for %s" % algorithm,
+        "measured: n^%.3f   paper: n^%.3f" % (exponent, expected),
+    ]
+    emit(results_dir, "tab01_%s" % algorithm, lines)
+    # Finite-size effects keep measured exponents near but not exactly
+    # at the asymptote.
+    assert abs(exponent - expected) < 0.12
+
+
+def test_tab01_linear_operators(results_dir, benchmark):
+    rng = random.Random(10)
+    lines = ["Table I: linear operators (limb-ops per bit, should be flat)",
+             fmt_row("bits", "add", "sub", "cmp", widths=[9, 8, 8, 8])]
+    for bits in (1 << 12, 1 << 16, 1 << 20):
+        a = nat.nat_from_int(rng.getrandbits(bits) | (1 << (bits - 1)))
+        b = nat.nat_from_int(rng.getrandbits(bits - 1))
+        # Linear ops touch each limb once: ops/bit is constant 1/32.
+        add_ops = len(nat.add(a, b)) / bits
+        sub_ops = len(nat.sub(a, b)) / bits
+        cmp_ops = len(a) / bits
+        lines.append(fmt_row(bits, "%.4f" % add_ops, "%.4f" % sub_ops,
+                             "%.4f" % cmp_ops, widths=[9, 8, 8, 8]))
+        assert abs(add_ops - 1 / 32) < 1e-3
+    emit(results_dir, "tab01_linear", lines)
+    a = nat.nat_from_int(rng.getrandbits(1 << 16))
+    b = nat.nat_from_int(rng.getrandbits(1 << 16))
+    benchmark(nat.add, a, b)
+
+
+def test_tab01_division_complexity(results_dir):
+    """Division: schoolbook O(n^2) shape vs Newton ~ O(M(n))."""
+    from repro.mpn.div import divmod_newton, divmod_schoolbook
+    from repro.mpn.mul import PYTHON_POLICY, mul
+    import time
+    rng = random.Random(11)
+    lines = ["Table I: division scaling (wall-clock ratio when doubling n)",
+             fmt_row("method", "t(n)", "t(2n)", "ratio",
+                     widths=[12, 10, 10, 8])]
+
+    def timed(fn, bits):
+        a = nat.nat_from_int(rng.getrandbits(2 * bits))
+        b = nat.nat_from_int(rng.getrandbits(bits) | (1 << (bits - 1)))
+        start = time.perf_counter()
+        fn(a, b)
+        return time.perf_counter() - start
+
+    school_small = timed(divmod_schoolbook, 6000)
+    school_large = timed(divmod_schoolbook, 12000)
+    newton = lambda a, b: divmod_newton(a, b,
+                                        lambda x, y: mul(x, y,
+                                                         PYTHON_POLICY))
+    newton_small = timed(newton, 24000)
+    newton_large = timed(newton, 48000)
+    lines.append(fmt_row("schoolbook", "%.3f" % school_small,
+                         "%.3f" % school_large,
+                         "%.1fx" % (school_large / school_small),
+                         widths=[12, 10, 10, 8]))
+    lines.append(fmt_row("newton", "%.3f" % newton_small,
+                         "%.3f" % newton_large,
+                         "%.1fx" % (newton_large / newton_small),
+                         widths=[12, 10, 10, 8]))
+    emit(results_dir, "tab01_division", lines)
+    # Schoolbook doubles to ~4x; Newton (Karatsuba-backed) well below.
+    assert school_large / school_small > 2.5
+    assert newton_large / newton_small < school_large / school_small

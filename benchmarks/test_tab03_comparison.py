@@ -1,0 +1,113 @@
+"""Table III: platform comparison at a 4096x4096-bit multiplication.
+
+Area/power/time relative to Cambricon-P: V100 430x area / 60.5x power
+at ~parity throughput (0.98x); AVX512IFMA 35.6x slower at comparable
+silicon; DS/P 3.06x area / 2.53x power and Bit-Tactical 3.76x / 5.02x
+at iso-throughput.  Also covers Section VII-A's hardware totals and the
+Section III monolithic-multiplier motivation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, fmt_row
+from repro.core.energy import (PAPER_AREA_MM2, PAPER_POWER_W, area_mm2,
+                               gate_counts, multiplier_area_mm2,
+                               multiplier_ratios, power_w)
+from repro.core.model import CambriconPModel
+from repro.platforms import accelerators, avx512, cpu, gpu
+
+BITS = 4096
+
+
+def test_tab03_platform_comparison(results_dir, benchmark):
+    model = CambriconPModel()
+    camp_area = area_mm2()
+    camp_power = power_w()
+    camp_time = benchmark(model.multiply_throughput_seconds, BITS, BITS)
+
+    cpu_time = cpu.multiply_seconds(BITS)
+    gpu_time = gpu.multiply_seconds(BITS, batch=100000)
+    avx_time = avx512.multiply_seconds(BITS)
+
+    rows = [
+        ("Cambricon-P", camp_area, camp_power, camp_time),
+        ("Xeon (GMP)", 17.98, cpu.CPU_POWER_W, cpu_time),
+        ("V100 (CGBN)", gpu.GPU_AREA_MM2, gpu.GPU_POWER_W, gpu_time),
+        ("AVX512IFMA", avx512.AVX512_AREA_MM2, avx512.AVX512_POWER_W,
+         avx_time),
+        ("DS/P", accelerators.DSP.area_mm2, accelerators.DSP.power_w,
+         camp_time),
+        ("Bit-Tactical", accelerators.BIT_TACTICAL.area_mm2,
+         accelerators.BIT_TACTICAL.power_w, camp_time),
+    ]
+    lines = ["Table III: 4096x4096-bit multiplication",
+             fmt_row("platform", "area mm2", "(rel)", "power W", "(rel)",
+                     "time s", "(rel)",
+                     widths=[13, 9, 7, 8, 7, 10, 9])]
+    for name, area, power, seconds in rows:
+        lines.append(fmt_row(
+            name, "%.2f" % area, "%.1fx" % (area / camp_area),
+            "%.2f" % power, "%.1fx" % (power / camp_power),
+            "%.2e" % seconds, "%.2fx" % (seconds / camp_time),
+            widths=[13, 9, 7, 8, 7, 10, 9]))
+    lines += [
+        "",
+        "paper anchors: V100 430x area / 60.5x power / 0.98x time;",
+        "AVX512 35.6x time; DS/P 3.06x area / 2.53x power;",
+        "Bit-Tactical 3.76x area / 5.02x power.",
+    ]
+    emit(results_dir, "tab03_comparison", lines)
+
+    assert gpu.GPU_AREA_MM2 / camp_area == pytest.approx(430, rel=0.02)
+    assert gpu.GPU_POWER_W / camp_power == pytest.approx(60.5, rel=0.02)
+    assert gpu_time / camp_time == pytest.approx(0.98, rel=0.3)
+    assert avx_time / camp_time == pytest.approx(35.6, rel=0.1)
+    assert accelerators.DSP.area_mm2 / camp_area \
+        == pytest.approx(3.06, rel=0.02)
+    assert accelerators.BIT_TACTICAL.power_w / camp_power \
+        == pytest.approx(5.02, rel=0.02)
+
+
+def test_section7a_hardware_characteristics(results_dir):
+    shares = gate_counts().shares()
+    lines = [
+        "Section VII-A: Cambricon-P hardware characteristics",
+        "area:  %.3f mm^2  (paper: 1.894 mm^2, TSMC 16 nm)" % area_mm2(),
+        "power: %.3f W @ 2 GHz  (paper: 3.644 W)" % power_w(),
+        "configuration: 256 PEs x 32 IPUs, q = 4, L = 32",
+        "",
+        "component area shares:",
+    ]
+    for component, share in sorted(shares.items(), key=lambda kv: -kv[1]):
+        lines.append("  %-14s %5.1f%%" % (component, share * 100))
+    zen3_ccd_mm2 = 83.0
+    lines += ["",
+              "fraction of a Zen3 core-complex die: %.1f%%  (paper: ~2.3%%)"
+              % (area_mm2() / zen3_ccd_mm2 * 100)]
+    emit(results_dir, "sec7a_hardware", lines)
+    assert area_mm2() == pytest.approx(PAPER_AREA_MM2)
+    assert power_w() == pytest.approx(PAPER_POWER_W)
+    assert 1.5 < area_mm2() / zen3_ccd_mm2 * 100 < 3.5
+
+
+def test_section3_monolithic_multiplier_motivation(results_dir):
+    ratios = multiplier_ratios(512, 32)
+    lines = [
+        "Section III: why not a monolithic wide ALU (512b vs 32b "
+        "multiplier)",
+        "area:   %.1fx  (paper: 189.36x)" % ratios["area"],
+        "energy: %.1fx  (paper: 521.67x)" % ratios["energy"],
+        "delay:  %.2fx  (paper: 5.74x)" % ratios["delay"],
+        "512-bit multiplier area: %.3f mm^2  (paper: 0.16 mm^2)"
+        % multiplier_area_mm2(512),
+        "",
+        "versus: one Cambricon-P PE occupies %.4f mm^2 and handles"
+        % (area_mm2() / 256),
+        "arbitrary bitwidth bit-serially.",
+    ]
+    emit(results_dir, "sec3_multiplier", lines)
+    assert ratios["area"] == pytest.approx(189.36, rel=0.01)
+    assert ratios["energy"] == pytest.approx(521.67, rel=0.01)
+    assert ratios["delay"] == pytest.approx(5.74, rel=0.01)

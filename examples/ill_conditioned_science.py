@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Two scientific computations that float64 cannot do — and APC can.
+
+The paper's introduction motivates arbitrary precision with scientific
+workloads where "one tiny disturbance/error can lead to a highly
+deviated result". Two canonical instances, both running end to end on
+the reproduction's own stack:
+
+1. inverting a Hilbert matrix (condition number ~10^13 at n=10);
+2. closing a planetary orbit to 2^-190 (Kepler's equation at 192 bits).
+
+Run:  python examples/ill_conditioned_science.py
+"""
+
+from repro.apps import orbit
+from repro.linalg import Matrix
+
+
+def hilbert_demo() -> None:
+    print("=== Hilbert matrix inversion (n = 10) ===")
+    n = 10
+    for precision, label in ((64, "64-bit (float64-like)"),
+                             (256, "256-bit APC")):
+        h = Matrix.hilbert(n, precision=precision)
+        residual = (h @ h.inverse()) - Matrix.identity(n, precision)
+        worst = residual.max_abs_entry()
+        print("  %-22s max |H*inv(H) - I| = %s"
+              % (label, worst.to_decimal_string(24)))
+    print("  (the 64-bit residual is O(1): every digit of the inverse")
+    print("   is noise; at 256 bits the residual sits at the rounding")
+    print("   floor — the paper's case for APC in scientific codes)")
+
+
+def orbit_demo() -> None:
+    print("\n=== Planetary orbit closure (e = 0.6) ===")
+    result = orbit.run(precision=192, steps=6)
+    print("  192-bit propagation closes the period to ~2^%d"
+          % result.closure_exponent)
+    print("  float64 closes the same orbit to %.2e"
+          % orbit.float64_closure_error())
+    print("  over ~10^9 revolutions of a long-term ephemeris, the")
+    print("  float64 error compounds into a lost orbit; the APC error")
+    print("  stays beneath any physical perturbation")
+
+    x, y = result.positions[2]
+    print("\n  sample point on the ellipse:")
+    print("    x =", x.to_decimal_string(40))
+    print("    y =", y.to_decimal_string(40))
+
+
+if __name__ == "__main__":
+    hilbert_demo()
+    orbit_demo()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""A tour of the upper software stack: integers, rationals, floats.
+
+Everything here runs on the reproduction's own kernels — the layers of
+the paper's Figure 1 above the naturals library: number-theoretic
+functions over MPZ, exact rationals (MPQ), and the MPFR-style
+transcendental layer, cross-checked against each other.
+
+Run:  python examples/number_theory_tour.py
+"""
+
+from repro.mpf import MPF
+from repro.mpf.transcendental import exp, ln2, pi_agm
+from repro.mpq import MPQ
+from repro.mpz import MPZ
+from repro.mpz.number_theory import (factorial, fibonacci, lucas_lehmer,
+                                     primorial)
+
+
+def integers() -> None:
+    print("=== Integers (MPZ + number theory) ===")
+    f100 = factorial(100)
+    print("100! has %d digits: %s..." % (len(f100.to_decimal()),
+                                         f100.to_decimal()[:40]))
+    fib = fibonacci(1000)
+    print("F(1000) has %d bits: ...%s" % (fib.bit_length(),
+                                          fib.to_decimal()[-30:]))
+    print("primorial(100) =", primorial(100).to_decimal())
+    mersennes = [p for p in range(2, 130)
+                 if all(p % d for d in range(2, p)) and lucas_lehmer(p)]
+    print("Mersenne-prime exponents below 130 (Lucas-Lehmer):",
+          mersennes)
+
+
+def rationals() -> None:
+    print("\n=== Rationals (MPQ): e by its series, exactly ===")
+    total = MPQ(0)
+    term_factorial = MPZ(1)
+    for k in range(30):
+        if k:
+            term_factorial = term_factorial * k
+        total = total + MPQ(MPZ(1), term_factorial)
+    print("sum_{k<30} 1/k! =", "%s/%s digits"
+          % (len(total.numerator.to_decimal()),
+             len(total.denominator.to_decimal())))
+    as_float = total.to_mpf(256)
+    reference = exp(MPF(1, 256), 256)
+    difference = abs(as_float - reference)
+    print("agrees with exp(1) to 2^%d"
+          % (difference.exponent_of_top_bit if difference else -256))
+
+
+def floats() -> None:
+    print("\n=== Transcendentals: two pis and a logarithm ===")
+    agm = pi_agm(512)
+    from repro.apps.pi import compute_pi
+    chudnovsky = compute_pi(140).digits
+    print("pi (AGM):        ", agm.to_decimal_string(60))
+    print("pi (Chudnovsky): ", chudnovsky[:62])
+    print("ln 2 =", ln2(256).to_decimal_string(50))
+
+
+if __name__ == "__main__":
+    integers()
+    rationals()
+    floats()

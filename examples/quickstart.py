@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: the Cambricon-P reproduction in five minutes.
+
+Covers the three layers a new user touches first:
+
+1. the arbitrary-precision number types (MPZ / MPF),
+2. the Cambricon-P accelerator simulator (exact results + cycle
+   reports),
+3. the MPApca runtime with its modeled time/energy accounting.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MPF, MPZ, CambriconP, MPApca
+from repro.mpn import nat_from_int, nat_to_int
+
+
+def arbitrary_precision_numbers() -> None:
+    print("=== 1. Arbitrary-precision numbers ===")
+    a = MPZ(2) ** MPZ(607) - 1          # a Mersenne prime
+    b = MPZ(10) ** MPZ(100) + 267
+    product = a * b
+    print("bits:", a.bit_length(), "+", b.bit_length(),
+          "->", product.bit_length())
+
+    sqrt2 = MPF(2, precision=512).sqrt()
+    print("sqrt(2) =", sqrt2.to_decimal_string(60), "...")
+
+
+def accelerator_simulator() -> None:
+    print("\n=== 2. The Cambricon-P accelerator ===")
+    device = CambriconP()
+    x = nat_from_int((1 << 4096) - 12345)
+    y = nat_from_int((1 << 4096) + 67890)
+    product, report = device.multiply(x, y)
+    assert nat_to_int(product) == nat_to_int(x) * nat_to_int(y)
+    print("4096-bit x 4096-bit multiply:")
+    print("  passes: %d over %d wave(s) of 256 PEs"
+          % (report.num_passes, report.num_waves))
+    print("  modeled latency: %.0f cycles = %.2e s @ 2 GHz"
+          % (report.cycles, report.seconds))
+    print("  LLC traffic: %.0f bytes" % report.traffic.total_bytes)
+    print("  carry-parallel gather max carry: %d (Equation 2 bound: 1 "
+          "for 2L-bit flows)" % report.max_gather_carry)
+
+
+def mpapca_runtime() -> None:
+    print("\n=== 3. The MPApca runtime ===")
+    runtime = MPApca()
+    a = nat_from_int((1 << 35000) - 99991)   # fits monolithic hardware
+    b = nat_from_int((1 << 35000) + 12343)
+    product = runtime.mul(a, b)
+    total = runtime.add(product, a)
+    assert nat_to_int(total) \
+        == nat_to_int(a) * nat_to_int(b) + nat_to_int(a)
+    print("one 35,000-bit monolithic multiply + one add:")
+    print("  modeled accelerator time: %.3e s" % runtime.seconds)
+    print("  modeled energy (core + LLC): %.3e J" % runtime.joules)
+
+
+if __name__ == "__main__":
+    arbitrary_precision_numbers()
+    accelerator_simulator()
+    mpapca_runtime()
+    print("\nDone. See examples/pi_digits.py, deep_zoom_mandelbrot.py,")
+    print("rsa_crypto.py and bitflow_microscope.py for the deeper dives.")

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs where the `wheel`
+package is unavailable (pip falls back to `setup.py develop`)."""
+
+from setuptools import setup
+
+setup()

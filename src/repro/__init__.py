@@ -1,0 +1,30 @@
+"""Cambricon-P reproduction: a bitflow architecture for arbitrary
+precision computing (MICRO 2022), with its complete software substrate.
+
+Layers (bottom-up, mirroring the paper's Figure 1):
+
+* :mod:`repro.mpn`   — limb-level naturals kernel (GMP MPN equivalent)
+* :mod:`repro.mpz`   — signed integers (GMP MPZ)
+* :mod:`repro.mpf`   — arbitrary-precision floats (GMP MPF / MPFR-lite)
+* :mod:`repro.mpc`   — complex numbers (GNU MPC equivalent)
+* :mod:`repro.core`  — the Cambricon-P accelerator (functional + cycle
+  simulator, BIPS, carry-parallel gathering, PPA models)
+* :mod:`repro.runtime` — the MPApca runtime library
+* :mod:`repro.platforms` — CPU/GPU/AVX512/accelerator baselines, cache
+  hierarchy, rooflines, intermediates analysis
+* :mod:`repro.apps`  — Pi, Frac, zkcm, RSA (Table II)
+* :mod:`repro.profiling` — operator-level tracing (sprof equivalent)
+"""
+
+from repro.core import CambriconP, CambriconPConfig
+from repro.mpc import MPC
+from repro.mpf import MPF
+from repro.mpfi import Interval
+from repro.mpq import MPQ
+from repro.mpz import MPZ
+from repro.runtime import MPApca
+
+__version__ = "1.0.0"
+
+__all__ = ["CambriconP", "CambriconPConfig", "Interval", "MPApca",
+           "MPC", "MPF", "MPQ", "MPZ", "__version__"]

@@ -1,0 +1,39 @@
+"""The four representative APC applications (Table II).
+
+Each module exposes ``run(...)`` (functional execution on the
+reproduction's own software stack) and ``trace_run(...)`` (the same run
+under the operator profiler, returning the kernel-operation trace that
+the platform cost models price).
+
+:data:`WORKLOADS` enumerates the precision sweeps used by the Figure 2
+and Figure 13 benchmarks.
+"""
+
+from repro.apps import frac, he, orbit, pi, rsa, zkcm
+
+#: name -> (trace_run callable, list of parameter dicts spanning the
+#: precision sweep of Figure 13).
+WORKLOADS = {
+    "Pi": (pi.trace_run, [
+        {"digits": 100}, {"digits": 300}, {"digits": 1000},
+        {"digits": 3000},
+    ]),
+    "Frac": (frac.trace_run, [
+        {"zoom_exponent": 40, "precision": 128},
+        {"zoom_exponent": 80, "precision": 256},
+        {"zoom_exponent": 160, "precision": 512},
+        {"zoom_exponent": 320, "precision": 1024},
+    ]),
+    "zkcm": (zkcm.trace_run, [
+        {"num_qubits": 3, "precision": 128},
+        {"num_qubits": 4, "precision": 256},
+        {"num_qubits": 4, "precision": 512},
+        {"num_qubits": 5, "precision": 1024},
+    ]),
+    "RSA": (rsa.trace_run, [
+        {"bits": 256, "messages": 2}, {"bits": 512, "messages": 2},
+        {"bits": 1024, "messages": 1}, {"bits": 2048, "messages": 1},
+    ]),
+}
+
+__all__ = ["WORKLOADS", "frac", "he", "orbit", "pi", "rsa", "zkcm"]

@@ -1,0 +1,182 @@
+"""A small quantum-circuit builder over the zkcm simulation core.
+
+zkcm is a *library* for multiprecision quantum computation; this module
+gives the reproduction the same shape: declare circuits as gate lists,
+simulate them on arbitrary-precision state vectors, and sample
+measurements — so workloads beyond the hardcoded QFT/GHZ/Grover flows
+can be expressed (and traced/priced) in a few lines.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.apps import zkcm
+from repro.mpc import MPC
+from repro.mpf import MPF
+from repro.mpn.nat import MpnError
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One circuit operation."""
+
+    kind: str                      # 'h' | 'x' | 'z' | 'phase' | 'cnot'
+                                   # | 'cphase'
+    target: int
+    control: Optional[int] = None
+    phase_k: int = 0               # for phase/cphase: angle 2*pi/2^k
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("h", "x", "z", "phase", "cnot", "cphase"):
+            raise MpnError("unknown gate kind %r" % self.kind)
+        if self.kind in ("cnot", "cphase") and self.control is None:
+            raise MpnError("%s needs a control qubit" % self.kind)
+
+
+class Circuit:
+    """An ordered gate list on a fixed register width."""
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise MpnError("circuit needs at least one qubit")
+        self.num_qubits = num_qubits
+        self.gates: List[Gate] = []
+
+    def _check_qubit(self, *qubits: Optional[int]) -> None:
+        for qubit in qubits:
+            if qubit is not None and not 0 <= qubit < self.num_qubits:
+                raise MpnError("qubit index out of range")
+
+    def h(self, target: int) -> "Circuit":
+        """Hadamard."""
+        self._check_qubit(target)
+        self.gates.append(Gate("h", target))
+        return self
+
+    def x(self, target: int) -> "Circuit":
+        """Pauli-X (NOT)."""
+        self._check_qubit(target)
+        self.gates.append(Gate("x", target))
+        return self
+
+    def z(self, target: int) -> "Circuit":
+        """Pauli-Z."""
+        self._check_qubit(target)
+        self.gates.append(Gate("z", target))
+        return self
+
+    def phase(self, target: int, k: int) -> "Circuit":
+        """R_k rotation: phase 2*pi/2^k on |1>."""
+        self._check_qubit(target)
+        self.gates.append(Gate("phase", target, phase_k=k))
+        return self
+
+    def cnot(self, control: int, target: int) -> "Circuit":
+        """Controlled NOT."""
+        self._check_qubit(control, target)
+        self.gates.append(Gate("cnot", target, control=control))
+        return self
+
+    def cphase(self, control: int, target: int, k: int) -> "Circuit":
+        """Controlled R_k."""
+        self._check_qubit(control, target)
+        self.gates.append(Gate("cphase", target, control=control,
+                               phase_k=k))
+        return self
+
+    def depth(self) -> int:
+        return len(self.gates)
+
+
+def simulate(circuit: Circuit, precision: int = 128,
+             initial_basis: int = 0) -> List[MPC]:
+    """Run a circuit on a basis state; returns the final state vector."""
+    size = 1 << circuit.num_qubits
+    if not 0 <= initial_basis < size:
+        raise MpnError("initial basis state out of range")
+    zero = MPC(MPF(0, precision), MPF(0, precision))
+    state: List[MPC] = [zero] * size
+    state[initial_basis] = MPC(MPF(1, precision), MPF(0, precision))
+
+    hadamard = zkcm.hadamard(precision)
+    for gate in circuit.gates:
+        if gate.kind == "h":
+            state = zkcm._apply_single(state, hadamard, gate.target,
+                                       circuit.num_qubits)
+        elif gate.kind == "x":
+            state = _apply_x(state, gate.target)
+        elif gate.kind == "z":
+            state = _apply_phase_flip(state, gate.target)
+        elif gate.kind == "phase":
+            matrix = zkcm.phase_gate(gate.phase_k, precision)
+            state = zkcm._apply_single(state, matrix, gate.target,
+                                       circuit.num_qubits)
+        elif gate.kind == "cnot":
+            state = _apply_cnot(state, gate.control, gate.target)
+        elif gate.kind == "cphase":
+            state = zkcm._apply_controlled_phase(
+                state, gate.phase_k, gate.control, gate.target,
+                circuit.num_qubits, precision)
+    return state
+
+
+def _apply_x(state: List[MPC], target: int) -> List[MPC]:
+    out = list(state)
+    bit = 1 << target
+    for index in range(len(state)):
+        if not index & bit:
+            out[index], out[index | bit] = state[index | bit], \
+                state[index]
+    return out
+
+
+def _apply_phase_flip(state: List[MPC], target: int) -> List[MPC]:
+    bit = 1 << target
+    return [-amp if index & bit else amp
+            for index, amp in enumerate(state)]
+
+
+def _apply_cnot(state: List[MPC], control: int,
+                target: int) -> List[MPC]:
+    out = list(state)
+    control_bit, target_bit = 1 << control, 1 << target
+    for index in range(len(state)):
+        if index & control_bit and not index & target_bit:
+            out[index], out[index | target_bit] = \
+                state[index | target_bit], state[index]
+    return out
+
+
+def probabilities(state: Sequence[MPC]) -> List[float]:
+    """Measurement distribution |amplitude|^2 (as floats for sampling)."""
+    return [float(amplitude.abs2()) for amplitude in state]
+
+
+def measure(state: Sequence[MPC], shots: int,
+            seed: int = 0) -> List[Tuple[int, int]]:
+    """Sample computational-basis measurements; [(basis, count), ...]."""
+    weights = probabilities(state)
+    rng = _random.Random(seed)
+    counts: dict = {}
+    population = list(range(len(weights)))
+    for outcome in rng.choices(population, weights=weights, k=shots):
+        counts[outcome] = counts.get(outcome, 0) + 1
+    return sorted(counts.items())
+
+
+def bell_pair() -> Circuit:
+    """The canonical 2-qubit entangler: H(0); CNOT(0 -> 1)."""
+    return Circuit(2).h(0).cnot(0, 1)
+
+
+def qft_circuit(num_qubits: int) -> Circuit:
+    """The textbook QFT gate ladder (without the final bit reversal)."""
+    circuit = Circuit(num_qubits)
+    for qubit in range(num_qubits - 1, -1, -1):
+        circuit.h(qubit)
+        for k in range(2, qubit + 2):
+            circuit.cphase(qubit - (k - 1), qubit, k)
+    return circuit

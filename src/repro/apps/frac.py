@@ -1,0 +1,195 @@
+"""Frac: Mandelbrot deep-zoom rendering with perturbation theory.
+
+Deep Mandelbrot zooms need the iteration ``z <- z^2 + c`` at a
+precision that grows with zoom depth — far beyond doubles.  Perturbation
+theory (Heiland-Allen, the paper's [32]) computes ONE high-precision
+*reference orbit* and then iterates every pixel as a low-precision
+*delta* around it:
+
+    Z_{n+1} = Z_n^2 + C                     (arbitrary precision, once)
+    d_{n+1} = 2 Z_n d_n + d_n^2 + dc        (hardware floats, per pixel)
+
+so the arbitrary-precision work is a single orbit of multiplications —
+exactly the multiply-dominated trace the paper's Frac benchmark shows.
+
+The module renders genuine escape-time images and can validate the
+perturbation result against fully-arbitrary-precision per-pixel
+iteration on small frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro import profiling
+from repro.mpc import MPC
+from repro.mpf import MPF
+
+
+@dataclass
+class FracResult:
+    """An escape-time image plus the reference-orbit statistics."""
+
+    iterations: List[List[int]]   # [row][col] escape iteration (or max)
+    max_iterations: int
+    orbit_length: int
+    precision_bits: int
+
+
+def reference_orbit(center: MPC, max_iterations: int,
+                    escape_radius: float = 4.0) -> List[complex]:
+    """High-precision orbit of the center point, downcast per step.
+
+    Returns the low-precision shadows Z_n used by the delta iteration;
+    the orbit itself is computed entirely in MPC.
+    """
+    orbit: List[complex] = []
+    z = MPC(MPF(0, center.precision), MPF(0, center.precision))
+    for _ in range(max_iterations):
+        orbit.append(complex(z))
+        z = z * z + center
+        if float(z.abs2()) > escape_radius * escape_radius:
+            break
+    return orbit
+
+
+def render(center_re: Tuple[int, int], center_im: Tuple[int, int],
+           zoom_exponent: int, width: int = 16, height: int = 16,
+           max_iterations: int = 128, precision: int = 256) -> FracResult:
+    """Render a perturbation-theory Mandelbrot frame.
+
+    ``center_re``/``center_im`` are exact ratios (numerator,
+    denominator) locating the zoom center; ``zoom_exponent`` z means a
+    window of width 2^-z around it — representable only in arbitrary
+    precision once z exceeds ~50.
+    """
+    center = MPC(MPF.from_ratio(*center_re, precision),
+                 MPF.from_ratio(*center_im, precision))
+    orbit = reference_orbit(center, max_iterations)
+
+    pixel_scale = 2.0 ** float(-zoom_exponent)
+    escape2 = 16.0
+    image: List[List[int]] = []
+    for row in range(height):
+        image_row: List[int] = []
+        for col in range(width):
+            dc = complex((col - width / 2) * pixel_scale / width,
+                         (row - height / 2) * pixel_scale / height)
+            image_row.append(_iterate_delta(orbit, dc, max_iterations,
+                                            escape2))
+        image.append(image_row)
+    return FracResult(image, max_iterations, len(orbit), precision)
+
+
+def _iterate_delta(orbit: List[complex], dc: complex,
+                   max_iterations: int, escape2: float) -> int:
+    """Per-pixel delta iteration against the reference orbit."""
+    delta = 0j
+    n = 0
+    while n < max_iterations:
+        z_ref = orbit[n] if n < len(orbit) else 0j
+        full = z_ref + delta
+        magnitude2 = full.real * full.real + full.imag * full.imag
+        if magnitude2 > escape2:
+            return n
+        # Rebase when the delta overtakes the reference (glitch rule).
+        if n >= len(orbit) - 1:
+            delta = full * full + dc
+            n += 1
+            continue
+        delta = 2.0 * z_ref * delta + delta * delta + dc
+        n += 1
+    return max_iterations
+
+
+def render_direct(center_re: Tuple[int, int], center_im: Tuple[int, int],
+                  zoom_exponent: int, width: int = 8, height: int = 8,
+                  max_iterations: int = 64,
+                  precision: int = 256) -> FracResult:
+    """Reference renderer: full arbitrary precision per pixel (slow).
+
+    Used by tests to validate the perturbation renderer on small frames.
+    """
+    center_re_f = MPF.from_ratio(*center_re, precision)
+    center_im_f = MPF.from_ratio(*center_im, precision)
+    scale_num = 1
+    scale_den = 1 << zoom_exponent
+    image: List[List[int]] = []
+    escape2 = MPF(16, precision)
+    for row in range(height):
+        image_row: List[int] = []
+        for col in range(width):
+            offset_re = MPF.from_ratio(
+                (2 * col - width) * scale_num, 2 * width * scale_den,
+                precision)
+            offset_im = MPF.from_ratio(
+                (2 * row - height) * scale_num, 2 * height * scale_den,
+                precision)
+            c = MPC(center_re_f + offset_re, center_im_f + offset_im)
+            z = MPC(MPF(0, precision), MPF(0, precision))
+            escape = max_iterations
+            for n in range(max_iterations):
+                if z.abs2() > escape2:
+                    escape = n
+                    break
+                z = z * z + c
+            image_row.append(escape)
+        image.append(image_row)
+    return FracResult(image, max_iterations, 0, precision)
+
+
+#: Default deep-zoom center: c = i, a Misiurewicz point on the dendrite.
+#: Its orbit is pre-periodic (never escapes) and the set's boundary is
+#: self-similar there, so every zoom depth shows escape-time structure —
+#: an exact rational center representable at any precision.
+DEFAULT_CENTER_RE = (0, 1)
+DEFAULT_CENTER_IM = (1, 1)
+
+
+def run(zoom_exponent: int = 60, width: int = 16, height: int = 16,
+        max_iterations: int | None = None,
+        precision: int = 256) -> FracResult:
+    """Entry point used by benchmarks and examples.
+
+    A pixel's delta needs ~zoom_exponent doublings before it can
+    escape, so the default iteration budget scales with the zoom.
+    """
+    if max_iterations is None:
+        max_iterations = zoom_exponent + 96
+    return render(DEFAULT_CENTER_RE, DEFAULT_CENTER_IM, zoom_exponent,
+                  width, height, max_iterations, precision)
+
+
+def trace_run(zoom_exponent: int = 60, precision: int = 256,
+              max_iterations: int | None = None):
+    """Run under the operator profiler; returns (result, trace)."""
+    with profiling.session() as trace:
+        result = run(zoom_exponent, precision=precision,
+                     max_iterations=max_iterations)
+    return result, trace
+
+
+def write_pgm(result: FracResult, path: str) -> None:
+    """Save an escape-time image as a portable graymap (PGM, P2).
+
+    Escape counts are normalized to 8-bit gray; interior points (never
+    escaped) render black.  No imaging dependency required.
+    """
+    rows = result.iterations
+    height, width = len(rows), len(rows[0])
+    flat = [value for row in rows for value in row
+            if value < result.max_iterations]
+    low = min(flat) if flat else 0
+    span = max(1, (max(flat) if flat else 1) - low)
+    lines = ["P2", "%d %d" % (width, height), "255"]
+    for row in rows:
+        rendered = []
+        for value in row:
+            if value >= result.max_iterations:
+                rendered.append("0")
+            else:
+                rendered.append(str(40 + (value - low) * 215 // span))
+        lines.append(" ".join(rendered))
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")

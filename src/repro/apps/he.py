@@ -1,0 +1,140 @@
+"""Paillier homomorphic encryption — the paper's "ripe field" probe.
+
+The conclusion points at Homomorphic Encryption as the next domain for
+APC acceleration.  Paillier is the classic additively-homomorphic
+scheme and a pure big-integer workload: keygen is RSA-style prime
+search, encryption is two modular exponentiations modulo n^2, and the
+homomorphic property is ciphertext *multiplication* — exactly the
+multiply-dominated profile Cambricon-P targets.
+
+    Enc(m)  = g^m * r^n  mod n^2          (g = n + 1)
+    Dec(c)  = L(c^lambda mod n^2) * mu mod n,  L(x) = (x - 1) / n
+    Enc(a) * Enc(b) mod n^2 = Enc(a + b)  (additive homomorphism)
+
+Everything runs on the reproduction's own stack (MPZ over the mpn
+kernels), so the recorded traces price on the platform models like the
+four headline applications.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+
+from repro import profiling
+from repro.apps.rsa import generate_prime
+from repro.mpz import MPZ
+
+
+@dataclass(frozen=True)
+class PaillierKeyPair:
+    """Public (n, g) and private (lambda, mu) halves."""
+
+    n: MPZ
+    n_squared: MPZ
+    generator: MPZ          # g = n + 1
+    lam: MPZ                # lcm(p-1, q-1)
+    mu: MPZ                 # (L(g^lam mod n^2))^-1 mod n
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+
+def generate_keypair(bits: int = 512, seed: int = 2022) -> PaillierKeyPair:
+    """Key generation (deterministic for a given seed)."""
+    if bits < 64 or bits % 2:
+        raise ValueError("key size must be an even number of bits >= 64")
+    rng = _random.Random(seed)
+    while True:
+        p = generate_prime(bits // 2, rng)
+        q = generate_prime(bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        p_minus = p - 1
+        q_minus = q - 1
+        lam = (p_minus * q_minus) // p_minus.gcd(q_minus)
+        n_squared = n * n
+        generator = n + 1
+        # mu = (L(g^lam mod n^2))^-1 mod n
+        lifted = pow(generator, lam, n_squared)
+        ell = (lifted - 1) // n
+        try:
+            mu = ell.invmod(n)
+        except Exception:
+            continue
+        return PaillierKeyPair(n, n_squared, generator, lam, mu)
+
+
+def encrypt(message: MPZ, key: PaillierKeyPair,
+            rng: _random.Random | None = None) -> MPZ:
+    """c = g^m * r^n mod n^2 with fresh randomness r."""
+    if not MPZ(0) <= message < key.n:
+        raise ValueError("message out of range for this modulus")
+    rng = rng or _random.Random(0xFACADE)
+    while True:
+        r = MPZ(rng.randrange(2, int(key.n)))
+        if int(r.gcd(key.n)) == 1:
+            break
+    # g = n+1 gives g^m = 1 + m*n (mod n^2): one multiply, no powmod.
+    g_to_m = (MPZ(1) + message * key.n) % key.n_squared
+    blinding = pow(r, key.n, key.n_squared)
+    return (g_to_m * blinding) % key.n_squared
+
+
+def decrypt(ciphertext: MPZ, key: PaillierKeyPair) -> MPZ:
+    """m = L(c^lambda mod n^2) * mu mod n."""
+    lifted = pow(ciphertext, key.lam, key.n_squared)
+    ell = (lifted - 1) // key.n
+    return (ell * key.mu) % key.n
+
+
+def add_encrypted(c1: MPZ, c2: MPZ, key: PaillierKeyPair) -> MPZ:
+    """Homomorphic addition: Enc(a)*Enc(b) = Enc(a+b mod n)."""
+    return (c1 * c2) % key.n_squared
+
+
+def scale_encrypted(ciphertext: MPZ, scalar: MPZ,
+                    key: PaillierKeyPair) -> MPZ:
+    """Homomorphic scalar multiply: Enc(a)^k = Enc(k*a mod n)."""
+    return pow(ciphertext, scalar, key.n_squared)
+
+
+@dataclass
+class HEResult:
+    """One homomorphic aggregation round trip."""
+
+    key: PaillierKeyPair
+    plaintexts: list
+    decrypted_sum: MPZ
+
+    @property
+    def ok(self) -> bool:
+        expected = sum(int(p) for p in self.plaintexts) % int(self.key.n)
+        return int(self.decrypted_sum) == expected
+
+
+def run(bits: int = 256, values: int = 4, seed: int = 2022) -> HEResult:
+    """Entry point: encrypt several values, add them under encryption,
+    decrypt the sum."""
+    key = generate_keypair(bits, seed)
+    rng = _random.Random(seed + 7)
+    plaintexts = [MPZ(rng.getrandbits(bits - 16)) for _ in range(values)]
+    aggregate = encrypt(plaintexts[0], key, rng)
+    for plaintext in plaintexts[1:]:
+        aggregate = add_encrypted(aggregate, encrypt(plaintext, key, rng),
+                                  key)
+    result = HEResult(key, plaintexts, decrypt(aggregate, key))
+    if not result.ok:  # pragma: no cover - correctness guard
+        raise AssertionError("homomorphic aggregation failed")
+    return result
+
+
+def trace_run(bits: int = 256, values: int = 4, seed: int = 2022):
+    """Run under the operator profiler; returns (result, trace)."""
+    with profiling.session() as trace:
+        result = run(bits, values, seed)
+    return result, trace

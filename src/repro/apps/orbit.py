@@ -1,0 +1,128 @@
+"""Celestial orbit calculation at arbitrary precision.
+
+The paper's introduction lists "planetary orbit calculations" among the
+APC applications (citing Abad & Barrio's *Computing periodic orbits
+with arbitrary precision*).  The kernel computation is Kepler's
+equation,
+
+    E - e*sin(E) = M,
+
+solved by Newton iteration at the working precision; every trig
+evaluation lands on the transcendental layer and from there on the
+profiled mpn kernels.  The APC payoff is *periodicity*: propagating a
+full revolution and landing back on the starting point to 2^-precision
+— float64 closes an orbit only to ~1e-16, and the error compounds over
+the ~10^9 revolutions of long-term ephemerides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro import profiling
+from repro.mpf import MPF
+from repro.mpf.transcendental import cos_sin, pi_agm
+from repro.mpn.nat import MpnError
+
+
+def solve_kepler(eccentricity: MPF, mean_anomaly: MPF,
+                 precision: int) -> MPF:
+    """The eccentric anomaly E with E - e*sin(E) = M (Newton)."""
+    if not MPF(0, precision) <= eccentricity < MPF(1, precision):
+        raise MpnError("elliptic orbits need 0 <= e < 1")
+    # Standard seed: E0 = M + e*sin(M).
+    _, sin_m = cos_sin(mean_anomaly, precision)
+    e_anomaly = mean_anomaly + eccentricity * sin_m
+    one = MPF(1, precision)
+    for _ in range(precision.bit_length() + 10):
+        cos_e, sin_e = cos_sin(e_anomaly, precision)
+        residual = e_anomaly - eccentricity * sin_e - mean_anomaly
+        if not residual \
+                or residual.exponent_of_top_bit < -(precision - 4):
+            break
+        derivative = one - eccentricity * cos_e
+        e_anomaly = e_anomaly - residual / derivative
+    return e_anomaly
+
+
+def orbit_position(eccentricity: MPF, mean_anomaly: MPF,
+                   precision: int) -> Tuple[MPF, MPF]:
+    """(x, y) on the unit-semi-major-axis ellipse at mean anomaly M."""
+    e_anomaly = solve_kepler(eccentricity, mean_anomaly, precision)
+    cos_e, sin_e = cos_sin(e_anomaly, precision)
+    x = cos_e - eccentricity
+    one = MPF(1, precision)
+    semi_minor = (one - eccentricity * eccentricity).sqrt()
+    y = semi_minor * sin_e
+    return x, y
+
+
+@dataclass
+class OrbitResult:
+    """A propagated orbit and its closure error."""
+
+    positions: List[Tuple[MPF, MPF]]
+    closure_exponent: int      # log2 of the period-closure error
+    precision_bits: int
+
+
+def propagate(eccentricity_ratio: Tuple[int, int] = (6, 10),
+              steps: int = 8, precision: int = 192) -> OrbitResult:
+    """March one full revolution and measure the closure error.
+
+    ``eccentricity_ratio`` is an exact rational (num, den); the mean
+    anomaly sweeps 0 .. 2*pi in ``steps`` increments plus the closing
+    point, whose distance from the start is the closure error.
+    """
+    eccentricity = MPF.from_ratio(*eccentricity_ratio, precision)
+    two_pi = pi_agm(precision) * MPF(2, precision)
+    positions = []
+    for index in range(steps + 1):
+        mean_anomaly = two_pi * MPF(index, precision) \
+            / MPF(steps, precision)
+        positions.append(orbit_position(eccentricity, mean_anomaly,
+                                        precision))
+    dx = positions[-1][0] - positions[0][0]
+    dy = positions[-1][1] - positions[0][1]
+    distance2 = dx * dx + dy * dy
+    if distance2:
+        closure_exponent = distance2.exponent_of_top_bit // 2
+    else:
+        closure_exponent = -precision
+    return OrbitResult(positions, closure_exponent, precision)
+
+
+def float64_closure_error(eccentricity: float = 0.6,
+                          steps: int = 8) -> float:
+    """The same propagation in hardware floats (the failure baseline)."""
+    def solve(mean_anomaly: float) -> float:
+        e_anomaly = mean_anomaly + eccentricity * math.sin(mean_anomaly)
+        for _ in range(60):
+            residual = e_anomaly - eccentricity * math.sin(e_anomaly) \
+                - mean_anomaly
+            e_anomaly -= residual / (1 - eccentricity
+                                     * math.cos(e_anomaly))
+        return e_anomaly
+
+    def position(mean_anomaly: float) -> Tuple[float, float]:
+        e_anomaly = solve(mean_anomaly)
+        return (math.cos(e_anomaly) - eccentricity,
+                math.sqrt(1 - eccentricity ** 2) * math.sin(e_anomaly))
+
+    start = position(0.0)
+    end = position(2 * math.pi)
+    return math.hypot(end[0] - start[0], end[1] - start[1])
+
+
+def run(precision: int = 192, steps: int = 8) -> OrbitResult:
+    """Entry point used by tests and examples."""
+    return propagate(precision=precision, steps=steps)
+
+
+def trace_run(precision: int = 192, steps: int = 8):
+    """Run under the operator profiler; returns (result, trace)."""
+    with profiling.session() as trace:
+        result = run(precision, steps)
+    return result, trace

@@ -1,0 +1,239 @@
+"""Synthetic operation traces for paper-scale workload sizes.
+
+The paper evaluates the four applications at precisions (10^5..10^8
+bits) that a pure-Python functional run cannot reach in reasonable
+time.  The *operation trace* of each application is, however, fully
+deterministic — binary splitting, Montgomery ladders, gate schedules
+and orbit iterations have closed-form op-size structures — so we can
+synthesize the exact trace without executing the arithmetic, and let
+the platform cost models price it.
+
+Fidelity contract: at sizes where the functional run is affordable,
+``tests`` compare synthetic against recorded traces (op counts per
+class within a few percent), so the large-size points of Figure 13 rest
+on a validated generator rather than extrapolation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.apps.pi import DIGITS_PER_TERM
+from repro.profiling import KernelOp, OperationTrace
+
+
+# ---------------------------------------------------------------------------
+# Pi (Chudnovsky binary splitting)
+# ---------------------------------------------------------------------------
+
+def pi_trace(digits: int) -> OperationTrace:
+    """The kernel-operation trace of compute_pi(digits)."""
+    trace = OperationTrace()
+    terms = max(2, int((digits + 12) / DIGITS_PER_TERM) + 2)
+    precision = int((digits + 12) * 3.3219280948873626) + 64
+
+    def leaf_sizes(b: int) -> tuple[int, int, int]:
+        log_b = max(1, int(math.log2(max(2, b))))
+        r_bits = 3 * log_b + 8
+        p_bits = r_bits + log_b + 30
+        q_bits = 54 + 3 * log_b
+        # Leaf construction as executed: q = b*b*b*C3 (three multiplies)
+        # and p = r * (A + B*b) (one multiply).
+        trace.ops.append(KernelOp("mul", log_b, log_b))
+        trace.ops.append(KernelOp("mul", 2 * log_b, log_b))
+        trace.ops.append(KernelOp("mul", 3 * log_b, 54))
+        trace.ops.append(KernelOp("mul", r_bits, log_b + 30))
+        return p_bits, q_bits, r_bits
+
+    def split(a: int, b: int) -> tuple[int, int, int]:
+        if b == a + 1:
+            return leaf_sizes(b)
+        mid = (a + b) // 2
+        p_left, q_left, r_left = split(a, mid)
+        p_right, q_right, r_right = split(mid, b)
+        # P = Pl*Qr + Pr*Rl; Q = Ql*Qr; R = Rl*Rr.
+        trace.ops.append(KernelOp("mul", p_left, q_right))
+        trace.ops.append(KernelOp("mul", p_right, r_left))
+        # Alternating term signs make the combination a subtraction
+        # most of the time in the executed code.
+        trace.ops.append(KernelOp("sub", p_left + q_right,
+                                  p_right + r_left))
+        trace.ops.append(KernelOp("highlevel", 1))  # sign handling
+        trace.ops.append(KernelOp("mul", q_left, q_right))
+        trace.ops.append(KernelOp("mul", r_left, r_right))
+        return (max(p_left + q_right, p_right + r_left) + 1,
+                q_left + q_right, r_left + r_right)
+
+    p_bits, q_bits, _ = split(0, terms)
+    # Final assembly: sqrt(10005), two scaled multiplies, one division,
+    # and the decimal conversion's scaling multiply.
+    trace.ops.append(KernelOp("sqrt", 2 * precision))
+    trace.ops.append(KernelOp("mul", precision, q_bits))
+    trace.ops.append(KernelOp("mul", precision, precision))
+    trace.ops.append(KernelOp("add", max(p_bits, q_bits) + 30, q_bits))
+    trace.ops.append(KernelOp("div", 2 * precision, precision))
+    trace.ops.append(KernelOp("mul", precision, precision))
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# RSA (keygen + encrypt/decrypt round trips)
+# ---------------------------------------------------------------------------
+
+def rsa_trace(bits: int, messages: int = 4,
+              miller_rabin_rounds: int = 12) -> OperationTrace:
+    """Expected kernel-operation trace of run(bits, messages=...).
+
+    Prime search near 2^(bits/2) tests ~ln(2^(bits/2))/2 odd candidates
+    per prime; composites almost always fail the first Miller-Rabin
+    witness, survivors pay all rounds.
+    """
+    trace = OperationTrace()
+    half = bits // 2
+    candidates_per_prime = max(1, int(half * math.log(2) / 2))
+    for _ in range(2):  # two primes
+        for _ in range(candidates_per_prime - 1):
+            trace.ops.append(KernelOp("powmod", half, half))  # 1st witness
+        for _ in range(miller_rabin_rounds):                  # survivor
+            trace.ops.append(KernelOp("powmod", half, half))
+    # phi, n, d, CRT components.
+    trace.ops.append(KernelOp("mul", half, half))      # p*q
+    trace.ops.append(KernelOp("mul", half, half))      # (p-1)(q-1)
+    trace.ops.append(KernelOp("div", bits, bits))      # invmod e
+    trace.ops.append(KernelOp("div", bits, half))      # d mod p-1
+    trace.ops.append(KernelOp("div", bits, half))      # d mod q-1
+    trace.ops.append(KernelOp("div", half, half))      # qinv
+    for _ in range(messages):
+        trace.ops.append(KernelOp("powmod", bits, 17))       # e = 65537
+        trace.ops.append(KernelOp("powmod", half, half))     # CRT m_p
+        trace.ops.append(KernelOp("powmod", half, half))     # CRT m_q
+        trace.ops.append(KernelOp("mul", half, half))        # recombine
+        trace.ops.append(KernelOp("div", bits, half))
+        trace.ops.append(KernelOp("add", bits, bits))
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# zkcm (QFT circuit on a state vector)
+# ---------------------------------------------------------------------------
+
+def zkcm_trace(num_qubits: int, precision: int) -> OperationTrace:
+    """Kernel-operation trace of qft_state(num_qubits, ...).
+
+    Each Hadamard touches 2^n amplitudes with 2 complex MACs each; each
+    controlled phase multiplies 2^(n-2) amplitudes; phase constants come
+    from one pi evaluation plus a Taylor loop of ~precision/6 terms.
+    """
+    trace = OperationTrace()
+    size = 1 << num_qubits
+    # pi to the working precision for the phase angles.
+    trace.merge(pi_trace(int(precision / 3.32) + 8))
+    num_phases = num_qubits * (num_qubits - 1) // 2
+    taylor_terms = max(8, precision // 6)
+    for _ in range(min(num_phases, num_qubits)):  # distinct k values
+        for _ in range(taylor_terms):
+            for _ in range(3):
+                trace.ops.append(KernelOp("mul", precision, precision))
+            for _ in range(2):
+                trace.ops.append(KernelOp("div", 2 * precision,
+                                          precision))
+            for _ in range(2):
+                trace.ops.append(KernelOp("add", precision, precision))
+            trace.ops.append(KernelOp("shift", precision, 32))
+    # Hadamards: n gates over 2^(n-1) amplitude pairs; each pair costs
+    # four complex MACs (16 real multiplies) plus mantissa alignment.
+    for _ in range(num_qubits * (size // 2)):
+        for _ in range(16):
+            trace.ops.append(KernelOp("mul", precision, precision))
+        for _ in range(8):
+            trace.ops.append(KernelOp("add", precision, precision))
+        for _ in range(12):
+            trace.ops.append(KernelOp("shift", precision, 32))
+    # Controlled phases: each scales 2^(n-2) amplitudes (1 complex mul).
+    for _ in range(num_phases * (size // 4)):
+        for _ in range(4):
+            trace.ops.append(KernelOp("mul", precision, precision))
+        for _ in range(2):
+            trace.ops.append(KernelOp("add", precision, precision))
+        for _ in range(3):
+            trace.ops.append(KernelOp("shift", precision, 32))
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Frac (perturbation-theory Mandelbrot)
+# ---------------------------------------------------------------------------
+
+def frac_trace(zoom_exponent: int, precision: int,
+               max_iterations: int | None = None) -> OperationTrace:
+    """Kernel-operation trace of run(zoom_exponent, precision=...).
+
+    The arbitrary-precision work is the reference orbit: one complex
+    square and add per iteration (4 multiplies, 4 additions at the
+    working precision) plus the escape check.
+    """
+    if max_iterations is None:
+        max_iterations = zoom_exponent + 96
+    trace = OperationTrace()
+    for _ in range(max_iterations):
+        # z*z + c and the |z|^2 escape check: six real multiplies,
+        # four adds, plus mantissa alignment shifts per step.
+        for _ in range(6):
+            trace.ops.append(KernelOp("mul", precision, precision))
+        for _ in range(4):
+            trace.ops.append(KernelOp("add", precision, precision))
+        for _ in range(8):
+            trace.ops.append(KernelOp("shift", precision, 32))
+        trace.ops.append(KernelOp("cmp", precision, precision))
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Paillier HE (extension workload; the paper's "ripe field")
+# ---------------------------------------------------------------------------
+
+def he_trace(bits: int, values: int = 4,
+             miller_rabin_rounds: int = 12) -> OperationTrace:
+    """Expected trace of the Paillier aggregation round trip.
+
+    Keygen is RSA-style; each encryption is one n-bit exponentiation
+    modulo n^2 (2n-bit operands) plus a couple of multiplies; the
+    homomorphic additions are single modular multiplies; decryption is
+    one lambda-sized exponentiation modulo n^2.
+    """
+    trace = OperationTrace()
+    half = bits // 2
+    candidates_per_prime = max(1, int(half * math.log(2) / 2))
+    for _ in range(2):
+        for _ in range(candidates_per_prime - 1):
+            trace.ops.append(KernelOp("powmod", half, half))
+        for _ in range(miller_rabin_rounds):
+            trace.ops.append(KernelOp("powmod", half, half))
+    double = 2 * bits
+    trace.ops.append(KernelOp("mul", half, half))       # n = p*q
+    trace.ops.append(KernelOp("mul", bits, bits))       # n^2
+    trace.ops.append(KernelOp("powmod", double, bits))  # g^lam
+    trace.ops.append(KernelOp("div", double, bits))     # L(), invmod
+    for _ in range(values):
+        trace.ops.append(KernelOp("powmod", double, bits))  # r^n
+        trace.ops.append(KernelOp("mul", bits, bits))       # m*n
+        trace.ops.append(KernelOp("mul", double, double))   # blind
+        trace.ops.append(KernelOp("mod", 2 * double, double))
+    for _ in range(values - 1):                             # Enc adds
+        trace.ops.append(KernelOp("mul", double, double))
+        trace.ops.append(KernelOp("mod", 2 * double, double))
+    trace.ops.append(KernelOp("powmod", double, bits))      # decrypt
+    trace.ops.append(KernelOp("div", double, bits))
+    return trace
+
+
+#: name -> synthetic generator, mirroring apps.WORKLOADS (plus the HE
+#: extension workload).
+GENERATORS: Dict[str, object] = {
+    "Pi": pi_trace,
+    "Frac": frac_trace,
+    "zkcm": zkcm_trace,
+    "RSA": rsa_trace,
+    "HE": he_trace,
+}

@@ -1,0 +1,306 @@
+"""zkcm: multiprecision complex-matrix quantum-circuit simulation.
+
+zkcm (SaiToh, the paper's [49]) is a C++ library for multiprecision
+complex matrix computation whose flagship use is simulating quantum
+computers where double precision loses unitarity over long gate
+sequences.  We reproduce that workload: dense matrices of
+:class:`~repro.mpc.MPC` entries, the standard gate set (H, phase,
+CNOT), tensor products, and circuit simulation by repeated
+matrix-vector and matrix-matrix products — a multiply/add-dominated
+trace on wide operands, matching the paper's zkcm profile.
+
+The QFT circuit is the stress case: controlled phase rotations with
+angles 2pi/2^k need precision that grows with the register size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro import profiling
+from repro.mpc import MPC
+from repro.mpf import MPF
+
+Matrix = List[List[MPC]]
+Vector = List[MPC]
+
+
+def _zero(precision: int) -> MPC:
+    return MPC(MPF(0, precision), MPF(0, precision))
+
+
+def _one(precision: int) -> MPC:
+    return MPC(MPF(1, precision), MPF(0, precision))
+
+
+def identity(size: int, precision: int) -> Matrix:
+    """The size x size identity matrix."""
+    return [[_one(precision) if r == c else _zero(precision)
+             for c in range(size)] for r in range(size)]
+
+
+def matmul(a: Matrix, b: Matrix) -> Matrix:
+    """Dense matrix product."""
+    rows, inner, cols = len(a), len(b), len(b[0])
+    out: Matrix = []
+    for r in range(rows):
+        out_row: List[MPC] = []
+        for c in range(cols):
+            accumulator = a[r][0] * b[0][c]
+            for k in range(1, inner):
+                accumulator = accumulator + a[r][k] * b[k][c]
+            out_row.append(accumulator)
+        out.append(out_row)
+    return out
+
+
+def matvec(a: Matrix, v: Vector) -> Vector:
+    """Matrix-vector product."""
+    out: Vector = []
+    for row in a:
+        accumulator = row[0] * v[0]
+        for k in range(1, len(v)):
+            accumulator = accumulator + row[k] * v[k]
+        out.append(accumulator)
+    return out
+
+
+def dagger(a: Matrix) -> Matrix:
+    """Conjugate transpose."""
+    return [[a[c][r].conj() for c in range(len(a))]
+            for r in range(len(a[0]))]
+
+
+def tensor(a: Matrix, b: Matrix) -> Matrix:
+    """Kronecker product."""
+    size_a, size_b = len(a), len(b)
+    out: Matrix = []
+    for ra in range(size_a):
+        for rb in range(size_b):
+            row: List[MPC] = []
+            for ca in range(size_a):
+                for cb in range(size_b):
+                    row.append(a[ra][ca] * b[rb][cb])
+            out.append(row)
+    return out
+
+
+# -- high-precision constants -------------------------------------------------
+
+def sqrt_half(precision: int) -> MPF:
+    """1/sqrt(2) at the working precision."""
+    return MPF(1, precision) / MPF(2, precision).sqrt()
+
+
+def pi_mpf(precision: int) -> MPF:
+    """pi at the working precision (Chudnovsky through our own stack)."""
+    from repro.apps.pi import compute_pi
+    digits = int(precision / 3.32) + 8
+    text = compute_pi(digits).digits.replace(".", "")
+    scale = 10 ** (len(text) - 1)
+    return MPF.from_ratio(int(text), scale, precision)
+
+
+def _cos_sin(angle_num: int, angle_den_pow2: int,
+             precision: int) -> tuple[MPF, MPF]:
+    """cos/sin of 2*pi*angle_num/2^angle_den_pow2 by Taylor series."""
+    two_pi = pi_mpf(precision) * 2
+    x = two_pi * MPF(angle_num, precision) / MPF(1 << angle_den_pow2,
+                                                 precision)
+    # Taylor with separate term recurrences, precision-bounded truncation.
+    cos_acc = MPF(1, precision)
+    sin_acc = MPF(x, precision)
+    cos_term = MPF(1, precision)
+    sin_term = MPF(x, precision)
+    x2 = x * x
+    threshold = MPF.from_ratio(1, 1 << precision, precision)
+    for k in range(1, precision):
+        cos_term = cos_term * x2 / MPF((2 * k - 1) * (2 * k), precision)
+        sin_term = sin_term * x2 / MPF((2 * k) * (2 * k + 1), precision)
+        sign = -1 if k % 2 else 1
+        cos_acc = cos_acc + cos_term * sign
+        sin_acc = sin_acc + sin_term * sign
+        if abs(cos_term) < threshold and abs(sin_term) < threshold:
+            break
+    return cos_acc, sin_acc
+
+
+# -- gates ------------------------------------------------------------------
+
+def hadamard(precision: int) -> Matrix:
+    """The Hadamard gate."""
+    h = sqrt_half(precision)
+    plus = MPC(h, MPF(0, precision))
+    minus = MPC(-h, MPF(0, precision))
+    return [[plus, plus], [plus, minus]]
+
+
+def phase_gate(k: int, precision: int) -> Matrix:
+    """R_k: phase rotation by 2*pi/2^k (the QFT's controlled phases)."""
+    cos_value, sin_value = _cos_sin(1, k, precision)
+    return [[_one(precision), _zero(precision)],
+            [_zero(precision), MPC(cos_value, sin_value)]]
+
+
+def controlled(gate: Matrix, precision: int) -> Matrix:
+    """The 2-qubit controlled version of a 1-qubit gate."""
+    out = identity(4, precision)
+    for r in range(2):
+        for c in range(2):
+            out[2 + r][2 + c] = gate[r][c]
+    return out
+
+
+# -- circuits -----------------------------------------------------------------
+
+@dataclass
+class ZkcmResult:
+    """Outcome of a circuit simulation."""
+
+    state: Vector
+    unitarity_error: float   # max |(U U+ - I)| entry over a spot check
+    precision_bits: int
+
+
+def _apply_single(state: Vector, gate: Matrix, qubit: int,
+                  num_qubits: int) -> Vector:
+    """Apply a 1-qubit gate to the state vector."""
+    size = 1 << num_qubits
+    stride = 1 << qubit
+    out = list(state)
+    for base in range(size):
+        if base & stride:
+            continue
+        a, b = state[base], state[base | stride]
+        out[base] = gate[0][0] * a + gate[0][1] * b
+        out[base | stride] = gate[1][0] * a + gate[1][1] * b
+    return out
+
+
+def _apply_controlled_phase(state: Vector, k: int, control: int,
+                            target: int, num_qubits: int,
+                            precision: int) -> Vector:
+    """Apply a controlled R_k phase to the state vector."""
+    cos_value, sin_value = _cos_sin(1, k, precision)
+    phase = MPC(cos_value, sin_value)
+    mask = (1 << control) | (1 << target)
+    return [amplitude * phase if (index & mask) == mask else amplitude
+            for index, amplitude in enumerate(state)]
+
+
+def qft_state(num_qubits: int, input_basis: int,
+              precision: int = 192) -> ZkcmResult:
+    """Run the quantum Fourier transform on a basis state.
+
+    Applies the textbook H + controlled-phase ladder; the result for
+    basis input x has amplitudes exp(2*pi*i*x*y/2^n)/sqrt(2^n), which
+    tests verify against the closed form.
+    """
+    size = 1 << num_qubits
+    state: Vector = [_zero(precision) for _ in range(size)]
+    state[input_basis] = _one(precision)
+    h = hadamard(precision)
+    for qubit in range(num_qubits - 1, -1, -1):
+        state = _apply_single(state, h, qubit, num_qubits)
+        for k in range(2, qubit + 2):
+            control = qubit - (k - 1)
+            state = _apply_controlled_phase(state, k, control, qubit,
+                                            num_qubits, precision)
+    state = _bit_reverse_state(state, num_qubits)
+    error = _unitarity_spot_check(precision)
+    return ZkcmResult(state, error, precision)
+
+
+def _bit_reverse_state(state: Vector, num_qubits: int) -> Vector:
+    out = list(state)
+    for index in range(len(state)):
+        reversed_index = int(format(index, "0%db" % num_qubits)[::-1], 2)
+        if reversed_index > index:
+            out[index], out[reversed_index] = (out[reversed_index],
+                                               out[index])
+    return out
+
+
+def _unitarity_spot_check(precision: int) -> float:
+    """Max |U U+ - I| entry for an H * R_3 product at this precision."""
+    u = matmul(hadamard(precision), phase_gate(3, precision))
+    product = matmul(u, dagger(u))
+    worst = 0.0
+    for r in range(2):
+        for c in range(2):
+            expected = 1.0 if r == c else 0.0
+            worst = max(worst,
+                        abs(float(product[r][c].re) - expected),
+                        abs(float(product[r][c].im)))
+    return worst
+
+
+def ghz_state(num_qubits: int, precision: int = 192) -> ZkcmResult:
+    """Prepare the GHZ state (|0..0> + |1..1>)/sqrt(2) by H + CNOTs."""
+    size = 1 << num_qubits
+    state: Vector = [_zero(precision) for _ in range(size)]
+    state[0] = _one(precision)
+    state = _apply_single(state, hadamard(precision), num_qubits - 1,
+                          num_qubits)
+    for target in range(num_qubits - 2, -1, -1):
+        # CNOT with control = target+1 on the state vector.
+        control_bit = 1 << (target + 1)
+        target_bit = 1 << target
+        out = list(state)
+        for index in range(size):
+            if index & control_bit and not index & target_bit:
+                out[index], out[index | target_bit] = (
+                    state[index | target_bit], state[index])
+        state = out
+    return ZkcmResult(state, _unitarity_spot_check(precision), precision)
+
+
+def grover_search(num_qubits: int, marked: int,
+                  precision: int = 192,
+                  iterations: int | None = None) -> ZkcmResult:
+    """Grover's algorithm on a state vector at arbitrary precision.
+
+    Starts from the uniform superposition, then alternates the phase
+    oracle (flip the marked amplitude) with the diffusion operator
+    (reflection about the mean).  After k iterations the marked
+    amplitude is sin((2k+1)*theta) with sin(theta) = 2^(-n/2) — the
+    closed form the tests verify, far beyond double precision.
+    """
+    size = 1 << num_qubits
+    if not 0 <= marked < size:
+        raise ValueError("marked index out of range")
+    if iterations is None:
+        import math as _math
+        iterations = int(_math.pi / 4 * _math.sqrt(size))
+    amplitude = MPC(MPF(1, precision) / MPF(size, precision).sqrt(),
+                    MPF(0, precision))
+    state: Vector = [amplitude for _ in range(size)]
+    size_f = MPF(size, precision)
+    two = MPF(2, precision)
+    for _ in range(iterations):
+        # Oracle: phase-flip the marked amplitude.
+        state[marked] = -state[marked]
+        # Diffusion: a -> 2*mean - a (componentwise on re/im).
+        mean_re = state[0].re
+        mean_im = state[0].im
+        for amp in state[1:]:
+            mean_re = mean_re + amp.re
+            mean_im = mean_im + amp.im
+        mean_re = mean_re / size_f
+        mean_im = mean_im / size_f
+        state = [MPC(two * mean_re - amp.re, two * mean_im - amp.im)
+                 for amp in state]
+    return ZkcmResult(state, _unitarity_spot_check(precision), precision)
+
+
+def run(num_qubits: int = 4, precision: int = 192) -> ZkcmResult:
+    """Entry point used by benchmarks and examples (QFT of |1>)."""
+    return qft_state(num_qubits, 1, precision)
+
+
+def trace_run(num_qubits: int = 4, precision: int = 192):
+    """Run under the operator profiler; returns (result, trace)."""
+    with profiling.session() as trace:
+        result = run(num_qubits, precision)
+    return result, trace

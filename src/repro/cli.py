@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, scriptable entry points over the library's main flows — device
+info, monolithic multiplies with cycle reports, pi digits, RSA round
+trips, the BIPS benefit table, and a quick Figure-11-style platform
+sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.core.energy import area_mm2, gate_counts, power_w
+    from repro.core.model import DEFAULT_CONFIG
+    config = DEFAULT_CONFIG
+    print("Cambricon-P (reproduction) — hardware characteristics")
+    print("  configuration: %d PEs x %d IPUs, q=%d, L=%d, %.1f GHz"
+          % (config.num_pes, config.num_ipus, config.q,
+             config.limb_bits, config.frequency_hz / 1e9))
+    print("  area:  %.3f mm^2 (TSMC 16 nm model)" % area_mm2())
+    print("  power: %.3f W" % power_w())
+    print("  monolithic multiply limit: %d bits"
+          % config.monolithic_max_bits)
+    print("  component shares:")
+    for name, share in sorted(gate_counts().shares().items(),
+                              key=lambda kv: -kv[1]):
+        print("    %-14s %5.1f%%" % (name, share * 100))
+    if args.selftest:
+        from repro.core.accelerator import CambriconP
+        CambriconP().selftest(verbose=True)
+        print("  selftest: all passed")
+    return 0
+
+
+def _cmd_multiply(args: argparse.Namespace) -> int:
+    from repro.core.accelerator import CambriconP
+    from repro.mpn import nat_from_int, nat_to_int
+    from repro.platforms import cpu
+    rng = random.Random(args.seed)
+    a = rng.getrandbits(args.bits) | (1 << (args.bits - 1))
+    b = rng.getrandbits(args.bits) | (1 << (args.bits - 1))
+    device = CambriconP()
+    product, report = device.multiply(nat_from_int(a), nat_from_int(b),
+                                      bit_serial=args.bit_serial)
+    assert nat_to_int(product) == a * b
+    print("%d-bit x %d-bit multiply: exact (%d product bits)"
+          % (args.bits, args.bits, nat_to_int(product).bit_length()))
+    print("  passes=%d waves=%d cycles=%.0f time=%.3e s"
+          % (report.num_passes, report.num_waves, report.cycles,
+             report.seconds))
+    print("  LLC traffic: %.0f bytes" % report.traffic.total_bytes)
+    cpu_seconds = cpu.multiply_seconds(args.bits)
+    print("  Xeon+GMP model: %.3e s  -> speedup %.2fx"
+          % (cpu_seconds, cpu_seconds / report.seconds))
+    return 0
+
+
+def _cmd_pi(args: argparse.Namespace) -> int:
+    from repro.apps import pi
+    result = pi.run(args.digits)
+    text = result.digits
+    for offset in range(0, len(text), 72):
+        print(text[offset:offset + 72])
+    print("(%d terms, %d-bit arithmetic)"
+          % (result.terms, result.precision_bits), file=sys.stderr)
+    return 0
+
+
+def _cmd_rsa(args: argparse.Namespace) -> int:
+    from repro.apps import rsa
+    result = rsa.run(bits=args.bits, seed=args.seed, messages=2)
+    print("generated %d-bit key; encrypt/decrypt round trip: %s"
+          % (result.key.bits, "ok" if result.ok else "FAILED"))
+    return 0 if result.ok else 1
+
+
+def _cmd_lambda(args: argparse.Namespace) -> int:
+    from repro.core.bips import best_q, lambda_ratio
+    print("BIPS benefit ratio lambda(q) at p_y = %d" % args.index_bits)
+    for q in range(1, 9):
+        print("  q=%d  lambda=%.4f" % (q, lambda_ratio(q,
+                                                       args.index_bits)))
+    q, best = best_q(args.index_bits)
+    print("minimum %.4f at q=%d" % (best, q))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.platforms import cpu
+    from repro.runtime import mpapca
+    print("%-12s %-12s %-14s %s" % ("N (bits)", "CPU+GMP(s)",
+                                    "Cambricon-P(s)", "speedup"))
+    bits = 64
+    while bits <= args.max_bits:
+        cpu_seconds = cpu.multiply_seconds(bits)
+        camp_seconds = mpapca.multiply_seconds(bits)
+        print("%-12d %-12.3e %-14.3e %.2fx"
+              % (bits, cpu_seconds, camp_seconds,
+                 cpu_seconds / camp_seconds))
+        bits *= 4
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cambricon-P reproduction command-line interface")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="hardware characteristics")
+    info.add_argument("--selftest", action="store_true",
+                      help="run the device validation sweep")
+    info.set_defaults(handler=_cmd_info)
+
+    multiply = commands.add_parser(
+        "multiply", help="run one monolithic multiply on the simulator")
+    multiply.add_argument("bits", type=int, nargs="?", default=4096)
+    multiply.add_argument("--seed", type=int, default=2022)
+    multiply.add_argument("--bit-serial", action="store_true",
+                          help="use the cycle-stepped bit-serial path")
+    multiply.set_defaults(handler=_cmd_multiply)
+
+    pi_parser = commands.add_parser("pi", help="digits of pi")
+    pi_parser.add_argument("digits", type=int, nargs="?", default=100)
+    pi_parser.set_defaults(handler=_cmd_pi)
+
+    rsa_parser = commands.add_parser("rsa", help="RSA round trip")
+    rsa_parser.add_argument("bits", type=int, nargs="?", default=512)
+    rsa_parser.add_argument("--seed", type=int, default=2022)
+    rsa_parser.set_defaults(handler=_cmd_rsa)
+
+    lambda_parser = commands.add_parser(
+        "lambda", help="BIPS benefit-ratio table")
+    lambda_parser.add_argument("--index-bits", type=int, default=32)
+    lambda_parser.set_defaults(handler=_cmd_lambda)
+
+    sweep = commands.add_parser(
+        "sweep", help="Figure-11-style multiply sweep")
+    sweep.add_argument("--max-bits", type=int, default=1 << 20)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    price = commands.add_parser(
+        "price", help="price an application run on all platform models")
+    price.add_argument("app", choices=["pi", "frac", "zkcm", "rsa", "he"])
+    price.add_argument("--size", type=int, default=0,
+                       help="digits (pi), zoom (frac), qubits (zkcm), "
+                            "key bits (rsa/he); 0 = default")
+    price.set_defaults(handler=_cmd_price)
+
+    tune_parser = commands.add_parser(
+        "tune", help="measure multiplication thresholds on this host")
+    tune_parser.add_argument("--max-limbs", type=int, default=384)
+    tune_parser.set_defaults(handler=_cmd_tune)
+
+    report = commands.add_parser(
+        "report", help="compile results/ into REPORT.md")
+    report.add_argument("--results", default="results")
+    report.add_argument("--output", default="REPORT.md")
+    report.set_defaults(handler=_cmd_report)
+
+    figures = commands.add_parser(
+        "figures", help="render Figures 11 and 13 as ASCII charts")
+    figures.add_argument("--which", choices=["11", "13", "all"],
+                         default="all")
+    figures.set_defaults(handler=_cmd_figures)
+    return parser
+
+
+def _cmd_price(args: argparse.Namespace) -> int:
+    from repro.apps import frac, he, pi, rsa, zkcm
+    from repro.report import compare_trace
+    runners = {
+        "pi": lambda s: pi.trace_run(s or 1000),
+        "frac": lambda s: frac.trace_run(zoom_exponent=s or 60),
+        "zkcm": lambda s: zkcm.trace_run(num_qubits=s or 4),
+        "rsa": lambda s: rsa.trace_run(bits=s or 512, messages=2),
+        "he": lambda s: he.trace_run(bits=s or 256),
+    }
+    _, trace = runners[args.app](args.size)
+    comparison = compare_trace(trace)
+    print("%s (%d kernel ops):" % (args.app, trace.count()))
+    print(comparison.table())
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.mpn.tune import tune
+    result = tune(max_limbs=args.max_limbs)
+    print(result.report())
+    print("tuned policy:", result.policy)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+    from repro.report import compile_report
+    text = compile_report(Path(args.results), Path(args.output))
+    print("wrote %s (%d sections, %d chars)"
+          % (args.output, text.count("## "), len(text)))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.report import figure_11, figure_13
+    if args.which in ("11", "all"):
+        print(figure_11())
+    if args.which in ("13", "all"):
+        print()
+        print(figure_13())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Cambricon-P core: the bitflow architecture (the paper's contribution).
+
+Public surface:
+
+* :class:`CambriconP` — the functional + cycle accelerator simulator.
+* :class:`CambriconPConfig` / :class:`CambriconPModel` — structure and
+  the analytic cycle model.
+* BIPS, carry-parallel gathering, and the inner-product transformation
+  as standalone, testable algorithms.
+"""
+
+from repro.core.accelerator import CambriconP, ExecutionReport
+from repro.core.adder_tree import AdderTree
+from repro.core.bips import (best_q, bips_inner_product, bops_bips,
+                             bops_bit_serial, generate_patterns,
+                             index_stream, lambda_ratio,
+                             measured_bops_bips, measured_bops_bit_serial,
+                             pattern_matrix)
+from repro.core.bitflow import Bitflow, BitflowCollector
+from repro.core.controller import CoreController, MultiplySchedule, Pass
+from repro.core.converter import Converter
+from repro.core.energy import (ComponentBreakdown, area_mm2, energy_joules,
+                               gate_counts, multiplier_area_mm2,
+                               multiplier_ratios, power_w)
+from repro.core.gu import (GatherResult, GatherUnit, carry_parallel_latency,
+                           gather, ripple_gather_latency)
+from repro.core.ipu import IPU
+from repro.core.memory import MemoryAgent, TrafficReport
+from repro.core.model import (DEFAULT_CONFIG, CambriconPConfig,
+                              CambriconPModel)
+from repro.core.pe import PassResult, ProcessingElement
+from repro.core.transform import (convolution_terms, evaluate_term,
+                                  from_limbs, reconstruct,
+                                  reuse_statistics, to_limbs)
+
+__all__ = [
+    "AdderTree", "Bitflow", "BitflowCollector", "CambriconP",
+    "CambriconPConfig", "CambriconPModel", "ComponentBreakdown",
+    "Converter", "CoreController", "DEFAULT_CONFIG", "ExecutionReport",
+    "GatherResult", "GatherUnit", "IPU", "MemoryAgent",
+    "MultiplySchedule", "Pass", "PassResult", "ProcessingElement",
+    "TrafficReport", "area_mm2", "best_q", "bips_inner_product",
+    "bops_bips", "bops_bit_serial", "carry_parallel_latency",
+    "convolution_terms", "energy_joules", "evaluate_term", "from_limbs",
+    "gather", "gate_counts", "generate_patterns", "index_stream",
+    "lambda_ratio", "measured_bops_bips", "measured_bops_bit_serial",
+    "multiplier_area_mm2", "multiplier_ratios", "pattern_matrix",
+    "power_w", "reconstruct", "reuse_statistics", "ripple_gather_latency",
+    "to_limbs",
+]

@@ -1,0 +1,41 @@
+"""The Adder Tree: cross-PE result integration (Section V-B1).
+
+The AT merges the result slabs streaming out of the PEs.  When a
+monolithic operation is spread over the array, "PEs are activated in
+sequence to align the timing of result bits" so the AT integrates them
+periodically without deep FIFOs.  Functionally it is a shifted
+accumulation of slabs into the product; structurally it is a binary
+tree of bit-serial adders across the PE columns, whose op count the
+cycle/energy models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.mpn import nat
+from repro.mpn.nat import Nat
+
+
+@dataclass
+class AdderTree:
+    """Accumulates (slab, limb_significance) contributions into a Nat."""
+
+    limb_bits: int = 32
+    additions: int = field(default=0, init=False)
+
+    def integrate(self, slabs: List[Tuple[int, int]]) -> Nat:
+        """Sum slabs: each entry is (value, significance in limbs)."""
+        total: Nat = []
+        for value, significance in slabs:
+            if value:
+                shifted = nat.shl(nat.nat_from_int(value),
+                                  significance * self.limb_bits)
+                total = nat.add(total, shifted)
+                self.additions += 1
+        return total
+
+    def tree_depth(self, num_pes: int) -> int:
+        """Combining depth of the physical tree (log2 of the PE count)."""
+        return max(1, (num_pes - 1).bit_length())

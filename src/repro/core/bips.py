@@ -1,0 +1,187 @@
+"""BIPS: the bit-indexed inner-product processing scheme (Section IV-B).
+
+An inner product of two q-element vectors is evaluated as
+``x_vec . y_vec = x_vec K B_col C`` (Figure 8):
+
+* ``K`` — the fixed *pattern matrix* (q x 2^q): column c is the binary
+  expansion of c, so ``z = x_vec K`` enumerates every subset sum of the
+  x elements (all 2^q "patterns").
+* ``B_col`` — the *index matrix* (2^q x p_y): column b is the one-hot
+  selector whose '1' sits at the integer formed by bit b of every y
+  element.  It is never materialized in hardware — reading the y
+  bitflows LSB-to-MSB *is* the indexing.
+* ``C`` — the *digit-weight vector*: entry b is 2^b, applied by shifting
+  during the final accumulation.
+
+Repeated sub-sums are computed once (pattern generation) instead of per
+MAC, and all-zero index slices select the zero pattern — eliminating
+both kinds of intra-IPU bit-level redundancy in Figure 6(a).
+
+The module also implements the paper's *bops* cost metric and the
+benefit ratio lambda(q) whose minimum (0.367 at q = 4 for p_y = 32)
+fixed the hardware's four-bitflow design.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def pattern_matrix(q: int) -> List[List[int]]:
+    """The fixed K matrix (q rows, 2^q columns of 0/1)."""
+    return [[(column >> row) & 1 for column in range(1 << q)]
+            for row in range(q)]
+
+
+def generate_patterns(x_vec: Sequence[int]) -> List[int]:
+    """All 2^q subset sums of x (the Converter's ``z = x K``).
+
+    Built with the reuse rule of Figure 9(b): a pattern with several set
+    bits is the sum of two previously computed patterns (split at the
+    lowest set bit), so exactly ``2^q - q - 1`` additions are performed —
+    the count behind the paper's pattern-generation bops bound.
+    """
+    q = len(x_vec)
+    patterns = [0] * (1 << q)
+    for mask in range(1, 1 << q):
+        low_bit = mask & -mask
+        if mask == low_bit:
+            patterns[mask] = x_vec[low_bit.bit_length() - 1]
+        else:
+            patterns[mask] = patterns[low_bit] + patterns[mask ^ low_bit]
+    return patterns
+
+
+def index_stream(y_vec: Sequence[int], bit_count: int) -> List[int]:
+    """The index read at each y bit position, LSB to MSB.
+
+    Position b yields the integer whose i-th bit is bit b of ``y_vec[i]``
+    — the position of the '1' in B_col's column b.
+    """
+    stream = []
+    for b in range(bit_count):
+        index = 0
+        for i, element in enumerate(y_vec):
+            index |= ((element >> b) & 1) << i
+        stream.append(index)
+    return stream
+
+
+def bips_inner_product(x_vec: Sequence[int],
+                       y_vec: Sequence[int]) -> int:
+    """Inner product via patterns-indexing-weighted-gathering.
+
+    Functionally identical to ``sum(x*y)``; structured exactly as the
+    three BIPS stages so tests can confirm the transformation.
+    """
+    if len(x_vec) != len(y_vec):
+        raise ValueError("BIPS needs equal-length vectors")
+    patterns = generate_patterns(x_vec)              # patterns generation
+    bit_count = max((e.bit_length() for e in y_vec), default=0)
+    indices = index_stream(y_vec, bit_count)         # pattern indexing
+    accumulator = 0
+    for b, index in enumerate(indices):              # weighted gathering
+        if index:
+            accumulator += patterns[index] << b
+    return accumulator
+
+
+# ---------------------------------------------------------------------------
+# The bops cost metric (Section IV-B, "Benefit analysis").
+# ---------------------------------------------------------------------------
+
+def bops_add(p_a: int, p_b: int) -> int:
+    """bops of an addition: max of the operand bitwidths."""
+    return max(p_a, p_b)
+
+
+def bops_mul(p_a: int, p_b: int) -> int:
+    """bops of a multiplication: product of the operand bitwidths."""
+    return p_a * p_b
+
+
+def bops_bit_serial(q: int, p_x: int, p_y: int) -> int:
+    """bops of the straightforward bit-serial inner product: q*p_x*p_y."""
+    return q * p_x * p_y
+
+
+def bops_bips(q: int, p_x: int, p_y: int) -> int:
+    """Worst-case bops of BIPS for a q-element inner product.
+
+    Pattern generation: (2^q - q - 1) * p_x.  Pattern indexing: free
+    (one-hot selection).  Weighted gathering: p_y * (p_x + q).
+    """
+    pattern_cost = ((1 << q) - q - 1) * p_x
+    gather_cost = p_y * (p_x + q)
+    return pattern_cost + gather_cost
+
+
+def lambda_ratio(q: int, p_y: int) -> float:
+    """The paper's benefit ratio lambda = (1 + (2^q - 1)/p_y) / q.
+
+    Derived from bops_bips / bops_bit_serial in the p_x >> q regime.
+    lambda_min = 0.367 at q = 4 for p_y = 32, which is why the
+    architecture processes 4 bitflows in parallel.
+    """
+    return (1.0 + ((1 << q) - 1) / p_y) / q
+
+
+def best_q(p_y: int, candidates: Sequence[int] = tuple(range(1, 9))
+           ) -> Tuple[int, float]:
+    """The q minimizing lambda for a given index bitwidth."""
+    best = min(candidates, key=lambda q: lambda_ratio(q, p_y))
+    return best, lambda_ratio(best, p_y)
+
+
+def measured_bops_bips(x_vec: Sequence[int], y_vec: Sequence[int]) -> int:
+    """Exact bops actually performed by BIPS on concrete operands.
+
+    Counts pattern-generation additions (skipping zero-valued partial
+    sums, as the hardware does) and weighted-gathering additions
+    (skipping all-zero index slices — the bit-sparsity win).
+    """
+    q = len(x_vec)
+    total = 0
+    # Pattern generation with reuse and zero skipping.
+    patterns = [0] * (1 << q)
+    for mask in range(1, 1 << q):
+        low_bit = mask & -mask
+        if mask == low_bit:
+            patterns[mask] = x_vec[low_bit.bit_length() - 1]
+        else:
+            left, right = patterns[low_bit], patterns[mask ^ low_bit]
+            patterns[mask] = left + right
+            if left and right:
+                total += bops_add(left.bit_length(), right.bit_length())
+    # Weighted gathering.
+    bit_count = max((e.bit_length() for e in y_vec), default=0)
+    accumulator = 0
+    for b, index in enumerate(index_stream(y_vec, bit_count)):
+        if index and patterns[index]:
+            total += bops_add(accumulator.bit_length(),
+                              patterns[index].bit_length() + b)
+            accumulator += patterns[index] << b
+    return total
+
+
+def measured_bops_bit_serial(x_vec: Sequence[int],
+                             y_vec: Sequence[int]) -> int:
+    """Exact bops of the straightforward bit-serial scheme (Figure 6b).
+
+    Each multiplication x*y is a sequence of shift-adds of x, one per
+    set bit of y (zero bits are skipped, which existing bit-serial
+    designs already support); the products are then accumulated.
+    """
+    total = 0
+    accumulator = 0
+    for x, y in zip(x_vec, y_vec):
+        product = 0
+        for b in range(y.bit_length()):
+            if (y >> b) & 1 and x:
+                total += bops_add(product.bit_length(), x.bit_length() + b)
+                product += x << b
+        if product:
+            total += bops_add(accumulator.bit_length(),
+                              product.bit_length())
+            accumulator += product
+    return total

@@ -1,0 +1,98 @@
+"""Bit-serial data streams ("bitflows", Section V-B).
+
+Cambricon-P's datapaths are fully bit-serial: "each input operand is
+streamed into PEs from the CMA with 1 bit per cycle, multiple input
+operands are streamed in parallel (multiple bitflows), and the outputs
+are streamed out to the CMA in a bit-serial manner" (Section V-B1).
+
+A :class:`Bitflow` is the simulator's wire: an unbounded LSB-first bit
+stream backed by a natural number, with a cursor so cycle-stepped
+components can consume one bit per cycle.  Bits beyond the significant
+length are zero, matching a quiescent wire.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.mpn import nat
+from repro.mpn.nat import Nat
+
+
+class Bitflow:
+    """An LSB-first bit-serial stream over a natural number."""
+
+    __slots__ = ("_limbs", "_bits", "cursor")
+
+    def __init__(self, value: Nat) -> None:
+        self._limbs = list(value)
+        self._bits = nat.bit_length(value)
+        self.cursor = 0
+
+    @classmethod
+    def from_int(cls, value: int) -> "Bitflow":
+        """Build a bitflow from a non-negative Python int (tests/IO)."""
+        return cls(nat.nat_from_int(value))
+
+    @property
+    def significant_bits(self) -> int:
+        """Number of bits before the stream goes permanently zero."""
+        return self._bits
+
+    def peek(self, index: int) -> int:
+        """Bit at an absolute position without moving the cursor."""
+        return nat.get_bit(self._limbs, index)
+
+    def next_bit(self) -> int:
+        """Consume and return the bit at the cursor (one per cycle)."""
+        bit = nat.get_bit(self._limbs, self.cursor)
+        self.cursor += 1
+        return bit
+
+    def exhausted(self) -> bool:
+        """True once every significant bit has been consumed."""
+        return self.cursor >= self._bits
+
+    def rewind(self) -> None:
+        """Reset the cursor (used when a flow is multicast to many PEs)."""
+        self.cursor = 0
+
+    def __iter__(self) -> Iterator[int]:
+        for index in range(self._bits):
+            yield nat.get_bit(self._limbs, index)
+
+    def to_nat(self) -> Nat:
+        """The full stream value as a natural."""
+        return list(self._limbs)
+
+
+class BitflowCollector:
+    """Accumulates an output bitflow emitted one bit per cycle."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def push(self, bit: int) -> None:
+        """Record the bit produced this cycle."""
+        self._bits.append(bit & 1)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def to_nat(self) -> Nat:
+        """The collected stream as a natural (LSB was pushed first)."""
+        limbs: Nat = [0] * ((len(self._bits) + nat.LIMB_BITS - 1)
+                            // nat.LIMB_BITS)
+        for index, bit in enumerate(self._bits):
+            if bit:
+                limbs[index // nat.LIMB_BITS] |= 1 << (index % nat.LIMB_BITS)
+        return nat.normalize(limbs)
+
+    def to_int(self) -> int:
+        """The collected stream as a Python int (tests/IO)."""
+        total = 0
+        for index, bit in enumerate(self._bits):
+            total |= bit << index
+        return total

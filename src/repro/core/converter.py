@@ -1,0 +1,67 @@
+"""The Converter: bit-serial pattern generation (Section V-B2, Figure 9b).
+
+The Converter receives the q = 4 bitflows of the pattern operand chunk
+and emits 2^q = 16 bitflows, one per subset-sum pattern of the four
+elements.  Composite patterns reuse previously generated ones — e.g.
+``z15 = z3 + z12`` — so the unit contains exactly ``2^q - q - 1``
+bit-serial adders (11 for q = 4), each a full adder with one carry
+flip-flop.  Input bandwidth is q bits/cycle; outputs keep streaming for
+``ceil(log2 q)`` extra cycles to drain the carries (a pattern sums up to
+q L-bit values, so it is at most L + log2(q) bits long).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.bitflow import Bitflow
+from repro.mpn.nat import MpnError
+
+
+class Converter:
+    """Cycle-stepped pattern generator for one q-element operand chunk."""
+
+    def __init__(self, q: int = 4) -> None:
+        if q < 1:
+            raise MpnError("Converter needs at least one input flow")
+        self.q = q
+        self.num_patterns = 1 << q
+        # Composite masks in increasing order; both halves of the reuse
+        # split (low set bit / rest) are strictly smaller, so a single
+        # in-order sweep per cycle respects the adder-graph topology.
+        self._composite_masks = [mask for mask in range(self.num_patterns)
+                                 if mask & (mask - 1)]
+        self._carries = [0] * self.num_patterns
+        self._inputs: List[Bitflow] = []
+        self.cycles = 0
+
+    @property
+    def adder_count(self) -> int:
+        """Bit-serial adders instantiated: 2^q - q - 1 (the reuse graph)."""
+        return len(self._composite_masks)
+
+    def load(self, flows: Sequence[Bitflow]) -> None:
+        """Attach the q input bitflows and reset carry state."""
+        if len(flows) != self.q:
+            raise MpnError("Converter expects exactly %d flows" % self.q)
+        self._inputs = list(flows)
+        self._carries = [0] * self.num_patterns
+        self.cycles = 0
+
+    def step(self) -> List[int]:
+        """Advance one cycle; returns this cycle's 2^q pattern bits."""
+        bits = [0] * self.num_patterns
+        for index, flow in enumerate(self._inputs):
+            bits[1 << index] = flow.next_bit()
+        for mask in self._composite_masks:
+            low_bit = mask & -mask
+            total = bits[low_bit] + bits[mask ^ low_bit] + self._carries[mask]
+            bits[mask] = total & 1
+            self._carries[mask] = total >> 1
+        self.cycles += 1
+        return bits
+
+    def drained(self) -> bool:
+        """True once inputs are exhausted and every carry has flushed."""
+        return (all(flow.exhausted() for flow in self._inputs)
+                and not any(self._carries))

@@ -1,0 +1,137 @@
+"""The Gather Unit and carry parallel computing (Sections IV-A, V-B2).
+
+IPU i emits an *aligned partial-sum* ps_i whose significance is offset
+``i*L`` bits from its neighbour's, so adjacent flows overlap by L bits
+(Figure 7b).  Gathering them naively would ripple carries through the
+whole chain — the dependency chain of Figure 5.  The carry parallel
+mechanism (Figure 7c) instead cuts the accumulation into L-bit parts,
+evaluates every part for *both* possible incoming carries (0 and 1)
+simultaneously, and then selects the correct results with a fast mux
+chain: Equation (2) proves each part's outgoing carry is at most one
+bit, so two precomputed cases always suffice when partial sums are 2L
+bits wide.
+
+The implementation is segment-parallel and word-level (each L-bit part
+is a machine word); :func:`gather` returns carry statistics so tests
+can check the <=1-carry invariant, and :class:`GatherUnit` adds the
+FA-disable combining configurations of Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.mpn.nat import MpnError
+
+
+@dataclass
+class GatherResult:
+    """Outcome of one carry-parallel gather."""
+
+    total: int                 # the gathered value (significance base 0)
+    segment_count: int         # number of L-bit parts processed
+    max_carry: int             # largest inter-part carry observed
+    selection_depth: int       # mux-chain length (the only serial step)
+
+
+def gather(partial_sums: Sequence[int], limb_bits: int = 32,
+           offset_limbs: int = 1) -> GatherResult:
+    """Sum aligned partial-sums: total = sum_i ps_i << (i*offset*L).
+
+    Segment s's column receives, for every i, the L-bit slice of ps_i
+    that covers that segment.  All column sums are computed in parallel
+    for carry-in 0; the serial part is only the carry *selection* sweep,
+    whose per-part carry the paper bounds by 1 (Equation 2) for 2L-bit
+    partial sums.
+    """
+    if limb_bits < 1 or offset_limbs < 1:
+        raise MpnError("gather needs positive limb width and offset")
+    if not partial_sums:
+        return GatherResult(0, 0, 0, 0)
+    mask = (1 << limb_bits) - 1
+    widest = max((ps.bit_length() for ps in partial_sums), default=0)
+    extra_segments = -(-widest // limb_bits)
+    segment_count = (len(partial_sums) - 1) * offset_limbs + extra_segments
+
+    # Parallel phase: per-segment column sums with carry-in 0.
+    column_sums: List[int] = [0] * segment_count
+    for i, ps in enumerate(partial_sums):
+        base = i * offset_limbs
+        slice_index = 0
+        while ps:
+            column_sums[base + slice_index] += ps & mask
+            ps >>= limb_bits
+            slice_index += 1
+
+    # Selection phase: sweep the 1-bit (in the paper's regime) carries.
+    total = 0
+    carry = 0
+    max_carry = 0
+    for s in range(segment_count):
+        part = column_sums[s] + carry
+        total |= (part & mask) << (s * limb_bits)
+        carry = part >> limb_bits
+        max_carry = max(max_carry, carry)
+    total |= carry << (segment_count * limb_bits)
+    return GatherResult(total, segment_count, max_carry, segment_count)
+
+
+class GatherUnit:
+    """A GU over N_IPU partial-sum flows with Figure 10's combine modes.
+
+    ``combine`` selects how many adjacent IPU outputs form one result
+    (1, 2, 4, ..., N_IPU), implemented in hardware by disabling the full
+    adders between groups; here each group is gathered independently.
+    """
+
+    def __init__(self, num_ipus: int = 32, limb_bits: int = 32) -> None:
+        if num_ipus & (num_ipus - 1):
+            raise MpnError("GU size must be a power of two")
+        self.num_ipus = num_ipus
+        self.limb_bits = limb_bits
+
+    def valid_combines(self) -> List[int]:
+        """The group sizes reachable by FA disabling (powers of two)."""
+        sizes = []
+        size = 1
+        while size <= self.num_ipus:
+            sizes.append(size)
+            size *= 2
+        return sizes
+
+    def combine(self, partial_sums: Sequence[int],
+                group_size: int) -> List[GatherResult]:
+        """Gather groups of ``group_size`` adjacent partial sums."""
+        if group_size not in self.valid_combines():
+            raise MpnError("unsupported combine size %d" % group_size)
+        if len(partial_sums) != self.num_ipus:
+            raise MpnError("expected one partial sum per IPU")
+        results = []
+        for start in range(0, self.num_ipus, group_size):
+            group = partial_sums[start:start + group_size]
+            results.append(gather(group, self.limb_bits))
+        return results
+
+    @property
+    def full_adder_count(self) -> int:
+        """Structural FA count: one L-bit dual-case adder pair per IPU."""
+        return self.num_ipus * 2 * self.limb_bits
+
+
+def ripple_gather_latency(num_ipus: int, limb_bits: int = 32) -> int:
+    """Cycle latency of the naive sequential gather (baseline ablation).
+
+    Without carry parallelism each part must wait for its predecessor's
+    carry: the chain serializes and costs num_ipus * L bit-cycles.
+    """
+    return num_ipus * limb_bits
+
+
+def carry_parallel_latency(num_ipus: int, limb_bits: int = 32) -> int:
+    """Cycle latency of the carry-parallel gather.
+
+    All parts compute their two carry cases concurrently in L bit-serial
+    cycles; the remaining serial work is the 1-bit selection sweep.
+    """
+    return limb_bits + num_ipus

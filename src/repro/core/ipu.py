@@ -1,0 +1,79 @@
+"""The bit-indexed Inner-Product Unit (Section V-B2, Figure 9c).
+
+Each IPU evaluates one q-element inner product in the BIPS form: the
+shared pattern bitflows from the Converter are *indexed* by the IPU's
+own y operand (read LSB-to-MSB, one index per y bit position) and the
+selected bitflows are merged by a bit-serial accumulator, realizing the
+weighted gathering ``sum_b pattern[idx_b] << b`` one output bit per
+cycle.
+
+The delay lines that give each selected pattern its ``2^b`` weight are a
+per-pattern shift register of depth p_y; the accumulator is a small
+carry-save state (the per-cycle column sum of up to p_y selected bits
+plus the running carry).  A zero index selects the zero pattern — the
+bit-sparsity skip of Figure 6(b) for free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.mpn.nat import MpnError
+
+
+class IPU:
+    """Cycle-stepped bit-indexed inner-product unit."""
+
+    def __init__(self, q: int = 4, index_bits: int = 32) -> None:
+        self.q = q
+        self.index_bits = index_bits
+        self.num_patterns = 1 << q
+        self._indices: List[int] = []
+        self._history: List[Sequence[int]] = []
+        self._carry = 0
+        self.cycle = 0
+        self.active = False
+
+    def load(self, indices: Sequence[int]) -> None:
+        """Program the index stream (one 2^q-range index per y bit).
+
+        ``indices[b]`` is the integer formed by bit b of each y element —
+        the position of the '1' in column b of the one-hot B_col matrix,
+        which the hardware reads directly off the y bitflows.
+        """
+        if len(indices) > self.index_bits:
+            raise MpnError("index stream longer than the IPU's y bitwidth")
+        if any(not 0 <= i < self.num_patterns for i in indices):
+            raise MpnError("index out of pattern range")
+        self._indices = list(indices)
+        self._history = []
+        self._carry = 0
+        self.cycle = 0
+        self.active = True
+
+    def step(self, pattern_bits: Sequence[int]) -> int:
+        """Advance one cycle with this cycle's Converter output.
+
+        Returns the output bit of the partial-sum bitflow.
+        """
+        self._history.append(pattern_bits)
+        column_total = self._carry
+        # Selected pattern b contributes its bit (cycle - b): weight 2^b.
+        oldest = max(0, self.cycle - len(self._indices) + 1)
+        for b in range(self.cycle - oldest + 1):
+            index = self._indices[b] if b < len(self._indices) else 0
+            if index:
+                column_total += self._history[self.cycle - b][index]
+        out_bit = column_total & 1
+        self._carry = column_total >> 1
+        self.cycle += 1
+        return out_bit
+
+    def drained(self, patterns_done: bool) -> bool:
+        """True when no more output bits can be produced."""
+        return patterns_done and self._carry == 0
+
+    @property
+    def multiplexer_count(self) -> int:
+        """Structural mux count (one 2^q:1 selector per y bit lane)."""
+        return self.index_bits

@@ -1,0 +1,195 @@
+"""The accelerator's instruction interface (Section V-B's control path).
+
+"When Cambricon-P receives orders (instructions) from the CPU to
+perform an arbitrary-precision inner production, the CC decomposes the
+inner production into N_PE small pieces ... and maps them to N_PE PEs"
+— and operands move through the shared LLC (the LLC-integration scheme
+of Section V-A).  This module is that boundary, made concrete:
+
+* :class:`Instruction` — one order: an opcode plus LLC operand
+  descriptors (address, bit length);
+* :class:`SharedLLC` — the CPU/accelerator shared address space the
+  descriptors point into;
+* :class:`Driver` — the host-side runtime piece that assembles
+  instruction streams and retires them on a :class:`CambriconP`
+  device, accumulating the device's cycle reports per instruction.
+
+The instruction set mirrors MPApca's essential operators: MUL, ADD,
+SUB, SHL, SHR and IP (inner production), the primitive the paper's CC
+natively decomposes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.accelerator import CambriconP, ExecutionReport
+from repro.mpn import nat
+from repro.mpn.nat import MpnError, Nat
+
+
+class Opcode(enum.Enum):
+    """Essential MPApca operators as device orders."""
+
+    MUL = "mul"
+    ADD = "add"
+    SUB = "sub"
+    SHL = "shl"
+    SHR = "shr"
+    IP = "ip"      # inner production of two limb vectors
+
+
+@dataclass(frozen=True)
+class OperandRef:
+    """A descriptor into the shared LLC: (address, significant bits)."""
+
+    address: int
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0 or self.bits < 0:
+            raise MpnError("operand descriptor out of range")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One order from the host CPU."""
+
+    opcode: Opcode
+    sources: Tuple[OperandRef, ...]
+    destination: int              # LLC address for the result
+    immediate: int = 0            # shift amount for SHL/SHR
+
+    def __str__(self) -> str:
+        operands = ", ".join("@%d[%db]" % (ref.address, ref.bits)
+                             for ref in self.sources)
+        suffix = " #%d" % self.immediate if self.opcode in (Opcode.SHL,
+                                                            Opcode.SHR) \
+            else ""
+        return "%s %s -> @%d%s" % (self.opcode.name, operands,
+                                   self.destination, suffix)
+
+
+class SharedLLC:
+    """The CPU/accelerator shared address space (word granularity).
+
+    Values live at integer addresses; writes record traffic so the
+    energy model can include LLC activity (as the paper does).
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[int, Nat] = {}
+        self.bits_read = 0
+        self.bits_written = 0
+
+    def write(self, address: int, value: Nat) -> OperandRef:
+        """Place a natural; returns its descriptor."""
+        self._store[address] = list(value)
+        bits = nat.bit_length(value)
+        self.bits_written += bits
+        return OperandRef(address, bits)
+
+    def read(self, ref_or_address) -> Nat:
+        """Fetch a natural by descriptor or raw address."""
+        address = ref_or_address.address \
+            if isinstance(ref_or_address, OperandRef) else ref_or_address
+        if address not in self._store:
+            raise MpnError("LLC read of unwritten address %d" % address)
+        value = self._store[address]
+        self.bits_read += nat.bit_length(value)
+        return list(value)
+
+
+@dataclass
+class RetiredInstruction:
+    """An executed instruction with its device report."""
+
+    instruction: Instruction
+    report: ExecutionReport
+
+
+class Driver:
+    """Host-side driver: assemble orders, retire them on the device."""
+
+    def __init__(self, device: Optional[CambriconP] = None) -> None:
+        self.device = device or CambriconP()
+        self.llc = SharedLLC()
+        self.retired: List[RetiredInstruction] = []
+        self._next_address = 0
+
+    # -- memory management ---------------------------------------------------
+
+    def alloc(self, value: Nat) -> OperandRef:
+        """Write a value at a fresh LLC address."""
+        address = self._next_address
+        self._next_address += 1
+        return self.llc.write(address, value)
+
+    def result(self, address: int) -> Nat:
+        """Read back a destination."""
+        return self.llc.read(address)
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, program: List[Instruction]) -> List[RetiredInstruction]:
+        """Run a program in order; returns the retirement log."""
+        retirements = []
+        for instruction in program:
+            retirements.append(self._execute_one(instruction))
+        self.retired.extend(retirements)
+        return retirements
+
+    def _execute_one(self, instruction: Instruction) -> RetiredInstruction:
+        sources = [self.llc.read(ref) for ref in instruction.sources]
+        opcode = instruction.opcode
+        if opcode is Opcode.MUL:
+            self._expect_sources(instruction, 2)
+            value, report = self.device.multiply(*sources)
+        elif opcode is Opcode.ADD:
+            self._expect_sources(instruction, 2)
+            value, report = self.device.add(*sources)
+        elif opcode is Opcode.SUB:
+            self._expect_sources(instruction, 2)
+            value, report = self.device.subtract(*sources)
+        elif opcode is Opcode.SHL:
+            self._expect_sources(instruction, 1)
+            value, report = self.device.shift(sources[0],
+                                              instruction.immediate,
+                                              left=True)
+        elif opcode is Opcode.SHR:
+            self._expect_sources(instruction, 1)
+            value, report = self.device.shift(sources[0],
+                                              instruction.immediate,
+                                              left=False)
+        elif opcode is Opcode.IP:
+            self._expect_sources(instruction, 2)
+            from repro.core.transform import to_limbs
+            x_vec = to_limbs(sources[0], self.device.config.limb_bits)
+            y_vec = to_limbs(sources[1], self.device.config.limb_bits)
+            length = min(len(x_vec), len(y_vec))
+            total, report = self.device.inner_product(x_vec[:length],
+                                                      y_vec[:length])
+            value = nat.nat_from_int(total)
+        else:  # pragma: no cover - enum is closed
+            raise MpnError("unknown opcode %r" % opcode)
+        self.llc.write(instruction.destination, value)
+        return RetiredInstruction(instruction, report)
+
+    @staticmethod
+    def _expect_sources(instruction: Instruction, count: int) -> None:
+        if len(instruction.sources) != count:
+            raise MpnError("%s expects %d sources"
+                           % (instruction.opcode.name, count))
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def total_cycles(self) -> float:
+        """Device cycles across all retired instructions."""
+        return sum(r.report.cycles for r in self.retired)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.report.seconds for r in self.retired)

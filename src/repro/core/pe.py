@@ -1,0 +1,134 @@
+"""The Cambricon-P Processing Element (Section V-B2, Figure 9a).
+
+A PE couples one Converter, ``N_IPU`` bit-indexed IPUs, and a Gather
+Unit.  Per pass it holds one 4-limb *pattern* chunk of x and a sliding
+window of *index* limbs of y: "each IPU fetches the 4 bitflows starting
+from different positions" (Section V-B3), i.e. IPU i indexes the y
+limbs ``[i, i+3]`` of the window.  Because consecutive IPUs therefore
+produce partial sums for consecutive convolution points t, their
+outputs are exactly the L-bit-offset aligned partial-sums of Figure
+7(b), and the GU's carry-parallel mechanism gathers all of them into a
+32-point result slab without a ripple dependency chain.
+
+Pass semantics (x chunk at limb offset c0, window based at j0):
+
+    ps_i = sum_m x[c0+m] * y[j0+i+3-m]      (t_i = c0 + j0 + 3 + i)
+    slab = sum_i ps_i << (i*L)              (significance 2^((c0+j0+3)L))
+
+Both a word-level fast path and the genuinely bit-serial cycle-stepped
+path are provided; they are bit-identical (tested), and the bit-serial
+path is the one that validates the Converter/IPU/GU microarchitecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.bips import index_stream
+from repro.core.bitflow import Bitflow, BitflowCollector
+from repro.core.converter import Converter
+from repro.core.gu import GatherResult, GatherUnit, gather
+from repro.core.ipu import IPU
+from repro.mpn import nat
+from repro.mpn.nat import MpnError
+
+
+@dataclass
+class PassResult:
+    """Outcome of one PE pass."""
+
+    slab: int                  # gathered 32-point contribution
+    partial_sums: List[int]    # per-IPU aligned partial sums
+    gather: GatherResult       # carry statistics from the GU
+    cycles: int                # bit-serial cycles consumed
+
+
+class ProcessingElement:
+    """One Cambricon-P PE (Converter + N_IPU IPUs + GU)."""
+
+    def __init__(self, num_ipus: int = 32, q: int = 4,
+                 limb_bits: int = 32) -> None:
+        self.num_ipus = num_ipus
+        self.q = q
+        self.limb_bits = limb_bits
+        self.converter = Converter(q)
+        self.ipus = [IPU(q, limb_bits) for _ in range(num_ipus)]
+        self.gu = GatherUnit(num_ipus, limb_bits)
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def window_limbs(self) -> int:
+        """Index limbs consumed per pass: num_ipus + q - 1 (sliding)."""
+        return self.num_ipus + self.q - 1
+
+    def _check_pass(self, x_chunk: Sequence[int],
+                    y_window: Sequence[int]) -> None:
+        if len(x_chunk) != self.q:
+            raise MpnError("pattern chunk must have %d limbs" % self.q)
+        if len(y_window) != self.window_limbs:
+            raise MpnError("index window must have %d limbs"
+                           % self.window_limbs)
+        limit = 1 << self.limb_bits
+        if any(not 0 <= limb < limit for limb in x_chunk + list(y_window)):
+            raise MpnError("limb out of range for the configured width")
+
+    def _ipu_operands(self, y_window: Sequence[int],
+                      ipu_index: int) -> List[int]:
+        """The y elements IPU i dots against the x chunk (reversed slice)."""
+        return [y_window[ipu_index + self.q - 1 - m] for m in range(self.q)]
+
+    # -- word-level fast path --------------------------------------------------
+
+    def compute_pass(self, x_chunk: Sequence[int],
+                     y_window: Sequence[int]) -> PassResult:
+        """One pass via word arithmetic (bit-identical to the serial path)."""
+        self._check_pass(x_chunk, y_window)
+        partial_sums = []
+        for i in range(self.num_ipus):
+            operands = self._ipu_operands(y_window, i)
+            partial_sums.append(sum(x * y for x, y in zip(x_chunk, operands)))
+        gathered = gather(partial_sums, self.limb_bits)
+        return PassResult(gathered.total, partial_sums, gathered,
+                          self._pass_cycles())
+
+    # -- bit-serial path -------------------------------------------------------
+
+    def compute_pass_bit_serial(self, x_chunk: Sequence[int],
+                                y_window: Sequence[int]) -> PassResult:
+        """One pass stepping the Converter and IPUs cycle by cycle."""
+        self._check_pass(x_chunk, y_window)
+        flows = [Bitflow(nat.nat_from_int(limb)) for limb in x_chunk]
+        self.converter.load(flows)
+        collectors = [BitflowCollector() for _ in range(self.num_ipus)]
+        for i, ipu in enumerate(self.ipus):
+            operands = self._ipu_operands(y_window, i)
+            ipu.load(index_stream(operands, self.limb_bits))
+
+        cycles = self._pass_cycles()
+        for _ in range(cycles):
+            pattern_bits = self.converter.step()
+            for ipu, collector in zip(self.ipus, collectors):
+                collector.push(ipu.step(pattern_bits))
+        if any(ipu._carry for ipu in self.ipus):  # pragma: no cover - guard
+            raise MpnError("IPU accumulator failed to drain")
+
+        partial_sums = [collector.to_int() for collector in collectors]
+        gathered = gather(partial_sums, self.limb_bits)
+        return PassResult(gathered.total, partial_sums, gathered, cycles)
+
+    def _pass_cycles(self) -> int:
+        """Bit-serial cycles to fully drain one pass.
+
+        Pattern flows are L + ceil(log2 q) bits; the weighted gathering
+        spreads them over p_y = L extra positions, plus carry drain.
+        """
+        pattern_bits = self.limb_bits + max(1, (self.q - 1).bit_length())
+        return pattern_bits + self.limb_bits + self.q
+
+
+def slab_significance_limbs(chunk_offset_limbs: int,
+                            window_base_limbs: int, q: int = 4) -> int:
+    """Limb significance of a pass's slab: c0 + j0 + q - 1."""
+    return chunk_offset_limbs + window_base_limbs + q - 1

@@ -1,0 +1,104 @@
+"""The inner-product transformation (Section IV-A, Equation 1).
+
+A monolithic multiplication ``x * y`` is rewritten as a polynomial
+convolution of the two limb vectors:
+
+    x * y = sum_t 2^(t*L) * IP(t),    IP(t) = sum_j x[t-j] * y[j]
+
+so every output point ``t`` is a small inner product that bit-indexed
+IPUs can evaluate independently — the source of Cambricon-P's
+*inter-IPU parallelism*.  This module provides the decomposition of
+naturals into L-bit limb vectors, the convolution term structure
+(including the inter-IPU reuse sets the paper highlights in Figure 7a),
+and the shifted re-accumulation used to validate hardware results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.mpn import nat
+from repro.mpn.nat import MpnError, Nat
+
+#: The hardware limb width (Section V-B3: 32-bit bitflow blocks).
+DEFAULT_LIMB_BITS = 32
+
+
+def to_limbs(value: Nat, limb_bits: int = DEFAULT_LIMB_BITS) -> List[int]:
+    """Split a natural into little-endian limbs of ``limb_bits`` bits.
+
+    Limbs are returned as machine words (Python ints bounded by
+    ``2**limb_bits``), the granularity at which bitflows are dispatched.
+    """
+    if limb_bits < 1:
+        raise MpnError("limb width must be positive")
+    limbs: List[int] = []
+    remaining = value
+    while not nat.is_zero(remaining):
+        limbs.append(nat.nat_to_int(nat.low_bits(remaining, limb_bits)))
+        remaining = nat.shr(remaining, limb_bits)
+    return limbs or [0]
+
+
+def from_limbs(limbs: Sequence[int],
+               limb_bits: int = DEFAULT_LIMB_BITS) -> Nat:
+    """Rebuild a natural from little-endian limbs (inverse of to_limbs)."""
+    value: Nat = []
+    for index in range(len(limbs) - 1, -1, -1):
+        value = nat.shl(value, limb_bits)
+        value = nat.add(value, nat.nat_from_int(limbs[index]))
+    return value
+
+
+@dataclass(frozen=True)
+class InnerProductTerm:
+    """One output point of the convolution: IP(t) = sum x[i]*y[j], i+j=t."""
+
+    t: int
+    pairs: Tuple[Tuple[int, int], ...]  # (x index, y index) per product
+
+
+def convolution_terms(num_x_limbs: int,
+                      num_y_limbs: int) -> List[InnerProductTerm]:
+    """The inner-product structure of an (nx x ny)-limb multiplication."""
+    if num_x_limbs < 1 or num_y_limbs < 1:
+        raise MpnError("operands must have at least one limb")
+    terms: List[InnerProductTerm] = []
+    for t in range(num_x_limbs + num_y_limbs - 1):
+        pairs = tuple((t - j, j)
+                      for j in range(max(0, t - num_x_limbs + 1),
+                                     min(num_y_limbs - 1, t) + 1))
+        terms.append(InnerProductTerm(t, pairs))
+    return terms
+
+
+def evaluate_term(term: InnerProductTerm, x_limbs: Sequence[int],
+                  y_limbs: Sequence[int]) -> int:
+    """Reference (word-level) evaluation of one inner product."""
+    return sum(x_limbs[i] * y_limbs[j] for i, j in term.pairs)
+
+
+def reconstruct(partial_sums: Sequence[Nat],
+                limb_bits: int = DEFAULT_LIMB_BITS) -> Nat:
+    """Accumulate aligned partial sums: sum_t 2^(t*L) * partial_sums[t]."""
+    result: Nat = []
+    for t, partial in enumerate(partial_sums):
+        if not nat.is_zero(partial):
+            result = nat.add(result, nat.shl(partial, t * limb_bits))
+    return result
+
+
+def reuse_statistics(num_x_limbs: int,
+                     num_y_limbs: int) -> Tuple[int, int]:
+    """(total limb fetches with reuse, without reuse) across all IPs.
+
+    Figure 7(a): the y vector is fully reused across the central
+    inner products and x limbs are partially reused between adjacent
+    ones.  With operand reuse, each distinct limb is fetched once; the
+    naive scheme fetches each (x, y) pair per term.
+    """
+    terms = convolution_terms(num_x_limbs, num_y_limbs)
+    without_reuse = sum(2 * len(term.pairs) for term in terms)
+    with_reuse = num_x_limbs + num_y_limbs
+    return with_reuse, without_reuse

@@ -1,0 +1,6 @@
+"""Extensions beyond the paper's evaluated scope (its stated future
+work): end-to-end FFT/IFFT integration for APC multiplication."""
+
+from repro.extensions import fft
+
+__all__ = ["fft"]

@@ -1,0 +1,9 @@
+"""Arbitrary-precision dense linear algebra (Figure 1's BLAS block):
+MPF matrices with LU/solve/det/inverse, plus exact MPQ elimination for
+cross-validation."""
+
+from repro.linalg.exact import determinant_exact, hilbert_exact, solve_exact
+from repro.linalg.matrix import LUFactorization, Matrix
+
+__all__ = ["LUFactorization", "Matrix", "determinant_exact",
+           "hilbert_exact", "solve_exact"]

@@ -1,0 +1,75 @@
+"""Exact rational linear algebra (fraction-free cross-validation).
+
+The MPF solver carries rounding; this solver carries none: Gaussian
+elimination over :class:`~repro.mpq.MPQ` returns the *exact* solution
+of an integer/rational system.  Tests cross-check the two — the
+high-precision float path must agree with the exact path to its working
+precision, which is a much sharper oracle than any residual norm.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.mpn.nat import MpnError
+from repro.mpq import MPQ
+
+
+def solve_exact(matrix: Sequence[Sequence[MPQ]],
+                rhs: Sequence[MPQ]) -> List[MPQ]:
+    """Solve A x = rhs exactly by rational Gaussian elimination."""
+    size = len(matrix)
+    if size == 0 or any(len(row) != size for row in matrix):
+        raise MpnError("solve_exact needs a square system")
+    if len(rhs) != size:
+        raise MpnError("rhs length mismatch")
+    # Augmented working copy.
+    work = [[MPQ(entry.numerator, entry.denominator)
+             for entry in row] + [rhs[index]]
+            for index, row in enumerate(matrix)]
+    for col in range(size):
+        pivot_row = next((r for r in range(col, size) if work[r][col]),
+                         None)
+        if pivot_row is None:
+            raise MpnError("singular system")
+        work[col], work[pivot_row] = work[pivot_row], work[col]
+        pivot = work[col][col]
+        work[col] = [entry / pivot for entry in work[col]]
+        for row in range(size):
+            if row != col and work[row][col]:
+                factor = work[row][col]
+                work[row] = [entry - factor * ref for entry, ref
+                             in zip(work[row], work[col])]
+    return [work[row][size] for row in range(size)]
+
+
+def determinant_exact(matrix: Sequence[Sequence[MPQ]]) -> MPQ:
+    """Exact determinant by fraction-free elimination over MPQ."""
+    size = len(matrix)
+    if size == 0 or any(len(row) != size for row in matrix):
+        raise MpnError("determinant needs a square matrix")
+    work = [[MPQ(e.numerator, e.denominator) for e in row]
+            for row in matrix]
+    det = MPQ(1)
+    for col in range(size):
+        pivot_row = next((r for r in range(col, size) if work[r][col]),
+                         None)
+        if pivot_row is None:
+            return MPQ(0)
+        if pivot_row != col:
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            det = -det
+        pivot = work[col][col]
+        det = det * pivot
+        for row in range(col + 1, size):
+            if work[row][col]:
+                factor = work[row][col] / pivot
+                work[row] = [entry - factor * ref for entry, ref
+                             in zip(work[row], work[col])]
+    return det
+
+
+def hilbert_exact(size: int) -> List[List[MPQ]]:
+    """The Hilbert matrix as exact rationals."""
+    return [[MPQ(1, r + c + 1) for c in range(size)]
+            for r in range(size)]

@@ -1,0 +1,5 @@
+"""Arbitrary-precision complex numbers (GNU MPC equivalent)."""
+
+from repro.mpc.complexnum import MPC
+
+__all__ = ["MPC"]

@@ -1,0 +1,113 @@
+"""Arbitrary-precision complex numbers (the "Complex" layer of Figure 1).
+
+Domain-specific libraries in the paper's stack — zkcm in particular,
+which simulates quantum computers with multiprecision complex matrices
+— sit on a complex-number layer over the real MPF layer.  ``MPC`` is
+that layer: a pair of :class:`~repro.mpf.MPF` components with the usual
+field operations.  The imaginary bookkeeping is host-side high-level
+work; every component operation routes through the profiled kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.mpf import MPF
+from repro.mpz import MPZ
+
+_Scalar = Union["MPC", MPF, MPZ, int]
+
+
+class MPC:
+    """An immutable arbitrary-precision complex number."""
+
+    __slots__ = ("re", "im")
+
+    def __init__(self, re: Union[MPF, int] = 0, im: Union[MPF, int] = 0,
+                 precision: int = 128) -> None:
+        self.re = re if isinstance(re, MPF) else MPF(re, precision)
+        self.im = im if isinstance(im, MPF) else MPF(im, precision)
+
+    @classmethod
+    def from_ratio(cls, re_num: int, re_den: int, im_num: int, im_den: int,
+                   precision: int) -> "MPC":
+        """Complex number from two exact ratios."""
+        return cls(MPF.from_ratio(re_num, re_den, precision),
+                   MPF.from_ratio(im_num, im_den, precision))
+
+    @property
+    def precision(self) -> int:
+        return max(self.re.precision, self.im.precision)
+
+    def __repr__(self) -> str:
+        return "MPC(%s, %s)" % (self.re.to_decimal_string(8),
+                                self.im.to_decimal_string(8))
+
+    def __bool__(self) -> bool:
+        return bool(self.re) or bool(self.im)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MPC):
+            return NotImplemented
+        return self.re == other.re and self.im == other.im
+
+    def __hash__(self) -> int:
+        return hash((self.re, self.im))
+
+    def __neg__(self) -> "MPC":
+        return MPC(-self.re, -self.im)
+
+    def conj(self) -> "MPC":
+        """Complex conjugate."""
+        return MPC(self.re, -self.im)
+
+    def __add__(self, other: _Scalar) -> "MPC":
+        other = _coerce(other, self.precision)
+        return MPC(self.re + other.re, self.im + other.im)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _Scalar) -> "MPC":
+        other = _coerce(other, self.precision)
+        return MPC(self.re - other.re, self.im - other.im)
+
+    def __rsub__(self, other: _Scalar) -> "MPC":
+        return _coerce(other, self.precision) - self
+
+    def __mul__(self, other: _Scalar) -> "MPC":
+        other = _coerce(other, self.precision)
+        return MPC(self.re * other.re - self.im * other.im,
+                   self.re * other.im + self.im * other.re)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: _Scalar) -> "MPC":
+        other = _coerce(other, self.precision)
+        denom = other.re * other.re + other.im * other.im
+        numerator = self * other.conj()
+        return MPC(numerator.re / denom, numerator.im / denom)
+
+    def abs2(self) -> MPF:
+        """Squared magnitude (avoids the square root)."""
+        return self.re * self.re + self.im * self.im
+
+    def abs(self) -> MPF:
+        """Magnitude."""
+        return self.abs2().sqrt()
+
+    def scale(self, factor: MPF) -> "MPC":
+        """Multiply both components by a real scalar."""
+        return MPC(self.re * factor, self.im * factor)
+
+    def __complex__(self) -> complex:
+        return complex(float(self.re), float(self.im))
+
+
+def _coerce(value: _Scalar, precision: int) -> MPC:
+    if isinstance(value, MPC):
+        return value
+    if isinstance(value, (MPF, MPZ, int)):
+        return MPC(value if isinstance(value, MPF) else MPF(int(value),
+                                                            precision),
+                   MPF(0, precision))
+    raise TypeError("cannot coerce %r to MPC" % (value,))

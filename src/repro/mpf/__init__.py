@@ -1,0 +1,11 @@
+"""Arbitrary-precision binary floats (GMP MPF / MPFR equivalent).
+
+``MPF`` is the number type; :mod:`repro.mpf.transcendental` adds the
+MPFR-style high-level functions (AGM pi, exp/ln by Newton, trig by
+argument reduction + Taylor).
+"""
+
+from repro.mpf.floatnum import GUARD_BITS, MPF
+from repro.mpf import transcendental
+
+__all__ = ["GUARD_BITS", "MPF", "transcendental"]

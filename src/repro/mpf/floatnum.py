@@ -1,0 +1,334 @@
+"""Arbitrary-precision binary floating point (GMP MPF / MPFR-lite).
+
+Figure 1's "Reals (GMP MPF)" layer: a float is ``sign * mantissa * 2**exponent``
+with the mantissa kept to a per-value precision (in bits).  High-level
+functions in the paper (division, square root, transcendentals) are
+"decomposed to naturals ... performed with Karatsuba's algorithms"
+(Section II-A); here too every mantissa operation routes through the
+profiled :mod:`repro.mpn` kernels, so an application built on ``MPF``
+produces exactly the operator trace the platform cost models price.
+
+Rounding is truncation toward zero; callers that need N correct digits
+carry guard bits (as the Pi application does), which is also how the
+paper's binary-splitting pipeline manages error.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro import mpn
+from repro.mpn.nat import MpnError, Nat
+from repro.mpz import MPZ
+from repro.profiling import kernel
+
+_Scalar = Union["MPF", MPZ, int]
+
+#: Guard bits carried by division and square root beyond the target precision.
+GUARD_BITS = 32
+
+
+class MPF:
+    """An immutable arbitrary-precision binary float.
+
+    Attributes
+    ----------
+    precision:
+        Mantissa budget in bits.  Binary operations produce results at
+        the larger of the two operands' precisions.
+    """
+
+    __slots__ = ("_sign", "_mant", "_exp", "precision")
+
+    def __init__(self, value: Union[int, MPZ, "MPF"] = 0,
+                 precision: int = 128) -> None:
+        if precision < 4:
+            raise MpnError("MPF precision must be at least 4 bits")
+        if isinstance(value, MPF):
+            self._sign, self._mant, self._exp = (
+                value._sign, value._mant, value._exp)
+            self.precision = precision
+            self._normalize_in_place()
+            return
+        as_int = int(value)
+        self._sign = -1 if as_int < 0 else 1
+        self._mant = mpn.nat_from_int(abs(as_int))
+        self._exp = 0
+        self.precision = precision
+        self._normalize_in_place()
+
+    # -- internal ---------------------------------------------------------
+
+    @classmethod
+    def _raw(cls, sign: int, mant: Nat, exp: int, precision: int) -> "MPF":
+        instance = object.__new__(cls)
+        instance._sign = 1 if mpn.is_zero(mant) else sign
+        instance._mant = mant
+        instance._exp = exp if mant else 0
+        instance.precision = precision
+        instance._normalize_in_place()
+        return instance
+
+    def _normalize_in_place(self) -> None:
+        """Truncate the mantissa to the precision budget."""
+        excess = mpn.bit_length(self._mant) - self.precision
+        if excess > 0:
+            self._mant = mpn.shr(self._mant, excess)
+            self._exp += excess
+        if mpn.is_zero(self._mant):
+            self._sign = 1
+            self._exp = 0
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_ratio(cls, numerator: Union[int, MPZ],
+                   denominator: Union[int, MPZ], precision: int) -> "MPF":
+        """The float nearest (truncated) to numerator/denominator."""
+        num = numerator if isinstance(numerator, MPZ) else MPZ(numerator)
+        den = denominator if isinstance(denominator, MPZ) else MPZ(denominator)
+        if not den:
+            raise ZeroDivisionError("MPF.from_ratio denominator is zero")
+        sign = num.sign * den.sign
+        shift = (precision + GUARD_BITS
+                 + max(0, abs(den).bit_length() - abs(num).bit_length()))
+        scaled = abs(num) << shift
+        quotient = scaled // abs(den)
+        return cls._raw(sign if sign else 1, quotient.limbs, -shift,
+                        precision)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def sign(self) -> int:
+        """-1, 0 or +1."""
+        if mpn.is_zero(self._mant):
+            return 0
+        return self._sign
+
+    @property
+    def exponent_of_top_bit(self) -> int:
+        """floor(log2(|x|)); undefined (raises) for zero."""
+        if not self:
+            raise MpnError("log2 of zero")
+        return self._exp + mpn.bit_length(self._mant) - 1
+
+    def __bool__(self) -> bool:
+        return not mpn.is_zero(self._mant)
+
+    def __repr__(self) -> str:
+        return "MPF(%s, precision=%d)" % (self.to_decimal_string(12),
+                                          self.precision)
+
+    def __float__(self) -> float:
+        bits = mpn.bit_length(self._mant)
+        if bits == 0:
+            return 0.0
+        keep = min(bits, 53)
+        top = mpn.nat_to_int(mpn.shr(self._mant, bits - keep))
+        return float(self._sign * top) * 2.0 ** (self._exp + bits - keep)
+
+    # -- comparisons ----------------------------------------------------------
+
+    def _cmp(self, other: _Scalar) -> int:
+        difference = self - _coerce(other, self.precision)
+        return difference.sign
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (MPF, MPZ, int)):
+            return NotImplemented
+        return self._cmp(other) == 0
+
+    def __lt__(self, other: _Scalar) -> bool:
+        return self._cmp(other) < 0
+
+    def __le__(self, other: _Scalar) -> bool:
+        return self._cmp(other) <= 0
+
+    def __gt__(self, other: _Scalar) -> bool:
+        return self._cmp(other) > 0
+
+    def __ge__(self, other: _Scalar) -> bool:
+        return self._cmp(other) >= 0
+
+    def __hash__(self) -> int:
+        return hash((self.sign, tuple(self._mant), self._exp))
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def __neg__(self) -> "MPF":
+        return MPF._raw(-self._sign, self._mant, self._exp, self.precision)
+
+    def __abs__(self) -> "MPF":
+        return MPF._raw(1, self._mant, self._exp, self.precision)
+
+    def __add__(self, other: _Scalar) -> "MPF":
+        other = _coerce(other, self.precision)
+        precision = max(self.precision, other.precision)
+        if not self:
+            return MPF(other, precision)
+        if not other:
+            return MPF(self, precision)
+        # Align the two mantissas at the smaller exponent.
+        low_exp = min(self._exp, other._exp)
+        # Cap alignment: bits further than precision + guard below the
+        # larger operand's top cannot affect the truncated result.
+        top = max(self.exponent_of_top_bit, other.exponent_of_top_bit)
+        floor_exp = top - (precision + GUARD_BITS)
+        low_exp = max(low_exp, floor_exp)
+        mant_a = _align(self, low_exp)
+        mant_b = _align(other, low_exp)
+        with kernel("highlevel", 1):
+            same_sign = self._sign == other._sign
+        if same_sign:
+            return MPF._raw(self._sign, mpn.add(mant_a, mant_b), low_exp,
+                            precision)
+        order = mpn.cmp(mant_a, mant_b)
+        if order == 0:
+            return MPF(0, precision)
+        if order > 0:
+            return MPF._raw(self._sign, mpn.sub(mant_a, mant_b), low_exp,
+                            precision)
+        return MPF._raw(other._sign, mpn.sub(mant_b, mant_a), low_exp,
+                        precision)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _Scalar) -> "MPF":
+        return self + (-_coerce(other, self.precision))
+
+    def __rsub__(self, other: _Scalar) -> "MPF":
+        return _coerce(other, self.precision) + (-self)
+
+    def __mul__(self, other: _Scalar) -> "MPF":
+        other = _coerce(other, self.precision)
+        precision = max(self.precision, other.precision)
+        return MPF._raw(self._sign * other._sign,
+                        mpn.mul(self._mant, other._mant),
+                        self._exp + other._exp, precision)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: _Scalar) -> "MPF":
+        other = _coerce(other, self.precision)
+        if not other:
+            raise ZeroDivisionError("MPF division by zero")
+        precision = max(self.precision, other.precision)
+        if not self:
+            return MPF(0, precision)
+        # Scale so the quotient carries precision + guard significant
+        # bits regardless of the operands' mantissa lengths.
+        shift = (precision + GUARD_BITS
+                 + max(0, mpn.bit_length(other._mant)
+                       - mpn.bit_length(self._mant)))
+        scaled = mpn.shl(self._mant, shift)
+        quotient, _ = mpn.divmod_nat(scaled, other._mant)
+        return MPF._raw(self._sign * other._sign, quotient,
+                        self._exp - other._exp - shift, precision)
+
+    def __rtruediv__(self, other: _Scalar) -> "MPF":
+        return _coerce(other, self.precision) / self
+
+    def sqrt(self) -> "MPF":
+        """Square root at this value's precision (truncated)."""
+        if self.sign < 0:
+            raise MpnError("sqrt of a negative float")
+        if not self:
+            return MPF(0, self.precision)
+        # Scale mantissa so the result carries precision + guard bits and
+        # the exponent stays even.
+        shift = 2 * (self.precision + GUARD_BITS)
+        exp = self._exp - shift
+        mant = mpn.shl(self._mant, shift)
+        if exp % 2:
+            mant = mpn.shl(mant, 1)
+            exp -= 1
+        root = mpn.isqrt(mant)
+        return MPF._raw(1, root, exp // 2, self.precision)
+
+    # -- conversions -----------------------------------------------------------
+
+    def trunc_mpz(self) -> MPZ:
+        """Truncate toward zero, as an integer."""
+        if self._exp >= 0:
+            return MPZ.from_limbs(mpn.shl(self._mant, self._exp),
+                                  self._sign)
+        return MPZ.from_limbs(mpn.shr(self._mant, -self._exp),
+                              self._sign)
+
+    def ceil_mpz(self) -> MPZ:
+        """Ceiling toward positive infinity, as an integer."""
+        return -((-self).floor_mpz())
+
+    def round_mpz(self) -> MPZ:
+        """Round half away from zero, as an integer."""
+        half = MPF.from_ratio(1, 2, self.precision)
+        if self.sign >= 0:
+            return (self + half).floor_mpz()
+        return (self - half).ceil_mpz()
+
+    def to_fraction_parts(self) -> tuple[MPZ, int]:
+        """(mantissa, exponent) with value = mantissa * 2**exponent.
+
+        The exact dyadic decomposition (frexp flavor); exponent may be
+        negative.
+        """
+        return MPZ.from_limbs(self._mant, self._sign), self._exp
+
+    def ldexp(self, exponent: int) -> "MPF":
+        """value * 2**exponent, exactly."""
+        return MPF._raw(self._sign, self._mant, self._exp + exponent,
+                        self.precision)
+
+    def floor_mpz(self) -> MPZ:
+        """Floor toward negative infinity, as an integer."""
+        if self._exp >= 0:
+            magnitude = mpn.shl(self._mant, self._exp)
+            return MPZ.from_limbs(magnitude, self._sign)
+        truncated = mpn.shr(self._mant, -self._exp)
+        value = MPZ.from_limbs(truncated, self._sign)
+        if self._sign < 0 and not mpn.is_zero(
+                _low_part(self._mant, -self._exp)):
+            value = value - 1
+        return value
+
+    def to_decimal_string(self, digits: int) -> str:
+        """Decimal rendering with ``digits`` digits after the point.
+
+        The conversion runs on the library's own divide-and-conquer
+        radix kernels, so even million-digit output never touches the
+        interpreter's int->str path (or its 4300-digit cap).
+        """
+        scale = MPZ(10) ** MPZ(digits)
+        scaled_value = (MPF(self, self.precision + 16) *
+                        MPF(scale, self.precision + 16))
+        as_int = scaled_value.floor_mpz()
+        negative = as_int.sign < 0
+        text = abs(as_int).to_decimal().rjust(digits + 1, "0")
+        integral, fractional = text[:-digits] or "0", text[-digits:]
+        rendered = integral + ("." + fractional if digits else "")
+        return "-" + rendered if negative else rendered
+
+
+def _align(value: MPF, target_exp: int) -> Nat:
+    """Mantissa of ``value`` re-expressed at exponent ``target_exp``."""
+    delta = value._exp - target_exp
+    if delta == 0:
+        return value._mant
+    if delta > 0:
+        return mpn.shl(value._mant, delta)
+    return mpn.shr(value._mant, -delta)
+
+
+def _low_part(mant: Nat, count: int) -> Nat:
+    """The bits of ``mant`` below position ``count`` (fraction detector)."""
+    from repro.mpn import nat as _nat
+    return _nat.low_bits(mant, count)
+
+
+def _coerce(value: _Scalar, precision: int) -> MPF:
+    if isinstance(value, MPF):
+        return value
+    if isinstance(value, (int, MPZ)):
+        return MPF(value, precision)
+    raise TypeError("cannot coerce %r to MPF" % (value,))

@@ -1,0 +1,212 @@
+"""Transcendental functions over MPF (the MPFR layer of Figure 1).
+
+The paper's stack tops out with "high-level functions with error
+analysis, e.g. transcendental", decomposed to the naturals kernels "via
+iterative methods or divide-and-conquer methods, such as
+Newton-Raphson, AGM, and binary-splitting" (Section II-A).  This module
+implements exactly those decompositions:
+
+* ``pi_agm``      — Salamin-Brent arithmetic-geometric mean (quadratic
+                    convergence, all sqrt/mul work);
+* ``ln`` / ``ln2`` — AGM-seeded Newton iteration on ``exp``;
+* ``exp``         — scaling-and-squaring around a Taylor core;
+* ``sin`` / ``cos`` / ``atan`` — argument reduction + Taylor.
+
+All functions take a target precision and carry guard bits internally;
+results are truncated MPFs at the caller's precision.  Like everything
+above the mpn layer, every operation lands on the profiled kernels, so
+transcendental-heavy workloads price correctly on the platform models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.mpf.floatnum import MPF
+from repro.mpn.nat import MpnError
+
+#: Guard bits carried by the iterative algorithms.
+GUARD = 48
+
+_PI_CACHE: Dict[int, MPF] = {}
+_LN2_CACHE: Dict[int, MPF] = {}
+
+
+def pi_agm(precision: int) -> MPF:
+    """pi by the Salamin-Brent AGM iteration (quadratic convergence)."""
+    if precision in _PI_CACHE:
+        return _PI_CACHE[precision]
+    work = precision + GUARD
+    a = MPF(1, work)
+    b = MPF(1, work) / MPF(2, work).sqrt()
+    t = MPF.from_ratio(1, 4, work)
+    p = MPF(1, work)
+    iterations = max(4, precision.bit_length() + 2)
+    for _ in range(iterations):
+        a_next = (a + b) / MPF(2, work)
+        b = (a * b).sqrt()
+        delta = a - a_next
+        t = t - p * delta * delta
+        p = p + p
+        a = a_next
+    result = MPF((a + b) * (a + b) / (t * MPF(4, work)), precision)
+    _PI_CACHE[precision] = result
+    return result
+
+
+def exp(x: MPF, precision: int) -> MPF:
+    """e**x by scaling-and-squaring around a Taylor core."""
+    work = precision + GUARD
+    value = MPF(x, work)
+    if not value:
+        return MPF(1, precision)
+    # Scale the argument below 2^-8 so the Taylor series converges in
+    # ~precision/8 terms, then square back up.
+    squarings = max(0, value.exponent_of_top_bit + 9)
+    scaled = value
+    for _ in range(squarings):
+        scaled = scaled / MPF(2, work)
+    total = MPF(1, work)
+    term = MPF(1, work)
+    for k in range(1, work):
+        term = term * scaled / MPF(k, work)
+        total = total + term
+        if term.sign >= 0 and _negligible(term, work):
+            break
+        if term.sign < 0 and _negligible(-term, work):
+            break
+    for _ in range(squarings):
+        total = total * total
+    return MPF(total, precision)
+
+
+def _negligible(value: MPF, work_bits: int) -> bool:
+    """|value| < 2^-work (series truncation test)."""
+    if not value:
+        return True
+    return value.exponent_of_top_bit < -work_bits
+
+
+def ln(x: MPF, precision: int) -> MPF:
+    """Natural log by Newton iteration on exp: y += x*exp(-y) - 1."""
+    if x.sign <= 0:
+        raise MpnError("ln of a non-positive value")
+    work = precision + GUARD
+    value = MPF(x, work)
+    # Seed from the binary exponent: ln(x) ~ e * ln2 for x ~ 2^e.
+    exponent = value.exponent_of_top_bit
+    seed = ln2(work) * MPF(exponent, work) if exponent else MPF(0, work)
+    y = seed
+    iterations = max(5, precision.bit_length() + 2)
+    one = MPF(1, work)
+    for _ in range(iterations):
+        correction = value * exp(-y, work) - one
+        y = y + correction
+        if _negligible(abs(correction), precision):
+            break
+    return MPF(y, precision)
+
+
+def ln2(precision: int) -> MPF:
+    """ln(2), by the fast atanh series ln2 = 2*atanh(1/3)."""
+    if precision in _LN2_CACHE:
+        return _LN2_CACHE[precision]
+    work = precision + GUARD
+    # atanh(1/3) = sum_{k>=0} (1/3)^(2k+1) / (2k+1)
+    third = MPF.from_ratio(1, 3, work)
+    ninth = third * third
+    term = third
+    total = MPF(0, work)
+    k = 0
+    while not _negligible(term, work):
+        total = total + term / MPF(2 * k + 1, work)
+        term = term * ninth
+        k += 1
+    result = MPF(total + total, precision)
+    _LN2_CACHE[precision] = result
+    return result
+
+
+def cos_sin(x: MPF, precision: int) -> Tuple[MPF, MPF]:
+    """(cos x, sin x) with argument reduction modulo 2*pi."""
+    work = precision + GUARD
+    value = MPF(x, work)
+    two_pi = pi_agm(work) * MPF(2, work)
+    # Range-reduce into [-pi, pi] by subtracting floor(x/2pi)*2pi.
+    turns = (value / two_pi).floor_mpz()
+    value = value - two_pi * MPF(turns, work)
+    if value > pi_agm(work):
+        value = value - two_pi
+
+    cos_acc = MPF(1, work)
+    sin_acc = MPF(value, work)
+    cos_term = MPF(1, work)
+    sin_term = MPF(value, work)
+    x2 = value * value
+    for k in range(1, work):
+        cos_term = cos_term * x2 / MPF((2 * k - 1) * (2 * k), work)
+        sin_term = sin_term * x2 / MPF((2 * k) * (2 * k + 1), work)
+        sign = -1 if k % 2 else 1
+        cos_acc = cos_acc + cos_term * sign
+        sin_acc = sin_acc + sin_term * sign
+        if _negligible(cos_term, work) and _negligible(sin_term, work):
+            break
+    return MPF(cos_acc, precision), MPF(sin_acc, precision)
+
+
+def cos(x: MPF, precision: int) -> MPF:
+    """cos x."""
+    return cos_sin(x, precision)[0]
+
+
+def sin(x: MPF, precision: int) -> MPF:
+    """sin x."""
+    return cos_sin(x, precision)[1]
+
+
+def power(base: MPF, exponent: MPF, precision: int) -> MPF:
+    """base**exponent = exp(exponent * ln(base)) for base > 0."""
+    if base.sign <= 0:
+        raise MpnError("power needs a positive base")
+    work = precision + GUARD
+    return MPF(exp(MPF(exponent, work) * ln(MPF(base, work), work),
+                   work), precision)
+
+
+def log10(x: MPF, precision: int) -> MPF:
+    """Base-10 logarithm: ln(x) / ln(10)."""
+    work = precision + GUARD
+    ln10 = ln(MPF(10, work), work)
+    return MPF(ln(MPF(x, work), work) / ln10, precision)
+
+
+def atan(x: MPF, precision: int) -> MPF:
+    """arctan by argument halving + Taylor.
+
+    atan(x) = 2*atan(x / (1 + sqrt(1 + x^2))) halves the argument; a few
+    halvings bring |x| under 1/8 where the series converges quickly.
+    """
+    work = precision + GUARD
+    value = MPF(x, work)
+    negative = value.sign < 0
+    if negative:
+        value = -value
+    halvings = 0
+    one = MPF(1, work)
+    eighth = MPF.from_ratio(1, 8, work)
+    while value > eighth and halvings < work:
+        value = value / (one + (one + value * value).sqrt())
+        halvings += 1
+    # Taylor: atan(v) = v - v^3/3 + v^5/5 - ...
+    term = MPF(value, work)
+    v2 = value * value
+    total = MPF(0, work)
+    k = 0
+    while not _negligible(term, work):
+        total = total + term / MPF(2 * k + 1, work) * (-1 if k % 2 else 1)
+        term = term * v2
+        k += 1
+    for _ in range(halvings):
+        total = total + total
+    result = MPF(total, precision)
+    return -result if negative else result

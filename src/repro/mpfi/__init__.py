@@ -1,0 +1,5 @@
+"""Interval arithmetic (MPFI-like rigorous error analysis)."""
+
+from repro.mpfi.interval import Interval
+
+__all__ = ["Interval"]

@@ -1,0 +1,120 @@
+"""Interval arithmetic over MPF (an MPFI-like error-analysis layer).
+
+Figure 1 tops the float stack with "high-level functions with error
+analysis"; the standard tool for *rigorous* error analysis is interval
+arithmetic: every value is a pair [lo, hi] guaranteed to contain the
+true result, with bounds nudged outward after every operation.  Built
+on truncating MPF arithmetic, the enclosure property is maintained by
+widening each computed bound by one unit in the last place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.mpf import MPF
+from repro.mpn.nat import MpnError
+from repro.mpz import MPZ
+
+_Scalar = Union[int, MPZ, MPF]
+
+
+def _ulp_down(value: MPF) -> MPF:
+    """A value strictly below ``value`` by ~1 ulp at its precision."""
+    if not value:
+        return MPF(0, value.precision) - _tiny(value.precision)
+    mantissa, exponent = value.to_fraction_parts()
+    return MPF(mantissa - 1, value.precision).ldexp(exponent)
+
+
+def _ulp_up(value: MPF) -> MPF:
+    """A value strictly above ``value`` by ~1 ulp at its precision."""
+    if not value:
+        return _tiny(value.precision)
+    mantissa, exponent = value.to_fraction_parts()
+    return MPF(mantissa + 1, value.precision).ldexp(exponent)
+
+
+def _tiny(precision: int) -> MPF:
+    return MPF.from_ratio(1, MPZ(1) << (4 * precision), precision)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval [lo, hi] guaranteed to contain the true value."""
+
+    lo: MPF
+    hi: MPF
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise MpnError("interval bounds out of order")
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def exact(cls, value: _Scalar, precision: int = 128) -> "Interval":
+        as_mpf = value if isinstance(value, MPF) \
+            else MPF(int(value), precision)
+        return cls(as_mpf, as_mpf)
+
+    @classmethod
+    def from_ratio(cls, numerator: int, denominator: int,
+                   precision: int = 128) -> "Interval":
+        value = MPF.from_ratio(numerator, denominator, precision)
+        # Truncated quotient: the true value lies within 1 ulp above.
+        return cls(_ulp_down(value), _ulp_up(value))
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def precision(self) -> int:
+        return max(self.lo.precision, self.hi.precision)
+
+    def width(self) -> MPF:
+        """hi - lo: the rigorous error bound."""
+        return self.hi - self.lo
+
+    def contains(self, value: MPF) -> bool:
+        return self.lo <= value <= self.hi
+
+    def midpoint(self) -> MPF:
+        return (self.lo + self.hi) / MPF(2, self.precision)
+
+    def __repr__(self) -> str:
+        return "Interval[%s, %s]" % (self.lo.to_decimal_string(8),
+                                     self.hi.to_decimal_string(8))
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(_ulp_down(self.lo + other.lo),
+                        _ulp_up(self.hi + other.hi))
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(_ulp_down(self.lo - other.hi),
+                        _ulp_up(self.hi - other.lo))
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        products = [self.lo * other.lo, self.lo * other.hi,
+                    self.hi * other.lo, self.hi * other.hi]
+        return Interval(_ulp_down(min(products)),
+                        _ulp_up(max(products)))
+
+    def __truediv__(self, other: "Interval") -> "Interval":
+        if other.contains(MPF(0, other.precision)):
+            raise MpnError("division by an interval containing zero")
+        quotients = [self.lo / other.lo, self.lo / other.hi,
+                     self.hi / other.lo, self.hi / other.hi]
+        return Interval(_ulp_down(min(quotients)),
+                        _ulp_up(max(quotients)))
+
+    def sqrt(self) -> "Interval":
+        if self.lo.sign < 0:
+            raise MpnError("sqrt of an interval reaching below zero")
+        return Interval(_ulp_down(self.lo.sqrt()),
+                        _ulp_up(self.hi.sqrt()))

@@ -1,0 +1,95 @@
+"""Optimization-oriented optional low-level operators.
+
+The paper's footnote 1 lists what its elementary MPApca lacked compared
+to GMP: "optimization-oriented optional low-level operators (e.g.
+AddMul, MulLo, DivExact)".  DivExact lives in :mod:`repro.mpn.div`;
+this module supplies the other two families:
+
+* ``addmul`` / ``submul`` — fused r = a +- b*c, saving a pass over the
+  intermediate product (GMP's mpn_addmul_1 generalized);
+* ``mullo`` — the low k bits of a product at roughly half the work of
+  a full multiply (GMP's mpn_mullo_n), the kernel Montgomery reduction
+  actually needs for its m = (T mod R) * n' mod R step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mpn import nat
+from repro.mpn.nat import MpnError, Nat
+
+MulFn = Callable[[Nat, Nat], Nat]
+
+#: Below this many bits mullo just truncates a full product.
+MULLO_BASECASE_BITS = 512
+
+
+def addmul(a: Nat, b: Nat, c: Nat, mul_fn: MulFn) -> Nat:
+    """Fused a + b*c."""
+    if nat.is_zero(b) or nat.is_zero(c):
+        return list(a)
+    return nat.add(a, mul_fn(b, c))
+
+
+def submul(a: Nat, b: Nat, c: Nat, mul_fn: MulFn) -> Nat:
+    """Fused a - b*c; requires a >= b*c."""
+    if nat.is_zero(b) or nat.is_zero(c):
+        return list(a)
+    product = mul_fn(b, c)
+    if nat.cmp(a, product) < 0:
+        raise MpnError("submul would go negative")
+    return nat.sub(a, product)
+
+
+def addmul_1(a: Nat, b: Nat, small: int) -> Nat:
+    """a + b*small for a limb-sized multiplier (one fused pass)."""
+    if not 0 <= small < nat.LIMB_BASE:
+        raise MpnError("addmul_1 multiplier out of limb range")
+    if small == 0 or nat.is_zero(b):
+        return list(a)
+    out = list(a) + [0] * max(0, len(b) + 1 - len(a))
+    carry = 0
+    for i, limb in enumerate(b):
+        total = out[i] + limb * small + carry
+        out[i] = total & nat.LIMB_MASK
+        carry = total >> nat.LIMB_BITS
+    position = len(b)
+    while carry:
+        if position == len(out):
+            out.append(0)
+        total = out[position] + carry
+        out[position] = total & nat.LIMB_MASK
+        carry = total >> nat.LIMB_BITS
+        position += 1
+    return nat.normalize(out)
+
+
+def mullo(a: Nat, b: Nat, bits: int, mul_fn: MulFn) -> Nat:
+    """(a * b) mod 2^bits with a truncated-product recursion.
+
+    mullo_k(a, b) = low(a0*b0) + ((mullo(a1, b0) + mullo(a0, b1)) << h)
+    where the operands are split at h = bits/2 — the high*high quarter
+    never contributes below 2^bits, which is where the ~2x saving over
+    a full multiply comes from.
+    """
+    if bits < 0:
+        raise MpnError("bit count must be non-negative")
+    a = nat.low_bits(a, bits)
+    b = nat.low_bits(b, bits)
+    if nat.is_zero(a) or nat.is_zero(b):
+        return []
+    if bits <= MULLO_BASECASE_BITS:
+        return nat.low_bits(mul_fn(a, b), bits)
+    # Split at ceil(bits/2): 2*half >= bits keeps the high*high quarter
+    # entirely above the kept window (an odd `bits` would otherwise
+    # leak its 2^(2*half) term into the result).
+    half = (bits + 1) // 2
+    a0 = nat.low_bits(a, half)
+    a1 = nat.shr(a, half)
+    b0 = nat.low_bits(b, half)
+    b1 = nat.shr(b, half)
+    low = mul_fn(a0, b0)
+    cross = nat.add(mullo(a1, b0, bits - half, mul_fn),
+                    mullo(a0, b1, bits - half, mul_fn))
+    return nat.low_bits(nat.add(low, nat.shl(cross, half)), bits)

@@ -1,0 +1,89 @@
+"""GCD and modular inverse on naturals.
+
+RSA key generation (the paper's RSA benchmark, Table II) needs
+``gcd`` checks and the private-exponent inverse ``d = e^-1 mod phi``.
+We provide the binary GCD (shift/subtract only — cheap on limb lists)
+and an extended Euclidean inverse built on the division kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.mpn import nat, signed
+from repro.mpn.div import divmod_nat
+from repro.mpn.nat import MpnError, Nat
+from repro.mpn.signed import SNat
+
+MulFn = Callable[[Nat, Nat], Nat]
+
+
+def _trailing_zero_bits(value: Nat) -> int:
+    """Number of trailing zero bits of a non-zero natural."""
+    count = 0
+    for limb in value:
+        if limb == 0:
+            count += nat.LIMB_BITS
+        else:
+            count += (limb & -limb).bit_length() - 1
+            break
+    return count
+
+
+def gcd(a: Nat, b: Nat) -> Nat:
+    """Greatest common divisor by the binary (Stein) algorithm."""
+    if nat.is_zero(a):
+        return list(b)
+    if nat.is_zero(b):
+        return list(a)
+    shift_a = _trailing_zero_bits(a)
+    shift_b = _trailing_zero_bits(b)
+    common_shift = min(shift_a, shift_b)
+    u = nat.shr(a, shift_a)
+    v = nat.shr(b, shift_b)
+    while True:
+        comparison = nat.cmp(u, v)
+        if comparison == 0:
+            return nat.shl(u, common_shift)
+        if comparison < 0:
+            u, v = v, u
+        u = nat.sub(u, v)
+        u = nat.shr(u, _trailing_zero_bits(u))
+
+
+def extended_gcd(a: Nat, b: Nat,
+                 mul_fn: Optional[MulFn] = None) -> Tuple[Nat, SNat, SNat]:
+    """(g, x, y) with a*x + b*y = g = gcd(a, b), signed Bezout factors."""
+    def multiply(x: Nat, y: Nat) -> Nat:
+        if mul_fn is not None:
+            return mul_fn(x, y)
+        from repro.mpn.mul import mul as dispatch_mul
+        return dispatch_mul(x, y)
+
+    old_r, r = list(a), list(b)
+    old_s: SNat = signed.s_from_int(1)
+    s: SNat = signed.S_ZERO
+    old_t: SNat = signed.S_ZERO
+    t: SNat = signed.s_from_int(1)
+    while not nat.is_zero(r):
+        quotient, remainder = divmod_nat(old_r, r, mul_fn)
+        old_r, r = r, remainder
+        q_signed_s = signed.s_from_nat(multiply(quotient, s[1]), s[0])
+        q_signed_t = signed.s_from_nat(multiply(quotient, t[1]), t[0])
+        old_s, s = s, signed.s_sub(old_s, q_signed_s)
+        old_t, t = t, signed.s_sub(old_t, q_signed_t)
+    return old_r, old_s, old_t
+
+
+def invmod(a: Nat, modulus: Nat, mul_fn: Optional[MulFn] = None) -> Nat:
+    """Inverse of a modulo modulus; raises if gcd(a, modulus) != 1."""
+    g, x, _ = extended_gcd(a, modulus, mul_fn)
+    if nat.cmp(g, [1]) != 0:
+        raise MpnError("operand is not invertible modulo the modulus")
+    sign, magnitude = x
+    if sign >= 0:
+        return divmod_nat(magnitude, modulus, mul_fn)[1]
+    residue = divmod_nat(magnitude, modulus, mul_fn)[1]
+    if nat.is_zero(residue):
+        return []
+    return nat.sub(modulus, residue)

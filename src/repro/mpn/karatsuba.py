@@ -1,0 +1,64 @@
+"""Karatsuba multiplication (Toom-Cook 2-way), O(n^1.585) of Table I.
+
+The three-products recursion: with ``a = a1*B^k + a0`` and
+``b = b1*B^k + b0`` (B the limb base, k the split point),
+
+    a*b = z2*B^(2k) + z1*B^k + z0
+    z0  = a0*b0
+    z2  = a1*b1
+    z1  = (a0 + a1)*(b0 + b1) - z0 - z2
+
+All three sub-products are delegated to a caller-supplied ``recurse``
+callback so the dispatcher in :mod:`repro.mpn.mul` controls the full
+algorithm-selection policy (GMP-style vs MPApca-style thresholds).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mpn import nat
+from repro.mpn.nat import LIMB_BITS, Nat
+
+MulFn = Callable[[Nat, Nat], Nat]
+
+
+def mul_karatsuba(a: Nat, b: Nat, recurse: MulFn) -> Nat:
+    """Product of two naturals by one level of Karatsuba splitting."""
+    if not a or not b:
+        return []
+    split_limbs = (max(len(a), len(b)) + 1) // 2
+    a0, a1 = nat.split(a, split_limbs)
+    b0, b1 = nat.split(b, split_limbs)
+
+    z0 = recurse(a0, b0)
+    z2 = recurse(a1, b1)
+    cross = recurse(nat.add(a0, a1), nat.add(b0, b1))
+    z1 = nat.sub(nat.sub(cross, z0), z2)
+
+    shift_bits = split_limbs * LIMB_BITS
+    result = nat.add(z0, nat.shl(z1, shift_bits))
+    return nat.add(result, nat.shl(z2, 2 * shift_bits))
+
+
+def sqr_karatsuba(a: Nat, recurse_sqr: Callable[[Nat], Nat]) -> Nat:
+    """Square of a natural by one level of Karatsuba splitting.
+
+    Squaring needs only the three squares ``a0^2``, ``a1^2`` and
+    ``(a0+a1)^2`` — the cross term is recovered by subtraction, matching
+    GMP's dedicated squaring path (roughly 2/3 the work of a general
+    multiply at every level).
+    """
+    if not a:
+        return []
+    split_limbs = (len(a) + 1) // 2
+    a0, a1 = nat.split(a, split_limbs)
+
+    z0 = recurse_sqr(a0)
+    z2 = recurse_sqr(a1)
+    cross = recurse_sqr(nat.add(a0, a1))
+    z1 = nat.sub(nat.sub(cross, z0), z2)
+
+    shift_bits = split_limbs * LIMB_BITS
+    result = nat.add(z0, nat.shl(z1, shift_bits))
+    return nat.add(result, nat.shl(z2, 2 * shift_bits))

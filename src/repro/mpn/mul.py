@@ -1,0 +1,141 @@
+"""Multiplication dispatcher with tunable algorithm-selection policies.
+
+GMP selects among schoolbook / Karatsuba / Toom-k / SSA by comparing the
+operand size to compile-time tuned thresholds (Section II-A); MPApca does
+the same but — because Cambricon-P executes monolithic multiplications of
+up to 35,904 bits directly in hardware — no longer needs the schoolbook
+basecase, and the fast-algorithm ranges are "delayed accordingly"
+(Section VII-B).  Both behaviours are expressed here as
+:class:`MulPolicy` instances consumed by :func:`mul`.
+
+Thresholds are in limbs (32-bit words).  The GMP-style defaults follow
+the shape of GMP 6.2's x86-64 tuning; the exact values matter only in
+that they produce the same regime ordering the paper's Figure 11 relies
+on (schoolbook < Karatsuba < Toom-3 < Toom-4 < Toom-6 < SSA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpn import nat
+from repro.mpn.karatsuba import mul_karatsuba, sqr_karatsuba
+from repro.mpn.schoolbook import mul_schoolbook, sqr_schoolbook
+from repro.mpn.ssa import mul_ssa
+from repro.mpn.toom import mul_toom
+from repro.mpn.nat import Nat
+
+
+@dataclass(frozen=True)
+class MulPolicy:
+    """Algorithm-selection thresholds (limbs) for the mul dispatcher.
+
+    An operand pair is dispatched to the highest algorithm whose
+    threshold does not exceed the smaller operand's limb count.  A
+    ``basecase_limbs`` of 0 would mean no schoolbook at all; MPApca's
+    policy instead sets it to the hardware's monolithic capability,
+    because a "basecase" multiply on Cambricon-P *is* a single hardware
+    operation.
+    """
+
+    name: str
+    karatsuba_limbs: int
+    toom3_limbs: int
+    toom4_limbs: int
+    toom6_limbs: int
+    ssa_limbs: int
+
+    def algorithm_for(self, min_limbs: int) -> str:
+        """Name of the algorithm used for operands of this many limbs."""
+        if min_limbs >= self.ssa_limbs:
+            return "ssa"
+        if min_limbs >= self.toom6_limbs:
+            return "toom6"
+        if min_limbs >= self.toom4_limbs:
+            return "toom4"
+        if min_limbs >= self.toom3_limbs:
+            return "toom3"
+        if min_limbs >= self.karatsuba_limbs:
+            return "karatsuba"
+        return "basecase"
+
+
+#: GMP-6.2-shaped thresholds (x86-64 tuning ballpark).
+GMP_POLICY = MulPolicy(
+    name="gmp",
+    karatsuba_limbs=30,
+    toom3_limbs=100,
+    toom4_limbs=300,
+    toom6_limbs=700,
+    ssa_limbs=3000,
+)
+
+#: MPApca thresholds: the hardware multiplies up to 35,904 bits (= 1122
+#: limbs) monolithically, so every fast-algorithm range is delayed until
+#: splitting actually pays (Section VII-B).
+MPAPCA_POLICY = MulPolicy(
+    name="mpapca",
+    karatsuba_limbs=1122,
+    toom3_limbs=3366,
+    toom4_limbs=8976,
+    toom6_limbs=20000,
+    ssa_limbs=90000,
+)
+
+#: Pure-software thresholds tuned for this Python implementation's own
+#: constant factors (used when we want wall-clock speed, e.g. in apps).
+PYTHON_POLICY = MulPolicy(
+    name="python",
+    karatsuba_limbs=24,
+    toom3_limbs=96,
+    toom4_limbs=384,
+    toom6_limbs=1536,
+    ssa_limbs=6144,
+)
+
+
+def mul(a: Nat, b: Nat, policy: MulPolicy = GMP_POLICY) -> Nat:
+    """Product of two naturals under the given selection policy."""
+    if not a or not b:
+        return []
+    min_limbs = min(len(a), len(b))
+    algorithm = policy.algorithm_for(min_limbs)
+
+    def recurse(x: Nat, y: Nat) -> Nat:
+        return mul(x, y, policy)
+
+    if algorithm == "basecase":
+        return mul_schoolbook(a, b)
+    if algorithm == "karatsuba":
+        return mul_karatsuba(a, b, recurse)
+    if algorithm == "toom3":
+        return mul_toom(a, b, 3, recurse)
+    if algorithm == "toom4":
+        return mul_toom(a, b, 4, recurse)
+    if algorithm == "toom6":
+        return mul_toom(a, b, 6, recurse)
+    return mul_ssa(a, b, recurse)
+
+
+def sqr(a: Nat, policy: MulPolicy = GMP_POLICY) -> Nat:
+    """Square of a natural; uses dedicated squaring paths where they exist."""
+    if not a:
+        return []
+    algorithm = policy.algorithm_for(len(a))
+
+    def recurse_sqr(x: Nat) -> Nat:
+        return sqr(x, policy)
+
+    if algorithm == "basecase":
+        return sqr_schoolbook(a)
+    if algorithm == "karatsuba":
+        return sqr_karatsuba(a, recurse_sqr)
+    # Toom/SSA squaring falls back to the general product of equal operands;
+    # the asymptotic class is unchanged (GMP's Toom squaring saves only a
+    # constant factor).
+    return mul(a, a, policy)
+
+
+def mul_int(a: Nat, b: Nat, policy: MulPolicy = GMP_POLICY) -> Nat:
+    """Alias retained for API symmetry with GMP's mpn_mul."""
+    return mul(a, b, policy)

@@ -1,0 +1,307 @@
+"""Limb-level representation and basic arithmetic for natural numbers.
+
+This module is the reproduction's equivalent of GMP's ``mpn`` layer: every
+natural number is a little-endian list of base ``2**32`` limbs with no
+trailing zero limbs (so ``[]`` is the canonical zero).  All algorithms in
+:mod:`repro.mpn` operate on these limb lists with explicit carry/borrow
+propagation; Python's built-in big integers appear only at conversion
+boundaries and in tests, never inside the arithmetic kernels.
+
+The paper decomposes every arbitrary-precision operand into L-bit limbs
+(Section III); ``LIMB_BITS = 32`` matches the bitflow block width used by
+Cambricon-P's memory agents (Section V-B3: "4 flows, each of 32-bit
+length").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+LIMB_BITS = 32
+LIMB_BASE = 1 << LIMB_BITS
+LIMB_MASK = LIMB_BASE - 1
+
+#: A natural number: little-endian limbs, normalized (no trailing zeros).
+Nat = List[int]
+
+
+class MpnError(ValueError):
+    """Raised when an mpn kernel receives arguments outside its contract."""
+
+
+def nat_from_int(value: int) -> Nat:
+    """Convert a non-negative Python int into a normalized limb list."""
+    if value < 0:
+        raise MpnError("naturals cannot be negative: %d" % value)
+    limbs: Nat = []
+    while value:
+        limbs.append(value & LIMB_MASK)
+        value >>= LIMB_BITS
+    return limbs
+
+
+def nat_to_int(limbs: Nat) -> int:
+    """Convert a limb list back to a Python int (test/IO boundary only)."""
+    value = 0
+    for limb in reversed(limbs):
+        value = (value << LIMB_BITS) | limb
+    return value
+
+
+def normalize(limbs: Nat) -> Nat:
+    """Strip trailing zero limbs in place and return the list."""
+    while limbs and limbs[-1] == 0:
+        limbs.pop()
+    return limbs
+
+
+def is_zero(limbs: Nat) -> bool:
+    """True when the limb list represents zero."""
+    return not limbs
+
+
+def is_normalized(limbs: Nat) -> bool:
+    """True when the representation is canonical (used by invariants/tests)."""
+    return not limbs or limbs[-1] != 0
+
+
+def bit_length(limbs: Nat) -> int:
+    """Number of significant bits (0 for zero), like ``int.bit_length``."""
+    if not limbs:
+        return 0
+    return (len(limbs) - 1) * LIMB_BITS + limbs[-1].bit_length()
+
+
+def limb_length(limbs: Nat) -> int:
+    """Number of significant limbs."""
+    return len(limbs)
+
+
+def get_bit(limbs: Nat, index: int) -> int:
+    """Return bit ``index`` (LSB is index 0); out-of-range bits are 0."""
+    if index < 0:
+        raise MpnError("bit index must be non-negative")
+    word, offset = divmod(index, LIMB_BITS)
+    if word >= len(limbs):
+        return 0
+    return (limbs[word] >> offset) & 1
+
+
+def set_bit(limbs: Nat, index: int) -> Nat:
+    """Return a copy of ``limbs`` with bit ``index`` set."""
+    word, offset = divmod(index, LIMB_BITS)
+    out = list(limbs)
+    if word >= len(out):
+        out.extend([0] * (word + 1 - len(out)))
+    out[word] |= 1 << offset
+    return normalize(out)
+
+
+def iter_bits_lsb(limbs: Nat) -> Iterable[int]:
+    """Yield all significant bits, least-significant first (a bitflow)."""
+    total = bit_length(limbs)
+    for index in range(total):
+        yield get_bit(limbs, index)
+
+
+def cmp(a: Nat, b: Nat) -> int:
+    """Three-way comparison: -1 if a < b, 0 if equal, 1 if a > b."""
+    if len(a) != len(b):
+        return -1 if len(a) < len(b) else 1
+    for x, y in zip(reversed(a), reversed(b)):
+        if x != y:
+            return -1 if x < y else 1
+    return 0
+
+
+def add(a: Nat, b: Nat) -> Nat:
+    """Sum of two naturals with explicit carry propagation."""
+    if len(a) < len(b):
+        a, b = b, a
+    out: Nat = []
+    carry = 0
+    for i, limb in enumerate(a):
+        total = limb + (b[i] if i < len(b) else 0) + carry
+        out.append(total & LIMB_MASK)
+        carry = total >> LIMB_BITS
+    if carry:
+        out.append(carry)
+    return out
+
+
+def add_1(a: Nat, small: int) -> Nat:
+    """Add a single non-negative int smaller than the limb base."""
+    if not 0 <= small < LIMB_BASE:
+        raise MpnError("add_1 operand out of limb range")
+    out = list(a)
+    carry = small
+    i = 0
+    while carry and i < len(out):
+        total = out[i] + carry
+        out[i] = total & LIMB_MASK
+        carry = total >> LIMB_BITS
+        i += 1
+    if carry:
+        out.append(carry)
+    return normalize(out)
+
+
+def sub(a: Nat, b: Nat) -> Nat:
+    """Difference ``a - b``; requires ``a >= b`` (mpn contract)."""
+    if cmp(a, b) < 0:
+        raise MpnError("mpn sub requires a >= b")
+    out: Nat = []
+    borrow = 0
+    for i, limb in enumerate(a):
+        total = limb - (b[i] if i < len(b) else 0) - borrow
+        if total < 0:
+            total += LIMB_BASE
+            borrow = 1
+        else:
+            borrow = 0
+        out.append(total)
+    return normalize(out)
+
+
+def sub_1(a: Nat, small: int) -> Nat:
+    """Subtract a single limb-sized int; requires the result non-negative."""
+    if not 0 <= small < LIMB_BASE:
+        raise MpnError("sub_1 operand out of limb range")
+    return sub(a, [small] if small else [])
+
+
+def shl(limbs: Nat, count: int) -> Nat:
+    """Left shift by ``count`` bits (multiply by ``2**count``)."""
+    if count < 0:
+        raise MpnError("shift count must be non-negative")
+    if not limbs or count == 0:
+        return list(limbs)
+    limb_shift, bit_shift = divmod(count, LIMB_BITS)
+    out = [0] * limb_shift
+    if bit_shift == 0:
+        out.extend(limbs)
+        return out
+    carry = 0
+    for limb in limbs:
+        total = (limb << bit_shift) | carry
+        out.append(total & LIMB_MASK)
+        carry = total >> LIMB_BITS
+    if carry:
+        out.append(carry)
+    return out
+
+
+def shr(limbs: Nat, count: int) -> Nat:
+    """Right shift by ``count`` bits (floor divide by ``2**count``)."""
+    if count < 0:
+        raise MpnError("shift count must be non-negative")
+    limb_shift, bit_shift = divmod(count, LIMB_BITS)
+    if limb_shift >= len(limbs):
+        return []
+    trimmed = limbs[limb_shift:]
+    if bit_shift == 0:
+        return normalize(list(trimmed))
+    out: Nat = []
+    for i, limb in enumerate(trimmed):
+        high = trimmed[i + 1] if i + 1 < len(trimmed) else 0
+        out.append(((limb >> bit_shift) | (high << (LIMB_BITS - bit_shift)))
+                   & LIMB_MASK)
+    return normalize(out)
+
+
+def and_(a: Nat, b: Nat) -> Nat:
+    """Bitwise AND."""
+    return normalize([x & y for x, y in zip(a, b)])
+
+
+def or_(a: Nat, b: Nat) -> Nat:
+    """Bitwise OR."""
+    if len(a) < len(b):
+        a, b = b, a
+    out = list(a)
+    for i, limb in enumerate(b):
+        out[i] |= limb
+    return out
+
+
+def xor_(a: Nat, b: Nat) -> Nat:
+    """Bitwise XOR."""
+    if len(a) < len(b):
+        a, b = b, a
+    out = list(a)
+    for i, limb in enumerate(b):
+        out[i] ^= limb
+    return normalize(out)
+
+
+def low_bits(limbs: Nat, count: int) -> Nat:
+    """The least-significant ``count`` bits (i.e. value mod ``2**count``)."""
+    if count < 0:
+        raise MpnError("bit count must be non-negative")
+    limb_count, bit_rem = divmod(count, LIMB_BITS)
+    if limb_count >= len(limbs):
+        return list(limbs)
+    out = list(limbs[:limb_count + (1 if bit_rem else 0)])
+    if bit_rem and len(out) == limb_count + 1:
+        out[-1] &= (1 << bit_rem) - 1
+    return normalize(out)
+
+
+def split(limbs: Nat, limb_count: int) -> tuple[Nat, Nat]:
+    """Split into (low, high) at a limb boundary: value = low + high << (32*k)."""
+    low = normalize(list(limbs[:limb_count]))
+    high = normalize(list(limbs[limb_count:]))
+    return low, high
+
+
+def mul_1(a: Nat, small: int) -> Nat:
+    """Multiply by a single non-negative int smaller than the limb base."""
+    if not 0 <= small < LIMB_BASE:
+        raise MpnError("mul_1 operand out of limb range")
+    if small == 0 or not a:
+        return []
+    out: Nat = []
+    carry = 0
+    for limb in a:
+        total = limb * small + carry
+        out.append(total & LIMB_MASK)
+        carry = total >> LIMB_BITS
+    if carry:
+        out.append(carry)
+    return out
+
+
+def div_1(a: Nat, small: int) -> tuple[Nat, int]:
+    """Divide by a single positive int < limb base; returns (quotient, rem)."""
+    if not 0 < small < LIMB_BASE:
+        raise MpnError("div_1 divisor out of range")
+    out = [0] * len(a)
+    rem = 0
+    for i in range(len(a) - 1, -1, -1):
+        cur = (rem << LIMB_BITS) | a[i]
+        out[i] = cur // small
+        rem = cur - out[i] * small
+    return normalize(out), rem
+
+
+def divexact_1(a: Nat, small: int) -> Nat:
+    """Exact division by a small constant (Toom interpolation helper)."""
+    quotient, rem = div_1(a, small)
+    if rem:
+        raise MpnError("divexact_1: division was not exact (rem=%d)" % rem)
+    return quotient
+
+
+def popcount(limbs: Nat) -> int:
+    """Number of set bits (GMP's mpn_popcount)."""
+    return sum(limb.bit_count() for limb in limbs)
+
+
+def hamming_distance(a: Nat, b: Nat) -> int:
+    """Set bits in a XOR b (GMP's mpn_hamdist)."""
+    return popcount(xor_(a, b))
+
+
+def copy(limbs: Nat) -> Nat:
+    """Defensive copy of a limb list."""
+    return list(limbs)

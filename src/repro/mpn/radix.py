@@ -1,0 +1,138 @@
+"""Radix conversion by divide and conquer (GMP's get_str/set_str).
+
+Converting a million-bit natural to decimal by repeated division by 10
+is O(n^2); GMP (and this module) instead splits the number recursively
+at precomputed powers of the output base, giving O(M(n) log n) — the
+same subquadratic class as the multiplication backing it.  The
+conversion is itself multiplication/division work, so on Cambricon-P it
+rides the accelerated kernels like any other operator.
+
+These routines complete the "from scratch" property of the stack: no
+``str(int)`` / ``int(str)`` shortcuts anywhere in the arithmetic path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.mpn import nat
+from repro.mpn.div import divmod_nat
+from repro.mpn.nat import MpnError, Nat
+
+MulFn = Callable[[Nat, Nat], Nat]
+
+#: Below this many limbs, convert by simple repeated division.
+BASECASE_LIMBS = 16
+
+#: Digits produced per basecase division chunk (10^9 fits in one limb).
+CHUNK_DIGITS = 9
+CHUNK_VALUE = 10 ** CHUNK_DIGITS
+
+_DIGITS = "0123456789"
+
+
+def _power_table(target_digits: int,
+                 mul_fn: MulFn) -> List[Tuple[Nat, int]]:
+    """Successive squarings of 10^CHUNK_DIGITS up to the target size.
+
+    Returns [(10^(c*2^k) as limbs, digit count)] with the largest power
+    still below the target digit count last.
+    """
+    table: List[Tuple[Nat, int]] = []
+    power = nat.nat_from_int(CHUNK_VALUE)
+    digits = CHUNK_DIGITS
+    while True:
+        table.append((power, digits))
+        if digits > target_digits:
+            return table
+        power = mul_fn(power, power)
+        digits *= 2
+
+
+def _to_decimal_basecase(value: Nat) -> str:
+    """Repeated division by 10^9 (small operands only)."""
+    if nat.is_zero(value):
+        return "0"
+    chunks: List[int] = []
+    remaining = value
+    while not nat.is_zero(remaining):
+        remaining, rem = _divmod_chunk(remaining)
+        chunks.append(rem)
+    text = _chunk_str(chunks[-1], pad=False)
+    for chunk in reversed(chunks[:-1]):
+        text += _chunk_str(chunk, pad=True)
+    return text
+
+
+def _divmod_chunk(value: Nat) -> Tuple[Nat, int]:
+    """Divide by 10^9 (fits in one limb) returning (quotient, rem)."""
+    quotient, rem = nat.div_1(value, CHUNK_VALUE)
+    return quotient, rem
+
+
+def _chunk_str(chunk: int, pad: bool) -> str:
+    """Render one 10^9 chunk without str(int) on big values."""
+    digits = []
+    for _ in range(CHUNK_DIGITS):
+        chunk, digit = divmod(chunk, 10)
+        digits.append(_DIGITS[digit])
+    text = "".join(reversed(digits))
+    if not pad:
+        text = text.lstrip("0") or "0"
+    return text
+
+
+def to_decimal(value: Nat, mul_fn: MulFn) -> str:
+    """Decimal string of a natural, divide-and-conquer."""
+    if nat.is_zero(value):
+        return "0"
+    approx_digits = int(nat.bit_length(value) * 0.30103) + 2
+    table = _power_table(approx_digits, mul_fn)
+
+    def recurse(piece: Nat, depth: int, pad_to: int) -> str:
+        if len(piece) <= BASECASE_LIMBS or depth < 0:
+            text = _to_decimal_basecase(piece)
+        else:
+            power, digits = table[depth]
+            if nat.cmp(piece, power) < 0:
+                text = recurse(piece, depth - 1, 0)
+            else:
+                high, low = divmod_nat(piece, power, mul_fn)
+                text = (recurse(high, depth - 1, 0)
+                        + recurse(low, depth - 1, digits))
+        if pad_to:
+            text = text.rjust(pad_to, "0")
+        return text
+
+    return recurse(value, len(table) - 1, 0).lstrip("0") or "0"
+
+
+def from_decimal(text: str, mul_fn: MulFn) -> Nat:
+    """Parse a decimal string into a natural, divide-and-conquer."""
+    text = text.strip()
+    if not text or any(ch not in _DIGITS for ch in text):
+        raise MpnError("invalid decimal string: %r" % text[:40])
+    powers: Dict[int, Nat] = {}
+
+    def power_of_ten(digits: int) -> Nat:
+        if digits not in powers:
+            if digits <= CHUNK_DIGITS:
+                powers[digits] = nat.nat_from_int(10 ** digits)
+            else:
+                half = digits // 2
+                powers[digits] = mul_fn(power_of_ten(half),
+                                        power_of_ten(digits - half))
+        return powers[digits]
+
+    def recurse(piece: str) -> Nat:
+        if len(piece) <= CHUNK_DIGITS * 2:
+            value = 0
+            for ch in piece:
+                value = value * 10 + _DIGITS.index(ch)
+            return nat.nat_from_int(value)
+        split = len(piece) // 2
+        high = recurse(piece[:len(piece) - split])
+        low = recurse(piece[len(piece) - split:])
+        return nat.add(mul_fn(high, power_of_ten(split)), low)
+
+    return recurse(text)

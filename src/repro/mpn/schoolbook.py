@@ -1,0 +1,81 @@
+"""Schoolbook (basecase) multiplication and squaring.
+
+The O(n^2) basecase of Table I.  GMP calls this ``mpn_mul_basecase``;
+every fast algorithm in :mod:`repro.mpn` bottoms out here once operands
+fall below the Karatsuba threshold.  The implementation accumulates
+column sums with explicit carry normalization rather than delegating to
+Python big-int multiplication, because the intermediate-traffic analyses
+(Figure 4) count exactly these limb-level partial products.
+"""
+
+from __future__ import annotations
+
+from repro.mpn.nat import LIMB_BITS, LIMB_MASK, Nat, normalize
+
+
+def mul_schoolbook(a: Nat, b: Nat) -> Nat:
+    """Product of two naturals by limb-wise schoolbook multiplication."""
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b))
+    for i, limb_a in enumerate(a):
+        if limb_a == 0:
+            continue
+        carry = 0
+        for j, limb_b in enumerate(b):
+            total = out[i + j] + limb_a * limb_b + carry
+            out[i + j] = total & LIMB_MASK
+            carry = total >> LIMB_BITS
+        position = i + len(b)
+        while carry:
+            total = out[position] + carry
+            out[position] = total & LIMB_MASK
+            carry = total >> LIMB_BITS
+            position += 1
+    return normalize(out)
+
+
+def sqr_schoolbook(a: Nat) -> Nat:
+    """Square of a natural; exploits symmetry to halve the partial products.
+
+    Off-diagonal products ``a[i]*a[j]`` (i < j) are computed once and
+    doubled, then the diagonal squares are added — the standard basecase
+    squaring trick (GMP's ``mpn_sqr_basecase``).
+    """
+    if not a:
+        return []
+    length = len(a)
+    out = [0] * (2 * length)
+    # Off-diagonal partial products.
+    for i in range(length):
+        limb_a = a[i]
+        if limb_a == 0:
+            continue
+        carry = 0
+        for j in range(i + 1, length):
+            total = out[i + j] + limb_a * a[j] + carry
+            out[i + j] = total & LIMB_MASK
+            carry = total >> LIMB_BITS
+        position = i + length
+        while carry:
+            total = out[position] + carry
+            out[position] = total & LIMB_MASK
+            carry = total >> LIMB_BITS
+            position += 1
+    # Double the off-diagonal sum.
+    carry = 0
+    for i in range(2 * length):
+        total = (out[i] << 1) | carry
+        out[i] = total & LIMB_MASK
+        carry = total >> LIMB_BITS
+    # Add the diagonal squares.
+    for i in range(length):
+        square = a[i] * a[i]
+        position = 2 * i
+        carry = square
+        while carry:
+            total = out[position] + (carry & LIMB_MASK)
+            out[position] = total & LIMB_MASK
+            carry = (carry >> LIMB_BITS) + (total >> LIMB_BITS)
+            position += 1
+    return normalize(out)

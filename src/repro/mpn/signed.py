@@ -1,0 +1,109 @@
+"""Signed limb-level values for interpolation arithmetic.
+
+Toom-Cook interpolation (Section II-A's Toom-{3,4,6} fast algorithms)
+evaluates operand polynomials at negative points, so intermediate values
+are signed even though the inputs and the product are naturals.  GMP
+handles this with scratch-space sign juggling inside each Toom routine;
+we factor the same idea into a tiny signed-magnitude layer over
+:mod:`repro.mpn.nat` (the paper notes APC libraries use sign-magnitude
+rather than two's complement, Section V-C).
+
+A signed value is a ``(sign, magnitude)`` pair with ``sign in (1, -1)``
+and canonical zero ``(1, [])``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.mpn import nat
+from repro.mpn.nat import MpnError, Nat
+
+SNat = Tuple[int, Nat]
+
+S_ZERO: SNat = (1, [])
+
+
+def s_from_nat(mag: Nat, sign: int = 1) -> SNat:
+    """Wrap a natural magnitude with a sign (canonicalizing zero)."""
+    if sign not in (1, -1):
+        raise MpnError("sign must be +1 or -1")
+    if nat.is_zero(mag):
+        return S_ZERO
+    return (sign, mag)
+
+
+def s_from_int(value: int) -> SNat:
+    """Convert a Python int (tests/IO boundary only)."""
+    return s_from_nat(nat.nat_from_int(abs(value)), -1 if value < 0 else 1)
+
+
+def s_to_int(value: SNat) -> int:
+    """Convert back to a Python int (tests/IO boundary only)."""
+    sign, mag = value
+    return sign * nat.nat_to_int(mag)
+
+
+def s_neg(value: SNat) -> SNat:
+    """Negation."""
+    sign, mag = value
+    return s_from_nat(mag, -sign)
+
+
+def s_add(a: SNat, b: SNat) -> SNat:
+    """Signed addition via magnitude compare-and-subtract."""
+    sign_a, mag_a = a
+    sign_b, mag_b = b
+    if sign_a == sign_b:
+        return s_from_nat(nat.add(mag_a, mag_b), sign_a)
+    comparison = nat.cmp(mag_a, mag_b)
+    if comparison == 0:
+        return S_ZERO
+    if comparison > 0:
+        return s_from_nat(nat.sub(mag_a, mag_b), sign_a)
+    return s_from_nat(nat.sub(mag_b, mag_a), sign_b)
+
+
+def s_sub(a: SNat, b: SNat) -> SNat:
+    """Signed subtraction."""
+    return s_add(a, s_neg(b))
+
+
+def s_mul_small(a: SNat, small: int) -> SNat:
+    """Multiply by a small signed Python int (|small| < limb base)."""
+    sign, mag = a
+    if small == 0:
+        return S_ZERO
+    factor_sign = -1 if small < 0 else 1
+    return s_from_nat(nat.mul_1(mag, abs(small)), sign * factor_sign)
+
+
+def s_divexact_small(a: SNat, small: int) -> SNat:
+    """Exact division by a small signed constant (interpolation steps)."""
+    sign, mag = a
+    if small == 0:
+        raise MpnError("division by zero")
+    divisor_sign = -1 if small < 0 else 1
+    return s_from_nat(nat.divexact_1(mag, abs(small)), sign * divisor_sign)
+
+
+def s_shl(a: SNat, count: int) -> SNat:
+    """Left shift the magnitude."""
+    sign, mag = a
+    return s_from_nat(nat.shl(mag, count), sign)
+
+
+def s_shr_exact(a: SNat, count: int) -> SNat:
+    """Exact right shift (the shifted-out bits must be zero)."""
+    sign, mag = a
+    if not nat.is_zero(nat.low_bits(mag, count)):
+        raise MpnError("s_shr_exact: low bits are not zero")
+    return s_from_nat(nat.shr(mag, count), sign)
+
+
+def s_expect_nat(a: SNat) -> Nat:
+    """Assert a signed value is non-negative and return its magnitude."""
+    sign, mag = a
+    if sign < 0 and not nat.is_zero(mag):
+        raise MpnError("expected a non-negative interpolation result")
+    return mag

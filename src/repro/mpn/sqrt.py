@@ -1,0 +1,133 @@
+"""Square root of naturals, O(M(n)) by precision-doubling Newton.
+
+The paper's software stack performs the final square root of the
+Chudnovsky pi computation via the naturals layer with Karatsuba-family
+algorithms (Section II-A, citing Zimmermann's *Karatsuba Square Root*).
+We implement the same complexity class with the recursive
+precision-doubling scheme: the root of the top half of the operand seeds
+one full-precision Newton step (one division, one shift), followed by an
+exact +-1 correction.  T(n) = T(n/2) + O(M(n)) = O(M(n)).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.mpn import nat
+from repro.mpn.div import divmod_nat
+from repro.mpn.nat import Nat
+
+MulFn = Callable[[Nat, Nat], Nat]
+
+#: Below this many bits the bitwise-restoring base case is used.
+SQRT_BASECASE_BITS = 52
+
+
+def _sqrtrem_word(value: int) -> Tuple[int, int]:
+    """Bitwise restoring square root of a machine word (<= 64 bits)."""
+    root = 0
+    remainder = 0
+    if value == 0:
+        return 0, 0
+    top = (value.bit_length() + 1) // 2 * 2 - 2
+    for shift in range(top, -2, -2):
+        remainder = (remainder << 2) | ((value >> shift) & 3)
+        candidate = (root << 2) | 1
+        root <<= 1
+        if remainder >= candidate:
+            remainder -= candidate
+            root |= 1
+    return root, remainder
+
+
+def isqrt(value: Nat, mul_fn: MulFn) -> Nat:
+    """Floor square root of a natural."""
+    bits = nat.bit_length(value)
+    if bits == 0:
+        return []
+    if bits <= SQRT_BASECASE_BITS:
+        root, _ = _sqrtrem_word(nat.nat_to_int(value))
+        return nat.nat_from_int(root)
+
+    # Seed with the root of the top half of the operand, scaled back up:
+    # sqrt(v) ~ sqrt(v >> 2s) << s, accurate to ~2^(s+1) absolute, which a
+    # single full-precision Newton step sharpens to a few ulps.
+    half_shift = bits // 4
+    seed = nat.shl(isqrt(nat.shr(value, 2 * half_shift), mul_fn), half_shift)
+    if nat.is_zero(seed):
+        seed = [1]
+
+    # One Newton step at full precision: x = (seed + value//seed) / 2.
+    quotient, _ = divmod_nat(value, seed, mul_fn)
+    root = nat.shr(nat.add(seed, quotient), 1)
+    if nat.is_zero(root):
+        root = [1]
+
+    # Exact fix-up; Newton from a half-precision seed lands within a few
+    # ulps, so this loop is O(1) (property-tested).
+    while True:
+        square = mul_fn(root, root)
+        if nat.cmp(square, value) > 0:
+            root = nat.sub(root, [1])
+            continue
+        next_root = nat.add(root, [1])
+        if nat.cmp(mul_fn(next_root, next_root), value) <= 0:
+            root = next_root
+            continue
+        return root
+
+
+def sqrtrem(value: Nat, mul_fn: MulFn) -> Tuple[Nat, Nat]:
+    """Floor square root and remainder: value = root^2 + rem, rem <= 2*root."""
+    root = isqrt(value, mul_fn)
+    return root, nat.sub(value, mul_fn(root, root))
+
+
+def is_perfect_square(value: Nat, mul_fn: MulFn) -> bool:
+    """True when the value is an exact square."""
+    return nat.is_zero(sqrtrem(value, mul_fn)[1])
+
+
+def iroot(value: Nat, k: int, mul_fn: MulFn) -> Nat:
+    """Floor k-th root (GMP's mpn_rootrem family), Newton + correction.
+
+    x_{n+1} = ((k-1)*x_n + value // x_n^(k-1)) // k, seeded from the
+    bit length; the exact +-1 fix-up makes the floor exact.
+    """
+    from repro.mpn.div import divmod_nat
+    if k < 1:
+        raise nat.MpnError("root index must be positive")
+    if k == 1 or nat.is_zero(value):
+        return list(value)
+    if k == 2:
+        return isqrt(value, mul_fn)
+    bits = nat.bit_length(value)
+    if bits <= k:  # value < 2^k means the root is 1
+        return [1]
+
+    def power(base: Nat, exponent: int) -> Nat:
+        result: Nat = [1]
+        factor = list(base)
+        while exponent:
+            if exponent & 1:
+                result = mul_fn(result, factor)
+            exponent >>= 1
+            if exponent:
+                factor = mul_fn(factor, factor)
+        return result
+
+    root = nat.shl([1], -(-bits // k))  # 2^ceil(bits/k) >= true root
+    while True:
+        previous = power(root, k - 1)
+        quotient, _ = divmod_nat(value, previous, mul_fn)
+        candidate = nat.div_1(
+            nat.add(nat.mul_1(root, k - 1), quotient), k)[0]
+        if nat.cmp(candidate, root) >= 0:
+            break
+        root = candidate
+    # Newton for floor roots converges from above; fix up exactly.
+    while nat.cmp(power(root, k), value) > 0:
+        root = nat.sub(root, [1])
+    while nat.cmp(power(nat.add(root, [1]), k), value) <= 0:
+        root = nat.add(root, [1])
+    return root

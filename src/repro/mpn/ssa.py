@@ -1,0 +1,202 @@
+"""Schoenhage-Strassen multiplication (SSA), O(n log n log log n).
+
+The top of Table I's multiplication hierarchy.  The operands are split
+into ``2^k`` pieces of ``p`` bits; piece vectors are zero-padded to
+length ``N = 2^(k+1)`` and convolved cyclically with a number-theoretic
+transform over the Fermat ring Z/(2^w + 1).  In that ring the element 2
+has multiplicative order 2w, so choosing w as a multiple of N/2 makes
+``omega = 2^(2w/N)`` a primitive N-th root of unity and every twiddle
+multiplication a plain bit-shift with wraparound — the property that
+gives SSA its speed and that MPApca's hardware SSA inherits (Section
+V-C).  Pointwise products of w-bit residues recurse into the dispatcher.
+
+Ring elements are limb lists with values in ``[0, 2^w]`` (the value
+``2^w`` represents -1 and is kept explicitly, as GMP does).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.mpn import nat
+from repro.mpn.nat import MpnError, Nat
+
+MulFn = Callable[[Nat, Nat], Nat]
+
+
+def _fermat_modulus(w: int) -> Nat:
+    """The modulus 2^w + 1 as a limb list."""
+    return nat.add_1(nat.shl([1], w), 1)
+
+
+def fermat_reduce(value: Nat, w: int) -> Nat:
+    """Reduce a natural into [0, 2^w] modulo 2^w + 1.
+
+    Uses the identity 2^w = -1 (mod 2^w+1): the w-bit chunks of the
+    value contribute with alternating signs, so the reduction is the
+    difference of two chunk sums, folded into the canonical range
+    [0, 2^w] (the value 2^w — the ring's "-1" — is kept explicitly).
+    """
+    modulus = _fermat_modulus(w)
+    positive: Nat = []
+    negative: Nat = []
+    remaining = value
+    sign_positive = True
+    while not nat.is_zero(remaining):
+        chunk = nat.low_bits(remaining, w)
+        remaining = nat.shr(remaining, w)
+        if sign_positive:
+            positive = nat.add(positive, chunk)
+        else:
+            negative = nat.add(negative, chunk)
+        sign_positive = not sign_positive
+    if nat.cmp(positive, negative) >= 0:
+        difference = nat.sub(positive, negative)
+        if nat.cmp(difference, modulus) < 0:
+            return difference
+        from repro.mpn.div import divmod_schoolbook
+        return divmod_schoolbook(difference, modulus)[1]
+    deficit = nat.sub(negative, positive)
+    if nat.cmp(deficit, modulus) < 0:
+        remainder = deficit
+    else:
+        from repro.mpn.div import divmod_schoolbook
+        remainder = divmod_schoolbook(deficit, modulus)[1]
+    if nat.is_zero(remainder):
+        return []
+    return nat.sub(modulus, remainder)
+
+
+def fermat_add(a: Nat, b: Nat, w: int) -> Nat:
+    """Addition in Z/(2^w + 1)."""
+    total = nat.add(a, b)
+    modulus = _fermat_modulus(w)
+    if nat.cmp(total, modulus) >= 0:
+        total = nat.sub(total, modulus)
+    return total
+
+
+def fermat_sub(a: Nat, b: Nat, w: int) -> Nat:
+    """Subtraction in Z/(2^w + 1)."""
+    if nat.cmp(a, b) >= 0:
+        return nat.sub(a, b)
+    return nat.sub(nat.add(a, _fermat_modulus(w)), b)
+
+
+def fermat_mul_2exp(a: Nat, exponent: int, w: int) -> Nat:
+    """Multiply by 2^exponent in Z/(2^w + 1) — a shift with wraparound.
+
+    2 has order 2w in the ring, so the exponent is taken mod 2w and an
+    exponent in [w, 2w) contributes a negation (2^w = -1).
+    """
+    exponent %= 2 * w
+    negate = exponent >= w
+    if negate:
+        exponent -= w
+    shifted = fermat_reduce(nat.shl(a, exponent), w)
+    if negate and not nat.is_zero(shifted):
+        shifted = nat.sub(_fermat_modulus(w), shifted)
+    return shifted
+
+
+def _bit_reverse_permute(values: List[Nat]) -> None:
+    """In-place bit-reversal permutation for the iterative NTT."""
+    size = len(values)
+    bits = size.bit_length() - 1
+    for index in range(size):
+        reversed_index = int(format(index, "0%db" % bits)[::-1], 2)
+        if reversed_index > index:
+            values[index], values[reversed_index] = (
+                values[reversed_index], values[index])
+
+
+def ntt(values: List[Nat], w: int, root_exponent: int) -> None:
+    """In-place iterative NTT over Z/(2^w+1); root = 2^root_exponent."""
+    size = len(values)
+    _bit_reverse_permute(values)
+    span = 2
+    while span <= size:
+        half = span // 2
+        step = root_exponent * (size // span)
+        for start in range(0, size, span):
+            twiddle = 0
+            for offset in range(half):
+                low = values[start + offset]
+                high = fermat_mul_2exp(values[start + offset + half],
+                                       twiddle, w)
+                values[start + offset] = fermat_add(low, high, w)
+                values[start + offset + half] = fermat_sub(low, high, w)
+                twiddle += step
+        span *= 2
+
+
+def ssa_parameters(total_bits: int, k: int) -> tuple[int, int, int]:
+    """Choose (piece_bits, transform_size, ring_bits) for a given split.
+
+    ``k`` is the split exponent: each operand is cut into ``2^k`` pieces.
+    The transform length is ``N = 2^(k+1)`` (zero padding turns the
+    cyclic convolution into the full acyclic one) and the ring width w
+    must satisfy w >= 2*piece_bits + k + 1 (coefficient bound) and
+    N/2 | w (so a primitive N-th root of unity exists as a power of 2).
+    """
+    pieces = 1 << k
+    piece_bits = max(1, -(-total_bits // pieces))
+    transform_size = 2 * pieces
+    min_w = 2 * piece_bits + k + 2
+    half_n = transform_size // 2
+    ring_bits = -(-min_w // half_n) * half_n
+    return piece_bits, transform_size, ring_bits
+
+
+def default_split_exponent(total_bits: int) -> int:
+    """A reasonable k for a given operand size (balances N and w)."""
+    # Aim for piece_bits ~ sqrt(total_bits), the textbook SSA balance.
+    k = max(1, (total_bits.bit_length() // 2) - 2)
+    return min(k, 10)
+
+
+def mul_ssa(a: Nat, b: Nat, recurse: MulFn, k: int | None = None) -> Nat:
+    """Product of two naturals via one SSA level."""
+    if not a or not b:
+        return []
+    total_bits = nat.bit_length(a) + nat.bit_length(b)
+    if k is None:
+        k = default_split_exponent(total_bits)
+    piece_bits, transform_size, w = ssa_parameters(total_bits, k)
+    root_exponent = 2 * w // transform_size  # omega = 2^(2w/N)
+
+    vec_a = _to_pieces(a, piece_bits, transform_size)
+    vec_b = _to_pieces(b, piece_bits, transform_size)
+
+    ntt(vec_a, w, root_exponent)
+    ntt(vec_b, w, root_exponent)
+
+    pointwise = [fermat_reduce(recurse(x, y), w)
+                 for x, y in zip(vec_a, vec_b)]
+
+    # Inverse transform: conjugate root, then scale by N^-1 = 2^(-log2 N).
+    inverse_root = 2 * w - root_exponent
+    ntt(pointwise, w, inverse_root)
+    log_size = transform_size.bit_length() - 1
+    scale = 2 * w - log_size  # 2^(2w) = 1, so N^-1 = 2^(2w - log2(N))
+    coefficients = [fermat_mul_2exp(value, scale, w) for value in pointwise]
+
+    result: Nat = []
+    for index, coefficient in enumerate(coefficients):
+        if not nat.is_zero(coefficient):
+            result = nat.add(result,
+                             nat.shl(coefficient, index * piece_bits))
+    return result
+
+
+def _to_pieces(value: Nat, piece_bits: int, transform_size: int) -> List[Nat]:
+    """Split into piece_bits chunks, zero-padded to the transform length."""
+    pieces: List[Nat] = []
+    remaining = value
+    while not nat.is_zero(remaining):
+        pieces.append(nat.low_bits(remaining, piece_bits))
+        remaining = nat.shr(remaining, piece_bits)
+    if len(pieces) > transform_size:
+        raise MpnError("operand too large for the chosen SSA split")
+    pieces.extend([[]] * (transform_size - len(pieces)))
+    return pieces

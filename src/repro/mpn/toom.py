@@ -1,0 +1,180 @@
+"""Toom-Cook k-way multiplication (Toom-3/4/6 of Table I).
+
+A k-way Toom multiplication treats each operand as a degree-(k-1)
+polynomial in ``B^piece`` (B the limb base), evaluates both polynomials
+at 2k-1 points, multiplies pointwise (recursively), and interpolates the
+2k-1 product coefficients.  Complexity is O(n^(log(2k-1)/log(k))):
+1.465 for k=3, 1.404 for k=4, 1.338 for k=6, matching Table I.
+
+The interpolation matrix (the inverse of the evaluation Vandermonde) is
+computed once per k with exact rational arithmetic at import time — that
+is configuration metadata, not the arithmetic data path.  The data path
+itself runs entirely on signed limb vectors: evaluation by Horner with
+small-constant multiplies, interpolation by integer-scaled accumulation
+followed by one exact division per coefficient.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from math import lcm
+from typing import Callable, List, Sequence, Tuple, Union
+
+from repro.mpn import nat, signed
+from repro.mpn.nat import LIMB_BITS, MpnError, Nat
+from repro.mpn.signed import SNat
+
+MulFn = Callable[[Nat, Nat], Nat]
+
+#: Evaluation points: 0, then alternating +/- small integers, then infinity.
+Point = Union[int, str]
+INFINITY: Point = "inf"
+
+
+def evaluation_points(k: int) -> List[Point]:
+    """The 2k-1 evaluation points used for Toom-k."""
+    points: List[Point] = [0]
+    magnitude = 1
+    while len(points) < 2 * k - 2:
+        points.append(magnitude)
+        if len(points) < 2 * k - 2:
+            points.append(-magnitude)
+        magnitude += 1
+    points.append(INFINITY)
+    return points
+
+
+@lru_cache(maxsize=None)
+def interpolation_rows(k: int) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+    """Integer-scaled inverse evaluation matrix for Toom-k.
+
+    Returns one ``(denominator, numerators)`` row per product coefficient
+    c_j: ``c_j = (sum_i numerators[i] * v_i) / denominator`` where v_i is
+    the pointwise product at evaluation point i.  The division is exact
+    for every valid Toom instance.
+    """
+    points = evaluation_points(k)
+    size = len(points)
+    matrix: List[List[Fraction]] = []
+    for point in points:
+        if point == INFINITY:
+            matrix.append([Fraction(0)] * (size - 1) + [Fraction(1)])
+        else:
+            matrix.append([Fraction(point) ** power for power in range(size)])
+    inverse = _invert(matrix)
+    rows: List[Tuple[int, Tuple[int, ...]]] = []
+    for row in inverse:
+        denominator = lcm(*(entry.denominator for entry in row))
+        numerators = tuple(int(entry * denominator) for entry in row)
+        rows.append((denominator, numerators))
+    return tuple(rows)
+
+
+def _invert(matrix: Sequence[Sequence[Fraction]]) -> List[List[Fraction]]:
+    """Exact Gauss-Jordan inverse over the rationals (import-time only)."""
+    size = len(matrix)
+    work = [list(row) + [Fraction(int(i == j)) for j in range(size)]
+            for i, row in enumerate(matrix)]
+    for col in range(size):
+        pivot_row = next(r for r in range(col, size) if work[r][col] != 0)
+        work[col], work[pivot_row] = work[pivot_row], work[col]
+        pivot = work[col][col]
+        work[col] = [entry / pivot for entry in work[col]]
+        for row in range(size):
+            if row != col and work[row][col] != 0:
+                factor = work[row][col]
+                work[row] = [entry - factor * ref
+                             for entry, ref in zip(work[row], work[col])]
+    return [row[size:] for row in work]
+
+
+def _split_pieces(value: Nat, piece_limbs: int, count: int) -> List[Nat]:
+    """Split a natural into ``count`` pieces of ``piece_limbs`` limbs each."""
+    pieces = []
+    remaining = value
+    for _ in range(count):
+        low, remaining = nat.split(remaining, piece_limbs)
+        pieces.append(low)
+    if not nat.is_zero(remaining):
+        raise MpnError("operand does not fit the requested Toom split")
+    return pieces
+
+
+def _evaluate(pieces: Sequence[Nat], point: Point) -> SNat:
+    """Evaluate the operand polynomial at one point (Horner, signed)."""
+    if point == INFINITY:
+        return signed.s_from_nat(pieces[-1])
+    accumulator: SNat = signed.S_ZERO
+    for piece in reversed(pieces):
+        accumulator = signed.s_mul_small(accumulator, point)
+        accumulator = signed.s_add(accumulator, signed.s_from_nat(piece))
+    return accumulator
+
+
+def mul_toom(a: Nat, b: Nat, k: int, recurse: MulFn) -> Nat:
+    """Product of two naturals by one level of Toom-k splitting."""
+    if k < 2:
+        raise MpnError("Toom requires k >= 2")
+    if not a or not b:
+        return []
+    piece_limbs = (max(len(a), len(b)) + k - 1) // k
+    pieces_a = _split_pieces(a, piece_limbs, k)
+    pieces_b = _split_pieces(b, piece_limbs, k)
+    points = evaluation_points(k)
+
+    values: List[SNat] = []
+    for point in points:
+        sign_a, mag_a = _evaluate(pieces_a, point)
+        sign_b, mag_b = _evaluate(pieces_b, point)
+        product = recurse(mag_a, mag_b)
+        values.append(signed.s_from_nat(product, sign_a * sign_b))
+
+    coefficients: List[Nat] = []
+    for denominator, numerators in interpolation_rows(k):
+        accumulator: SNat = signed.S_ZERO
+        for numerator, value in zip(numerators, values):
+            if numerator == 0:
+                continue
+            accumulator = signed.s_add(
+                accumulator, _s_mul_int(value, numerator))
+        accumulator = _s_divexact_int(accumulator, denominator)
+        coefficients.append(signed.s_expect_nat(accumulator))
+
+    result: Nat = []
+    shift_bits = piece_limbs * LIMB_BITS
+    for power, coefficient in enumerate(coefficients):
+        if not nat.is_zero(coefficient):
+            result = nat.add(result, nat.shl(coefficient, power * shift_bits))
+    return result
+
+
+def _s_mul_int(value: SNat, factor: int) -> SNat:
+    """Multiply a signed limb value by a Python int of any size."""
+    if -nat.LIMB_BASE < factor < nat.LIMB_BASE:
+        return signed.s_mul_small(value, factor)
+    sign, mag = value
+    factor_sign = -1 if factor < 0 else 1
+    factor_nat = nat.nat_from_int(abs(factor))
+    product: Nat = []
+    for shift, limb in enumerate(factor_nat):
+        if limb:
+            product = nat.add(
+                product, nat.shl(nat.mul_1(mag, limb), shift * LIMB_BITS))
+    return signed.s_from_nat(product, sign * factor_sign)
+
+
+def _s_divexact_int(value: SNat, divisor: int) -> SNat:
+    """Exactly divide a signed limb value by a Python int of any size."""
+    if divisor < 0:
+        value, divisor = signed.s_neg(value), -divisor
+    while divisor >= nat.LIMB_BASE:
+        # Peel off small exact factors; interpolation denominators are
+        # highly smooth so this terminates quickly.
+        for factor in (2, 3, 5, 7, 11, 13):
+            while divisor % factor == 0 and divisor >= nat.LIMB_BASE:
+                value = signed.s_divexact_small(value, factor)
+                divisor //= factor
+        if divisor >= nat.LIMB_BASE:  # pragma: no cover - defensive
+            raise MpnError("interpolation denominator is not smooth")
+    return signed.s_divexact_small(value, divisor)

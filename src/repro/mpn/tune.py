@@ -1,0 +1,127 @@
+"""Threshold autotuning (GMP's ``tuneup`` equivalent).
+
+GMP's thresholds are "predefined and tuned in compile-time" (Section
+VII-B); this module does the same for the reproduction's own kernels:
+time each fast algorithm against the next-simpler one across operand
+sizes, find the crossover, and emit a :class:`~repro.mpn.mul.MulPolicy`
+tuned to the host interpreter.  ``PYTHON_POLICY``'s constants were
+derived this way; re-run on a different machine to regenerate them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.mpn import nat
+from repro.mpn.karatsuba import mul_karatsuba
+from repro.mpn.mul import MulPolicy, mul
+from repro.mpn.schoolbook import mul_schoolbook
+from repro.mpn.toom import mul_toom
+from repro.mpn.nat import Nat
+
+MulFn = Callable[[Nat, Nat], Nat]
+
+
+def _random_operand(limbs: int, seed: int) -> Nat:
+    """A deterministic pseudo-random operand of exactly ``limbs`` limbs."""
+    state = seed or 1
+    out = []
+    for _ in range(limbs):
+        state = (state * 6364136223846793005 + 1442695040888963407) \
+            % (1 << 64)
+        out.append(state & nat.LIMB_MASK)
+    out[-1] |= 1 << (nat.LIMB_BITS - 1)
+    return out
+
+
+def _time_once(fn: MulFn, a: Nat, b: Nat, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(a, b)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def find_crossover(slow: MulFn, fast: MulFn, low_limbs: int,
+                   high_limbs: int, seed: int = 1) -> int:
+    """Smallest limb count where ``fast`` beats ``slow`` (bisection).
+
+    Assumes a single crossover in [low, high]; returns ``high`` when
+    ``fast`` never wins in the range.
+    """
+    def fast_wins(limbs: int) -> bool:
+        a = _random_operand(limbs, seed)
+        b = _random_operand(limbs, seed + 7)
+        return _time_once(fast, a, b) < _time_once(slow, a, b)
+
+    low, high = low_limbs, high_limbs
+    if not fast_wins(high):
+        return high
+    while low < high:
+        mid = (low + high) // 2
+        if fast_wins(mid):
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+@dataclass
+class TuneResult:
+    """Measured crossovers and the policy they imply."""
+
+    karatsuba_limbs: int
+    toom3_limbs: int
+    policy: MulPolicy
+    measurements: List[Tuple[str, int]]
+
+    def report(self) -> str:
+        lines = ["threshold tuning (this host):"]
+        for name, limbs in self.measurements:
+            lines.append("  %-22s %6d limbs (%d bits)"
+                         % (name, limbs, limbs * 32))
+        return "\n".join(lines)
+
+
+def tune(max_limbs: int = 512, seed: int = 1) -> TuneResult:
+    """Measure the schoolbook/Karatsuba and Karatsuba/Toom-3 crossovers.
+
+    Higher thresholds (Toom-4/6, SSA) need operand sizes too large to
+    time responsively in pure Python, so they are scaled from the
+    measured Toom-3 point with GMP's threshold ratios.
+    """
+    def karatsuba_once(a: Nat, b: Nat) -> Nat:
+        return mul_karatsuba(a, b, mul_schoolbook)
+
+    karatsuba_limbs = find_crossover(mul_schoolbook, karatsuba_once,
+                                     4, min(128, max_limbs), seed)
+
+    tuned_so_far = MulPolicy("tuning", karatsuba_limbs, 10 ** 9,
+                             10 ** 9, 10 ** 9, 10 ** 9)
+
+    def dispatch(a: Nat, b: Nat) -> Nat:
+        return mul(a, b, tuned_so_far)
+
+    def toom3_once(a: Nat, b: Nat) -> Nat:
+        return mul_toom(a, b, 3, dispatch)
+
+    toom3_limbs = find_crossover(dispatch, toom3_once,
+                                 karatsuba_limbs + 4, max_limbs, seed)
+
+    # GMP's tuned tables place Toom-4 ~3x and Toom-6 ~7x above Toom-3,
+    # SSA ~30x above; scale the measured point the same way.
+    policy = MulPolicy(
+        name="tuned",
+        karatsuba_limbs=karatsuba_limbs,
+        toom3_limbs=toom3_limbs,
+        toom4_limbs=3 * toom3_limbs,
+        toom6_limbs=7 * toom3_limbs,
+        ssa_limbs=30 * toom3_limbs,
+    )
+    measurements = [("schoolbook->karatsuba", karatsuba_limbs),
+                    ("karatsuba->toom3", toom3_limbs)]
+    return TuneResult(karatsuba_limbs, toom3_limbs, policy,
+                      measurements)

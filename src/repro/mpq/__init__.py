@@ -1,0 +1,7 @@
+"""Arbitrary-precision rationals (GMP MPQ equivalent), with continued
+fractions and best rational approximations."""
+
+from repro.mpq.rational import MPQ
+from repro.mpq import contfrac
+
+__all__ = ["MPQ", "contfrac"]

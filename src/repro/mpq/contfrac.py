@@ -1,0 +1,72 @@
+"""Continued fractions and best rational approximations.
+
+The classic exact-arithmetic companion to high-precision computation:
+expand a rational (or a high-precision float) into its continued
+fraction, and read off the convergents — provably best rational
+approximations.  The famous instance: the convergents of pi are 3,
+22/7, 333/106, 355/113, ... — 355/113 being the approximation that
+needs 7 digits of pi to discover, i.e. already beyond eyeballing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.mpf import MPF
+from repro.mpq import MPQ
+from repro.mpz import MPZ
+
+
+def expansion(value: MPQ, max_terms: int = 64) -> List[MPZ]:
+    """Continued-fraction terms [a0; a1, a2, ...] of a rational.
+
+    Terminates exactly (rationals have finite expansions); the Euclid
+    recurrence runs on the numerator/denominator pair.
+    """
+    terms: List[MPZ] = []
+    numerator, denominator = value.numerator, value.denominator
+    while denominator and len(terms) < max_terms:
+        quotient, remainder = divmod(numerator, denominator)
+        terms.append(quotient)
+        numerator, denominator = denominator, remainder
+    return terms
+
+
+def convergents(terms: List[MPZ]) -> Iterator[MPQ]:
+    """Successive convergents p_k/q_k of a continued fraction."""
+    p_prev, p_curr = MPZ(1), terms[0] if terms else MPZ(0)
+    q_prev, q_curr = MPZ(0), MPZ(1)
+    if terms:
+        yield MPQ(p_curr, q_curr)
+    for term in terms[1:]:
+        p_prev, p_curr = p_curr, term * p_curr + p_prev
+        q_prev, q_curr = q_curr, term * q_curr + q_prev
+        yield MPQ(p_curr, q_curr)
+
+
+def from_mpf(value: MPF, precision_terms: int = 32) -> List[MPZ]:
+    """Expansion of a float via its exact dyadic rational.
+
+    The mantissa/exponent pair IS a rational, so the expansion is exact
+    for the stored value; terms beyond the float's precision are
+    artifacts and callers should stop at the first huge term.
+    """
+    # Reconstruct the dyadic rational exactly: value = m * 2^e.
+    scaled = value * MPF(MPZ(1) << 512, value.precision + 520)
+    as_int = scaled.floor_mpz()
+    return expansion(MPQ(as_int, MPZ(1) << 512), precision_terms)
+
+
+def best_approximation(value: MPF, max_denominator: int) -> MPQ:
+    """The best rational approximation with a bounded denominator.
+
+    Walks the convergents until the denominator budget is exceeded and
+    returns the last one inside it — optimal by the classic theorem.
+    """
+    terms = from_mpf(value)
+    best = MPQ(terms[0] if terms else 0)
+    for convergent in convergents(terms):
+        if int(convergent.denominator) > max_denominator:
+            break
+        best = convergent
+    return best

@@ -1,0 +1,180 @@
+"""Arbitrary-precision rationals (GMP MPQ equivalent).
+
+Figure 1's "Rationals (GMP MPQ)" layer: exact fractions over the
+integer layer, kept in lowest terms by GCD normalization.  The paper
+notes rationals matter to APC pipelines because "factorization can be
+optionally leveraged to simplify the fraction before dividing" —
+binary-splitting series (like Chudnovsky's P/Q accumulation) are
+naturally rational until the final float division.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.mpf import MPF
+from repro.mpz import MPZ
+
+_Operand = Union["MPQ", MPZ, int]
+
+
+class MPQ:
+    """An immutable exact rational in lowest terms (denominator > 0)."""
+
+    __slots__ = ("_num", "_den")
+
+    def __init__(self, numerator: Union[int, MPZ] = 0,
+                 denominator: Union[int, MPZ] = 1) -> None:
+        num = numerator if isinstance(numerator, MPZ) else MPZ(numerator)
+        den = denominator if isinstance(denominator, MPZ) \
+            else MPZ(denominator)
+        if not den:
+            raise ZeroDivisionError("MPQ with zero denominator")
+        if den.sign < 0:
+            num, den = -num, -den
+        common = num.gcd(den)
+        if common > 1:
+            num = num // common
+            den = den // common
+        self._num = num
+        self._den = den
+
+    @classmethod
+    def _reduced(cls, num: MPZ, den: MPZ) -> "MPQ":
+        instance = object.__new__(cls)
+        if den.sign < 0:
+            num, den = -num, -den
+        common = num.gcd(den)
+        if common > 1:
+            num = num // common
+            den = den // common
+        instance._num = num
+        instance._den = den
+        return instance
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def numerator(self) -> MPZ:
+        return self._num
+
+    @property
+    def denominator(self) -> MPZ:
+        return self._den
+
+    @property
+    def sign(self) -> int:
+        return self._num.sign
+
+    def __bool__(self) -> bool:
+        return bool(self._num)
+
+    def __repr__(self) -> str:
+        return "MPQ(%d, %d)" % (int(self._num), int(self._den))
+
+    def __hash__(self) -> int:
+        from fractions import Fraction
+        return hash(Fraction(int(self._num), int(self._den)))
+
+    # -- comparisons ------------------------------------------------------
+
+    def _cross(self, other: _Operand) -> Tuple[MPZ, MPZ]:
+        other = _coerce(other)
+        return self._num * other._den, other._num * self._den
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (MPQ, MPZ, int)):
+            return NotImplemented
+        left, right = self._cross(other)
+        return left == right
+
+    def __lt__(self, other: _Operand) -> bool:
+        left, right = self._cross(other)
+        return left < right
+
+    def __le__(self, other: _Operand) -> bool:
+        left, right = self._cross(other)
+        return left <= right
+
+    def __gt__(self, other: _Operand) -> bool:
+        left, right = self._cross(other)
+        return left > right
+
+    def __ge__(self, other: _Operand) -> bool:
+        left, right = self._cross(other)
+        return left >= right
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __neg__(self) -> "MPQ":
+        return MPQ._reduced(-self._num, self._den)
+
+    def __abs__(self) -> "MPQ":
+        return MPQ._reduced(abs(self._num), self._den)
+
+    def __add__(self, other: _Operand) -> "MPQ":
+        other = _coerce(other)
+        return MPQ._reduced(self._num * other._den
+                            + other._num * self._den,
+                            self._den * other._den)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _Operand) -> "MPQ":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: _Operand) -> "MPQ":
+        return _coerce(other) + (-self)
+
+    def __mul__(self, other: _Operand) -> "MPQ":
+        other = _coerce(other)
+        return MPQ._reduced(self._num * other._num,
+                            self._den * other._den)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: _Operand) -> "MPQ":
+        other = _coerce(other)
+        if not other:
+            raise ZeroDivisionError("MPQ division by zero")
+        return MPQ._reduced(self._num * other._den,
+                            self._den * other._num)
+
+    def __rtruediv__(self, other: _Operand) -> "MPQ":
+        return _coerce(other) / self
+
+    def __pow__(self, exponent: int) -> "MPQ":
+        if exponent >= 0:
+            return MPQ._reduced(self._num ** MPZ(exponent),
+                                self._den ** MPZ(exponent))
+        if not self:
+            raise ZeroDivisionError("0 to a negative power")
+        return MPQ._reduced(self._den ** MPZ(-exponent),
+                            self._num ** MPZ(-exponent))
+
+    def reciprocal(self) -> "MPQ":
+        """1/q."""
+        if not self:
+            raise ZeroDivisionError("reciprocal of zero")
+        return MPQ._reduced(self._den, self._num)
+
+    # -- conversions -------------------------------------------------------
+
+    def to_mpf(self, precision: int) -> MPF:
+        """The nearest (truncated) float at the given precision."""
+        return MPF.from_ratio(self._num, self._den, precision)
+
+    def __float__(self) -> float:
+        return float(self.to_mpf(96))
+
+    def floor_mpz(self) -> MPZ:
+        """Floor toward negative infinity."""
+        return self._num // self._den
+
+
+def _coerce(value: _Operand) -> MPQ:
+    if isinstance(value, MPQ):
+        return value
+    if isinstance(value, (MPZ, int)):
+        return MPQ(value, 1)
+    raise TypeError("cannot coerce %r to MPQ" % (value,))

@@ -1,0 +1,8 @@
+"""Signed arbitrary-precision integers (GMP MPZ equivalent), plus the
+number-theoretic extras (factorial, binomial, Fibonacci, primorial,
+Lucas-Lehmer) built on them."""
+
+from repro.mpz.integer import MPZ
+from repro.mpz import number_theory
+
+__all__ = ["MPZ", "number_theory"]

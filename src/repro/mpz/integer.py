@@ -1,0 +1,332 @@
+"""Signed arbitrary-precision integers (GMP MPZ equivalent).
+
+The integers layer adds sign handling on top of the naturals kernel
+(Figure 1's "Integers (GMP MPZ)" box).  Following the paper's Section
+V-C, negatives use sign-magnitude — not two's complement — "to avoid the
+additional costs on computing with sign-extended leading 1s"; the sign
+logic itself is host-CPU work with negligible cost, which the profiler
+records under the ``highlevel`` class.
+
+``MPZ`` is immutable and supports the usual operator protocol, so
+application code reads like ordinary arithmetic while every magnitude
+operation routes through the profiled :mod:`repro.mpn` kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro import mpn
+from repro.mpn.nat import MpnError, Nat
+from repro.profiling import kernel
+
+_Operand = Union["MPZ", int]
+
+
+class MPZ:
+    """An immutable signed arbitrary-precision integer."""
+
+    __slots__ = ("_sign", "_mag")
+
+    def __init__(self, value: Union[int, "MPZ"] = 0) -> None:
+        if isinstance(value, MPZ):
+            self._sign = value._sign
+            self._mag = value._mag
+            return
+        self._sign = -1 if value < 0 else 1
+        self._mag = mpn.nat_from_int(abs(value))
+
+    # -- construction helpers ------------------------------------------
+
+    @classmethod
+    def _raw(cls, sign: int, mag: Nat) -> "MPZ":
+        instance = object.__new__(cls)
+        instance._sign = 1 if mpn.is_zero(mag) else sign
+        instance._mag = mag
+        return instance
+
+    @classmethod
+    def from_limbs(cls, mag: Nat, sign: int = 1) -> "MPZ":
+        """Wrap an mpn limb list (no copy) as an integer."""
+        return cls._raw(sign, mpn.normalize(list(mag)))
+
+    # -- conversions ----------------------------------------------------
+
+    def __int__(self) -> int:
+        return self._sign * mpn.nat_to_int(self._mag)
+
+    def __index__(self) -> int:
+        return int(self)
+
+    def __float__(self) -> float:
+        return float(int(self))
+
+    def __bool__(self) -> bool:
+        return not mpn.is_zero(self._mag)
+
+    def __repr__(self) -> str:
+        return "MPZ(%d)" % int(self)
+
+    def __hash__(self) -> int:
+        return hash(int(self))
+
+    @property
+    def limbs(self) -> Nat:
+        """The underlying magnitude limbs (little-endian, read-only use)."""
+        return self._mag
+
+    @property
+    def sign(self) -> int:
+        """-1, 0 or +1."""
+        if mpn.is_zero(self._mag):
+            return 0
+        return self._sign
+
+    def bit_length(self) -> int:
+        """Significant bits of the magnitude."""
+        return mpn.bit_length(self._mag)
+
+    # -- comparisons ------------------------------------------------------
+
+    def _cmp(self, other: _Operand) -> int:
+        other = _coerce(other)
+        if self.sign != other.sign:
+            return -1 if self.sign < other.sign else 1
+        magnitude_order = mpn.cmp(self._mag, other._mag)
+        return magnitude_order if self._sign > 0 else -magnitude_order
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (MPZ, int)):
+            return NotImplemented
+        return self._cmp(other) == 0
+
+    def __lt__(self, other: _Operand) -> bool:
+        return self._cmp(other) < 0
+
+    def __le__(self, other: _Operand) -> bool:
+        return self._cmp(other) <= 0
+
+    def __gt__(self, other: _Operand) -> bool:
+        return self._cmp(other) > 0
+
+    def __ge__(self, other: _Operand) -> bool:
+        return self._cmp(other) >= 0
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __neg__(self) -> "MPZ":
+        return MPZ._raw(-self._sign, self._mag)
+
+    def __abs__(self) -> "MPZ":
+        return MPZ._raw(1, self._mag)
+
+    def __add__(self, other: _Operand) -> "MPZ":
+        other = _coerce(other)
+        if self._sign == other._sign:
+            return MPZ._raw(self._sign, mpn.add(self._mag, other._mag))
+        with kernel("highlevel", 1):
+            order = mpn.cmp(self._mag, other._mag)
+        if order == 0:
+            return MPZ._raw(1, [])
+        if order > 0:
+            return MPZ._raw(self._sign, mpn.sub(self._mag, other._mag))
+        return MPZ._raw(other._sign, mpn.sub(other._mag, self._mag))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _Operand) -> "MPZ":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: _Operand) -> "MPZ":
+        return _coerce(other) + (-self)
+
+    def __mul__(self, other: _Operand) -> "MPZ":
+        other = _coerce(other)
+        return MPZ._raw(self._sign * other._sign,
+                        mpn.mul(self._mag, other._mag))
+
+    __rmul__ = __mul__
+
+    def __divmod__(self, other: _Operand) -> Tuple["MPZ", "MPZ"]:
+        """Floor division with remainder (Python semantics)."""
+        other = _coerce(other)
+        if not other:
+            raise ZeroDivisionError("MPZ division by zero")
+        quotient_mag, remainder_mag = mpn.divmod_nat(self._mag, other._mag)
+        quotient = MPZ._raw(self._sign * other._sign, quotient_mag)
+        remainder = MPZ._raw(self._sign, remainder_mag)
+        if remainder and self._sign * other._sign < 0:
+            quotient = quotient - 1
+            remainder = remainder + other
+        return quotient, remainder
+
+    def __floordiv__(self, other: _Operand) -> "MPZ":
+        return divmod(self, other)[0]
+
+    def __rfloordiv__(self, other: _Operand) -> "MPZ":
+        return _coerce(other) // self
+
+    def __mod__(self, other: _Operand) -> "MPZ":
+        return divmod(self, other)[1]
+
+    def __rmod__(self, other: _Operand) -> "MPZ":
+        return _coerce(other) % self
+
+    def __lshift__(self, count: int) -> "MPZ":
+        return MPZ._raw(self._sign, mpn.shl(self._mag, count))
+
+    def __rshift__(self, count: int) -> "MPZ":
+        if self._sign < 0:
+            # Floor semantics for negatives: -((-x + 2^c - 1) >> c).
+            rounded = mpn.add(self._mag,
+                              mpn.nat_from_int((1 << count) - 1))
+            return MPZ._raw(-1, mpn.shr(rounded, count))
+        return MPZ._raw(1, mpn.shr(self._mag, count))
+
+    def __pow__(self, exponent: _Operand,
+                modulus: _Operand | None = None) -> "MPZ":
+        exponent = _coerce(exponent)
+        if exponent.sign < 0:
+            raise MpnError("negative exponents are not integers")
+        if modulus is not None:
+            modulus = _coerce(modulus)
+            if self.sign < 0:
+                base = self % modulus
+            else:
+                base = self
+            result = mpn.powmod(base._mag, exponent._mag, abs(modulus)._mag)
+            return MPZ._raw(1, result)
+        result = MPZ(1)
+        base = self
+        for index in range(exponent.bit_length()):
+            if mpn.get_bit(exponent._mag, index):
+                result = result * base
+            if index + 1 < exponent.bit_length():
+                base = base * base
+        return result
+
+    # -- number-theoretic helpers ----------------------------------------
+
+    def gcd(self, other: _Operand) -> "MPZ":
+        """Greatest common divisor of the absolute values."""
+        other = _coerce(other)
+        return MPZ._raw(1, mpn.gcd(self._mag, other._mag))
+
+    def invmod(self, modulus: _Operand) -> "MPZ":
+        """Modular inverse (raises MpnError when not invertible)."""
+        modulus = _coerce(modulus)
+        value = self % modulus
+        return MPZ._raw(1, mpn.invmod(value._mag, modulus._mag))
+
+    def isqrt(self) -> "MPZ":
+        """Floor square root (magnitude must be non-negative)."""
+        if self._sign < 0 and self:
+            raise MpnError("isqrt of a negative integer")
+        return MPZ._raw(1, mpn.isqrt(self._mag))
+
+    def iroot(self, k: int) -> "MPZ":
+        """Floor k-th root (odd k allows negative values)."""
+        if self._sign < 0 and self:
+            if k % 2 == 0:
+                raise MpnError("even root of a negative integer")
+            return -((-self).iroot(k))
+        return MPZ._raw(1, mpn.iroot(self._mag, k))
+
+    # -- serialization (GMP mpz_import/mpz_export) ---------------------------
+
+    def to_bytes(self, byteorder: str = "little") -> bytes:
+        """Magnitude as bytes (GMP mpz_export); sign handled by caller.
+
+        Built limb-by-limb from our own representation — no Python
+        int.to_bytes on the full magnitude.
+        """
+        if byteorder not in ("little", "big"):
+            raise ValueError("byteorder must be 'little' or 'big'")
+        raw = bytearray()
+        for limb in self._mag:
+            raw += limb.to_bytes(4, "little")  # one machine word
+        while raw and raw[-1] == 0:
+            raw.pop()
+        if byteorder == "big":
+            raw.reverse()
+        return bytes(raw) or b"\x00"
+
+    @classmethod
+    def from_bytes(cls, data: bytes, byteorder: str = "little",
+                   sign: int = 1) -> "MPZ":
+        """Rebuild from bytes (GMP mpz_import)."""
+        if byteorder not in ("little", "big"):
+            raise ValueError("byteorder must be 'little' or 'big'")
+        raw = bytearray(data)
+        if byteorder == "big":
+            raw.reverse()
+        limbs = []
+        for offset in range(0, len(raw), 4):
+            word = bytes(raw[offset:offset + 4]).ljust(4, b"\x00")
+            limbs.append(int.from_bytes(word, "little"))
+        return cls._raw(sign, mpn.normalize(limbs))
+
+    # -- bitwise operations (non-negative operands, like mpn) ---------------
+
+    def popcount(self) -> int:
+        """Number of set bits (requires a non-negative value)."""
+        self._require_non_negative("popcount")
+        return mpn._nat.popcount(self._mag)
+
+    def hamming_distance(self, other: "MPZ") -> int:
+        """Set bits of the XOR (both operands non-negative)."""
+        self._require_non_negative("hamming_distance")
+        other._require_non_negative("hamming_distance")
+        return mpn._nat.hamming_distance(self._mag, other._mag)
+
+    def __and__(self, other: _Operand) -> "MPZ":
+        other = _coerce(other)
+        self._require_non_negative("&")
+        other._require_non_negative("&")
+        return MPZ._raw(1, mpn._nat.and_(self._mag, other._mag))
+
+    def __or__(self, other: _Operand) -> "MPZ":
+        other = _coerce(other)
+        self._require_non_negative("|")
+        other._require_non_negative("|")
+        return MPZ._raw(1, mpn._nat.or_(self._mag, other._mag))
+
+    def __xor__(self, other: _Operand) -> "MPZ":
+        other = _coerce(other)
+        self._require_non_negative("^")
+        other._require_non_negative("^")
+        return MPZ._raw(1, mpn._nat.xor_(self._mag, other._mag))
+
+    def _require_non_negative(self, operation: str) -> None:
+        if self._sign < 0 and self:
+            raise MpnError("%s requires non-negative operands"
+                           % operation)
+
+    # -- radix conversion ---------------------------------------------------
+
+    def to_decimal(self) -> str:
+        """Decimal string via divide-and-conquer on our own kernels.
+
+        O(M(n) log n) like GMP's mpz_get_str — no interpreter int->str
+        shortcut anywhere in the path.
+        """
+        from repro.mpn.radix import to_decimal
+        text = to_decimal(self._mag, mpn._unprofiled_mul)
+        return "-" + text if self.sign < 0 else text
+
+    @classmethod
+    def from_decimal(cls, text: str) -> "MPZ":
+        """Parse a decimal string (divide-and-conquer set_str)."""
+        from repro.mpn.radix import from_decimal
+        text = text.strip()
+        negative = text.startswith("-")
+        magnitude = from_decimal(text.lstrip("+-"), mpn._unprofiled_mul)
+        return cls._raw(-1 if negative else 1, magnitude)
+
+
+def _coerce(value: _Operand) -> MPZ:
+    if isinstance(value, MPZ):
+        return value
+    if isinstance(value, int):
+        return MPZ(value)
+    raise TypeError("cannot coerce %r to MPZ" % (value,))

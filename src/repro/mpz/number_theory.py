@@ -1,0 +1,125 @@
+"""Number-theoretic functions over MPZ (GMP's mpz_* extras).
+
+Part of the "algebras for number theories" block at the top of Figure
+1: factorials and binomials by binary splitting (the same
+divide-and-conquer that powers the Pi application), Fibonacci/Lucas by
+fast doubling, primorials, and a Lucas-Lehmer Mersenne-prime test —
+all of them multiplication-dominated APC workloads in their own right.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.mpz.integer import MPZ
+
+
+def factorial(n: int) -> MPZ:
+    """n! by binary splitting of the product tree (O(M(n log n)))."""
+    if n < 0:
+        raise ValueError("factorial of a negative integer")
+
+    def product(low: int, high: int) -> MPZ:
+        if high - low <= 4:
+            total = MPZ(low)
+            for value in range(low + 1, high + 1):
+                total = total * value
+            return total
+        mid = (low + high) // 2
+        return product(low, mid) * product(mid + 1, high)
+
+    return MPZ(1) if n < 2 else product(2, n)
+
+
+def binomial(n: int, k: int) -> MPZ:
+    """Binomial coefficient by factored product (exact division)."""
+    if k < 0 or k > n:
+        return MPZ(0)
+    k = min(k, n - k)
+    if k == 0:
+        return MPZ(1)
+    numerator = MPZ(1)
+    for value in range(n - k + 1, n + 1):
+        numerator = numerator * value
+    return numerator // factorial(k)
+
+
+def fibonacci(n: int) -> MPZ:
+    """F(n) by fast doubling: two squarings per bit of n."""
+    if n < 0:
+        raise ValueError("negative Fibonacci index")
+    return _fib_pair(n)[0]
+
+
+def lucas(n: int) -> MPZ:
+    """L(n) = F(n-1) + F(n+1)."""
+    if n == 0:
+        return MPZ(2)
+    f_n, f_next = _fib_pair(n)
+    return (f_next + f_next) - f_n
+
+
+def _fib_pair(n: int) -> Tuple[MPZ, MPZ]:
+    """(F(n), F(n+1)) by the doubling identities."""
+    if n == 0:
+        return MPZ(0), MPZ(1)
+    f, g = _fib_pair(n // 2)
+    # F(2k) = F(k) * (2*F(k+1) - F(k)); F(2k+1) = F(k)^2 + F(k+1)^2
+    doubled = f * ((g + g) - f)
+    squared = f * f + g * g
+    if n % 2:
+        return squared, doubled + squared
+    return doubled, squared
+
+
+def primorial(n: int) -> MPZ:
+    """Product of all primes <= n (sieve + binary-split product)."""
+    if n < 2:
+        return MPZ(1)
+    sieve = bytearray([1]) * (n + 1)
+    sieve[0:2] = b"\x00\x00"
+    for p in range(2, int(n ** 0.5) + 1):
+        if sieve[p]:
+            sieve[p * p::p] = b"\x00" * len(sieve[p * p::p])
+    primes = [p for p in range(2, n + 1) if sieve[p]]
+
+    def product(values) -> MPZ:
+        if len(values) == 1:
+            return MPZ(values[0])
+        mid = len(values) // 2
+        return product(values[:mid]) * product(values[mid:])
+
+    return product(primes)
+
+
+def lucas_lehmer(p: int) -> bool:
+    """Lucas-Lehmer primality of the Mersenne number 2^p - 1.
+
+    The classic APC stress test: p-2 iterations of ``s = s^2 - 2`` with
+    a cheap reduction modulo 2^p - 1 (fold high bits onto low).
+    """
+    if p == 2:
+        return True
+    if p < 2 or not _is_small_prime(p):
+        return False
+    mersenne = (MPZ(1) << p) - 1
+    s = MPZ(4)
+    for _ in range(p - 2):
+        s = s * s - 2
+        # Fast reduction: x mod (2^p - 1) = (x >> p) + (x & (2^p - 1)).
+        while s.bit_length() > p:
+            s = (s >> p) + (s - ((s >> p) << p))
+        if s == mersenne:
+            s = MPZ(0)
+    return not s
+
+
+def _is_small_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    divisor = 2
+    while divisor * divisor <= n:
+        if n % divisor == 0:
+            return False
+        divisor += 1
+    return True

@@ -1,0 +1,9 @@
+"""Baseline platform models: CPU (Xeon+GMP), GPU (V100+CGBN),
+AVX512IFMA, prior accelerators, the cache hierarchy, rooflines, and the
+decomposition-intermediates analysis."""
+
+from repro.platforms import (accelerators, avx512, cache, cpu, gpu,
+                             intermediates, roofline)
+
+__all__ = ["accelerators", "avx512", "cache", "cpu", "gpu",
+           "intermediates", "roofline"]

@@ -1,0 +1,52 @@
+"""AVX512IFMA baseline model (Gueron & Krasnov, Section VI-A).
+
+The state-of-the-art SIMD implementation packs full 52-bit
+multiplications (VPMADD52LUQ/HUQ) with convenient horizontal
+carry-propagation, giving a strong fixed-width big-integer multiplier
+on Ice Lake cores.  The model is anchored at the paper's Table III
+point (a 4096x4096-bit multiply in 5.70e-7 s — 35.6x slower than
+Cambricon-P) and scales with schoolbook-with-SIMD work below the
+Karatsuba crossover and Karatsuba recursion above it.
+"""
+
+from __future__ import annotations
+
+#: Published characteristics (Table III, Intel 10 nm).
+AVX512_AREA_MM2 = 0.54
+AVX512_POWER_W = 13.26
+
+#: Anchor: 4096-bit multiply (Table III).
+_REFERENCE_BITS = 4096
+_REFERENCE_SECONDS = 5.70e-7
+
+#: Packed-IFMA schoolbook exponent (SIMD hides part of the n^2).
+_WORK_EXPONENT = 1.85
+
+#: The open-source kernels target fixed sizes up to ~2^20 bits.
+AVX512_MIN_BITS = 512
+AVX512_MAX_BITS = 1 << 20
+
+#: Above this the implementation recurses with Karatsuba.
+_KARATSUBA_CROSSOVER_BITS = 16384
+
+
+def multiply_seconds(bits: int) -> float:
+    """Per-multiply seconds for the AVX512IFMA implementation."""
+    if not AVX512_MIN_BITS <= bits <= AVX512_MAX_BITS:
+        raise ValueError("operand size outside the AVX512IFMA kernels")
+    if bits <= _KARATSUBA_CROSSOVER_BITS:
+        return _REFERENCE_SECONDS * \
+            (bits / _REFERENCE_BITS) ** _WORK_EXPONENT
+    # Karatsuba recursion down to the packed basecase.
+    half = multiply_seconds(max(_KARATSUBA_CROSSOVER_BITS, bits // 2))
+    return 3.0 * half + bits * 2.5e-12
+
+
+def applicable(bits: int) -> bool:
+    """Whether the IFMA kernels cover this operand size."""
+    return AVX512_MIN_BITS <= bits <= AVX512_MAX_BITS
+
+
+def energy_joules(seconds: float) -> float:
+    """Energy at the measured package power."""
+    return seconds * AVX512_POWER_W

@@ -1,0 +1,204 @@
+"""CPU baseline cost model: Intel Xeon 6134 + GNU GMP (Section VI-A).
+
+The paper measures GMP 6.2 on a single Xeon 6134 core (turbo enabled,
+SMT off; ~11.1 Gops INT64 peak) with ``sprof``.  Our substitute prices
+the *same operation trace our own library executes* with per-limb cycle
+costs of GMP's mpn kernels.  GMP uses 64-bit limbs on x86-64; the
+constants below are the well-known throughputs of the tuned assembly
+kernels (mpn_add_n ~1.5 c/l, mpn_mul_basecase ~2 c/l^2 with MULX), with
+recursion shapes and thresholds mirroring GMP's algorithm selection, so
+the model reproduces both the absolute ballpark and — more importantly
+for the reproduction — the scaling shape of the measured curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.profiling import OperationTrace
+
+#: Single-core turbo clock of the Xeon 6134 (Hz).
+CPU_FREQUENCY_HZ = 3.7e9
+
+#: Active single-core package power while running APC (Table III).
+CPU_POWER_W = 7.43
+
+#: GMP's limb size on the measured platform.
+GMP_LIMB_BITS = 64
+
+# Per-kernel cycle constants (cycles per 64-bit limb unless noted).
+ADD_CYCLES_PER_LIMB = 1.5
+MUL_BASECASE_CYCLES_PER_LIMB_PAIR = 2.0
+DIV_SCHOOLBOOK_CYCLES_PER_LIMB_PAIR = 6.0
+SHIFT_CYCLES_PER_LIMB = 1.0
+CMP_CYCLES_PER_LIMB = 0.5
+CALL_OVERHEAD_CYCLES = 25.0
+
+# GMP algorithm-selection thresholds in 64-bit limbs (x86-64 shape).
+KARATSUBA_THRESHOLD = 30
+TOOM3_THRESHOLD = 100
+TOOM4_THRESHOLD = 300
+TOOM6_THRESHOLD = 700
+SSA_THRESHOLD = 3000
+
+#: (sub-multiplies, split factor, extra linear passes) per Toom level.
+_TOOM_SHAPES = {
+    "karatsuba": (3, 2, 8.0),
+    "toom3": (5, 3, 16.0),
+    "toom4": (7, 4, 28.0),
+    "toom6": (11, 6, 52.0),
+}
+
+
+def _limbs(bits: int) -> int:
+    return max(1, -(-bits // GMP_LIMB_BITS))
+
+
+@lru_cache(maxsize=None)
+def mul_cycles(bits_a: int, bits_b: int = 0) -> float:
+    """Cycles for an (a x b)-bit multiplication under GMP selection."""
+    if bits_b == 0:
+        bits_b = bits_a
+    small, large = sorted((_limbs(bits_a), _limbs(bits_b)))
+    if large > 2 * small:
+        # Unbalanced: GMP slices the long operand.
+        pieces = -(-large // small)
+        return pieces * mul_cycles(small * GMP_LIMB_BITS,
+                                   small * GMP_LIMB_BITS) \
+            + pieces * ADD_CYCLES_PER_LIMB * 2 * small
+    n = large
+    if n < KARATSUBA_THRESHOLD:
+        return (MUL_BASECASE_CYCLES_PER_LIMB_PAIR * small * large
+                + CALL_OVERHEAD_CYCLES)
+    if n < TOOM3_THRESHOLD:
+        shape = _TOOM_SHAPES["karatsuba"]
+    elif n < TOOM4_THRESHOLD:
+        shape = _TOOM_SHAPES["toom3"]
+    elif n < TOOM6_THRESHOLD:
+        shape = _TOOM_SHAPES["toom4"]
+    elif n < SSA_THRESHOLD:
+        shape = _TOOM_SHAPES["toom6"]
+    else:
+        return _ssa_cycles(n)
+    sub_mults, split, linear_passes = shape
+    piece_bits = -(-n // split) * GMP_LIMB_BITS + GMP_LIMB_BITS
+    return (sub_mults * mul_cycles(piece_bits, piece_bits)
+            + linear_passes * ADD_CYCLES_PER_LIMB * n
+            + CALL_OVERHEAD_CYCLES)
+
+
+def _ssa_cycles(n_limbs: int) -> float:
+    """Schoenhage-Strassen on CPU: fine-grained parameter selection.
+
+    GMP tunes the FFT size from a lookup table, giving the smooth curve
+    of Figure 11 (in contrast to MPApca's power-of-two padding zigzag).
+    """
+    total_bits = 2 * n_limbs * GMP_LIMB_BITS
+    # Classic balance: ring width ~ sqrt(total), so butterflies (linear
+    # passes) rather than pointwise products dominate asymptotically.
+    k = max(4, total_bits.bit_length() // 2)
+    pieces = 1 << k
+    piece_bits = -(-total_bits // pieces)
+    w = 2 * piece_bits + k + 2
+    transform = 2 * pieces
+    butterflies = 3 * (transform // 2) * (transform.bit_length() - 1)
+    butterfly_cost = ADD_CYCLES_PER_LIMB * 2 * _limbs(w) + 4
+    pointwise = transform * mul_cycles(w, w)
+    assembly = ADD_CYCLES_PER_LIMB * 4 * n_limbs
+    return butterflies * butterfly_cost + pointwise + assembly \
+        + CALL_OVERHEAD_CYCLES
+
+
+def add_cycles(bits_a: int, bits_b: int = 0) -> float:
+    """Cycles for mpn_add_n/sub_n."""
+    return (ADD_CYCLES_PER_LIMB * _limbs(max(bits_a, bits_b))
+            + CALL_OVERHEAD_CYCLES)
+
+
+def shift_cycles(bits: int) -> float:
+    """Cycles for mpn_lshift/rshift."""
+    return SHIFT_CYCLES_PER_LIMB * _limbs(bits) + CALL_OVERHEAD_CYCLES
+
+
+def cmp_cycles(bits: int) -> float:
+    """Cycles for mpn_cmp (usually exits after the top limbs)."""
+    return CMP_CYCLES_PER_LIMB * min(_limbs(bits), 8) \
+        + CALL_OVERHEAD_CYCLES
+
+
+@lru_cache(maxsize=None)
+def div_cycles(bits_a: int, bits_b: int) -> float:
+    """Cycles for division: schoolbook small, Newton (via mul) large."""
+    n, d = _limbs(bits_a), _limbs(bits_b)
+    if d <= 40:
+        return (DIV_SCHOOLBOOK_CYCLES_PER_LIMB_PAIR * d * max(1, n - d + 1)
+                + CALL_OVERHEAD_CYCLES)
+    # Divide-and-conquer/Newton: a small constant times a multiply.
+    return 3.5 * mul_cycles(bits_a, bits_b) + CALL_OVERHEAD_CYCLES
+
+
+def sqrt_cycles(bits: int) -> float:
+    """Cycles for mpn_sqrtrem: ~2x a full multiply at that size."""
+    return 2.0 * mul_cycles(bits, bits) + CALL_OVERHEAD_CYCLES
+
+
+def powmod_cycles(mod_bits: int, exp_bits: int) -> float:
+    """Cycles for mpz_powm: ~1.25 Montgomery products per exponent bit."""
+    per_product = (MUL_BASECASE_CYCLES_PER_LIMB_PAIR
+                   * 2.2 * _limbs(mod_bits) ** 2
+                   if _limbs(mod_bits) < KARATSUBA_THRESHOLD
+                   else 2.2 * mul_cycles(mod_bits, mod_bits))
+    return 1.25 * exp_bits * per_product + CALL_OVERHEAD_CYCLES
+
+
+#: Cost of operations the profiler files under high-level/auxiliary work.
+HIGHLEVEL_CYCLES = 30.0
+
+
+@dataclass
+class CostReport:
+    """Priced execution of an operation trace on one platform."""
+
+    seconds: float
+    joules: float
+    cycles_by_class: dict
+
+    def breakdown(self) -> dict:
+        """Fractional runtime share per operator class."""
+        total = sum(self.cycles_by_class.values()) or 1.0
+        return {name: cycles / total
+                for name, cycles in self.cycles_by_class.items()}
+
+
+_PRICERS = {
+    "mul": lambda op: mul_cycles(op.bits_a, op.bits_b),
+    "add": lambda op: add_cycles(op.bits_a, op.bits_b),
+    "sub": lambda op: add_cycles(op.bits_a, op.bits_b),
+    "shift": lambda op: shift_cycles(op.bits_a),
+    "cmp": lambda op: cmp_cycles(op.bits_a),
+    "logic": lambda op: shift_cycles(op.bits_a),
+    "div": lambda op: div_cycles(op.bits_a, max(op.bits_b, 1)),
+    "mod": lambda op: div_cycles(op.bits_a, max(op.bits_b, 1)),
+    "sqrt": lambda op: sqrt_cycles(op.bits_a),
+    "powmod": lambda op: powmod_cycles(op.bits_a, max(op.bits_b, 1)),
+    "highlevel": lambda op: HIGHLEVEL_CYCLES,
+    "aux": lambda op: HIGHLEVEL_CYCLES,
+}
+
+
+def price_trace(trace: OperationTrace) -> CostReport:
+    """Price a recorded operation trace on the Xeon + GMP model."""
+    cycles_by_class: dict = {}
+    for op in trace.ops:
+        pricer = _PRICERS.get(op.name, _PRICERS["highlevel"])
+        cycles_by_class[op.name] = cycles_by_class.get(op.name, 0.0) \
+            + pricer(op)
+    total_cycles = sum(cycles_by_class.values())
+    seconds = total_cycles / CPU_FREQUENCY_HZ
+    return CostReport(seconds, seconds * CPU_POWER_W, cycles_by_class)
+
+
+def multiply_seconds(bits: int) -> float:
+    """Wall time of one balanced N-bit multiplication (Figure 11 curve)."""
+    return mul_cycles(bits, bits) / CPU_FREQUENCY_HZ

@@ -1,0 +1,92 @@
+"""GPU baseline model: NVIDIA V100 + CGBN/XMP (Section VI-A).
+
+CGBN is a batch-processing library: a multiplication is spread over a
+cooperative thread group at 16x16-bit granularity, and performance is
+only reasonable when thousands of independent operations amortize the
+kernel launch and occupancy ramp ("we measure the amortized time
+consumption of a single multiplication over a batch size of 10,000").
+The model therefore has two regimes:
+
+* batch: per-op time = limb-product work / effective throughput,
+  calibrated at the paper's Table III point (4096x4096-bit multiply in
+  1.56e-8 s amortized);
+* general-purpose (batch ~ 1, the Figure 2 situation): kernel launch
+  latency dominates and the GPU lands ~32x *slower* than a single CPU
+  core.
+
+CGBN supports operands up to ~32K bits; beyond that the library (and
+the model) is out of range, matching the limited span of the GPU curve
+in Figure 11.
+"""
+
+from __future__ import annotations
+
+from repro.profiling import OperationTrace
+
+#: Published V100 characteristics (Table III).
+GPU_AREA_MM2 = 815.0
+GPU_POWER_W = 220.58
+GPU_HBM_BANDWIDTH_GBS = 900.0
+
+#: Kernel launch + synchronization latency per offloaded call (seconds).
+KERNEL_LAUNCH_SECONDS = 8.0e-6
+
+#: CGBN operand-size applicability (bits).
+CGBN_MAX_BITS = 32768
+CGBN_MIN_BITS = 128
+
+#: Fitted so a batched 4096-bit multiply amortizes to 1.56e-8 s.
+_REFERENCE_BITS = 4096
+_REFERENCE_SECONDS = 1.56e-8
+#: Batched throughput scales ~quadratically in operand size (the 16x16
+#: granularity does schoolbook work across the thread group).
+_WORK_EXPONENT = 1.9
+
+
+def multiply_seconds(bits: int, batch: int = 10000) -> float:
+    """Amortized per-multiply seconds on V100+CGBN for a given batch."""
+    if not CGBN_MIN_BITS <= bits <= CGBN_MAX_BITS:
+        raise ValueError("operand size outside CGBN's applicable range")
+    work = _REFERENCE_SECONDS * (bits / _REFERENCE_BITS) ** _WORK_EXPONENT
+    return work + KERNEL_LAUNCH_SECONDS / max(1, batch)
+
+
+def applicable(bits: int) -> bool:
+    """Whether CGBN handles this operand size at all."""
+    return CGBN_MIN_BITS <= bits <= CGBN_MAX_BITS
+
+
+#: Independent operations XMP keeps in flight on the stream, which
+#: amortizes launch latency even without application-level batching.
+PIPELINE_DEPTH = 8
+
+
+def price_trace(trace: OperationTrace, batch: int = 1,
+                pipeline_depth: int = PIPELINE_DEPTH) -> float:
+    """Seconds for a general-purpose APC trace on the GPU (XMP-style).
+
+    Every kernel operator becomes a device call; with no batching the
+    launch latency (amortized only over the stream's pipeline depth)
+    dominates — the reason general-purpose APC runs ~32x slower on the
+    GPU than on a single CPU core (Figure 2, left).  Oversized or
+    undersized operands fall back to a host-side path priced like the
+    CPU (XMP does the same).
+    """
+    from repro.platforms import cpu as cpu_model
+    total = 0.0
+    for op in trace.ops:
+        if op.name in ("mul", "add", "sub", "shift", "div", "mod",
+                       "sqrt", "powmod") and applicable(max(op.bits_a, 1)):
+            total += multiply_seconds(
+                min(max(op.bits_a, CGBN_MIN_BITS), CGBN_MAX_BITS),
+                batch=max(batch, 1) * pipeline_depth)
+        else:
+            pricer = cpu_model._PRICERS.get(
+                op.name, cpu_model._PRICERS["highlevel"])
+            total += pricer(op) / cpu_model.CPU_FREQUENCY_HZ
+    return total
+
+
+def energy_joules(seconds: float) -> float:
+    """Energy at the V100's measured power."""
+    return seconds * GPU_POWER_W

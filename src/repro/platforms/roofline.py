@@ -1,0 +1,101 @@
+"""Roofline analysis (Figures 3c and 12).
+
+The roofline model bounds attainable performance by
+``min(peak, operational_intensity x bandwidth)``.  The paper's twist is
+to draw one bandwidth ceiling per memory level and place the *same*
+workload at each level's operational intensity (ops / bytes moved at
+that level): for APC multiplication the intensity collapses from the
+remote levels toward the register file — the decomposability factor at
+work — so the binding ceiling is the RF's, not DRAM's.
+
+Figure 12 repeats the analysis for Cambricon-P: the monolithic limb
+granularity keeps the operational intensity high at its single memory
+interface (the LLC at a 50% duty cycle), so the compute roof is
+reachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload placed against one bandwidth ceiling."""
+
+    level: str
+    operational_intensity: float   # ops per byte at this level
+    bandwidth_gbs: float
+    peak_gops: float
+
+    @property
+    def attained_gops(self) -> float:
+        """min(peak, OI * BW) — the classic roofline bound."""
+        return min(self.peak_gops,
+                   self.operational_intensity * self.bandwidth_gbs)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.attained_gops < self.peak_gops
+
+
+def roofline_points(total_ops: float, traffic_bytes: Dict[str, float],
+                    bandwidths_gbs: Dict[str, float],
+                    peak_gops: float) -> List[RooflinePoint]:
+    """Place a workload on every level's roofline.
+
+    ``traffic_bytes`` comes straight from the cache simulator's report;
+    the intensity at each level is total ops over that level's traffic.
+    """
+    points = []
+    for level, bandwidth in bandwidths_gbs.items():
+        bytes_moved = max(traffic_bytes.get(level, 0.0), 1e-9)
+        intensity = total_ops / bytes_moved / 1e9  # ops per byte, GB scale
+        points.append(RooflinePoint(level, intensity * 1e9, bandwidth,
+                                    peak_gops))
+    return points
+
+
+def binding_level(points: List[RooflinePoint]) -> RooflinePoint:
+    """The level whose ceiling actually limits the workload."""
+    return min(points, key=lambda p: p.attained_gops)
+
+
+# -- platform peaks ----------------------------------------------------------
+
+#: Xeon 6134 single core, scalar INT64 (Section VI-A): 11.1 Gops.
+CPU_PEAK_GOPS = 11.1
+
+#: Cambricon-P effective peak: each of the 8192 IPUs completes one
+#: 4-element 32-bit inner product (one 64-bit MAC equivalent) every
+#: L = 32 cycles at 2 GHz: 8192 / 32 * 2e9 = 512 G MAC64/s.
+CAMBRICON_P_PEAK_GOPS = 8192 / 32 * 2.0  # 512 Gops (64-bit equivalent)
+
+#: Bandwidths for the Cambricon-P roofline (Figure 12): a single LLC
+#: interface at 512 GB/s derated by the 50% memory-agent duty cycle.
+CAMBRICON_P_BANDWIDTHS = {"LLC": 512.0 * 0.5}
+
+
+def cambricon_p_roofline(bits: int) -> List[RooflinePoint]:
+    """Roofline placement of an N-bit monolithic multiply on Cambricon-P.
+
+    Ops: the n^2 limb MACs of the convolution (in 64-bit equivalents);
+    bytes: the streamed operands and product at the LLC — no
+    decomposition intermediates, hence the high intensity.
+    """
+    limbs64 = max(1, bits // 64)
+    total_ops = float(limbs64 * limbs64)
+    traffic = {"LLC": 4.0 * bits / 8.0}
+    return roofline_points(total_ops, traffic, CAMBRICON_P_BANDWIDTHS,
+                           CAMBRICON_P_PEAK_GOPS)
+
+
+def cpu_apc_roofline(bits: int,
+                     traffic_bytes: Dict[str, float],
+                     bandwidths_gbs: Dict[str, float]) -> List[RooflinePoint]:
+    """Roofline placement of CPU APC multiply from measured traffic."""
+    limbs64 = max(1, bits // 64)
+    total_ops = float(limbs64 ** 1.585) * 3.0  # Karatsuba op count
+    return roofline_points(total_ops, traffic_bytes, bandwidths_gbs,
+                           CPU_PEAK_GOPS)

@@ -1,0 +1,28 @@
+"""Operator-level profiling (the reproduction's ``sprof`` equivalent)."""
+
+from repro.profiling.analysis import ClassBreakdown, classify_breakdown
+from repro.profiling.recorder import (
+    AUX_OPS,
+    HIGH_LEVEL_OPS,
+    KERNEL_OPS,
+    LOW_LEVEL_OPS,
+    KernelOp,
+    OperationTrace,
+    is_recording,
+    kernel,
+    session,
+)
+
+__all__ = [
+    "AUX_OPS",
+    "ClassBreakdown",
+    "classify_breakdown",
+    "HIGH_LEVEL_OPS",
+    "KERNEL_OPS",
+    "LOW_LEVEL_OPS",
+    "KernelOp",
+    "OperationTrace",
+    "is_recording",
+    "kernel",
+    "session",
+]

@@ -1,0 +1,73 @@
+"""Operator-class analysis of recorded traces (Figure 2's taxonomy).
+
+Collapses a priced per-kernel breakdown into the paper's operator
+classes: the kernel operators (*Multiply*, *Add*, *Shift* — with
+``powmod`` counted as multiplicative work, since Montgomery ladders are
+"pairs of multiply and add operations"), other low-level operators
+(division, square root, comparison), high-level operators (sign and
+exponent handling) and auxiliary work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.profiling.recorder import AUX_OPS, HIGH_LEVEL_OPS
+
+#: Kernel-name -> Figure 2 class.
+MULTIPLY_CLASS = ("mul", "powmod")
+ADD_CLASS = ("add", "sub")
+SHIFT_CLASS = ("shift",)
+
+
+@dataclass
+class ClassBreakdown:
+    """Runtime share per Figure 2 operator class (fractions sum to 1)."""
+
+    multiply: float
+    add: float
+    shift: float
+    other_low: float
+    high_level: float
+    aux: float
+
+    @property
+    def kernel_share(self) -> float:
+        """Multiply + Add + Shift: the paper's 87.2% headline."""
+        return self.multiply + self.add + self.shift
+
+    @property
+    def low_level_share(self) -> float:
+        """All mpn-layer work: the paper's 97.8% headline."""
+        return self.kernel_share + self.other_low
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "Multiply": self.multiply,
+            "Add": self.add,
+            "Shift": self.shift,
+            "OtherLow": self.other_low,
+            "HighLevel": self.high_level,
+            "Aux": self.aux,
+        }
+
+
+def classify_breakdown(breakdown: Dict[str, float]) -> ClassBreakdown:
+    """Collapse a per-kernel share dict into Figure 2's classes."""
+    classes = {"multiply": 0.0, "add": 0.0, "shift": 0.0,
+               "other_low": 0.0, "high_level": 0.0, "aux": 0.0}
+    for name, share in breakdown.items():
+        if name in MULTIPLY_CLASS:
+            classes["multiply"] += share
+        elif name in ADD_CLASS:
+            classes["add"] += share
+        elif name in SHIFT_CLASS:
+            classes["shift"] += share
+        elif name in HIGH_LEVEL_OPS:
+            classes["high_level"] += share
+        elif name in AUX_OPS:
+            classes["aux"] += share
+        else:
+            classes["other_low"] += share
+    return ClassBreakdown(**classes)

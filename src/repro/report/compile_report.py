@@ -1,0 +1,85 @@
+"""Compile the per-experiment results into one reproduction report.
+
+After ``pytest benchmarks/`` has filled ``results/``, this module
+stitches the renderings into a single ordered document (REPORT.md) that
+walks the paper's evaluation start to finish — the artifact a reviewer
+would read first.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+#: (results file stem, section heading) in the paper's order.
+SECTIONS: List[Tuple[str, str]] = [
+    ("sec2b_utilization", "Section II-B: hardware utilization"),
+    ("fig02_breakdown", "Figure 2 (right): runtime breakdown"),
+    ("fig02_gpu", "Figure 2 (left): GPU vs CPU"),
+    ("fig03b_bandwidth", "Figure 3(b): hierarchy utilization"),
+    ("fig03c_roofline", "Figure 3(c): CPU APC roofline"),
+    ("fig04_schoolbook", "Figure 4: schoolbook decomposition"),
+    ("fig04_karatsuba_traffic", "Section II-C: Karatsuba intermediates"),
+    ("fig04_sweep", "Intermediates vs granularity"),
+    ("sec3_multiplier", "Section III: monolithic multiplier PPA"),
+    ("bips_lambda", "Section IV-B: BIPS lambda"),
+    ("bips_lambda_py_sweep", "BIPS lambda vs index width"),
+    ("fig11_multiply", "Figure 11: multiplication sweep"),
+    ("fig11_zigzag", "Figure 11: SSA padding zigzag"),
+    ("fig11_gpu_parity", "Figure 11 / Table III: GPU parity"),
+    ("fig11_ascii", "Figure 11 (chart)"),
+    ("tab01_schoolbook", "Table I: schoolbook exponent"),
+    ("tab01_karatsuba", "Table I: Karatsuba exponent"),
+    ("tab01_toom3", "Table I: Toom-3 exponent"),
+    ("tab01_toom4", "Table I: Toom-4 exponent"),
+    ("tab01_toom6", "Table I: Toom-6 exponent"),
+    ("tab01_linear", "Table I: linear operators"),
+    ("tab01_division", "Table I: division scaling"),
+    ("tab03_comparison", "Table III: platform comparison"),
+    ("sec7a_hardware", "Section VII-A: hardware characteristics"),
+    ("fig12_roofline", "Figure 12: Cambricon-P roofline"),
+    ("fig12_duty", "Figure 12: memory-agent duty"),
+    ("fig13_time", "Figure 13 (top): application time"),
+    ("fig13_energy", "Figure 13 (bottom): application energy"),
+    ("fig13_ascii", "Figure 13 (chart)"),
+    ("fig10_combining", "Figure 10: GU combining modes"),
+    ("ablation_carry", "Ablation: carry-parallel gather"),
+    ("ablation_carry_bound", "Ablation: Equation 2 bound"),
+    ("ablation_q", "Ablation: q sweep"),
+    ("ablation_pe_count", "Ablation: PE count"),
+    ("ablation_duty", "Ablation: memory duty"),
+    ("batch_throughput", "Batch-processing amortization"),
+    ("batch_vs_model", "Batch vs throughput model"),
+    ("ext_fft", "Extension: FFT multiplication"),
+    ("ext_fft_budget", "Extension: FFT precision budget"),
+    ("ext_he_functional", "Extension: Paillier HE (functional)"),
+    ("ext_he_scaling", "Extension: Paillier HE scaling"),
+]
+
+HEADER = """# Reproduction report
+
+Generated from `results/*.txt` (run `pytest benchmarks/ -q` first).
+Paper-vs-measured commentary lives in `EXPERIMENTS.md`; methodology in
+`DESIGN.md`.
+"""
+
+
+def compile_report(results_dir: Path,
+                   output: Optional[Path] = None) -> str:
+    """Assemble REPORT.md from the results directory."""
+    parts = [HEADER]
+    missing = []
+    for stem, heading in SECTIONS:
+        path = results_dir / (stem + ".txt")
+        if not path.exists():
+            missing.append(stem)
+            continue
+        parts.append("## %s\n\n```\n%s```\n"
+                     % (heading, path.read_text()))
+    if missing:
+        parts.append("_Missing results (bench not yet run): %s_\n"
+                     % ", ".join(missing))
+    text = "\n".join(parts)
+    if output is not None:
+        output.write_text(text)
+    return text

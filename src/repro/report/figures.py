@@ -1,0 +1,123 @@
+"""ASCII figure rendering for the reproduced evaluation plots.
+
+The benchmark harness writes tables; this module turns the headline
+curves — Figure 11's time-vs-bitwidth lines and Figure 13's
+speedup-vs-precision series — into log-scale ASCII charts, so the
+repository produces actual *figures* without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+#: Glyphs assigned to series in order.
+GLYPHS = "ox+*#@"
+
+
+def _log_positions(values: Sequence[float], size: int) -> List[int]:
+    low = math.log10(min(values))
+    high = math.log10(max(values))
+    span = (high - low) or 1.0
+    return [round((math.log10(v) - low) / span * (size - 1))
+            for v in values]
+
+
+def render_loglog(series: Series, width: int = 72, height: int = 24,
+                  title: str = "", x_label: str = "",
+                  y_label: str = "") -> str:
+    """Render named (x, y) series on a log-log ASCII grid."""
+    all_x = [x for points in series.values() for x, _ in points]
+    all_y = [y for points in series.values() for _, y in points]
+    if not all_x:
+        return "(no data)"
+    x_low, x_high = math.log10(min(all_x)), math.log10(max(all_x))
+    y_low, y_high = math.log10(min(all_y)), math.log10(max(all_y))
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for x, y in points:
+            col = round((math.log10(x) - x_low) / x_span * (width - 1))
+            row = round((math.log10(y) - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = "%.0e" % (10 ** y_high)
+    bottom_label = "%.0e" % (10 ** y_low)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(8)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(8)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label[:8].rjust(8)
+        else:
+            prefix = " " * 8
+        lines.append(prefix + " |" + "".join(row))
+    lines.append(" " * 8 + " +" + "-" * width)
+    lines.append(" " * 10 + ("%.0e" % (10 ** x_low)).ljust(width - 8)
+                 + "%.0e" % (10 ** x_high))
+    if x_label:
+        lines.append(" " * 10 + x_label)
+    legend = "   ".join("%s %s" % (GLYPHS[i % len(GLYPHS)], name)
+                        for i, name in enumerate(series))
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def figure_11(max_bits: int = 1 << 26) -> str:
+    """Figure 11 as ASCII: multiply time vs bitwidth per platform."""
+    from repro.platforms import avx512, cpu, gpu
+    from repro.runtime import mpapca
+    series: Series = {"CPU+GMP": [], "Cambricon-P": [], "V100+CGBN": [],
+                      "AVX512IFMA": []}
+    bits = 64
+    while bits <= max_bits:
+        series["CPU+GMP"].append((bits, cpu.multiply_seconds(bits)))
+        series["Cambricon-P"].append((bits,
+                                      mpapca.multiply_seconds(bits)))
+        if gpu.applicable(bits):
+            series["V100+CGBN"].append(
+                (bits, gpu.multiply_seconds(bits, batch=10000)))
+        if avx512.applicable(bits):
+            series["AVX512IFMA"].append((bits,
+                                         avx512.multiply_seconds(bits)))
+        bits *= 2
+    return render_loglog(series,
+                         title="Figure 11: N-bit multiply time (s)",
+                         x_label="operand bits (log)",
+                         y_label="sec")
+
+
+def figure_13() -> str:
+    """Figure 13 as ASCII: app speedups vs problem size (synthetic)."""
+    from repro.apps import synthetic
+    from repro.platforms import cpu
+    from repro.runtime import mpapca
+
+    def speedup(trace) -> float:
+        return (cpu.price_trace(trace).seconds
+                / mpapca.price_trace(trace).seconds)
+
+    series: Series = {
+        "Pi": [(d, speedup(synthetic.pi_trace(d)))
+               for d in (10 ** 4, 10 ** 5, 10 ** 6)],
+        "Frac": [(p, speedup(synthetic.frac_trace(p // 4, p)))
+                 for p in (4096, 16384, 65536)],
+        "zkcm": [(p, speedup(synthetic.zkcm_trace(6, p)))
+                 for p in (2048, 3072, 4096)],
+        "RSA": [(b, speedup(synthetic.rsa_trace(b)))
+                for b in (4096, 16384, 65536)],
+    }
+    return render_loglog(series,
+                         title="Figure 13: app speedup vs size "
+                               "(Cambricon-P over CPU)",
+                         x_label="problem size (digits/bits, log)",
+                         y_label="speedup")

@@ -1,0 +1,47 @@
+"""ASCII visualization of controller schedules and PE occupancy.
+
+Shows how the Core Controller tiles a monolithic multiplication onto
+the PE array: one row per wave, one column per PE (bucketed for large
+arrays), glyphs encoding which pattern chunk each PE holds — making
+the pattern-multicast structure of Section V-B3 visible at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.core.controller import CoreController, MultiplySchedule
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def occupancy_map(schedule: MultiplySchedule,
+                  max_columns: int = 64) -> str:
+    """Wave-by-PE occupancy chart; glyph = chunk index (mod 36)."""
+    columns = min(schedule.num_pes, max_columns)
+    bucket = -(-schedule.num_pes // columns)
+    lines = [
+        "schedule: %d x %d limbs -> %d passes, %d wave(s) on %d PEs"
+        % (schedule.num_x_limbs, schedule.num_y_limbs,
+           schedule.num_passes, schedule.num_waves, schedule.num_pes),
+        "glyph = pattern-chunk index (mod 36); '.' = idle PE slot",
+    ]
+    for wave_index, passes in enumerate(schedule.waves()):
+        row = ["."] * columns
+        for pass_ in passes:
+            column = min(pass_.pe_index // bucket, columns - 1)
+            row[column] = _GLYPHS[pass_.chunk_index % len(_GLYPHS)]
+        lines.append("wave %3d |%s|" % (wave_index, "".join(row)))
+    utilized = schedule.num_passes / (schedule.num_waves
+                                      * schedule.num_pes)
+    lines.append("array utilization: %.1f%%" % (utilized * 100))
+    return "\n".join(lines)
+
+
+def multiply_occupancy(bits_a: int, bits_b: int,
+                       num_pes: int = 256, num_ipus: int = 32,
+                       q: int = 4, max_columns: int = 64) -> str:
+    """Occupancy chart for an (a x b)-bit monolithic multiplication."""
+    controller = CoreController(num_pes, num_ipus, q)
+    limbs_a = max(1, -(-bits_a // 32))
+    limbs_b = max(1, -(-bits_b // 32))
+    return occupancy_map(controller.plan_multiply(limbs_a, limbs_b),
+                         max_columns)

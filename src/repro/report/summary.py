@@ -1,0 +1,76 @@
+"""Cross-platform cost summaries for recorded traces.
+
+One call prices a workload trace on every platform model and returns a
+uniform comparison — the programmatic form of the Figure 13 rows, used
+by the CLI's ``price`` command and handy in notebooks/scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.platforms import cpu, gpu
+from repro.profiling import OperationTrace, classify_breakdown
+from repro.runtime import mpapca
+
+
+@dataclass
+class PlatformCost:
+    """Cost of one trace on one platform."""
+
+    seconds: float
+    joules: Optional[float]      # None where the model has no energy
+
+
+@dataclass
+class TraceComparison:
+    """A trace priced across platforms."""
+
+    costs: Dict[str, PlatformCost]
+    cpu_breakdown: Dict[str, float]   # Figure 2 classes
+
+    @property
+    def speedup(self) -> float:
+        """Cambricon-P speedup over the CPU."""
+        return (self.costs["cpu"].seconds
+                / self.costs["cambricon_p"].seconds)
+
+    @property
+    def energy_benefit(self) -> float:
+        cpu_joules = self.costs["cpu"].joules
+        camp_joules = self.costs["cambricon_p"].joules
+        assert cpu_joules is not None and camp_joules is not None
+        return cpu_joules / camp_joules
+
+    def table(self) -> str:
+        """Fixed-width comparison table."""
+        lines = ["%-14s %-12s %-12s" % ("platform", "seconds", "joules")]
+        for name, cost in self.costs.items():
+            joules = "%.3e" % cost.joules if cost.joules is not None \
+                else "-"
+            lines.append("%-14s %-12.3e %-12s"
+                         % (name, cost.seconds, joules))
+        lines.append("")
+        lines.append("speedup %.2fx   energy benefit %.2fx"
+                     % (self.speedup, self.energy_benefit))
+        classes = ", ".join("%s %.0f%%" % (k, v * 100)
+                            for k, v in self.cpu_breakdown.items()
+                            if v >= 0.005)
+        lines.append("CPU runtime classes: " + classes)
+        return "\n".join(lines)
+
+
+def compare_trace(trace: OperationTrace,
+                  gpu_batch: int = 1) -> TraceComparison:
+    """Price a trace on the CPU, GPU and Cambricon-P models."""
+    cpu_cost = cpu.price_trace(trace)
+    camp_cost = mpapca.price_trace(trace)
+    gpu_seconds = gpu.price_trace(trace, batch=gpu_batch)
+    costs = {
+        "cpu": PlatformCost(cpu_cost.seconds, cpu_cost.joules),
+        "cambricon_p": PlatformCost(camp_cost.seconds, camp_cost.joules),
+        "gpu": PlatformCost(gpu_seconds, gpu.energy_joules(gpu_seconds)),
+    }
+    breakdown = classify_breakdown(cpu_cost.breakdown()).as_dict()
+    return TraceComparison(costs, breakdown)

@@ -1,0 +1,14 @@
+"""The MPApca runtime library (Section V-C) and program scheduling."""
+
+from repro.runtime.highlevel import HighLevelOps
+from repro.runtime.mpapca import (AcceleratorCost, MPApca, add_cycles,
+                                  div_cycles, mul_cycles, multiply_seconds,
+                                  powmod_cycles, price_trace, shift_cycles,
+                                  sqrt_cycles)
+from repro.runtime.scheduler import (BatchingDriver, ScheduledProgram,
+                                     level_program)
+
+__all__ = ["AcceleratorCost", "BatchingDriver", "HighLevelOps", "MPApca",
+           "ScheduledProgram", "add_cycles", "div_cycles", "level_program",
+           "mul_cycles", "multiply_seconds", "powmod_cycles",
+           "price_trace", "shift_cycles", "sqrt_cycles"]

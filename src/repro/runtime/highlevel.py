@@ -1,0 +1,156 @@
+"""High-level MPApca operators (Section V-C).
+
+"Several high-level operators are also provided in MPApca including
+polynomial convolution, division, square root, and Montgomery
+reduction, etc., composed with inner-production, addition, subtraction,
+shift, and multiplication."  This module is that composition: each
+operator is built *from the runtime's primitive operators*, so the
+accelerator cost model accounts every constituent multiply/add/shift
+exactly as the hardware would execute them, while results stay exact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.mpn import nat
+from repro.mpn.div import divmod_newton, divmod_schoolbook
+from repro.mpn.montgomery import MontgomeryContext
+from repro.mpn.nat import MpnError, Nat
+from repro.mpn.sqrt import isqrt as _isqrt
+from repro.runtime.mpapca import MPApca
+
+
+class HighLevelOps:
+    """Composite operators executing through an MPApca runtime."""
+
+    def __init__(self, runtime: MPApca | None = None) -> None:
+        self.runtime = runtime or MPApca()
+
+    # -- polynomial convolution ------------------------------------------
+
+    def polynomial_convolution(self, x_coeffs: Sequence[Nat],
+                               y_coeffs: Sequence[Nat]) -> List[Nat]:
+        """Coefficient-wise convolution of two big-number polynomials.
+
+        Each output coefficient is an inner product of coefficient
+        slices — exactly the form the PE array batch-processes
+        (Figure 7a); every partial product runs through the runtime.
+        """
+        if not x_coeffs or not y_coeffs:
+            return []
+        output = [[] for _ in range(len(x_coeffs) + len(y_coeffs) - 1)]
+        for i, x in enumerate(x_coeffs):
+            if nat.is_zero(x):
+                continue
+            for j, y in enumerate(y_coeffs):
+                if nat.is_zero(y):
+                    continue
+                term = self.runtime.mul(x, y)
+                output[i + j] = self.runtime.add(output[i + j], term)
+        return [nat.normalize(c) for c in output]
+
+    # -- division -----------------------------------------------------------
+
+    def divide(self, a: Nat, b: Nat) -> Tuple[Nat, Nat]:
+        """(quotient, remainder) by Newton reciprocal on the runtime.
+
+        Every multiplication inside the reciprocal iteration and the
+        correction loop is dispatched through ``runtime.mul``, so the
+        modeled cost is the true composite cost (a few multiplies at
+        operand size, Table I's O(n^m log n) class).
+        """
+        if nat.is_zero(b):
+            raise MpnError("division by zero")
+        if nat.bit_length(b) <= 2048:
+            # Small divisors: the host CPU path (schoolbook) wins.
+            return divmod_schoolbook(a, b)
+        return divmod_newton(a, b, self.runtime.mul)
+
+    # -- square root -----------------------------------------------------------
+
+    def sqrt(self, a: Nat) -> Nat:
+        """Floor square root, precision-doubling Newton on the runtime."""
+        return _isqrt(a, self.runtime.mul)
+
+    # -- Montgomery reduction ------------------------------------------------
+
+    def montgomery_context(self, modulus: Nat) -> MontgomeryContext:
+        """A Montgomery domain whose big reductions ride the runtime."""
+        return MontgomeryContext(modulus, self.runtime.mul)
+
+    def montgomery_reduce(self, value: Nat, modulus: Nat) -> Nat:
+        """REDC: value * R^-1 mod modulus (R = 2^(32*len(modulus))).
+
+        The textbook reduction — m = (value mod R) * (-n^-1) mod R,
+        t = (value + m*n) / R — with the wide products dispatched
+        through the runtime; requires value < R * modulus.
+        """
+        if nat.is_zero(modulus) or not modulus[0] & 1:
+            raise MpnError("Montgomery reduction needs an odd modulus")
+        r_bits = 32 * len(modulus)
+        if nat.bit_length(value) > r_bits + nat.bit_length(modulus):
+            raise MpnError("REDC input must be below R * modulus")
+        n_prime = self._negated_inverse_mod_2k(modulus, r_bits)
+        low = nat.low_bits(value, r_bits)
+        # Truncated product (MulLo): only the low R bits of low*n' are
+        # needed — the optional operator the paper's MPApca lacked.
+        from repro.mpn.fused import mullo
+        m = mullo(low, n_prime, r_bits, self.runtime.mul)
+        t = self.runtime.shift(
+            self.runtime.add(value, self.runtime.mul(m, modulus)),
+            r_bits, left=False)
+        if nat.cmp(t, modulus) >= 0:
+            t = self.runtime.sub(t, modulus)
+        return t
+
+    @staticmethod
+    def _negated_inverse_mod_2k(modulus: Nat, bits: int) -> Nat:
+        """-modulus^-1 mod 2^bits by Newton (Hensel) lifting."""
+        inverse: Nat = [1]  # odd numbers are self-inverse mod 2
+        precision = 1
+        while precision < bits:
+            precision = min(2 * precision, bits)
+            # x <- x * (2 - n*x) mod 2^precision
+            from repro.mpn.mul import mul as raw_mul
+            product = nat.low_bits(raw_mul(modulus, inverse), precision)
+            two_minus = nat.sub(nat.add(nat.shl([1], precision), [2]),
+                                product)
+            inverse = nat.low_bits(raw_mul(inverse, two_minus), precision)
+        return nat.low_bits(nat.sub(nat.shl([1], bits), inverse), bits)
+
+    def powmod(self, base: Nat, exponent: Nat, modulus: Nat) -> Nat:
+        """Modular exponentiation through the runtime-backed context."""
+        if nat.is_zero(modulus):
+            raise MpnError("zero modulus")
+        if not modulus[0] & 1:
+            raise MpnError("runtime powmod requires an odd modulus")
+        return self.montgomery_context(modulus).pow(base, exponent)
+
+    # -- big-number linear algebra ----------------------------------------------
+
+    def matrix_multiply(self, a: List[List[Nat]],
+                        b: List[List[Nat]]) -> List[List[Nat]]:
+        """Matrix product with arbitrary-precision entries.
+
+        Section V-B3: with patterns shared along rows and indexes along
+        columns, "high-level operators, e.g., convolution and matrix
+        multiplication are also directly supported".  Each output entry
+        is an inner product of big-number vectors, executed through the
+        runtime's multiply/add operators.
+        """
+        if not a or not b or len(a[0]) != len(b):
+            raise MpnError("matrix shapes do not compose")
+        inner = len(b)
+        cols = len(b[0])
+        output: List[List[Nat]] = []
+        for row in a:
+            out_row: List[Nat] = []
+            for col in range(cols):
+                accumulator: Nat = []
+                for k in range(inner):
+                    term = self.runtime.mul(row[k], b[k][col])
+                    accumulator = self.runtime.add(accumulator, term)
+                out_row.append(accumulator)
+            output.append(out_row)
+        return output

@@ -1,0 +1,272 @@
+"""Tests for the four APC applications (Table II)."""
+
+import cmath
+import math
+
+import pytest
+
+from repro.apps import WORKLOADS, frac, pi, rsa, zkcm
+from repro.mpz import MPZ
+
+
+class TestPi:
+    def test_100_digits_exact(self):
+        assert pi.run(100).digits == pi.PI_REFERENCE_100
+
+    def test_longer_runs_extend_consistently(self):
+        long_run = pi.run(300).digits
+        assert long_run.startswith(pi.PI_REFERENCE_100)
+        assert len(long_run) == 302  # "3." + 300 digits
+
+    def test_terms_scale_with_digits(self):
+        short = pi.run(50)
+        long = pi.run(1000)
+        assert long.terms > short.terms
+        assert long.terms >= 1000 / pi.DIGITS_PER_TERM
+
+    def test_invalid_digits_rejected(self):
+        with pytest.raises(ValueError):
+            pi.compute_pi(0)
+
+    def test_trace_is_multiply_dominated(self):
+        _, trace = pi.trace_run(200)
+        names = trace.names()
+        assert names.get("mul", 0) > names.get("add", 0)
+        assert names.get("sqrt", 0) == 1
+        assert names.get("div", 0) >= 1
+
+
+class TestFrac:
+    def test_perturbation_matches_direct(self):
+        shared = dict(width=6, height=6, max_iterations=40, precision=128)
+        pert = frac.render(frac.DEFAULT_CENTER_RE, frac.DEFAULT_CENTER_IM,
+                           10, **shared)
+        direct = frac.render_direct(frac.DEFAULT_CENTER_RE,
+                                    frac.DEFAULT_CENTER_IM, 10, **shared)
+        agree = sum(1 for r in range(6) for c in range(6)
+                    if abs(pert.iterations[r][c]
+                           - direct.iterations[r][c]) <= 1)
+        assert agree >= 33  # <=3 boundary pixels may differ by >1 iter
+
+    def test_deep_zoom_needs_arbitrary_precision(self):
+        # At zoom 2^-200 the pixel offsets underflow doubles entirely;
+        # the render must still produce a structured (non-constant)
+        # image thanks to the high-precision reference orbit.
+        result = frac.run(zoom_exponent=200, width=8, height=8,
+                          max_iterations=320, precision=384)
+        flat = [i for row in result.iterations for i in row]
+        # The Misiurewicz reference orbit never escapes...
+        assert result.orbit_length == 320
+        # ...and the window still resolves dendrite structure.
+        assert len(set(flat)) > 1
+
+    def test_interior_point_never_escapes(self):
+        result = frac.render((0, 1), (0, 1), 4, width=2, height=2,
+                             max_iterations=32, precision=96)
+        # Pixels around the origin lie deep inside the set.
+        assert all(i == 32 for row in result.iterations for i in row)
+
+    def test_trace_records_multiplies(self):
+        _, trace = frac.trace_run(zoom_exponent=30, precision=128,
+                                  max_iterations=32)
+        assert trace.count("mul") > 10
+
+
+class TestZkcm:
+    @pytest.mark.parametrize("num_qubits,basis", [(2, 1), (3, 5)])
+    def test_qft_closed_form(self, num_qubits, basis):
+        size = 1 << num_qubits
+        result = zkcm.qft_state(num_qubits, basis, precision=128)
+        for y in range(size):
+            expected = cmath.exp(2j * math.pi * basis * y / size) \
+                / math.sqrt(size)
+            assert abs(complex(result.state[y]) - expected) < 1e-12
+
+    def test_qft_preserves_norm(self):
+        result = zkcm.qft_state(3, 2, precision=128)
+        norm = sum(float(amplitude.abs2()) for amplitude in result.state)
+        assert abs(norm - 1.0) < 1e-12
+
+    def test_unitarity_beyond_double(self):
+        result = zkcm.run(num_qubits=3, precision=192)
+        assert result.unitarity_error < 1e-15
+
+    def test_ghz(self):
+        result = zkcm.ghz_state(4, precision=96)
+        amplitudes = [abs(complex(a)) for a in result.state]
+        expected = 1 / math.sqrt(2)
+        assert abs(amplitudes[0] - expected) < 1e-10
+        assert abs(amplitudes[-1] - expected) < 1e-10
+        assert all(a < 1e-12 for a in amplitudes[1:-1])
+
+    def test_matrix_helpers(self):
+        identity = zkcm.identity(2, 96)
+        h = zkcm.hadamard(96)
+        hh = zkcm.matmul(h, h)
+        for r in range(2):
+            for c in range(2):
+                # complex() conversion floors the comparison at float64.
+                assert abs(complex(hh[r][c])
+                           - complex(identity[r][c])) < 1e-14
+
+    def test_tensor_dimensions(self):
+        h = zkcm.hadamard(96)
+        hh = zkcm.tensor(h, h)
+        assert len(hh) == 4 and len(hh[0]) == 4
+
+
+class TestRsa:
+    def test_round_trip_and_signature(self):
+        result = rsa.run(bits=256, messages=2)
+        assert result.ok
+        signature = rsa.sign(result.message, result.key)
+        assert rsa.verify(signature, result.message, result.key)
+        assert not rsa.verify(signature + 1, result.message, result.key)
+
+    def test_crt_matches_plain_decrypt(self):
+        key = rsa.generate_keypair(256, seed=7)
+        message = MPZ(0x1234567890ABCDEF)
+        ciphertext = rsa.encrypt(message, key)
+        assert rsa.decrypt(ciphertext, key, use_crt=True) \
+            == rsa.decrypt(ciphertext, key, use_crt=False) == message
+
+    def test_key_structure(self):
+        key = rsa.generate_keypair(256, seed=11)
+        assert key.bits == 256
+        assert key.prime_p * key.prime_q == key.modulus
+        phi = (key.prime_p - 1) * (key.prime_q - 1)
+        assert (key.public_exponent * key.private_exponent) % phi == MPZ(1)
+
+    def test_miller_rabin(self):
+        known_primes = [2, 3, 5, 97, 2 ** 61 - 1,
+                        (1 << 89) - 1]  # Mersenne primes included
+        for p in known_primes:
+            assert rsa.is_probable_prime(MPZ(p))
+        known_composites = [1, 4, 561, 1105, 6601,  # Carmichael numbers
+                            (2 ** 67) - 1]
+        for c in known_composites:
+            assert not rsa.is_probable_prime(MPZ(c))
+
+    def test_deterministic_keygen(self):
+        a = rsa.generate_keypair(128, seed=5)
+        b = rsa.generate_keypair(128, seed=5)
+        assert a.modulus == b.modulus
+
+    def test_message_out_of_range_rejected(self):
+        key = rsa.generate_keypair(128, seed=3)
+        with pytest.raises(ValueError):
+            rsa.encrypt(key.modulus + 1, key)
+
+    def test_odd_bits_rejected(self):
+        with pytest.raises(ValueError):
+            rsa.generate_keypair(129)
+
+    def test_trace_is_powmod_dominated(self):
+        _, trace = rsa.trace_run(bits=128, messages=2)
+        assert trace.count("powmod") >= 4  # MR rounds + enc/dec
+
+
+class TestWorkloadRegistry:
+    def test_all_four_apps_present(self):
+        assert set(WORKLOADS) == {"Pi", "Frac", "zkcm", "RSA"}
+
+    def test_smallest_configs_run(self):
+        for name, (runner, sweeps) in WORKLOADS.items():
+            result, trace = runner(**sweeps[0])
+            assert trace.count() > 0, name
+
+
+class TestFracImageOutput:
+    def test_pgm_roundtrip(self, tmp_path):
+        result = frac.run(zoom_exponent=10, width=6, height=4,
+                          max_iterations=40, precision=96)
+        path = tmp_path / "frame.pgm"
+        frac.write_pgm(result, str(path))
+        lines = path.read_text().splitlines()
+        assert lines[0] == "P2"
+        assert lines[1] == "6 4"
+        assert lines[2] == "255"
+        pixels = [int(v) for line in lines[3:] for v in line.split()]
+        assert len(pixels) == 24
+        assert all(0 <= v <= 255 for v in pixels)
+
+
+class TestGrover:
+    def test_closed_form_amplitude(self):
+        import math
+        num_qubits, marked = 3, 5
+        size = 8
+        for iterations in (1, 2):
+            result = zkcm.grover_search(num_qubits, marked,
+                                        precision=160,
+                                        iterations=iterations)
+            theta = math.asin(1 / math.sqrt(size))
+            expected = math.sin((2 * iterations + 1) * theta)
+            got = float(result.state[marked].re)
+            assert abs(got - expected) < 1e-12
+
+    def test_search_succeeds(self):
+        result = zkcm.grover_search(4, marked=11, precision=128)
+        probabilities = [float(a.abs2()) for a in result.state]
+        assert probabilities[11] == max(probabilities)
+        assert probabilities[11] > 0.9
+
+    def test_norm_preserved(self):
+        result = zkcm.grover_search(3, marked=2, precision=128,
+                                    iterations=3)
+        norm = sum(float(a.abs2()) for a in result.state)
+        assert abs(norm - 1.0) < 1e-12
+
+    def test_marked_out_of_range(self):
+        with pytest.raises(ValueError):
+            zkcm.grover_search(3, marked=8)
+
+
+class TestZkcmMatrixAlgebra:
+    def test_dagger_is_conjugate_transpose(self):
+        precision = 96
+        from repro.mpc import MPC
+        from repro.mpf import MPF
+        m = [[MPC(MPF(1, precision), MPF(2, precision)),
+              MPC(MPF(3, precision), MPF(-4, precision))],
+             [MPC(MPF(5, precision), MPF(0, precision)),
+              MPC(MPF(0, precision), MPF(1, precision))]]
+        dag = zkcm.dagger(m)
+        assert complex(dag[0][1]) == complex(5, 0)
+        assert complex(dag[1][0]) == complex(3, 4)
+        assert complex(dag[1][1]) == complex(0, -1)
+
+    def test_tensor_matches_kronecker(self):
+        import numpy
+        precision = 96
+        h = zkcm.hadamard(precision)
+        p = zkcm.phase_gate(2, precision)
+        ours = zkcm.tensor(h, p)
+        h_np = numpy.array([[complex(c) for c in row] for row in h])
+        p_np = numpy.array([[complex(c) for c in row] for row in p])
+        reference = numpy.kron(h_np, p_np)
+        for r in range(4):
+            for c in range(4):
+                assert abs(complex(ours[r][c]) - reference[r, c]) < 1e-12
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_phase_gates_are_unitary(self, k):
+        precision = 128
+        gate = zkcm.phase_gate(k, precision)
+        product = zkcm.matmul(gate, zkcm.dagger(gate))
+        identity = zkcm.identity(2, precision)
+        for r in range(2):
+            for c in range(2):
+                assert abs(complex(product[r][c])
+                           - complex(identity[r][c])) < 1e-14
+
+    def test_controlled_gate_block_structure(self):
+        precision = 96
+        controlled_h = zkcm.controlled(zkcm.hadamard(precision),
+                                       precision)
+        # Upper-left 2x2 block is identity; lower-right is H.
+        assert complex(controlled_h[0][0]) == 1 and \
+            complex(controlled_h[1][1]) == 1
+        assert abs(complex(controlled_h[2][2])
+                   - complex(2 ** -0.5, 0)) < 1e-12
+        assert complex(controlled_h[0][2]) == 0

@@ -1,0 +1,93 @@
+"""Tests for the quantum-circuit builder."""
+
+import math
+
+import pytest
+
+from repro.apps import zkcm
+from repro.apps.circuits import (Circuit, Gate, bell_pair, measure,
+                                 probabilities, qft_circuit, simulate)
+from repro.mpn.nat import MpnError
+
+
+class TestCircuitBuilder:
+    def test_fluent_construction(self):
+        circuit = Circuit(3).h(0).cnot(0, 1).phase(2, 2).z(1).x(2)
+        assert circuit.depth() == 5
+
+    def test_qubit_bounds_checked(self):
+        with pytest.raises(MpnError):
+            Circuit(2).h(2)
+        with pytest.raises(MpnError):
+            Circuit(2).cnot(0, 5)
+
+    def test_bad_gate_kind(self):
+        with pytest.raises(MpnError):
+            Gate("toffoli", 0)
+
+    def test_controlled_needs_control(self):
+        with pytest.raises(MpnError):
+            Gate("cnot", 0)
+
+    def test_empty_register_rejected(self):
+        with pytest.raises(MpnError):
+            Circuit(0)
+
+
+class TestSimulation:
+    def test_bell_pair(self):
+        state = simulate(bell_pair(), precision=96)
+        weights = probabilities(state)
+        assert abs(weights[0b00] - 0.5) < 1e-12
+        assert abs(weights[0b11] - 0.5) < 1e-12
+        assert weights[0b01] < 1e-20 and weights[0b10] < 1e-20
+
+    def test_x_and_z(self):
+        state = simulate(Circuit(1).x(0), precision=96)
+        assert probabilities(state) == pytest.approx([0.0, 1.0])
+        # Z|1> = -|1>: global phase visible in the amplitude sign.
+        state = simulate(Circuit(1).x(0).z(0), precision=96)
+        assert float(state[1].re) == pytest.approx(-1.0)
+
+    def test_double_hadamard_is_identity(self):
+        state = simulate(Circuit(1).h(0).h(0), precision=128)
+        assert probabilities(state) == pytest.approx([1.0, 0.0])
+
+    def test_qft_circuit_matches_zkcm(self):
+        # The builder's QFT ladder against zkcm's hardcoded flow (which
+        # also bit-reverses at the end).
+        num_qubits, basis = 3, 5
+        built = simulate(qft_circuit(num_qubits), precision=128,
+                         initial_basis=basis)
+        built = zkcm._bit_reverse_state(built, num_qubits)
+        reference = zkcm.qft_state(num_qubits, basis, precision=128)
+        for mine, theirs in zip(built, reference.state):
+            assert abs(complex(mine) - complex(theirs)) < 1e-12
+
+    def test_norm_preserved_through_long_circuit(self):
+        circuit = Circuit(3)
+        for _ in range(10):
+            circuit.h(0).cnot(0, 1).phase(2, 3).cnot(1, 2).z(0)
+        state = simulate(circuit, precision=160)
+        assert sum(probabilities(state)) == pytest.approx(1.0, abs=1e-12)
+
+    def test_initial_basis_out_of_range(self):
+        with pytest.raises(MpnError):
+            simulate(Circuit(2), initial_basis=4)
+
+
+class TestMeasurement:
+    def test_deterministic_state(self):
+        state = simulate(Circuit(2).x(1), precision=96)
+        outcomes = measure(state, shots=50, seed=1)
+        assert outcomes == [(0b10, 50)]
+
+    def test_bell_statistics(self):
+        state = simulate(bell_pair(), precision=96)
+        outcomes = dict(measure(state, shots=2000, seed=2))
+        assert set(outcomes) <= {0b00, 0b11}
+        assert abs(outcomes.get(0, 0) - 1000) < 150  # ~4 sigma
+
+    def test_seed_reproducible(self):
+        state = simulate(bell_pair(), precision=96)
+        assert measure(state, 100, seed=3) == measure(state, 100, seed=3)

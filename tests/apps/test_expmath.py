@@ -1,0 +1,86 @@
+"""Tests for exact LLL and integer-relation detection."""
+
+import pytest
+
+from repro.apps.expmath import (RelationResult, _round_mpq, lll_reduce,
+                                minimal_polynomial)
+from repro.mpf import MPF
+from repro.mpq import MPQ
+from repro.mpz import MPZ
+
+
+def as_basis(rows):
+    return [[MPZ(x) for x in row] for row in rows]
+
+
+def norms(basis):
+    return [sum(int(x) ** 2 for x in row) for row in basis]
+
+
+class TestRounding:
+    @pytest.mark.parametrize("num,den,expected", [
+        (1, 2, 1), (-1, 2, 0), (3, 4, 1), (-3, 4, -1), (5, 1, 5),
+        (7, 3, 2), (-7, 3, -2),
+    ])
+    def test_round_mpq(self, num, den, expected):
+        assert int(_round_mpq(MPQ(num, den))) == expected
+
+
+class TestLLL:
+    def test_classic_2d(self):
+        # The textbook example: heavily skewed 2D basis reduces to
+        # something near-orthogonal with the same lattice.
+        basis = as_basis([[1, 1], [0, 1000]])
+        reduced = lll_reduce(basis)
+        assert max(norms(reduced)) < 10 ** 6
+        # Determinant (lattice volume) is preserved up to sign.
+        det = int(reduced[0][0]) * int(reduced[1][1]) \
+            - int(reduced[0][1]) * int(reduced[1][0])
+        assert abs(det) == 1000
+
+    def test_finds_short_vector(self):
+        # Lattice containing (1, 0, 0) hidden behind large combos.
+        basis = as_basis([[101, 100, 0], [100, 99, 0], [0, 0, 7]])
+        reduced = lll_reduce(basis)
+        shortest = min(norms(reduced))
+        assert shortest <= 2
+
+    def test_identity_is_fixed_point(self):
+        basis = as_basis([[1, 0], [0, 1]])
+        assert norms(lll_reduce(basis)) == [1, 1]
+
+
+class TestMinimalPolynomial:
+    def test_sqrt2(self):
+        result = minimal_polynomial(MPF(2, 96).sqrt(), 2, 96)
+        assert result.coefficients == [-2, 0, 1]
+        assert result.residual_exponent < -80
+
+    def test_golden_ratio(self):
+        golden = (MPF(1, 96) + MPF(5, 96).sqrt()) / MPF(2, 96)
+        result = minimal_polynomial(golden, 2, 96)
+        assert result.coefficients == [-1, -1, 1]
+
+    def test_rational_value(self):
+        value = MPF.from_ratio(7, 3, 96)
+        result = minimal_polynomial(value, 2, 96)
+        # Any short lattice vector is a multiple of (3x - 7) — e.g.
+        # x*(3x - 7) is equally short — so certify via the residual.
+        assert any(result.coefficients)
+        assert result.residual_exponent < -80
+        # And the recovered relation must involve the value (not the
+        # trivial constant-only vector).
+        assert any(result.coefficients[1:])
+
+    @pytest.mark.slow
+    def test_quartic_sqrt2_plus_sqrt3(self):
+        value = MPF(2, 128).sqrt() + MPF(3, 128).sqrt()
+        result = minimal_polynomial(value, 4, 128)
+        assert result.coefficients == [1, 0, -10, 0, 1]
+        assert result.residual_exponent < -100
+
+    def test_pretty_and_degree(self):
+        result = RelationResult([-2, 0, 1], -90, 96)
+        assert result.pretty() == "-2 + 1*x^2"
+        assert result.degree == 2
+        assert RelationResult([5, 0, 0], -90, 96).degree == 0

@@ -1,0 +1,96 @@
+"""Tests for the Paillier homomorphic-encryption extension workload."""
+
+import random
+
+import pytest
+
+from repro.apps import he
+from repro.apps.synthetic import he_trace
+from repro.mpz import MPZ
+
+
+@pytest.fixture(scope="module")
+def key():
+    return he.generate_keypair(192, seed=5)
+
+
+class TestKeygen:
+    def test_structure(self, key):
+        assert key.bits == 192
+        assert key.n_squared == key.n * key.n
+        assert key.generator == key.n + 1
+
+    def test_deterministic(self):
+        a = he.generate_keypair(128, seed=9)
+        b = he.generate_keypair(128, seed=9)
+        assert a.n == b.n
+
+    def test_odd_bits_rejected(self):
+        with pytest.raises(ValueError):
+            he.generate_keypair(129)
+
+
+class TestEncryption:
+    def test_round_trip(self, key):
+        rng = random.Random(11)
+        for _ in range(5):
+            message = MPZ(rng.randrange(0, int(key.n)))
+            assert he.decrypt(he.encrypt(message, key, rng), key) \
+                == message
+
+    def test_probabilistic(self, key):
+        # Fresh randomness gives distinct ciphertexts for one message.
+        rng = random.Random(12)
+        message = MPZ(42)
+        c1 = he.encrypt(message, key, rng)
+        c2 = he.encrypt(message, key, rng)
+        assert c1 != c2
+        assert he.decrypt(c1, key) == he.decrypt(c2, key) == message
+
+    def test_out_of_range_rejected(self, key):
+        with pytest.raises(ValueError):
+            he.encrypt(key.n + 1, key)
+
+
+class TestHomomorphism:
+    def test_additive(self, key):
+        rng = random.Random(13)
+        a = MPZ(rng.getrandbits(100))
+        b = MPZ(rng.getrandbits(100))
+        combined = he.add_encrypted(he.encrypt(a, key, rng),
+                                    he.encrypt(b, key, rng), key)
+        assert he.decrypt(combined, key) == (a + b) % key.n
+
+    def test_scalar(self, key):
+        rng = random.Random(14)
+        message = MPZ(123456789)
+        scaled = he.scale_encrypted(he.encrypt(message, key, rng),
+                                    MPZ(7), key)
+        assert he.decrypt(scaled, key) == (message * 7) % key.n
+
+    def test_wraparound(self, key):
+        # Sums reduce modulo n, like any residue arithmetic.
+        rng = random.Random(15)
+        near_max = key.n - 1
+        doubled = he.add_encrypted(he.encrypt(near_max, key, rng),
+                                   he.encrypt(near_max, key, rng), key)
+        assert he.decrypt(doubled, key) == (near_max * 2) % key.n
+
+
+class TestRunAndTrace:
+    def test_run(self):
+        result = he.run(bits=192, values=3, seed=4)
+        assert result.ok
+
+    def test_trace_is_powmod_dominated(self):
+        _, trace = he.trace_run(bits=128, values=2, seed=4)
+        names = trace.names()
+        assert names.get("powmod", 0) >= 4
+
+    def test_synthetic_trace_same_scale(self):
+        from repro.platforms import cpu
+        _, real = he.trace_run(bits=256, values=4, seed=4)
+        synthetic_trace = he_trace(256, values=4)
+        real_cost = cpu.price_trace(real).seconds
+        synthetic_cost = cpu.price_trace(synthetic_trace).seconds
+        assert 0.3 < synthetic_cost / real_cost < 3.0

@@ -1,0 +1,71 @@
+"""Tests for the arbitrary-precision orbit calculation."""
+
+import math
+
+import pytest
+
+from repro.apps import orbit
+from repro.mpf import MPF
+from repro.mpn.nat import MpnError
+
+
+class TestKeplerSolver:
+    @pytest.mark.parametrize("e,m", [(0.0, 1.0), (0.3, 0.5),
+                                     (0.6, 2.0), (0.9, 5.5)])
+    def test_satisfies_keplers_equation(self, e, m):
+        precision = 160
+        ecc = MPF.from_ratio(int(e * 10), 10, precision)
+        mean = MPF.from_ratio(int(m * 10), 10, precision)
+        e_anomaly = orbit.solve_kepler(ecc, mean, precision)
+        from repro.mpf.transcendental import cos_sin
+        _, sin_e = cos_sin(e_anomaly, precision)
+        residual = abs(e_anomaly - ecc * sin_e - mean)
+        assert not residual or residual.exponent_of_top_bit < -140
+
+    def test_circular_orbit_is_identity(self):
+        precision = 128
+        mean = MPF.from_ratio(7, 5, precision)
+        got = orbit.solve_kepler(MPF(0, precision), mean, precision)
+        assert not abs(got - mean)
+
+    def test_hyperbolic_rejected(self):
+        with pytest.raises(MpnError):
+            orbit.solve_kepler(MPF(2, 128), MPF(1, 128), 128)
+
+    def test_matches_float64_solver(self):
+        precision = 128
+        got = orbit.solve_kepler(MPF.from_ratio(6, 10, precision),
+                                 MPF(2, precision), precision)
+        # float64 reference by fixed-point iteration.
+        e_ref = 2.0
+        for _ in range(100):
+            e_ref = 2.0 + 0.6 * math.sin(e_ref)
+        assert abs(float(got) - e_ref) < 1e-12
+
+
+class TestPropagation:
+    def test_orbit_closes_to_precision(self):
+        result = orbit.run(precision=192, steps=6)
+        assert result.closure_exponent < -150
+
+    def test_positions_on_the_ellipse(self):
+        # x^2/a^2 + y^2/b^2 = 1 with a=1, b^2 = 1-e^2, center (-e, 0).
+        precision = 160
+        result = orbit.propagate((6, 10), steps=5, precision=precision)
+        e = MPF.from_ratio(6, 10, precision)
+        one = MPF(1, precision)
+        b2 = one - e * e
+        for x, y in result.positions:
+            shifted = x + e
+            lhs = shifted * shifted + y * y / b2
+            error = abs(lhs - one)
+            assert not error or error.exponent_of_top_bit < -120
+
+    def test_beats_float64_by_many_orders(self):
+        result = orbit.run(precision=192, steps=4)
+        float_error = orbit.float64_closure_error()
+        assert 2.0 ** result.closure_exponent < float_error * 1e-30
+
+    def test_trace_records_kernel_work(self):
+        _, trace = orbit.trace_run(precision=128, steps=3)
+        assert trace.count("mul") > 50

@@ -1,0 +1,104 @@
+"""Validation of the synthetic trace generators against functional runs.
+
+The Figure 13 benchmark uses synthetic traces for paper-scale operand
+sizes; these tests pin the generators to reality at sizes where the
+functional stack is affordable.
+"""
+
+import pytest
+
+from repro.apps import frac, pi, rsa, synthetic, zkcm
+from repro.platforms import cpu
+from repro.runtime import mpapca
+
+
+def priced_ratio(synthetic_trace, real_trace, pricer):
+    return pricer(synthetic_trace).seconds / pricer(real_trace).seconds
+
+
+class TestPiSynthetic:
+    def test_op_counts_match_functional(self):
+        _, real = pi.trace_run(1500)
+        syn = synthetic.pi_trace(1500)
+        real_names, syn_names = real.names(), syn.names()
+        assert abs(syn_names["mul"] - real_names["mul"]) \
+            < 0.1 * real_names["mul"]
+        assert syn_names["sqrt"] == real_names["sqrt"] == 1
+
+    def test_priced_cost_tracks_functional(self):
+        _, real = pi.trace_run(3000)
+        syn = synthetic.pi_trace(3000)
+        for pricer in (cpu.price_trace, mpapca.price_trace):
+            assert 0.6 < priced_ratio(syn, real, pricer) < 1.6
+
+    def test_paper_scale_speedups_in_band(self):
+        # Figure 13 Pi band: 5.82x-16.65x across the precision sweep.
+        for digits in (10 ** 5, 10 ** 6, 10 ** 7):
+            trace = synthetic.pi_trace(digits)
+            speedup = (cpu.price_trace(trace).seconds
+                       / mpapca.price_trace(trace).seconds)
+            assert 4 < speedup < 20, digits
+
+
+class TestRsaSynthetic:
+    def test_speedup_preserved_despite_count_variance(self):
+        # Prime-search candidate counts are stochastic in the real run;
+        # the synthetic expectation may differ in totals but must
+        # preserve the CPU/accelerator ratio.
+        _, real = rsa.trace_run(512, messages=4)
+        syn = synthetic.rsa_trace(512, messages=4)
+        real_speedup = (cpu.price_trace(real).seconds
+                        / mpapca.price_trace(real).seconds)
+        syn_speedup = (cpu.price_trace(syn).seconds
+                       / mpapca.price_trace(syn).seconds)
+        assert syn_speedup == pytest.approx(real_speedup, rel=0.25)
+
+    def test_speedup_grows_with_key_size(self):
+        speedups = []
+        for bits in (2048, 8192, 32768):
+            trace = synthetic.rsa_trace(bits)
+            speedups.append(cpu.price_trace(trace).seconds
+                            / mpapca.price_trace(trace).seconds)
+        assert speedups[0] < speedups[1] < speedups[2]
+        assert speedups[2] > 50  # paper: up to 166x on large RSA
+
+
+class TestFracSynthetic:
+    def test_priced_cost_tracks_functional(self):
+        _, real = frac.trace_run(40, 128)
+        syn = synthetic.frac_trace(40, 128)
+        for pricer in (cpu.price_trace, mpapca.price_trace):
+            assert 0.7 < priced_ratio(syn, real, pricer) < 1.5
+
+    def test_paper_scale_speedups_in_band(self):
+        # Figure 13 Frac band: 6.71x-63.92x.
+        for zoom, precision in ((2000, 8192), (10000, 40960),
+                                (60000, 262144)):
+            trace = synthetic.frac_trace(zoom, precision)
+            speedup = (cpu.price_trace(trace).seconds
+                       / mpapca.price_trace(trace).seconds)
+            assert 6 < speedup < 70
+
+
+class TestZkcmSynthetic:
+    def test_priced_cost_same_scale_as_functional(self):
+        _, real = zkcm.trace_run(3, 128)
+        syn = synthetic.zkcm_trace(3, 128)
+        for pricer in (cpu.price_trace, mpapca.price_trace):
+            assert 0.3 < priced_ratio(syn, real, pricer) < 3.0
+
+    def test_paper_scale_speedups_in_band(self):
+        # Figure 13 zkcm band: 3.38x-34.97x.
+        for precision in (8192, 32768, 131072):
+            trace = synthetic.zkcm_trace(6, precision)
+            speedup = (cpu.price_trace(trace).seconds
+                       / mpapca.price_trace(trace).seconds)
+            assert 3 < speedup < 120
+
+
+class TestRegistry:
+    def test_generators_cover_all_workloads(self):
+        from repro.apps import WORKLOADS
+        # Every paper workload has a generator; extensions (HE) may add
+        # more.
+        assert set(WORKLOADS) <= set(synthetic.GENERATORS)

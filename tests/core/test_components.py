@@ -1,0 +1,168 @@
+"""Tests for the cycle-stepped hardware components.
+
+Converter, IPU and GU are validated bit-for-bit against word-level
+oracles, including the carry bounds the carry-parallel mechanism relies
+on (Equation 2).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bips import index_stream
+from repro.core.bitflow import Bitflow, BitflowCollector
+from repro.core.converter import Converter
+from repro.core.gu import (GatherUnit, carry_parallel_latency, gather,
+                           ripple_gather_latency)
+from repro.core.ipu import IPU
+from repro.mpn import nat
+from repro.mpn.nat import MpnError
+
+limb_values = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestBitflow:
+    @given(st.integers(min_value=0, max_value=(1 << 300) - 1))
+    def test_stream_roundtrip(self, value):
+        flow = Bitflow(nat.nat_from_int(value))
+        collector = BitflowCollector()
+        for _ in range(value.bit_length()):
+            collector.push(flow.next_bit())
+        assert collector.to_int() == value
+        assert flow.exhausted()
+
+    def test_bits_beyond_length_are_zero(self):
+        flow = Bitflow(nat.nat_from_int(0b101))
+        bits = [flow.next_bit() for _ in range(8)]
+        assert bits == [1, 0, 1, 0, 0, 0, 0, 0]
+
+    def test_rewind(self):
+        flow = Bitflow(nat.nat_from_int(0b11))
+        assert flow.next_bit() == 1
+        flow.rewind()
+        assert flow.next_bit() == 1
+
+    def test_peek_does_not_advance(self):
+        flow = Bitflow(nat.nat_from_int(0b10))
+        assert flow.peek(1) == 1
+        assert flow.cursor == 0
+
+
+class TestConverter:
+    @given(st.lists(limb_values, min_size=4, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_streams_all_subset_sums(self, x_vec):
+        converter = Converter(4)
+        converter.load([Bitflow(nat.nat_from_int(x)) for x in x_vec])
+        collectors = [BitflowCollector() for _ in range(16)]
+        for _ in range(40):  # 32 input bits + carry drain
+            bits = converter.step()
+            for collector, bit in zip(collectors, bits):
+                collector.push(bit)
+        assert converter.drained()
+        for mask in range(16):
+            expected = sum(x for i, x in enumerate(x_vec)
+                           if (mask >> i) & 1)
+            assert collectors[mask].to_int() == expected
+
+    def test_adder_count_matches_paper(self):
+        # 2^q - q - 1 bit-serial adders (11 for q = 4, Figure 9b reuse).
+        assert Converter(4).adder_count == 11
+        assert Converter(2).adder_count == 1
+        assert Converter(5).adder_count == 26
+
+    def test_wrong_flow_count_rejected(self):
+        with pytest.raises(MpnError):
+            Converter(4).load([Bitflow([])] * 3)
+
+
+class TestIPU:
+    @given(st.lists(limb_values, min_size=4, max_size=4),
+           st.lists(limb_values, min_size=4, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_inner_product_bit_serial(self, x_vec, y_vec):
+        converter = Converter(4)
+        converter.load([Bitflow(nat.nat_from_int(x)) for x in x_vec])
+        ipu = IPU(4, 32)
+        ipu.load(index_stream(y_vec, 32))
+        collector = BitflowCollector()
+        for _ in range(70):
+            collector.push(ipu.step(converter.step()))
+        assert collector.to_int() == sum(a * b
+                                         for a, b in zip(x_vec, y_vec))
+
+    def test_index_out_of_range_rejected(self):
+        with pytest.raises(MpnError):
+            IPU(4, 32).load([16])
+
+    def test_index_stream_too_long_rejected(self):
+        with pytest.raises(MpnError):
+            IPU(4, 8).load([0] * 9)
+
+    def test_zero_indices_produce_zero(self):
+        converter = Converter(4)
+        converter.load([Bitflow(nat.nat_from_int(0xFFFFFFFF))] * 4)
+        ipu = IPU(4, 32)
+        ipu.load([0] * 32)
+        collector = BitflowCollector()
+        for _ in range(70):
+            collector.push(ipu.step(converter.step()))
+        assert collector.to_int() == 0
+
+
+class TestGather:
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                    min_size=1, max_size=32))
+    def test_matches_shifted_sum(self, partial_sums):
+        result = gather(partial_sums, 32)
+        expected = sum(ps << (32 * i) for i, ps in enumerate(partial_sums))
+        assert result.total == expected
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                    min_size=2, max_size=32))
+    def test_equation_2_carry_bound(self, partial_sums):
+        # 2L-bit partial sums never generate more than a 1-bit carry.
+        assert gather(partial_sums, 32).max_carry <= 1
+
+    def test_wider_partial_sums_still_exact(self):
+        # 2L+2-bit values (q=4 inner products) stay correct; the carry
+        # can reach 2 in this generalized regime.
+        partial_sums = [(1 << 66) - 1] * 8
+        result = gather(partial_sums, 32)
+        assert result.total == sum(ps << (32 * i)
+                                   for i, ps in enumerate(partial_sums))
+        assert result.max_carry <= 2
+
+    def test_empty(self):
+        assert gather([], 32).total == 0
+
+    def test_latency_model_favors_carry_parallel(self):
+        # The ablation the GU design rests on: selection sweep beats the
+        # ripple chain as soon as more than a couple of IPUs gather.
+        for num_ipus in (4, 8, 16, 32):
+            assert carry_parallel_latency(num_ipus) \
+                < ripple_gather_latency(num_ipus)
+
+
+class TestGatherUnit:
+    def test_combine_modes(self):
+        rng = random.Random(7)
+        gu = GatherUnit(32, 32)
+        partial_sums = [rng.getrandbits(64) for _ in range(32)]
+        for group in gu.valid_combines():
+            results = gu.combine(partial_sums, group)
+            assert len(results) == 32 // group
+            for index, result in enumerate(results):
+                chunk = partial_sums[index * group:(index + 1) * group]
+                assert result.total == sum(ps << (32 * i)
+                                           for i, ps in enumerate(chunk))
+
+    def test_invalid_combine_rejected(self):
+        with pytest.raises(MpnError):
+            GatherUnit(32).combine([0] * 32, 3)
+
+    def test_non_power_of_two_size_rejected(self):
+        with pytest.raises(MpnError):
+            GatherUnit(24)

@@ -1,0 +1,121 @@
+"""Tests for non-default hardware configurations.
+
+The components are parametric in q, the IPU count, the PE count and the
+limb width; these tests pin the generality (the paper's architecture is
+one point in this space, chosen by the lambda analysis).
+"""
+
+import random
+
+import pytest
+
+from repro.core.accelerator import CambriconP
+from repro.core.bips import index_stream
+from repro.core.bitflow import Bitflow, BitflowCollector
+from repro.core.converter import Converter
+from repro.core.ipu import IPU
+from repro.core.model import CambriconPConfig, CambriconPModel
+from repro.core.pe import ProcessingElement
+from repro.mpn import nat
+
+from tests.conftest import from_nat, to_nat
+
+
+class TestConverterGenerality:
+    @pytest.mark.parametrize("q", [1, 2, 3, 5])
+    def test_subset_sums_for_any_q(self, q, rng):
+        x_vec = [rng.getrandbits(16) for _ in range(q)]
+        converter = Converter(q)
+        converter.load([Bitflow(nat.nat_from_int(x)) for x in x_vec])
+        collectors = [BitflowCollector() for _ in range(1 << q)]
+        for _ in range(16 + q + 4):
+            for collector, bit in zip(collectors, converter.step()):
+                collector.push(bit)
+        assert converter.drained()
+        for mask in range(1 << q):
+            expected = sum(x for i, x in enumerate(x_vec)
+                           if (mask >> i) & 1)
+            assert collectors[mask].to_int() == expected
+
+
+class TestIpuGenerality:
+    @pytest.mark.parametrize("q,index_bits", [(2, 16), (3, 24), (5, 32)])
+    def test_inner_product_other_shapes(self, q, index_bits, rng):
+        x_vec = [rng.getrandbits(index_bits) for _ in range(q)]
+        y_vec = [rng.getrandbits(index_bits) for _ in range(q)]
+        converter = Converter(q)
+        converter.load([Bitflow(nat.nat_from_int(x)) for x in x_vec])
+        ipu = IPU(q, index_bits)
+        ipu.load(index_stream(y_vec, index_bits))
+        collector = BitflowCollector()
+        for _ in range(2 * index_bits + q + 8):
+            collector.push(ipu.step(converter.step()))
+        assert collector.to_int() == sum(a * b
+                                         for a, b in zip(x_vec, y_vec))
+
+
+class TestPeGenerality:
+    @pytest.mark.parametrize("num_ipus,q", [(8, 4), (16, 2), (4, 3)])
+    def test_pass_other_shapes(self, num_ipus, q, rng):
+        pe = ProcessingElement(num_ipus=num_ipus, q=q)
+        chunk = [rng.getrandbits(32) for _ in range(q)]
+        window = [rng.getrandbits(32) for _ in range(pe.window_limbs)]
+        result = pe.compute_pass(chunk, window)
+        expected = 0
+        for i in range(num_ipus):
+            operands = [window[i + q - 1 - m] for m in range(q)]
+            expected += sum(x * y for x, y
+                            in zip(chunk, operands)) << (32 * i)
+        assert result.slab == expected
+
+    def test_bit_serial_matches_on_alternate_shape(self, rng):
+        pe = ProcessingElement(num_ipus=8, q=2)
+        chunk = [rng.getrandbits(32) for _ in range(2)]
+        window = [rng.getrandbits(32) for _ in range(pe.window_limbs)]
+        fast = pe.compute_pass(chunk, window)
+        slow = pe.compute_pass_bit_serial(chunk, window)
+        assert fast.slab == slow.slab
+
+
+class TestAcceleratorConfigurations:
+    @pytest.mark.parametrize("config", [
+        CambriconPConfig(num_pes=8, num_ipus=8, q=4),
+        CambriconPConfig(num_pes=16, num_ipus=16, q=2),
+        CambriconPConfig(num_pes=4, num_ipus=32, q=4,
+                         frequency_hz=1.0e9),
+    ])
+    def test_exactness_everywhere(self, config, rng):
+        device = CambriconP(config)
+        a, b = rng.getrandbits(777), rng.getrandbits(1234)
+        product, report = device.multiply(to_nat(a), to_nat(b))
+        assert from_nat(product) == a * b
+        assert report.seconds == report.cycles / config.frequency_hz
+
+    def test_functional_report_matches_analytic_model(self, rng):
+        # The consistency promise: simulator cycles == model cycles.
+        device = CambriconP()
+        model = CambriconPModel()
+        for bits in (100, 2048, 10000):
+            a = rng.getrandbits(bits) | (1 << (bits - 1))
+            _, report = device.multiply(to_nat(a), to_nat(a))
+            assert report.cycles == model.multiply_cycles(bits, bits)
+
+    def test_more_pes_never_slower(self):
+        small = CambriconPModel(CambriconPConfig(num_pes=64))
+        large = CambriconPModel(CambriconPConfig(num_pes=256))
+        for bits in (4096, 35904, 100000):
+            assert large.multiply_cycles(bits, bits) \
+                <= small.multiply_cycles(bits, bits)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        CambriconPConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_pes": 0}, {"num_ipus": 0}, {"num_ipus": 24},
+        {"q": 0}, {"q": 9}, {"limb_bits": 2}, {"frequency_hz": 0.0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CambriconPConfig(**kwargs)

@@ -1,0 +1,107 @@
+"""Tests for the instruction interface and host driver."""
+
+import pytest
+
+from repro.core.isa import (Driver, Instruction, Opcode, OperandRef,
+                            SharedLLC)
+from repro.mpn import nat
+from repro.mpn.nat import MpnError
+
+from tests.conftest import from_nat, to_nat
+
+
+class TestSharedLLC:
+    def test_write_read_roundtrip(self):
+        llc = SharedLLC()
+        ref = llc.write(3, to_nat(12345))
+        assert ref.bits == 14
+        assert from_nat(llc.read(ref)) == 12345
+        assert from_nat(llc.read(3)) == 12345
+
+    def test_unwritten_address_rejected(self):
+        with pytest.raises(MpnError):
+            SharedLLC().read(7)
+
+    def test_traffic_accounting(self):
+        llc = SharedLLC()
+        llc.write(0, to_nat(1 << 99))
+        llc.read(0)
+        assert llc.bits_written == 100
+        assert llc.bits_read == 100
+
+
+class TestInstruction:
+    def test_render(self):
+        instruction = Instruction(Opcode.SHL, (OperandRef(0, 64),), 1,
+                                  immediate=5)
+        assert str(instruction) == "SHL @0[64b] -> @1 #5"
+
+    def test_bad_descriptor_rejected(self):
+        with pytest.raises(MpnError):
+            OperandRef(-1, 3)
+
+
+class TestDriver:
+    def test_single_multiply(self, rng):
+        driver = Driver()
+        a, b = rng.getrandbits(1000), rng.getrandbits(900)
+        ref_a = driver.alloc(to_nat(a))
+        ref_b = driver.alloc(to_nat(b))
+        retirements = driver.execute([
+            Instruction(Opcode.MUL, (ref_a, ref_b), destination=100),
+        ])
+        assert from_nat(driver.result(100)) == a * b
+        assert retirements[0].report.cycles > 0
+
+    def test_composite_program(self, rng):
+        # (a*b + c) >> 12, as three orders through the shared LLC.
+        driver = Driver()
+        a, b, c = (rng.getrandbits(500) for _ in range(3))
+        ref_a, ref_b, ref_c = (driver.alloc(to_nat(v))
+                               for v in (a, b, c))
+        driver.execute([
+            Instruction(Opcode.MUL, (ref_a, ref_b), destination=10),
+        ])
+        product_ref = OperandRef(10, (a * b).bit_length())
+        driver.execute([
+            Instruction(Opcode.ADD, (product_ref, ref_c),
+                        destination=11),
+            Instruction(Opcode.SHR,
+                        (OperandRef(11, (a * b + c).bit_length()),),
+                        destination=12, immediate=12),
+        ])
+        assert from_nat(driver.result(12)) == (a * b + c) >> 12
+        assert driver.total_cycles > 0
+        assert driver.total_seconds > 0
+
+    def test_sub_and_shl(self, rng):
+        driver = Driver()
+        a = rng.getrandbits(300) | (1 << 299)
+        b = rng.getrandbits(200)
+        ref_a, ref_b = driver.alloc(to_nat(a)), driver.alloc(to_nat(b))
+        driver.execute([
+            Instruction(Opcode.SUB, (ref_a, ref_b), destination=5),
+            Instruction(Opcode.SHL, (OperandRef(5, 300),),
+                        destination=6, immediate=7),
+        ])
+        assert from_nat(driver.result(6)) == (a - b) << 7
+
+    def test_inner_production_order(self, rng):
+        driver = Driver()
+        x = rng.getrandbits(32 * 6)
+        y = rng.getrandbits(32 * 6)
+        ref_x, ref_y = driver.alloc(to_nat(x)), driver.alloc(to_nat(y))
+        driver.execute([
+            Instruction(Opcode.IP, (ref_x, ref_y), destination=20),
+        ])
+        x_limbs = [(x >> (32 * i)) & 0xFFFFFFFF for i in range(6)]
+        y_limbs = [(y >> (32 * i)) & 0xFFFFFFFF for i in range(6)]
+        expected = sum(p * q for p, q in zip(x_limbs, y_limbs))
+        assert from_nat(driver.result(20)) == expected
+
+    def test_wrong_arity_rejected(self):
+        driver = Driver()
+        ref = driver.alloc(to_nat(1))
+        with pytest.raises(MpnError):
+            driver.execute([Instruction(Opcode.MUL, (ref,),
+                                        destination=0)])

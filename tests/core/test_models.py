@@ -1,0 +1,104 @@
+"""Tests for the cycle model and the area/power/energy model."""
+
+import pytest
+
+from repro.core.energy import (AREA_MM2_PER_GE, PAPER_AREA_MM2,
+                               PAPER_POWER_W, area_mm2, energy_joules,
+                               gate_counts, multiplier_area_mm2,
+                               multiplier_ratios, power_w)
+from repro.core.model import (DEFAULT_CONFIG, CambriconPConfig,
+                              CambriconPModel)
+
+
+class TestCycleModel:
+    def setup_method(self):
+        self.model = CambriconPModel()
+
+    def test_pass_constants(self):
+        assert self.model.pass_occupancy_cycles == 32
+        assert self.model.pass_latency_cycles == 70
+
+    def test_throughput_anchor_4096(self):
+        # Table III: a batched 4096x4096 multiply amortizes to 1.6e-8 s.
+        seconds = self.model.multiply_throughput_seconds(4096, 4096)
+        assert abs(seconds - 1.6e-8) < 2e-9
+
+    def test_latency_exceeds_throughput(self):
+        for bits in (64, 4096, 35904):
+            assert self.model.multiply_cycles(bits, bits) \
+                > self.model.multiply_throughput_cycles(bits, bits)
+
+    def test_cycles_monotonic_in_size(self):
+        previous = 0.0
+        for bits in (64, 1024, 8192, 35904, 70000):
+            cycles = self.model.multiply_cycles(bits, bits)
+            assert cycles >= previous
+            previous = cycles
+
+    def test_monolithic_limit_is_paper_value(self):
+        assert DEFAULT_CONFIG.monolithic_max_bits == 35904
+
+    def test_add_is_bandwidth_dominated_at_scale(self):
+        small = self.model.add_cycles(1024)
+        large = self.model.add_cycles(1 << 20)
+        assert large > small
+        # Streaming term: tripling the bits roughly triples the cycles.
+        ratio = self.model.add_cycles(3 << 20) / large
+        assert 2.0 < ratio < 3.5
+
+    def test_shift_is_dispatch_only(self):
+        assert self.model.shift_cycles() == 40
+        assert self.model.shift_cycles(include_dispatch=False) == 0
+
+    def test_inner_product_cycles_scale(self):
+        short = self.model.inner_product_cycles(16, 32)
+        long = self.model.inner_product_cycles(1 << 20, 32)
+        assert long > short
+
+
+class TestEnergyModel:
+    def test_anchored_at_paper_design_point(self):
+        # Section VII-A: 1.894 mm^2 and 3.644 W for 256 PEs x 32 IPUs.
+        assert abs(area_mm2() - PAPER_AREA_MM2) < 1e-9
+        assert abs(power_w() - PAPER_POWER_W) < 1e-9
+
+    def test_scales_with_pe_count(self):
+        half = CambriconPConfig(num_pes=128)
+        assert area_mm2(half) < PAPER_AREA_MM2
+        assert area_mm2(half) > PAPER_AREA_MM2 * 0.4
+
+    def test_power_scales_with_frequency(self):
+        slow = CambriconPConfig(frequency_hz=1.0e9)
+        assert abs(power_w(slow) - PAPER_POWER_W / 2) < 1e-9
+
+    def test_component_shares_sum_to_one(self):
+        shares = gate_counts().shares()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        # IPUs dominate the array, as the microarchitecture suggests.
+        assert max(shares, key=shares.get) == "ipu"
+
+    def test_energy_includes_llc(self):
+        base = energy_joules(1e-6)
+        with_traffic = energy_joules(1e-6, llc_bits=1e9)
+        assert with_traffic > base
+
+    def test_unit_constants_positive(self):
+        assert AREA_MM2_PER_GE > 0
+
+
+class TestMultiplierScaling:
+    def test_section_3_claims(self):
+        # 512-bit vs 32-bit: 189.36x area, 521.67x energy, 5.74x delay.
+        ratios = multiplier_ratios(512)
+        assert abs(ratios["area"] - 189.36) / 189.36 < 0.01
+        assert abs(ratios["energy"] - 521.67) / 521.67 < 0.01
+        assert abs(ratios["delay"] - 5.74) / 5.74 < 0.01
+
+    def test_512_bit_area_anchor(self):
+        assert abs(multiplier_area_mm2(512) - 0.16) < 1e-6
+
+    def test_wide_multiplier_dwarfs_cambricon_p_pe(self):
+        # The motivation: a PE's silicon is far below a monolithic
+        # 512-bit array multiplier's.
+        per_pe_area = area_mm2() / DEFAULT_CONFIG.num_pes
+        assert multiplier_area_mm2(512) > 10 * per_pe_area

@@ -1,0 +1,215 @@
+"""Tests for the PE, controller, memory agents and full accelerator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accelerator import CambriconP
+from repro.core.adder_tree import AdderTree
+from repro.core.controller import CoreController, PEController
+from repro.core.memory import MemoryAgent
+from repro.core.model import CambriconPConfig, CambriconPModel
+from repro.core.pe import ProcessingElement, slab_significance_limbs
+from repro.mpn import nat
+from repro.mpn.nat import MpnError
+
+from tests.conftest import from_nat, naturals, to_nat
+
+limb_values = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+def pass_oracle(chunk, window, num_ipus=32, q=4):
+    """Word-level oracle for one PE pass."""
+    total = 0
+    for i in range(num_ipus):
+        operands = [window[i + q - 1 - m] for m in range(q)]
+        partial = sum(x * y for x, y in zip(chunk, operands))
+        total += partial << (32 * i)
+    return total
+
+
+class TestProcessingElement:
+    @given(st.lists(limb_values, min_size=4, max_size=4),
+           st.lists(limb_values, min_size=35, max_size=35))
+    @settings(max_examples=25)
+    def test_fast_pass_matches_oracle(self, chunk, window):
+        pe = ProcessingElement()
+        result = pe.compute_pass(chunk, window)
+        assert result.slab == pass_oracle(chunk, window)
+
+    def test_bit_serial_matches_fast(self, rng):
+        pe = ProcessingElement()
+        for _ in range(2):
+            chunk = [rng.getrandbits(32) for _ in range(4)]
+            window = [rng.getrandbits(32) for _ in range(35)]
+            fast = pe.compute_pass(chunk, window)
+            slow = pe.compute_pass_bit_serial(chunk, window)
+            assert fast.slab == slow.slab
+            assert fast.partial_sums == slow.partial_sums
+
+    def test_window_geometry(self):
+        pe = ProcessingElement(num_ipus=32, q=4)
+        assert pe.window_limbs == 35
+
+    def test_bad_shapes_rejected(self):
+        pe = ProcessingElement()
+        with pytest.raises(MpnError):
+            pe.compute_pass([1, 2, 3], [0] * 35)
+        with pytest.raises(MpnError):
+            pe.compute_pass([1, 2, 3, 4], [0] * 34)
+        with pytest.raises(MpnError):
+            pe.compute_pass([1 << 32, 0, 0, 0], [0] * 35)
+
+    def test_significance(self):
+        assert slab_significance_limbs(4, 29, 4) == 36
+
+
+class TestController:
+    def test_schedule_covers_operands(self):
+        controller = CoreController(num_pes=256, num_ipus=32, q=4)
+        schedule = controller.plan_multiply(128, 128)
+        chunks = {p.chunk_index for p in schedule.passes}
+        windows = {p.window_index for p in schedule.passes}
+        assert len(chunks) == 32          # 128 limbs / 4
+        assert len(windows) == 5          # ceil((128+3)/32)
+        assert schedule.num_passes == 160
+        assert schedule.num_waves == 1
+
+    def test_waves_respect_pe_count(self):
+        controller = CoreController(num_pes=16)
+        schedule = controller.plan_multiply(64, 64)
+        for wave_passes in schedule.waves():
+            assert len(wave_passes) <= 16
+            pe_indices = [p.pe_index for p in wave_passes]
+            assert len(set(pe_indices)) == len(pe_indices)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MpnError):
+            CoreController().plan_multiply(0, 4)
+
+    def test_pec_tiling(self):
+        pec = PEController(num_ipus=32, q=4)
+        tiles = pec.tile_inner_product(10)
+        assert [list(t) for t in tiles] == [[0, 1, 2, 3], [4, 5, 6, 7],
+                                            [8, 9]]
+        assert pec.tiles_per_pass() == 32
+
+
+class TestMemoryAgent:
+    def test_multicast_reuse_lowers_traffic(self):
+        controller = CoreController()
+        agent = MemoryAgent()
+        schedule = controller.plan_multiply(512, 512)
+        shared = agent.multiply_traffic(schedule)
+        naive = agent.naive_multiply_traffic(schedule)
+        assert shared.total_bits < naive.total_bits
+        assert shared.output_write_bits == naive.output_write_bits
+
+    def test_traffic_scales_with_operands(self):
+        controller = CoreController()
+        agent = MemoryAgent()
+        small = agent.multiply_traffic(controller.plan_multiply(32, 32))
+        large = agent.multiply_traffic(controller.plan_multiply(512, 512))
+        assert large.total_bits > small.total_bits
+
+    def test_streaming_cycles_positive(self):
+        controller = CoreController()
+        agent = MemoryAgent()
+        traffic = agent.multiply_traffic(controller.plan_multiply(128, 128))
+        assert agent.streaming_cycles(traffic) > 0
+
+
+class TestAdderTree:
+    def test_integrate(self):
+        tree = AdderTree()
+        slabs = [(5, 0), (7, 1), (0, 2), (9, 3)]
+        total = tree.integrate(slabs)
+        assert from_nat(total) == 5 + (7 << 32) + (9 << 96)
+        assert tree.additions == 3  # the zero slab is skipped
+
+    def test_depth(self):
+        assert AdderTree().tree_depth(256) == 8
+
+
+class TestAcceleratorMultiply:
+    @given(naturals, naturals)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_int(self, a, b):
+        device = CambriconP()
+        product, report = device.multiply(to_nat(a), to_nat(b))
+        assert from_nat(product) == a * b
+        if a and b:
+            assert report.cycles > 0
+            assert report.max_gather_carry <= 2
+
+    def test_zero_operand(self):
+        device = CambriconP()
+        product, report = device.multiply([], to_nat(5))
+        assert product == [] and report.cycles == 0
+
+    def test_bit_serial_end_to_end(self, rng):
+        device = CambriconP()
+        a, b = rng.getrandbits(256), rng.getrandbits(200)
+        product, _ = device.multiply(to_nat(a), to_nat(b), bit_serial=True)
+        assert from_nat(product) == a * b
+
+    def test_4096_bit_design_point(self):
+        # Table III's workload: one wave, ~1.6e-8 s of throughput.
+        device = CambriconP()
+        a = (1 << 4096) - 12345
+        product, report = device.multiply(to_nat(a), to_nat(a))
+        assert from_nat(product) == a * a
+        assert report.num_waves == 1
+        throughput = device.model.multiply_throughput_seconds(4096, 4096)
+        assert abs(throughput - 1.6e-8) < 2e-9
+
+    def test_small_configuration(self, rng):
+        config = CambriconPConfig(num_pes=4, num_ipus=8, q=4)
+        device = CambriconP(config)
+        a, b = rng.getrandbits(900), rng.getrandbits(700)
+        product, report = device.multiply(to_nat(a), to_nat(b))
+        assert from_nat(product) == a * b
+        assert report.num_waves >= 1
+
+
+class TestAcceleratorOtherOps:
+    def test_add_sub_shift(self, rng):
+        device = CambriconP()
+        a, b = rng.getrandbits(500), rng.getrandbits(400)
+        total, report = device.add(to_nat(a), to_nat(b))
+        assert from_nat(total) == a + b and report.cycles > 0
+        diff, _ = device.subtract(to_nat(a), to_nat(b))
+        assert from_nat(diff) == a - b
+        shifted, _ = device.shift(to_nat(a), 13)
+        assert from_nat(shifted) == a << 13
+        shifted, _ = device.shift(to_nat(a), 13, left=False)
+        assert from_nat(shifted) == a >> 13
+
+    def test_subtract_underflow_rejected(self):
+        with pytest.raises(MpnError):
+            CambriconP().subtract([1], [2])
+
+    def test_inner_product(self, rng):
+        device = CambriconP()
+        x_vec = [rng.getrandbits(32) for _ in range(11)]
+        y_vec = [rng.getrandbits(32) for _ in range(11)]
+        total, report = device.inner_product(x_vec, y_vec)
+        assert total == sum(a * b for a, b in zip(x_vec, y_vec))
+        assert report.cycles > 0
+
+
+@pytest.mark.slow
+class TestMonolithicLimit:
+    def test_35904_bit_functional_multiply(self, rng):
+        # The full monolithic capability (Section VII-B), end to end
+        # through the functional PE array.
+        bits = 35904
+        a = rng.getrandbits(bits) | (1 << (bits - 1))
+        b = rng.getrandbits(bits) | (1 << (bits - 1))
+        device = CambriconP()
+        product, report = device.multiply(to_nat(a), to_nat(b))
+        assert from_nat(product) == a * b
+        assert report.num_waves == 40  # 10,116 passes over 256 PEs
+        assert report.max_gather_carry <= 2

@@ -1,0 +1,96 @@
+"""Tests for the profiled mpn public API and policy switching."""
+
+from repro import mpn, profiling
+from repro.mpn import GMP_POLICY, MPAPCA_POLICY, PYTHON_POLICY
+
+from tests.conftest import from_nat, to_nat
+
+
+class TestProfiledWrappers:
+    def test_each_wrapper_records_one_op(self):
+        a, b = to_nat(123456789123456789), to_nat(987654321)
+        cases = [
+            (lambda: mpn.mul(a, b), "mul"),
+            (lambda: mpn.sqr(a), "mul"),
+            (lambda: mpn.add(a, b), "add"),
+            (lambda: mpn.sub(a, b), "sub"),
+            (lambda: mpn.shl(a, 10), "shift"),
+            (lambda: mpn.shr(a, 10), "shift"),
+            (lambda: mpn.compare(a, b), "cmp"),
+            (lambda: mpn.divmod_nat(a, b), "div"),
+            (lambda: mpn.mod(a, b), "mod"),
+            (lambda: mpn.isqrt(a), "sqrt"),
+            (lambda: mpn.powmod(b, [3], a), "powmod"),
+            (lambda: mpn.gcd(a, b), "div"),
+        ]
+        for action, expected_name in cases:
+            with profiling.session() as trace:
+                action()
+            assert trace.count() == 1, expected_name
+            assert trace.ops[0].name == expected_name
+
+    def test_nested_kernels_are_suppressed(self):
+        # divmod internally multiplies; only the outer div is recorded.
+        a = to_nat((1 << 3000) - 1)
+        b = to_nat((1 << 1200) + 7)
+        with profiling.session() as trace:
+            mpn.divmod_nat(a, b)
+        assert trace.names() == {"div": 1}
+
+    def test_bitwidths_recorded(self):
+        a, b = to_nat(1 << 100), to_nat(1 << 50)
+        with profiling.session() as trace:
+            mpn.mul(a, b)
+        op = trace.ops[0]
+        assert op.bits_a == 101 and op.bits_b == 51
+
+    def test_results_are_correct_through_wrappers(self):
+        x, y = (1 << 777) - 1, (1 << 333) + 5
+        assert from_nat(mpn.mul(to_nat(x), to_nat(y))) == x * y
+        assert from_nat(mpn.add(to_nat(x), to_nat(y))) == x + y
+        quotient, remainder = mpn.divmod_nat(to_nat(x), to_nat(y))
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(x, y)
+
+
+class TestPolicySwitch:
+    def test_set_and_restore(self):
+        previous = mpn.set_policy(MPAPCA_POLICY)
+        try:
+            assert mpn.get_policy() is MPAPCA_POLICY
+            x = (1 << 2000) - 3
+            assert from_nat(mpn.mul(to_nat(x), to_nat(x))) == x * x
+        finally:
+            mpn.set_policy(previous)
+
+    def test_explicit_policy_argument(self):
+        x = (1 << 1500) - 1
+        for policy in (GMP_POLICY, MPAPCA_POLICY, PYTHON_POLICY):
+            assert from_nat(mpn.mul(to_nat(x), to_nat(x), policy)) == x * x
+
+
+class TestRecorder:
+    def test_sessions_nest_and_restore(self):
+        with profiling.session() as outer:
+            mpn.add(to_nat(1), to_nat(2))
+            with profiling.session() as inner:
+                mpn.mul(to_nat(3), to_nat(4))
+            mpn.sub(to_nat(9), to_nat(2))
+        assert inner.names() == {"mul": 1}
+        assert outer.names() == {"add": 1, "sub": 1}
+
+    def test_no_recording_outside_session(self):
+        assert not profiling.is_recording()
+        mpn.add(to_nat(1), to_nat(2))  # must not raise
+
+    def test_trace_helpers(self):
+        with profiling.session() as trace:
+            mpn.add(to_nat(1), to_nat(2))
+            mpn.add(to_nat(3), to_nat(4))
+            mpn.mul(to_nat(5), to_nat(6))
+        assert trace.count() == 3
+        assert trace.count("add") == 2
+        assert len(trace.by_name("mul")) == 1
+        merged = profiling.OperationTrace()
+        merged.merge(trace)
+        merged.merge(trace)
+        assert merged.count() == 6

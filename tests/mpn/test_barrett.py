@@ -1,0 +1,92 @@
+"""Tests for Barrett reduction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpn.barrett import BarrettContext
+from repro.mpn.mul import PYTHON_POLICY, mul
+from repro.mpn.nat import MpnError
+
+from tests.conftest import from_nat, to_nat
+
+moduli = st.integers(min_value=2, max_value=(1 << 600) - 1)
+
+
+def mul_fn(a, b):
+    return mul(a, b, PYTHON_POLICY)
+
+
+class TestReduce:
+    @given(moduli, st.integers(min_value=0, max_value=(1 << 1300) - 1))
+    @settings(max_examples=80)
+    def test_matches_mod(self, modulus, raw):
+        value = raw % (modulus * modulus)
+        context = BarrettContext(to_nat(modulus), mul_fn)
+        assert from_nat(context.reduce(to_nat(value))) == value % modulus
+
+    def test_even_modulus_works(self):
+        # Barrett's selling point over Montgomery.
+        context = BarrettContext(to_nat(1 << 128), mul_fn)
+        value = (1 << 200) + 12345
+        assert from_nat(context.reduce(to_nat(value % (1 << 256)))) \
+            == value % (1 << 128)
+
+    def test_window_boundaries(self):
+        modulus = (1 << 100) - 3
+        context = BarrettContext(to_nat(modulus), mul_fn)
+        for value in (0, 1, modulus - 1, modulus, modulus + 1,
+                      modulus * modulus - 1):
+            assert from_nat(context.reduce(to_nat(value))) \
+                == value % modulus
+
+    def test_out_of_window_rejected(self):
+        context = BarrettContext(to_nat(5), mul_fn)
+        with pytest.raises(MpnError):
+            context.reduce(to_nat(1 << 64))
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(MpnError):
+            BarrettContext(to_nat(1), mul_fn)
+
+    def test_correction_loop_is_bounded(self):
+        # Classic Barrett bound: at most two subtractions.  Verify by
+        # instrumenting a worst-ish case sweep.
+        modulus = (1 << 64) - 59
+        context = BarrettContext(to_nat(modulus), mul_fn)
+        for value in range(modulus * modulus - 50,
+                           modulus * modulus, 7):
+            got = from_nat(context.reduce(to_nat(value)))
+            assert got == value % modulus
+
+
+class TestModularOps:
+    @given(moduli,
+           st.integers(min_value=0, max_value=(1 << 650) - 1),
+           st.integers(min_value=0, max_value=(1 << 650) - 1))
+    @settings(max_examples=50)
+    def test_mul_mod(self, modulus, a, b):
+        a, b = a % modulus, b % modulus
+        context = BarrettContext(to_nat(modulus), mul_fn)
+        assert from_nat(context.mul_mod(to_nat(a), to_nat(b))) \
+            == (a * b) % modulus
+
+    @given(st.integers(min_value=2, max_value=(1 << 300) - 1),
+           st.integers(min_value=0, max_value=(1 << 320) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=40)
+    def test_pow(self, modulus, base, exponent):
+        context = BarrettContext(to_nat(modulus), mul_fn)
+        got = from_nat(context.pow(to_nat(base % modulus),
+                                   to_nat(exponent)))
+        assert got == pow(base % modulus, exponent, modulus)
+
+    def test_pow_agrees_with_montgomery(self):
+        # Cross-validate the two reduction families on an odd modulus.
+        from repro.mpn.montgomery import MontgomeryContext
+        modulus = (1 << 256) - 189
+        base, exponent = 0xDEADBEEF, 0xC0FFEE
+        barrett = BarrettContext(to_nat(modulus), mul_fn)
+        montgomery = MontgomeryContext(to_nat(modulus), mul_fn)
+        assert barrett.pow(to_nat(base), to_nat(exponent)) \
+            == montgomery.pow(to_nat(base), to_nat(exponent))

@@ -1,0 +1,65 @@
+"""Tests for Burnikel-Ziegler recursive division."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpn.burnikel_ziegler import BZ_THRESHOLD_LIMBS, divmod_bz
+from repro.mpn.div import divmod_newton, divmod_schoolbook
+from repro.mpn.mul import PYTHON_POLICY, mul
+from repro.mpn.nat import MpnError
+
+from tests.conftest import from_nat, naturals, to_nat
+
+
+def mul_fn(a, b):
+    return mul(a, b, PYTHON_POLICY)
+
+
+class TestDivmodBZ:
+    @given(naturals,
+           st.integers(min_value=1, max_value=(1 << 2400) - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_int(self, a, b):
+        quotient, remainder = divmod_bz(to_nat(a), to_nat(b), mul_fn)
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)
+
+    @given(st.integers(min_value=1 << 3000, max_value=(1 << 3200) - 1),
+           st.integers(min_value=1 << 1500, max_value=(1 << 1600) - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_large_recursive_path(self, a, b):
+        # Divisor well above the threshold: the recursion actually runs.
+        assert (1 << 1500).bit_length() // 32 > BZ_THRESHOLD_LIMBS
+        quotient, remainder = divmod_bz(to_nat(a), to_nat(b), mul_fn)
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)
+
+    @pytest.mark.parametrize("b", [
+        (1 << 4096) - 1, (1 << 4096) + 1, (1 << 3000) + 12345,
+    ])
+    def test_adversarial(self, b):
+        for a in (b * b - 1, b * b + b - 1, b * 977 + 1):
+            quotient, remainder = divmod_bz(to_nat(a), to_nat(b), mul_fn)
+            assert (from_nat(quotient), from_nat(remainder)) \
+                == divmod(a, b)
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(MpnError):
+            divmod_bz(to_nat(1), [], mul_fn)
+
+    def test_dividend_smaller(self):
+        quotient, remainder = divmod_bz(to_nat(5), to_nat(100), mul_fn)
+        assert from_nat(quotient) == 0 and from_nat(remainder) == 5
+
+
+class TestThreeAlgorithmsAgree:
+    """Schoolbook, Newton and Burnikel-Ziegler cross-checked."""
+
+    @given(st.integers(min_value=0, max_value=(1 << 7000) - 1),
+           st.integers(min_value=1 << 2500, max_value=(1 << 2600) - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_triple_agreement(self, a, b):
+        a_nat, b_nat = to_nat(a), to_nat(b)
+        school = divmod_schoolbook(a_nat, b_nat)
+        newton = divmod_newton(a_nat, b_nat, mul_fn)
+        bz = divmod_bz(a_nat, b_nat, mul_fn)
+        assert school == newton == bz

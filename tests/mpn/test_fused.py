@@ -1,0 +1,68 @@
+"""Tests for the fused optional operators (AddMul, SubMul, MulLo)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpn import nat
+from repro.mpn.fused import addmul, addmul_1, mullo, submul
+from repro.mpn.mul import PYTHON_POLICY, mul
+from repro.mpn.nat import MpnError
+
+from tests.conftest import from_nat, naturals, to_nat
+
+
+def mul_fn(a, b):
+    return mul(a, b, PYTHON_POLICY)
+
+
+class TestAddmulSubmul:
+    @given(naturals, naturals, naturals)
+    @settings(max_examples=60)
+    def test_addmul(self, a, b, c):
+        got = addmul(to_nat(a), to_nat(b), to_nat(c), mul_fn)
+        assert from_nat(got) == a + b * c
+
+    @given(naturals, naturals, naturals)
+    @settings(max_examples=60)
+    def test_submul_of_addmul(self, a, b, c):
+        fused = addmul(to_nat(a), to_nat(b), to_nat(c), mul_fn)
+        assert from_nat(submul(fused, to_nat(b), to_nat(c), mul_fn)) == a
+
+    def test_submul_underflow_rejected(self):
+        with pytest.raises(MpnError):
+            submul(to_nat(1), to_nat(2), to_nat(3), mul_fn)
+
+    @given(naturals, naturals,
+           st.integers(min_value=0, max_value=(1 << 32) - 1))
+    @settings(max_examples=60)
+    def test_addmul_1(self, a, b, small):
+        got = addmul_1(to_nat(a), to_nat(b), small)
+        assert from_nat(got) == a + b * small
+
+    def test_addmul_1_out_of_range(self):
+        with pytest.raises(MpnError):
+            addmul_1([1], [2], 1 << 32)
+
+
+class TestMullo:
+    @given(naturals, naturals, st.integers(min_value=0, max_value=2500))
+    @settings(max_examples=60)
+    def test_matches_mod(self, a, b, bits):
+        got = mullo(to_nat(a), to_nat(b), bits, mul_fn)
+        assert from_nat(got) == (a * b) % (1 << bits) if bits \
+            else from_nat(got) == 0
+
+    def test_recursion_path(self):
+        # Force the recursive branch (above the basecase threshold).
+        a = (1 << 2000) - 12345
+        b = (1 << 2000) + 99991
+        got = mullo(to_nat(a), to_nat(b), 2000, mul_fn)
+        assert from_nat(got) == (a * b) % (1 << 2000)
+
+    def test_zero_operands(self):
+        assert mullo([], to_nat(5), 64, mul_fn) == []
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(MpnError):
+            mullo([1], [1], -1, mul_fn)

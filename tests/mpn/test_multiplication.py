@@ -1,0 +1,185 @@
+"""Tests for every multiplication algorithm and the dispatcher.
+
+Each fast algorithm is exercised directly (with an oracle recursion) so
+a dispatcher threshold can never hide a broken path, then the
+dispatcher itself is property-tested across policies.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpn import nat
+from repro.mpn.karatsuba import mul_karatsuba, sqr_karatsuba
+from repro.mpn.mul import (GMP_POLICY, MPAPCA_POLICY, PYTHON_POLICY,
+                           MulPolicy, mul, sqr)
+from repro.mpn.schoolbook import mul_schoolbook, sqr_schoolbook
+from repro.mpn.ssa import (fermat_add, fermat_mul_2exp, fermat_reduce,
+                           fermat_sub, mul_ssa, ssa_parameters)
+from repro.mpn.toom import evaluation_points, interpolation_rows, mul_toom
+
+from tests.conftest import from_nat, naturals, to_nat
+
+
+def oracle_mul(a, b):
+    """Exact reference multiplier for recursion injection."""
+    return to_nat(from_nat(a) * from_nat(b))
+
+
+class TestSchoolbook:
+    @given(naturals, naturals)
+    def test_matches_int(self, a, b):
+        assert from_nat(mul_schoolbook(to_nat(a), to_nat(b))) == a * b
+
+    @given(naturals)
+    def test_sqr(self, a):
+        assert from_nat(sqr_schoolbook(to_nat(a))) == a * a
+
+    def test_zero(self):
+        assert mul_schoolbook([], [5]) == []
+        assert sqr_schoolbook([]) == []
+
+    def test_all_ones_limbs(self):
+        # Maximum carry pressure: every partial product is maximal.
+        value = (1 << 320) - 1
+        assert from_nat(mul_schoolbook(to_nat(value), to_nat(value))) \
+            == value * value
+
+
+class TestKaratsuba:
+    @given(naturals, naturals)
+    def test_matches_int(self, a, b):
+        got = mul_karatsuba(to_nat(a), to_nat(b), oracle_mul)
+        assert from_nat(got) == a * b
+
+    @given(naturals)
+    def test_sqr(self, a):
+        got = sqr_karatsuba(to_nat(a), lambda x: oracle_mul(x, x))
+        assert from_nat(got) == a * a
+
+    def test_unbalanced(self):
+        a, b = (1 << 1000) - 1, 3
+        got = mul_karatsuba(to_nat(a), to_nat(b), oracle_mul)
+        assert from_nat(got) == a * b
+
+
+class TestToom:
+    @pytest.mark.parametrize("k", [2, 3, 4, 6])
+    def test_small_cases(self, k):
+        for a, b in [(1, 1), (12345, 67890), ((1 << 200) - 1, (1 << 200) - 5)]:
+            got = mul_toom(to_nat(a), to_nat(b), k, oracle_mul)
+            assert from_nat(got) == a * b
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    @given(a=naturals, b=naturals)
+    @settings(max_examples=30)
+    def test_matches_int(self, k, a, b):
+        got = mul_toom(to_nat(a), to_nat(b), k, oracle_mul)
+        assert from_nat(got) == a * b
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 6])
+    def test_point_count(self, k):
+        points = evaluation_points(k)
+        assert len(points) == 2 * k - 1
+        assert points[0] == 0 and points[-1] == "inf"
+        assert len(set(points)) == len(points)
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 6])
+    def test_interpolation_is_exact_inverse(self, k):
+        # Interpolating the evaluations of a known polynomial recovers
+        # its coefficients exactly.
+        size = 2 * k - 1
+        coefficients = [3 * i + 1 for i in range(size)]
+        points = evaluation_points(k)
+        values = []
+        for point in points:
+            if point == "inf":
+                values.append(coefficients[-1])
+            else:
+                values.append(sum(c * point ** p
+                                  for p, c in enumerate(coefficients)))
+        for j, (denominator, numerators) in enumerate(interpolation_rows(k)):
+            total = sum(n * v for n, v in zip(numerators, values))
+            assert total % denominator == 0
+            assert total // denominator == coefficients[j]
+
+
+class TestSSA:
+    def test_fermat_reduce(self):
+        w = 64
+        modulus = (1 << w) + 1
+        for value in [0, 1, modulus - 1, modulus, modulus + 5,
+                      (1 << 200) + 12345]:
+            got = from_nat(fermat_reduce(to_nat(value), w))
+            assert got == value % modulus
+
+    def test_fermat_add_sub(self):
+        w = 32
+        modulus = (1 << w) + 1
+        for a in [0, 5, modulus - 1]:
+            for b in [0, 7, modulus - 2]:
+                assert from_nat(fermat_add(to_nat(a), to_nat(b), w)) \
+                    == (a + b) % modulus
+                assert from_nat(fermat_sub(to_nat(a), to_nat(b), w)) \
+                    == (a - b) % modulus
+
+    def test_fermat_mul_2exp_full_orbit(self):
+        w = 16
+        modulus = (1 << w) + 1
+        value = 12345 % modulus
+        for exponent in range(0, 2 * w + 5):
+            got = from_nat(fermat_mul_2exp(to_nat(value), exponent, w))
+            assert got == (value << exponent) % modulus
+
+    def test_parameters_satisfy_constraints(self):
+        for total_bits in [100, 1000, 50000]:
+            for k in [2, 3, 5]:
+                piece, transform, w = ssa_parameters(total_bits, k)
+                assert transform == 2 * (1 << k)
+                assert w >= 2 * piece + k + 1
+                assert w % (transform // 2) == 0
+
+    @given(a=naturals, b=naturals, k=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40)
+    def test_matches_int(self, a, b, k):
+        got = mul_ssa(to_nat(a), to_nat(b), oracle_mul, k)
+        assert from_nat(got) == a * b
+
+    def test_large(self):
+        a = (1 << 40000) - 12345
+        b = (1 << 40000) + 54321
+        assert from_nat(mul_ssa(to_nat(a), to_nat(b), oracle_mul)) == a * b
+
+
+class TestDispatcher:
+    @pytest.mark.parametrize("policy",
+                             [GMP_POLICY, MPAPCA_POLICY, PYTHON_POLICY])
+    @given(a=naturals, b=naturals)
+    @settings(max_examples=40)
+    def test_matches_int(self, policy, a, b):
+        assert from_nat(mul(to_nat(a), to_nat(b), policy)) == a * b
+
+    @given(naturals)
+    def test_sqr(self, a):
+        assert from_nat(sqr(to_nat(a), PYTHON_POLICY)) == a * a
+
+    def test_regime_order(self):
+        policy = GMP_POLICY
+        last = -1
+        order = ["basecase", "karatsuba", "toom3", "toom4", "toom6", "ssa"]
+        for limbs in [1, 50, 150, 400, 1000, 5000]:
+            algorithm = policy.algorithm_for(limbs)
+            assert order.index(algorithm) >= last
+            last = order.index(algorithm)
+
+    def test_mpapca_has_no_small_fast_algorithms(self):
+        # The hardware basecase covers everything GMP would Toom.
+        assert MPAPCA_POLICY.algorithm_for(1000) == "basecase"
+        assert GMP_POLICY.algorithm_for(1000) != "basecase"
+
+    def test_crosses_every_threshold(self):
+        # One multiplication large enough to recurse through SSA, Toom
+        # and Karatsuba down to the basecase, end to end.
+        a = (1 << 100000) - 99991
+        b = (1 << 100000) + 12343
+        assert from_nat(mul(to_nat(a), to_nat(b), PYTHON_POLICY)) == a * b

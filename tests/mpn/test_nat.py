@@ -1,0 +1,182 @@
+"""Unit and property tests for the limb-level naturals representation."""
+
+import pytest
+from hypothesis import given
+
+from repro.mpn import nat
+from repro.mpn.nat import MpnError
+
+from tests.conftest import from_nat, naturals, shift_counts, to_nat
+
+
+class TestConversion:
+    def test_zero_is_empty(self):
+        assert nat.nat_from_int(0) == []
+        assert nat.nat_to_int([]) == 0
+
+    def test_single_limb(self):
+        assert nat.nat_from_int(42) == [42]
+
+    def test_limb_boundary(self):
+        assert nat.nat_from_int(1 << 32) == [0, 1]
+        assert nat.nat_from_int((1 << 32) - 1) == [0xFFFFFFFF]
+
+    def test_negative_rejected(self):
+        with pytest.raises(MpnError):
+            nat.nat_from_int(-1)
+
+    @given(naturals)
+    def test_roundtrip(self, value):
+        assert from_nat(to_nat(value)) == value
+
+    @given(naturals)
+    def test_normalized(self, value):
+        assert nat.is_normalized(to_nat(value))
+
+
+class TestBits:
+    @given(naturals)
+    def test_bit_length_matches_int(self, value):
+        assert nat.bit_length(to_nat(value)) == value.bit_length()
+
+    @given(naturals, shift_counts)
+    def test_get_bit(self, value, index):
+        assert nat.get_bit(to_nat(value), index) == (value >> index) & 1
+
+    @given(naturals, shift_counts)
+    def test_set_bit(self, value, index):
+        assert from_nat(nat.set_bit(to_nat(value), index)) \
+            == value | (1 << index)
+
+    def test_get_bit_negative_index_rejected(self):
+        with pytest.raises(MpnError):
+            nat.get_bit([1], -1)
+
+    @given(naturals)
+    def test_iter_bits_lsb(self, value):
+        bits = list(nat.iter_bits_lsb(to_nat(value)))
+        assert len(bits) == value.bit_length()
+        rebuilt = sum(bit << index for index, bit in enumerate(bits))
+        assert rebuilt == value
+
+
+class TestCompare:
+    @given(naturals, naturals)
+    def test_cmp_matches_int(self, a, b):
+        expected = (a > b) - (a < b)
+        assert nat.cmp(to_nat(a), to_nat(b)) == expected
+
+    def test_equal(self):
+        assert nat.cmp([1, 2], [1, 2]) == 0
+
+
+class TestAddSub:
+    @given(naturals, naturals)
+    def test_add(self, a, b):
+        assert from_nat(nat.add(to_nat(a), to_nat(b))) == a + b
+
+    @given(naturals, naturals)
+    def test_add_commutes(self, a, b):
+        assert nat.add(to_nat(a), to_nat(b)) == nat.add(to_nat(b), to_nat(a))
+
+    @given(naturals, naturals)
+    def test_sub_of_sum(self, a, b):
+        total = nat.add(to_nat(a), to_nat(b))
+        assert from_nat(nat.sub(total, to_nat(b))) == a
+
+    def test_sub_underflow_rejected(self):
+        with pytest.raises(MpnError):
+            nat.sub([1], [2])
+
+    def test_carry_chain(self):
+        # All-ones + 1 ripples through every limb.
+        ones = [0xFFFFFFFF] * 5
+        assert nat.add(ones, [1]) == [0, 0, 0, 0, 0, 1]
+
+    @given(naturals, naturals.filter(lambda v: v < (1 << 32)))
+    def test_add_1_sub_1(self, a, small):
+        bumped = nat.add_1(to_nat(a), small)
+        assert from_nat(bumped) == a + small
+        assert from_nat(nat.sub_1(bumped, small)) == a
+
+
+class TestShifts:
+    @given(naturals, shift_counts)
+    def test_shl(self, value, count):
+        assert from_nat(nat.shl(to_nat(value), count)) == value << count
+
+    @given(naturals, shift_counts)
+    def test_shr(self, value, count):
+        assert from_nat(nat.shr(to_nat(value), count)) == value >> count
+
+    @given(naturals, shift_counts)
+    def test_shift_roundtrip(self, value, count):
+        assert from_nat(nat.shr(nat.shl(to_nat(value), count), count)) \
+            == value
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MpnError):
+            nat.shl([1], -1)
+        with pytest.raises(MpnError):
+            nat.shr([1], -3)
+
+
+class TestLogic:
+    @given(naturals, naturals)
+    def test_and(self, a, b):
+        assert from_nat(nat.and_(to_nat(a), to_nat(b))) == a & b
+
+    @given(naturals, naturals)
+    def test_or(self, a, b):
+        assert from_nat(nat.or_(to_nat(a), to_nat(b))) == a | b
+
+    @given(naturals, naturals)
+    def test_xor(self, a, b):
+        assert from_nat(nat.xor_(to_nat(a), to_nat(b))) == a ^ b
+
+
+class TestLowBitsSplit:
+    @given(naturals, shift_counts)
+    def test_low_bits(self, value, count):
+        assert from_nat(nat.low_bits(to_nat(value), count)) \
+            == value & ((1 << count) - 1)
+
+    @given(naturals, shift_counts.map(lambda c: c % 8))
+    def test_split(self, value, k):
+        low, high = nat.split(to_nat(value), k)
+        assert from_nat(low) + (from_nat(high) << (32 * k)) == value
+
+
+class TestSmallOps:
+    @given(naturals, naturals.filter(lambda v: 0 < v < (1 << 32)))
+    def test_mul_1(self, a, small):
+        assert from_nat(nat.mul_1(to_nat(a), small)) == a * small
+
+    @given(naturals, naturals.filter(lambda v: 0 < v < (1 << 32)))
+    def test_div_1(self, a, small):
+        quotient, rem = nat.div_1(to_nat(a), small)
+        assert (from_nat(quotient), rem) == divmod(a, small)
+
+    @given(naturals, naturals.filter(lambda v: 0 < v < (1 << 32)))
+    def test_divexact_1(self, a, small):
+        product = nat.mul_1(to_nat(a), small)
+        assert from_nat(nat.divexact_1(product, small)) == a
+
+    def test_divexact_1_raises_on_inexact(self):
+        with pytest.raises(MpnError):
+            nat.divexact_1([7], 2)
+
+
+class TestPopcount:
+    @given(naturals)
+    def test_popcount(self, value):
+        assert nat.popcount(to_nat(value)) == value.bit_count()
+
+    @given(naturals, naturals)
+    def test_hamming_distance(self, a, b):
+        assert nat.hamming_distance(to_nat(a), to_nat(b)) \
+            == (a ^ b).bit_count()
+
+    def test_zero(self):
+        assert nat.popcount([]) == 0
+        assert nat.hamming_distance([], []) == 0

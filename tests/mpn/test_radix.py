@@ -1,0 +1,86 @@
+"""Tests for divide-and-conquer radix conversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpn import nat
+from repro.mpn.mul import PYTHON_POLICY, mul
+from repro.mpn.nat import MpnError
+from repro.mpn.radix import from_decimal, to_decimal
+
+from tests.conftest import naturals, to_nat
+
+
+def mul_fn(a, b):
+    return mul(a, b, PYTHON_POLICY)
+
+
+class TestToDecimal:
+    @given(naturals)
+    def test_matches_str(self, value):
+        import sys
+        sys.set_int_max_str_digits(10 ** 6)
+        assert to_decimal(to_nat(value), mul_fn) == str(value)
+
+    def test_zero(self):
+        assert to_decimal([], mul_fn) == "0"
+
+    @pytest.mark.parametrize("value", [
+        10 ** 9 - 1, 10 ** 9, 10 ** 9 + 1,        # chunk boundaries
+        10 ** 18 - 1, 10 ** 18, 10 ** 36,          # power-table splits
+        (1 << 4000) - 1, 10 ** 1000,
+    ])
+    def test_boundaries(self, value):
+        import sys
+        sys.set_int_max_str_digits(10 ** 6)
+        assert to_decimal(to_nat(value), mul_fn) == str(value)
+
+    def test_no_leading_zeros(self):
+        text = to_decimal(to_nat(10 ** 100 + 7), mul_fn)
+        assert not text.startswith("0")
+        assert len(text) == 101
+
+
+class TestFromDecimal:
+    @given(naturals)
+    def test_roundtrip(self, value):
+        text = to_decimal(to_nat(value), mul_fn)
+        assert nat.nat_to_int(from_decimal(text, mul_fn)) == value
+
+    def test_whitespace_tolerated(self):
+        assert nat.nat_to_int(from_decimal("  123  ", mul_fn)) == 123
+
+    def test_garbage_rejected(self):
+        with pytest.raises(MpnError):
+            from_decimal("12a3", mul_fn)
+        with pytest.raises(MpnError):
+            from_decimal("", mul_fn)
+
+    @given(st.integers(min_value=0, max_value=10 ** 60 - 1))
+    @settings(max_examples=50)
+    def test_matches_int_parse(self, value):
+        assert nat.nat_to_int(from_decimal(str(value), mul_fn)) == value
+
+
+class TestMpzWiring:
+    def test_mpz_to_decimal(self):
+        from repro.mpz import MPZ
+        assert MPZ(0).to_decimal() == "0"
+        assert MPZ(-123456789012345678901).to_decimal() \
+            == "-123456789012345678901"
+
+    def test_mpz_from_decimal(self):
+        from repro.mpz import MPZ
+        assert int(MPZ.from_decimal("+42")) == 42
+        assert int(MPZ.from_decimal("-42")) == -42
+
+    def test_mpf_large_rendering_avoids_interpreter_cap(self):
+        # 6000 digits is beyond CPython's default 4300-digit str cap;
+        # our own radix conversion must not care.
+        from repro.mpf import MPF
+        from repro.mpz import MPZ
+        # Enough precision to hold 10^6000 exactly (~19,932 bits).
+        value = MPF(MPZ(10) ** 6000, 20000)
+        text = value.to_decimal_string(2)
+        assert text == "1" + "0" * 6000 + ".00"

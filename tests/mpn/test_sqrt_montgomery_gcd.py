@@ -1,0 +1,175 @@
+"""Tests for square root, Montgomery arithmetic, GCD and signed helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpn import signed
+from repro.mpn.gcd import extended_gcd, gcd, invmod
+from repro.mpn.montgomery import MontgomeryContext, powmod
+from repro.mpn.mul import PYTHON_POLICY, mul
+from repro.mpn.nat import MpnError
+from repro.mpn.sqrt import is_perfect_square, isqrt, sqrtrem
+
+from tests.conftest import from_nat, naturals, positive_naturals, to_nat
+
+
+def mul_fn(a, b):
+    return mul(a, b, PYTHON_POLICY)
+
+
+class TestSqrt:
+    @given(naturals)
+    def test_matches_isqrt(self, value):
+        assert from_nat(isqrt(to_nat(value), mul_fn)) == math.isqrt(value)
+
+    @given(naturals)
+    def test_sqrtrem_invariant(self, value):
+        root, remainder = sqrtrem(to_nat(value), mul_fn)
+        r, rem = from_nat(root), from_nat(remainder)
+        assert r * r + rem == value
+        assert rem <= 2 * r
+
+    @pytest.mark.parametrize("value", [
+        0, 1, 2, 3, 4, (1 << 52) - 1, (1 << 52), (1 << 52) + 1,
+        (1 << 2000) - 1, 1 << 2000, (1 << 2000) + 1,
+        ((1 << 999) - 1) ** 2, ((1 << 999) - 1) ** 2 - 1,
+    ])
+    def test_edges(self, value):
+        assert from_nat(isqrt(to_nat(value), mul_fn)) == math.isqrt(value)
+
+    @given(st.integers(min_value=0, max_value=(1 << 600) - 1))
+    def test_perfect_square_detection(self, root):
+        assert is_perfect_square(to_nat(root * root), mul_fn)
+        if root > 1:
+            assert not is_perfect_square(to_nat(root * root - 1), mul_fn)
+
+
+class TestMontgomery:
+    @given(st.integers(min_value=3, max_value=(1 << 700) - 1)
+           .map(lambda v: v | 1),
+           naturals, naturals)
+    @settings(max_examples=60)
+    def test_mont_mul(self, modulus, a, b):
+        context = MontgomeryContext(to_nat(modulus), mul_fn)
+        a_red, b_red = a % modulus, b % modulus
+        product = context.mont_mul(context.to_mont(to_nat(a_red)),
+                                   context.to_mont(to_nat(b_red)))
+        assert from_nat(context.from_mont(product)) \
+            == (a_red * b_red) % modulus
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(MpnError):
+            MontgomeryContext([4], mul_fn)
+
+    @given(st.integers(min_value=3, max_value=(1 << 500) - 1)
+           .map(lambda v: v | 1),
+           naturals,
+           st.integers(min_value=0, max_value=(1 << 120) - 1))
+    @settings(max_examples=40)
+    def test_pow_matches_int(self, modulus, base, exponent):
+        got = powmod(to_nat(base % modulus), to_nat(exponent),
+                     to_nat(modulus), mul_fn)
+        assert from_nat(got) == pow(base % modulus, exponent, modulus)
+
+    @given(st.integers(min_value=2, max_value=(1 << 300) - 1)
+           .map(lambda v: v * 2),
+           naturals,
+           st.integers(min_value=0, max_value=(1 << 40) - 1))
+    @settings(max_examples=25)
+    def test_even_modulus_fallback(self, modulus, base, exponent):
+        got = powmod(to_nat(base % modulus), to_nat(exponent),
+                     to_nat(modulus), mul_fn)
+        assert from_nat(got) == pow(base % modulus, exponent, modulus)
+
+    def test_zero_exponent(self):
+        assert from_nat(powmod([7], [], [11], mul_fn)) == 1
+
+    def test_modulus_one(self):
+        assert powmod([7], [3], [1], mul_fn) == []
+
+
+class TestGcd:
+    @given(naturals, naturals)
+    def test_matches_math_gcd(self, a, b):
+        assert from_nat(gcd(to_nat(a), to_nat(b))) == math.gcd(a, b)
+
+    @given(positive_naturals, positive_naturals)
+    def test_bezout_identity(self, a, b):
+        g, x, y = extended_gcd(to_nat(a), to_nat(b), mul_fn)
+        assert (a * signed.s_to_int(x) + b * signed.s_to_int(y)
+                == from_nat(g) == math.gcd(a, b))
+
+    @given(st.integers(min_value=3, max_value=(1 << 400) - 1)
+           .map(lambda v: v | 1),
+           positive_naturals)
+    @settings(max_examples=50)
+    def test_invmod(self, modulus, a):
+        a_red = a % modulus
+        if a_red == 0 or math.gcd(a_red, modulus) != 1:
+            return
+        inverse = from_nat(invmod(to_nat(a_red), to_nat(modulus)))
+        assert (inverse * a_red) % modulus == 1
+
+    def test_invmod_rejects_non_coprime(self):
+        with pytest.raises(MpnError):
+            invmod(to_nat(6), to_nat(9), mul_fn)
+
+
+class TestSigned:
+    @given(st.integers(min_value=-(1 << 200), max_value=(1 << 200) - 1),
+           st.integers(min_value=-(1 << 200), max_value=(1 << 200) - 1))
+    def test_add_sub(self, a, b):
+        sa, sb = signed.s_from_int(a), signed.s_from_int(b)
+        assert signed.s_to_int(signed.s_add(sa, sb)) == a + b
+        assert signed.s_to_int(signed.s_sub(sa, sb)) == a - b
+
+    @given(st.integers(min_value=-(1 << 200), max_value=(1 << 200) - 1),
+           st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_mul_small(self, a, small):
+        got = signed.s_mul_small(signed.s_from_int(a), small)
+        assert signed.s_to_int(got) == a * small
+
+    @given(st.integers(min_value=-(1 << 200), max_value=(1 << 200) - 1),
+           st.integers(min_value=1, max_value=(1 << 31) - 1))
+    def test_divexact_small(self, a, small):
+        product = signed.s_mul_small(signed.s_from_int(a), small)
+        assert signed.s_to_int(signed.s_divexact_small(product, small)) == a
+
+    def test_canonical_zero(self):
+        assert signed.s_from_int(0) == signed.S_ZERO
+        assert signed.s_neg(signed.S_ZERO) == signed.S_ZERO
+
+    def test_expect_nat_rejects_negative(self):
+        with pytest.raises(MpnError):
+            signed.s_expect_nat(signed.s_from_int(-5))
+
+
+class TestKthRoot:
+    @given(st.integers(min_value=0, max_value=(1 << 900) - 1),
+           st.integers(min_value=1, max_value=9))
+    @settings(max_examples=60)
+    def test_floor_root_invariant(self, value, k):
+        from repro.mpn.sqrt import iroot
+        root = from_nat(iroot(to_nat(value), k, mul_fn))
+        if value == 0:
+            assert root == 0
+        else:
+            assert root ** k <= value < (root + 1) ** k
+
+    @pytest.mark.parametrize("k,base", [(3, 2), (3, 10 ** 20),
+                                        (5, 17), (7, (1 << 64) + 3)])
+    def test_exact_powers(self, k, base):
+        from repro.mpn.sqrt import iroot
+        assert from_nat(iroot(to_nat(base ** k), k, mul_fn)) == base
+        assert from_nat(iroot(to_nat(base ** k - 1), k, mul_fn)) \
+            == base - 1
+
+    def test_degenerate(self):
+        from repro.mpn.sqrt import iroot
+        from repro.mpn.nat import MpnError
+        assert from_nat(iroot(to_nat(12345), 1, mul_fn)) == 12345
+        with pytest.raises(MpnError):
+            iroot(to_nat(8), 0, mul_fn)

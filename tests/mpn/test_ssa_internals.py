@@ -1,0 +1,121 @@
+"""Deeper tests for the Schoenhage-Strassen internals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpn import nat
+from repro.mpn.nat import MpnError
+from repro.mpn.ssa import (default_split_exponent, fermat_add,
+                           fermat_mul_2exp, fermat_reduce, fermat_sub,
+                           mul_ssa, ntt, ssa_parameters, _to_pieces)
+from repro.mpn.toom import mul_toom
+
+from tests.conftest import from_nat, to_nat
+
+
+def oracle_mul(a, b):
+    return to_nat(from_nat(a) * from_nat(b))
+
+
+class TestFermatRing:
+    @given(st.integers(min_value=0, max_value=(1 << 500) - 1),
+           st.sampled_from([8, 16, 32, 64, 96]))
+    @settings(max_examples=80)
+    def test_reduce_matches_mod(self, value, w):
+        modulus = (1 << w) + 1
+        got = from_nat(fermat_reduce(to_nat(value), w))
+        assert got == value % modulus
+
+    def test_canonical_minus_one_is_kept(self):
+        # 2^w represents -1 and must stay as-is (the old infinite-loop
+        # regression).
+        w = 64
+        assert from_nat(fermat_reduce(to_nat(1 << w), w)) == 1 << w
+
+    @given(st.integers(min_value=0, max_value=(1 << 65)),
+           st.integers(min_value=0, max_value=(1 << 65)))
+    @settings(max_examples=60)
+    def test_add_sub_group_laws(self, a, b):
+        w = 64
+        modulus = (1 << w) + 1
+        a %= modulus
+        b %= modulus
+        total = fermat_add(to_nat(a), to_nat(b), w)
+        assert from_nat(total) == (a + b) % modulus
+        back = fermat_sub(total, to_nat(b), w)
+        assert from_nat(back) == a
+
+    def test_mul_2exp_is_cyclic_with_period_2w(self):
+        w = 32
+        value = to_nat(0xDEADBEE % ((1 << w) + 1))
+        rotated = fermat_mul_2exp(value, 2 * w, w)
+        assert rotated == value
+        negated = fermat_mul_2exp(value, w, w)
+        assert from_nat(fermat_add(negated, value, w)) == 0
+
+
+class TestNTT:
+    @pytest.mark.parametrize("size,w", [(4, 16), (8, 32), (16, 32)])
+    def test_forward_inverse_roundtrip(self, size, w):
+        import random
+        rng = random.Random(size)
+        modulus = (1 << w) + 1
+        values = [to_nat(rng.randrange(modulus)) for _ in range(size)]
+        originals = [from_nat(v) for v in values]
+        root = 2 * w // size
+        work = [list(v) for v in values]
+        ntt(work, w, root)
+        ntt(work, w, 2 * w - root)
+        # Inverse transform scales by `size`; divide out.
+        log_size = size.bit_length() - 1
+        scale = 2 * w - log_size
+        restored = [from_nat(fermat_mul_2exp(v, scale, w))
+                    for v in work]
+        assert restored == originals
+
+    def test_linearity(self):
+        size, w = 8, 32
+        root = 2 * w // size
+        a = [to_nat(i + 1) for i in range(size)]
+        b = [to_nat(3 * i + 2) for i in range(size)]
+        summed = [fermat_add(x, y, w) for x, y in zip(a, b)]
+        ntt(a, w, root)
+        ntt(b, w, root)
+        ntt(summed, w, root)
+        for x, y, s in zip(a, b, summed):
+            assert fermat_add(x, y, w) == s
+
+
+class TestParameters:
+    @given(st.integers(min_value=2, max_value=10 ** 7),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60)
+    def test_constraints(self, total_bits, k):
+        piece, transform, w = ssa_parameters(total_bits, k)
+        assert transform == 2 * (1 << k)
+        assert piece * (1 << k) >= total_bits
+        assert w >= 2 * piece + k + 1
+        assert (2 * w) % transform == 0  # primitive root exists
+
+    def test_default_split_reasonable(self):
+        for bits in (1000, 10 ** 5, 10 ** 7):
+            k = default_split_exponent(bits)
+            assert 1 <= k <= 10
+
+    def test_oversized_operand_rejected(self):
+        with pytest.raises(MpnError):
+            _to_pieces(to_nat((1 << 64) - 1), piece_bits=1,
+                       transform_size=4)
+
+
+class TestToomHigherK:
+    """The generic Toom machinery beyond the dispatcher's 3/4/6."""
+
+    @pytest.mark.parametrize("k", [5, 7])
+    @given(a=st.integers(min_value=0, max_value=(1 << 4000) - 1),
+           b=st.integers(min_value=0, max_value=(1 << 4000) - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_int(self, k, a, b):
+        got = mul_toom(to_nat(a), to_nat(b), k, oracle_mul)
+        assert from_nat(got) == a * b

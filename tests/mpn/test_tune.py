@@ -1,0 +1,59 @@
+"""Tests for the threshold autotuner."""
+
+import pytest
+
+from repro.mpn import nat
+from repro.mpn.mul import mul
+from repro.mpn.schoolbook import mul_schoolbook
+from repro.mpn.tune import _random_operand, find_crossover, tune
+
+from tests.conftest import from_nat
+
+
+class TestRandomOperand:
+    def test_exact_limb_count_and_determinism(self):
+        operand = _random_operand(10, seed=5)
+        assert len(operand) == 10
+        assert operand[-1] >> 31 == 1  # top bit forced
+        assert operand == _random_operand(10, seed=5)
+        assert operand != _random_operand(10, seed=6)
+
+
+class TestFindCrossover:
+    def test_always_faster_returns_low(self):
+        def slow(a, b):
+            for _ in range(50):
+                mul_schoolbook(a, b)
+            return mul_schoolbook(a, b)
+        crossover = find_crossover(slow, mul_schoolbook, 4, 32)
+        assert crossover == 4
+
+    def test_never_faster_returns_high(self):
+        def never_fast(a, b):
+            for _ in range(50):
+                mul_schoolbook(a, b)
+            return mul_schoolbook(a, b)
+        crossover = find_crossover(mul_schoolbook, never_fast, 4, 32)
+        assert crossover == 32
+
+
+class TestTune:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tune(max_limbs=256)
+
+    def test_ordering(self, result):
+        policy = result.policy
+        assert 4 <= policy.karatsuba_limbs <= 128
+        assert policy.karatsuba_limbs < policy.toom3_limbs \
+            < policy.toom4_limbs < policy.toom6_limbs < policy.ssa_limbs
+
+    def test_tuned_policy_is_exact(self, result, rng):
+        x, y = rng.getrandbits(20000), rng.getrandbits(20000)
+        product = mul(nat.nat_from_int(x), nat.nat_from_int(y),
+                      result.policy)
+        assert from_nat(product) == x * y
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "schoolbook->karatsuba" in text

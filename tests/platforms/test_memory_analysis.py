@@ -1,0 +1,123 @@
+"""Tests for the cache hierarchy, roofline and intermediates analyses."""
+
+import pytest
+
+from repro.platforms.cache import (CacheHierarchy, CacheLevel,
+                                   run_apc_multiply, run_matrix_multiply,
+                                   run_random_access)
+from repro.platforms.intermediates import (
+    KARATSUBA_NODE_INTERMEDIATE_FACTOR, intermediates_reduction_ratio,
+    karatsuba_intermediate_bits, karatsuba_intermediate_megabytes,
+    monolithic_total_bits, schoolbook_decomposition_rows,
+    schoolbook_total_bits)
+from repro.platforms.roofline import (CAMBRICON_P_PEAK_GOPS, CPU_PEAK_GOPS,
+                                      RooflinePoint, binding_level,
+                                      cambricon_p_roofline, roofline_points)
+
+
+class TestCacheLevel:
+    def test_lru_eviction(self):
+        level = CacheLevel("L", 2 * 64, 1.0)  # two lines
+        level.insert(0)
+        level.insert(1)
+        assert level.lookup(0)   # touch 0 -> 1 becomes LRU
+        level.insert(2)          # evicts 1
+        assert level.lookup(0)
+        assert not level.lookup(1)
+        assert level.lookup(2)
+
+    def test_hit_promotes_to_upper_levels(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0)                     # miss everywhere
+        first_l1 = hierarchy.levels[0].bytes_in
+        hierarchy.access(8)                     # same line: L1 hit
+        assert hierarchy.levels[0].bytes_in > first_l1
+        assert hierarchy.levels[1].bytes_in == 64  # only the first miss
+
+
+class TestWorkloadProfiles:
+    def test_apc_multiply_bottlenecks_at_rf(self):
+        # Figure 3(b): APC multiply is stuck at the register file while
+        # remote hierarchies are almost idle.
+        hierarchy = CacheHierarchy()
+        run_apc_multiply(hierarchy, 64 * 1024)
+        report = hierarchy.report()
+        assert report.bottleneck() == "RF"
+        assert report.utilization["L3"] < 0.3
+        assert report.utilization["DRAM"] < 0.5
+
+    def test_matrix_multiply_concentrates_near_l1(self):
+        hierarchy = CacheHierarchy()
+        run_matrix_multiply(hierarchy, 64)
+        report = hierarchy.report()
+        assert report.bottleneck() in ("L1", "RF")
+        assert report.utilization["L1"] > 0.5
+        assert report.utilization["RF"] > 0.3
+        assert report.utilization["DRAM"] < 0.5
+
+    def test_random_access_bottlenecks_remote(self):
+        hierarchy = CacheHierarchy()
+        run_random_access(hierarchy, 1 << 16)
+        report = hierarchy.report()
+        assert report.bottleneck() in ("L2", "L3", "DRAM")
+        assert report.utilization["RF"] < 0.3
+
+
+class TestRoofline:
+    def test_attained_is_min_of_roofs(self):
+        point = RooflinePoint("L", operational_intensity=2.0,
+                              bandwidth_gbs=100.0, peak_gops=1000.0)
+        assert point.attained_gops == 200.0
+        assert point.memory_bound
+        compute = RooflinePoint("L", 100.0, 100.0, 1000.0)
+        assert compute.attained_gops == 1000.0
+        assert not compute.memory_bound
+
+    def test_binding_level(self):
+        points = roofline_points(
+            total_ops=1e9,
+            traffic_bytes={"RF": 1e9, "DRAM": 1e6},
+            bandwidths_gbs={"RF": 100.0, "DRAM": 10.0},
+            peak_gops=100.0)
+        bound = binding_level(points)
+        assert bound.level == "RF"  # 1 op/B at 100 GB/s < peak
+
+    def test_cambricon_p_compute_bound_at_large_granularity(self):
+        # Figure 12: monolithic granularity raises OI until the compute
+        # roof binds.
+        small = cambricon_p_roofline(512)[0]
+        large = cambricon_p_roofline(35904)[0]
+        assert small.memory_bound
+        assert not large.memory_bound
+        assert large.attained_gops == CAMBRICON_P_PEAK_GOPS
+
+    def test_peak_ratio_matches_speedup_scale(self):
+        # The peak ratio explains the ~50-100x multiply speedups.
+        assert 20 < CAMBRICON_P_PEAK_GOPS / CPU_PEAK_GOPS < 100
+
+
+class TestIntermediates:
+    def test_figure_4_totals(self):
+        assert schoolbook_total_bits(1.0) == pytest.approx(20.0)
+        assert monolithic_total_bits(1.0) == pytest.approx(4.0)
+        rows = schoolbook_decomposition_rows(1.0)
+        assert len(rows) == 7  # four products, three additions
+
+    def test_paper_absolute_megabytes(self):
+        # Section II-C: 1.72 GB at 32-bit limbs vs 223.71 MB at 1024.
+        fine = karatsuba_intermediate_megabytes(1_000_000, 32)
+        coarse = karatsuba_intermediate_megabytes(1_000_000, 1024)
+        assert fine == pytest.approx(1720.0, rel=0.05)
+        assert coarse == pytest.approx(223.71, rel=0.05)
+
+    def test_paper_ratio(self):
+        ratio = intermediates_reduction_ratio(1_000_000, 1024, 32)
+        assert ratio == pytest.approx(7.68, rel=0.01)
+
+    def test_no_intermediates_below_limb(self):
+        assert karatsuba_intermediate_bits(1024, 2048) == 0.0
+
+    def test_factor_is_per_bit(self):
+        one_level = karatsuba_intermediate_bits(4096, 2048)
+        assert one_level == pytest.approx(
+            KARATSUBA_NODE_INTERMEDIATE_FACTOR * 4096)

@@ -1,0 +1,132 @@
+"""Tests for the CPU/GPU/AVX512/accelerator baseline models."""
+
+import pytest
+
+from repro import profiling
+from repro.platforms import accelerators, avx512, cpu, gpu
+from repro.profiling import KernelOp, OperationTrace
+
+
+def trace_of(*ops) -> OperationTrace:
+    trace = OperationTrace()
+    trace.ops.extend(ops)
+    return trace
+
+
+class TestCpuModel:
+    def test_mul_monotonic(self):
+        previous = 0.0
+        for bits in (64, 1024, 16384, 262144, 4 << 20):
+            seconds = cpu.multiply_seconds(bits)
+            assert seconds > previous
+            previous = seconds
+
+    def test_mul_superlinear_in_basecase(self):
+        assert cpu.mul_cycles(1024, 1024) > 2 * cpu.mul_cycles(512, 512)
+
+    def test_mul_subquadratic_at_scale(self):
+        # Karatsuba and above: doubling costs < 4x.
+        small = cpu.mul_cycles(1 << 18, 1 << 18)
+        large = cpu.mul_cycles(1 << 19, 1 << 19)
+        assert large < 3.6 * small
+
+    def test_unbalanced_mul(self):
+        balanced = cpu.mul_cycles(4096, 4096)
+        unbalanced = cpu.mul_cycles(65536, 4096)
+        assert balanced < unbalanced < 32 * balanced
+
+    def test_4096_bit_ballpark(self):
+        # Real GMP does a 4096-bit multiply in a few hundred ns to ~2us.
+        seconds = cpu.multiply_seconds(4096)
+        assert 1e-7 < seconds < 5e-6
+
+    def test_price_trace_and_breakdown(self):
+        trace = trace_of(KernelOp("mul", 10000, 10000),
+                         KernelOp("add", 10000, 10000),
+                         KernelOp("highlevel", 1))
+        report = cpu.price_trace(trace)
+        assert report.seconds > 0
+        assert report.joules == pytest.approx(
+            report.seconds * cpu.CPU_POWER_W)
+        breakdown = report.breakdown()
+        assert abs(sum(breakdown.values()) - 1.0) < 1e-9
+        assert breakdown["mul"] > breakdown["add"] > breakdown["highlevel"]
+
+    def test_div_and_sqrt_track_mul(self):
+        bits = 1 << 16
+        assert cpu.div_cycles(2 * bits, bits) > cpu.mul_cycles(bits, bits)
+        assert cpu.sqrt_cycles(bits) == pytest.approx(
+            2 * cpu.mul_cycles(bits, bits) + cpu.CALL_OVERHEAD_CYCLES)
+
+    def test_powmod_scales_with_exponent(self):
+        assert cpu.powmod_cycles(2048, 2048) > 100 * cpu.powmod_cycles(
+            2048, 16)
+
+
+class TestGpuModel:
+    def test_batch_anchor(self):
+        # Table III: amortized 1.56e-8 s at 4096 bits over a big batch.
+        assert gpu.multiply_seconds(4096, batch=100000) \
+            == pytest.approx(1.56e-8, rel=0.05)
+
+    def test_launch_dominates_single_ops(self):
+        single = gpu.multiply_seconds(4096, batch=1)
+        batched = gpu.multiply_seconds(4096, batch=10000)
+        assert single > 100 * batched
+
+    def test_applicability_window(self):
+        assert gpu.applicable(4096)
+        assert not gpu.applicable(64)
+        assert not gpu.applicable(1 << 20)
+        with pytest.raises(ValueError):
+            gpu.multiply_seconds(1 << 20)
+
+    def test_general_purpose_slower_than_cpu(self):
+        # Figure 2 (left): unbatched APC runs far slower on the GPU
+        # (the full-app benchmark measures ~50x; this synthetic trace
+        # of mid-size ops is comparatively GPU-friendly).
+        trace = trace_of(*[KernelOp("mul", 2048, 2048)] * 50,
+                         *[KernelOp("add", 2048, 2048)] * 100)
+        gpu_seconds = gpu.price_trace(trace, batch=1)
+        cpu_seconds = cpu.price_trace(trace).seconds
+        assert gpu_seconds > 3 * cpu_seconds
+
+    def test_pipeline_depth_amortizes_launches(self):
+        trace = trace_of(*[KernelOp("mul", 2048, 2048)] * 50)
+        deep = gpu.price_trace(trace, batch=1, pipeline_depth=8)
+        shallow = gpu.price_trace(trace, batch=1, pipeline_depth=1)
+        assert shallow > deep
+
+    def test_energy(self):
+        assert gpu.energy_joules(1.0) == pytest.approx(220.58)
+
+
+class TestAvx512Model:
+    def test_anchor(self):
+        assert avx512.multiply_seconds(4096) == pytest.approx(5.7e-7)
+
+    def test_karatsuba_above_crossover(self):
+        below = avx512.multiply_seconds(16384)
+        above = avx512.multiply_seconds(32768)
+        assert 2.0 < above / below < 4.0
+
+    def test_applicability(self):
+        assert avx512.applicable(4096)
+        assert not avx512.applicable(64)
+        with pytest.raises(ValueError):
+            avx512.multiply_seconds(1 << 21)
+
+
+class TestComparators:
+    def test_table_3_ratios(self):
+        assert accelerators.DSP.area_ratio == pytest.approx(3.06, rel=0.01)
+        assert accelerators.DSP.power_ratio == pytest.approx(2.53, rel=0.01)
+        assert accelerators.BIT_TACTICAL.area_ratio \
+            == pytest.approx(3.76, rel=0.01)
+        assert accelerators.BIT_TACTICAL.power_ratio \
+            == pytest.approx(5.02, rel=0.01)
+
+    def test_absolute_values_near_paper(self):
+        assert accelerators.DSP.area_mm2 == pytest.approx(5.80, rel=0.01)
+        assert accelerators.BIT_TACTICAL.power_w \
+            == pytest.approx(18.29, rel=0.01)

@@ -1,0 +1,77 @@
+"""Tests for continued fractions and the triple-pi cross-check."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpf import MPF
+from repro.mpq import MPQ
+from repro.mpq.contfrac import (best_approximation, convergents,
+                                expansion, from_mpf)
+
+rationals = st.fractions(min_value=Fraction(0),
+                         max_value=Fraction(10 ** 6),
+                         max_denominator=10 ** 5)
+
+
+class TestExpansion:
+    @given(rationals)
+    @settings(max_examples=60)
+    def test_last_convergent_is_exact(self, value):
+        q = MPQ(value.numerator, value.denominator)
+        terms = expansion(q)
+        assert list(convergents(terms))[-1] == q
+
+    def test_known_expansions(self):
+        assert [int(t) for t in expansion(MPQ(355, 113))] == [3, 7, 16]
+        assert [int(t) for t in expansion(MPQ(649, 200))] \
+            == [3, 4, 12, 4]
+        assert [int(t) for t in expansion(MPQ(7, 1))] == [7]
+
+    @given(rationals)
+    @settings(max_examples=40)
+    def test_convergents_alternate_around_value(self, value):
+        if value.denominator == 1:
+            return
+        q = MPQ(value.numerator, value.denominator)
+        approximations = list(convergents(expansion(q)))
+        for even, odd in zip(approximations[0::2],
+                             approximations[1::2]):
+            assert even <= q <= odd
+
+
+class TestBestApproximation:
+    def test_pi_gives_355_113(self):
+        from repro.mpf.transcendental import pi_agm
+        best = best_approximation(pi_agm(160), 10000)
+        assert (int(best.numerator), int(best.denominator)) == (355, 113)
+
+    def test_pi_gives_22_7(self):
+        from repro.mpf.transcendental import pi_agm
+        best = best_approximation(pi_agm(160), 100)
+        assert (int(best.numerator), int(best.denominator)) == (22, 7)
+
+    def test_sqrt2_silver_ratio(self):
+        # cf(sqrt 2) = [1; 2, 2, 2, ...]; convergents 1, 3/2, 7/5, 17/12
+        terms = from_mpf(MPF(2, 160).sqrt(), 6)
+        assert [int(t) for t in terms[:5]] == [1, 2, 2, 2, 2]
+
+    def test_exact_value_recovered(self):
+        value = MPF.from_ratio(17, 12, 96)
+        best = best_approximation(value, 50)
+        assert best == MPQ(17, 12)
+
+
+class TestTriplePi:
+    def test_three_algorithms_agree(self):
+        # Chudnovsky binary splitting, Salamin-Brent AGM, and Machin's
+        # arctangent formula: three disjoint pipelines, one constant.
+        from repro.apps.pi import compute_pi, pi_machin
+        from repro.mpf.transcendental import pi_agm
+        digits = 60
+        chudnovsky = compute_pi(digits).digits
+        machin = pi_machin(digits)
+        agm = pi_agm(260).to_decimal_string(digits)
+        assert chudnovsky[:digits] == machin[:digits] == agm[:digits]

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs end to end.
+
+Marked slow (the full set takes a couple of minutes); run with
+``pytest -m slow tests/test_examples.py`` or as part of the full suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, argv) — arguments chosen so each finishes in seconds.
+CASES = [
+    ("quickstart.py", []),
+    ("pi_digits.py", ["200"]),
+    ("deep_zoom_mandelbrot.py", ["40"]),
+    ("rsa_crypto.py", ["192"]),
+    ("quantum_precision.py", ["3"]),
+    ("bitflow_microscope.py", []),
+    ("number_theory_tour.py", []),
+    ("integer_relations.py", []),
+    ("private_aggregation.py", []),
+    ("ill_conditioned_science.py", []),
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script,argv", CASES,
+                         ids=[case[0] for case in CASES])
+def test_example_runs(script, argv):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *argv],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {case[0] for case in CASES}
+    assert scripts == covered, scripts ^ covered

@@ -1,0 +1,134 @@
+"""Tests for MPApca's high-level operators and the batch mode."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.accelerator import CambriconP
+from repro.mpn import nat
+from repro.mpn.nat import MpnError
+from repro.runtime.highlevel import HighLevelOps
+
+from tests.conftest import from_nat, to_nat
+
+
+@pytest.fixture
+def ops():
+    return HighLevelOps()
+
+
+class TestPolynomialConvolution:
+    def test_matches_reference(self, ops, rng):
+        xs = [rng.getrandbits(150) for _ in range(4)]
+        ys = [rng.getrandbits(150) for _ in range(3)]
+        got = ops.polynomial_convolution([to_nat(v) for v in xs],
+                                         [to_nat(v) for v in ys])
+        expected = [0] * 6
+        for i, x in enumerate(xs):
+            for j, y in enumerate(ys):
+                expected[i + j] += x * y
+        assert [from_nat(c) for c in got] == expected
+
+    def test_empty(self, ops):
+        assert ops.polynomial_convolution([], [to_nat(1)]) == []
+
+    def test_cost_accumulates(self, ops):
+        before = ops.runtime.cycles
+        ops.polynomial_convolution([to_nat(3), to_nat(5)],
+                                   [to_nat(7), to_nat(9)])
+        assert ops.runtime.cycles > before
+
+
+class TestDivide:
+    def test_large_division(self, ops, rng):
+        a = rng.getrandbits(12000)
+        b = rng.getrandbits(5000) | (1 << 4999)
+        quotient, remainder = ops.divide(to_nat(a), to_nat(b))
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)
+
+    def test_small_divisor_host_path(self, ops, rng):
+        a, b = rng.getrandbits(3000), rng.getrandbits(1000) | 1
+        quotient, remainder = ops.divide(to_nat(a), to_nat(b))
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)
+
+    def test_zero_divisor_rejected(self, ops):
+        with pytest.raises(MpnError):
+            ops.divide(to_nat(1), [])
+
+
+class TestSqrt:
+    def test_matches_isqrt(self, ops, rng):
+        for bits in (100, 3000, 8000):
+            value = rng.getrandbits(bits)
+            assert from_nat(ops.sqrt(to_nat(value))) == math.isqrt(value)
+
+
+class TestMontgomeryReduce:
+    def test_redc_matches_formula(self, ops, rng):
+        for _ in range(20):
+            modulus = rng.getrandbits(rng.randrange(64, 600)) | 1
+            limbs = to_nat(modulus)
+            r = 1 << (32 * len(limbs))
+            value = rng.randrange(0, r * modulus)
+            got = from_nat(ops.montgomery_reduce(to_nat(value), limbs))
+            assert got == (value * pow(r, -1, modulus)) % modulus
+
+    def test_even_modulus_rejected(self, ops):
+        with pytest.raises(MpnError):
+            ops.montgomery_reduce(to_nat(5), to_nat(8))
+
+    def test_oversized_input_rejected(self, ops):
+        modulus = to_nat((1 << 64) + 1)
+        with pytest.raises(MpnError):
+            ops.montgomery_reduce(to_nat(1 << 400), modulus)
+
+    def test_powmod(self, ops, rng):
+        modulus = rng.getrandbits(400) | 1
+        base = rng.randrange(0, modulus)
+        exponent = rng.getrandbits(80)
+        got = from_nat(ops.powmod(to_nat(base), to_nat(exponent),
+                                  to_nat(modulus)))
+        assert got == pow(base, exponent, modulus)
+
+
+class TestMatrixMultiply:
+    def test_matches_reference(self, ops, rng):
+        a = [[to_nat(rng.getrandbits(200)) for _ in range(3)]
+             for _ in range(2)]
+        b = [[to_nat(rng.getrandbits(200)) for _ in range(2)]
+             for _ in range(3)]
+        c = ops.matrix_multiply(a, b)
+        for i in range(2):
+            for j in range(2):
+                expected = sum(from_nat(a[i][k]) * from_nat(b[k][j])
+                               for k in range(3))
+                assert from_nat(c[i][j]) == expected
+
+    def test_shape_mismatch_rejected(self, ops):
+        with pytest.raises(MpnError):
+            ops.matrix_multiply([[to_nat(1)]], [[to_nat(1)], [to_nat(2)]])
+
+
+class TestBatchMode:
+    def test_batch_results_exact(self, rng):
+        device = CambriconP()
+        pairs = [(to_nat(rng.getrandbits(1500)),
+                  to_nat(rng.getrandbits(1500))) for _ in range(8)]
+        products, report = device.multiply_batch(pairs)
+        for (a, b), product in zip(pairs, products):
+            assert from_nat(product) == from_nat(a) * from_nat(b)
+        assert report.num_passes > 0
+
+    def test_batch_amortizes_fill(self, rng):
+        device = CambriconP()
+        pairs = [(to_nat(rng.getrandbits(2048)),
+                  to_nat(rng.getrandbits(2048))) for _ in range(16)]
+        _, batch_report = device.multiply_batch(pairs)
+        _, single_report = device.multiply(*pairs[0])
+        assert batch_report.seconds / len(pairs) < single_report.seconds
+
+    def test_empty_batch(self):
+        device = CambriconP()
+        products, report = device.multiply_batch([])
+        assert products == [] and report.cycles == 0

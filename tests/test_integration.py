@@ -1,0 +1,98 @@
+"""Cross-module integration tests: the full reproduction pipeline."""
+
+import pytest
+
+from repro import mpn
+from repro.apps import pi, rsa
+from repro.core.accelerator import CambriconP
+from repro.mpz import MPZ
+from repro.platforms import cpu, gpu
+from repro.runtime import mpapca
+from repro.runtime.mpapca import MPApca
+
+from tests.conftest import from_nat, to_nat
+
+
+class TestTraceToPricePipeline:
+    """App -> trace -> platform pricing, the Figure 13 pipeline."""
+
+    def test_pi_priced_on_both_platforms(self):
+        # At tiny digit counts the binary-splitting tree is all small
+        # dispatch-bound multiplies and the CPU wins — the reason the
+        # paper calls Pi the hardest app to accelerate.  The crossover
+        # into Cambricon-P's favor happens by a few thousand digits.
+        _, small_trace = pi.trace_run(200)
+        assert cpu.price_trace(small_trace).seconds \
+            < mpapca.price_trace(small_trace).seconds
+        _, trace = pi.trace_run(3000)
+        cpu_cost = cpu.price_trace(trace)
+        camp_cost = mpapca.price_trace(trace)
+        assert cpu_cost.seconds > camp_cost.seconds
+        # And the energy benefit should exceed the speedup's scale.
+        assert cpu_cost.joules / camp_cost.joules \
+            > cpu_cost.seconds / camp_cost.seconds
+
+    def test_rsa_speedup_grows_with_bits(self):
+        speedups = []
+        for bits in (128, 512):
+            _, trace = rsa.trace_run(bits=bits, messages=1)
+            speedups.append(cpu.price_trace(trace).seconds
+                            / mpapca.price_trace(trace).seconds)
+        assert speedups[1] > speedups[0]
+
+    def test_gpu_unbatched_is_slowest(self):
+        _, trace = pi.trace_run(150)
+        gpu_seconds = gpu.price_trace(trace, batch=1)
+        cpu_seconds = cpu.price_trace(trace).seconds
+        assert gpu_seconds > cpu_seconds
+
+
+class TestDeviceAgainstLibrary:
+    """The accelerator simulator against the mpn kernels it replaces."""
+
+    def test_multiply_agreement_across_sizes(self, rng):
+        device = CambriconP()
+        for bits in (31, 64, 129, 1000, 4096):
+            a = rng.getrandbits(bits) | (1 << (bits - 1))
+            b = rng.getrandbits(bits) | (1 << (bits - 1))
+            via_device, _ = device.multiply(to_nat(a), to_nat(b))
+            via_library = mpn.mul(to_nat(a), to_nat(b))
+            assert via_device == via_library
+
+    def test_runtime_backed_by_device_runs_an_app_kernel(self):
+        # A Montgomery-style square-and-reduce step entirely on the
+        # device-backed runtime.
+        runtime = MPApca(use_device=True)
+        modulus = (1 << 2048) - 565
+        value = (1 << 2000) + 12345
+        square = from_nat(runtime.mul(to_nat(value), to_nat(value)))
+        assert square == value * value
+        reduced = square % modulus
+        assert reduced == (value * value) % modulus
+
+
+class TestEndToEndNumerics:
+    def test_pi_digits_through_the_full_stack(self):
+        # Chudnovsky -> binary splitting -> MPZ -> mpn -> (profiled)
+        # kernels; 250 digits checked against the 100-digit reference
+        # prefix plus internal consistency at a second precision.
+        first = pi.run(250).digits
+        second = pi.run(240).digits
+        assert first.startswith(pi.PI_REFERENCE_100)
+        assert first.startswith(second)
+
+    def test_rsa_on_top_of_everything(self):
+        key = rsa.generate_keypair(192, seed=13)
+        message = MPZ(987654321987654321)
+        assert rsa.decrypt(rsa.encrypt(message, key), key) == message
+
+
+class TestPolicyConsistency:
+    def test_same_product_under_all_policies(self, rng):
+        a = rng.getrandbits(200000)
+        b = rng.getrandbits(150000)
+        results = set()
+        for policy in (mpn.GMP_POLICY, mpn.MPAPCA_POLICY,
+                       mpn.PYTHON_POLICY):
+            results.add(from_nat(mpn.mul(to_nat(a), to_nat(b), policy)))
+        assert results == {a * b}

@@ -1,0 +1,112 @@
+"""Tests for the arbitrary-precision complex layer (MPC)."""
+
+import cmath
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import MPC
+from repro.mpf import MPF
+
+components = st.integers(min_value=-10 ** 6, max_value=10 ** 6)
+
+
+def as_mpc(re: int, im: int, precision: int = 128) -> MPC:
+    return MPC(MPF(re, precision), MPF(im, precision))
+
+
+class TestFieldOperations:
+    @given(components, components, components, components)
+    def test_add_sub_mul(self, ar, ai, br, bi):
+        x, y = as_mpc(ar, ai), as_mpc(br, bi)
+        a, b = complex(ar, ai), complex(br, bi)
+        assert complex(x + y) == a + b
+        assert complex(x - y) == a - b
+        assert complex(x * y) == a * b
+
+    @given(components, components, components, components)
+    @settings(max_examples=60)
+    def test_div(self, ar, ai, br, bi):
+        if br == 0 and bi == 0:
+            return
+        x, y = as_mpc(ar, ai), as_mpc(br, bi)
+        got = complex(x / y)
+        expected = complex(ar, ai) / complex(br, bi)
+        assert cmath.isclose(got, expected, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(components, components)
+    def test_conj(self, re, im):
+        assert complex(as_mpc(re, im).conj()) == complex(re, -im)
+
+    @given(components, components)
+    def test_mul_by_conjugate_is_abs2(self, re, im):
+        z = as_mpc(re, im)
+        product = z * z.conj()
+        assert float(product.re) == float(z.abs2())
+        assert not product.im
+
+    @given(components, components)
+    def test_abs(self, re, im):
+        import math
+        got = float(as_mpc(re, im).abs())
+        assert math.isclose(got, abs(complex(re, im)),
+                            rel_tol=1e-12, abs_tol=1e-12)
+
+
+class TestInterop:
+    def test_int_and_mpf_coercion(self):
+        z = as_mpc(3, 4)
+        assert complex(z + 1) == complex(4, 4)
+        assert complex(2 * z) == complex(6, 8)
+        assert complex(z - MPF(1, 128)) == complex(2, 4)
+
+    def test_scale(self):
+        z = as_mpc(3, -4).scale(MPF(2, 128))
+        assert complex(z) == complex(6, -8)
+
+    def test_from_ratio(self):
+        z = MPC.from_ratio(1, 2, -3, 4, 128)
+        assert complex(z) == complex(0.5, -0.75)
+
+    def test_bool_eq(self):
+        assert not as_mpc(0, 0)
+        assert as_mpc(0, 1)
+        assert as_mpc(2, 3) == as_mpc(2, 3)
+        assert as_mpc(2, 3) != as_mpc(3, 2)
+
+
+class TestPrecision:
+    def test_high_precision_rotation_stays_unit(self):
+        # Repeated multiplication by a unit complex number must keep
+        # |z| = 1 far beyond double precision.
+        from repro.apps.zkcm import _cos_sin
+        cos_value, sin_value = _cos_sin(1, 5, 192)  # 2*pi/32
+        rotation = MPC(cos_value, sin_value)
+        z = MPC(MPF(1, 192), MPF(0, 192))
+        for _ in range(32):
+            z = z * rotation
+        # After 32 steps of 2*pi/32 we are back at 1, far beyond what
+        # float64 could certify: check through decimal rendering.
+        from fractions import Fraction
+        re_value = Fraction(z.re.to_decimal_string(35))
+        im_value = Fraction(z.im.to_decimal_string(35))
+        assert abs(re_value - 1) < Fraction(1, 10 ** 28)
+        assert abs(im_value) < Fraction(1, 10 ** 28)
+
+
+class TestEdgeCases:
+    def test_division_by_zero_complex(self):
+        import pytest
+        with pytest.raises(ZeroDivisionError):
+            as_mpc(1, 1) / as_mpc(0, 0)
+
+    def test_division_by_pure_imaginary(self):
+        # 1 / i = -i
+        got = as_mpc(1, 0) / as_mpc(0, 1)
+        assert complex(got) == complex(0, -1)
+
+    def test_repr(self):
+        assert "MPC(" in repr(as_mpc(1, 2))
+
+    def test_hash_equal_values(self):
+        assert hash(as_mpc(3, 4)) == hash(as_mpc(3, 4))

@@ -1,0 +1,211 @@
+"""Tests for the arbitrary-precision float layer (MPF)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpf import MPF
+from repro.mpn.nat import MpnError
+from repro.mpz import MPZ
+
+fractions = st.fractions(
+    min_value=Fraction(-10 ** 12), max_value=Fraction(10 ** 12),
+    max_denominator=10 ** 6)
+
+
+def as_mpf(value: Fraction, precision: int = 160) -> MPF:
+    return MPF.from_ratio(value.numerator, value.denominator, precision)
+
+
+def close(got: MPF, expected: Fraction, bits: int = 100) -> bool:
+    """|got - expected| <= |expected| * 2^-bits (+ tiny absolute floor).
+
+    Compares through a high-precision decimal rendering rather than
+    float64 so the check is meaningful beyond 53 bits.
+    """
+    scaled = got.to_decimal_string(45)
+    got_fraction = Fraction(scaled)
+    tolerance = abs(expected) * Fraction(1, 1 << bits) + \
+        Fraction(1, 10 ** 40)
+    return abs(got_fraction - expected) <= tolerance
+
+
+class TestConstruction:
+    def test_zero(self):
+        zero = MPF(0, 64)
+        assert not zero and zero.sign == 0
+        assert float(zero) == 0.0
+
+    def test_from_int(self):
+        assert float(MPF(12345, 64)) == 12345.0
+        assert float(MPF(-7, 64)) == -7.0
+
+    def test_from_mpz(self):
+        assert float(MPF(MPZ(1 << 40), 64)) == float(1 << 40)
+
+    def test_precision_floor_rejected(self):
+        with pytest.raises(MpnError):
+            MPF(1, 2)
+
+    @given(fractions)
+    def test_from_ratio(self, value):
+        assert close(as_mpf(value), value)
+
+    def test_from_ratio_zero_denominator(self):
+        with pytest.raises(ZeroDivisionError):
+            MPF.from_ratio(1, 0, 64)
+
+    def test_tiny_over_huge_keeps_precision(self):
+        # Regression: quotient of a short mantissa by a long one must
+        # still carry full precision (the 1/sqrt(2) bug).
+        ratio = MPF.from_ratio(1, (1 << 300) + 12345, 128)
+        expected = Fraction(1, (1 << 300) + 12345)
+        assert close(ratio, expected, bits=120)
+
+
+class TestArithmetic:
+    @given(fractions, fractions)
+    def test_add(self, a, b):
+        assert close(as_mpf(a) + as_mpf(b), a + b)
+
+    @given(fractions, fractions)
+    def test_sub(self, a, b):
+        assert close(as_mpf(a) - as_mpf(b), a - b)
+
+    @given(fractions, fractions)
+    def test_mul(self, a, b):
+        assert close(as_mpf(a) * as_mpf(b), a * b)
+
+    @given(fractions, fractions.filter(lambda v: v != 0))
+    def test_div(self, a, b):
+        assert close(as_mpf(a) / as_mpf(b), a / b, bits=100)
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            MPF(1, 64) / MPF(0, 64)
+
+    @given(fractions)
+    def test_neg_abs(self, a):
+        assert close(-as_mpf(a), -a)
+        assert close(abs(as_mpf(a)), abs(a))
+
+    @given(fractions, fractions)
+    @settings(max_examples=50)
+    def test_catastrophic_cancellation_is_exact_zero(self, a, b):
+        x = as_mpf(a)
+        assert not (x - x)
+
+    def test_int_interop(self):
+        assert float(MPF(3, 64) + 2) == 5.0
+        assert float(2 * MPF(3, 64)) == 6.0
+        assert float(10 / MPF(4, 64)) == 2.5
+
+
+class TestSqrt:
+    def test_sqrt2_to_50_digits(self):
+        reference = ("1.4142135623730950488016887242096980785696"
+                     "7187537694")
+        got = MPF(2, 256).sqrt().to_decimal_string(50)
+        assert got[:45] == reference[:45]
+
+    @given(fractions.filter(lambda v: v > 0))
+    @settings(max_examples=60)
+    def test_sqrt_squares_back(self, a):
+        root = as_mpf(a).sqrt()
+        assert close(root * root, a, bits=90)
+
+    def test_sqrt_negative_rejected(self):
+        with pytest.raises(MpnError):
+            MPF(-1, 64).sqrt()
+
+    def test_sqrt_zero(self):
+        assert not MPF(0, 64).sqrt()
+
+
+class TestComparison:
+    @given(fractions, fractions)
+    def test_order(self, a, b):
+        x, y = as_mpf(a), as_mpf(b)
+        assert (x < y) == (a < b)
+        assert (x >= y) == (a >= b)
+
+    def test_eq_across_precisions(self):
+        assert MPF(5, 64) == MPF(5, 256)
+
+
+class TestConversions:
+    @pytest.mark.parametrize("num,den,expected", [
+        (7, 2, 3), (-7, 2, -4), (8, 2, 4), (-8, 2, -4), (1, 3, 0),
+        (-1, 3, -1),
+    ])
+    def test_floor_mpz(self, num, den, expected):
+        assert int(MPF.from_ratio(num, den, 96).floor_mpz()) == expected
+
+    def test_to_decimal_string(self):
+        assert MPF.from_ratio(1, 8, 64).to_decimal_string(3) == "0.125"
+        assert MPF.from_ratio(-1, 8, 64).to_decimal_string(3) == "-0.125"
+        assert MPF(42, 64).to_decimal_string(2) == "42.00"
+
+    @given(fractions)
+    def test_float_conversion(self, a):
+        got = float(as_mpf(a))
+        expected = a.numerator / a.denominator
+        assert math.isclose(got, expected, rel_tol=1e-12, abs_tol=1e-15)
+
+    def test_exponent_of_top_bit(self):
+        assert MPF(8, 64).exponent_of_top_bit == 3
+        assert MPF.from_ratio(1, 4, 64).exponent_of_top_bit == -2
+        with pytest.raises(MpnError):
+            MPF(0, 64).exponent_of_top_bit
+
+
+class TestPrecisionSemantics:
+    def test_result_takes_max_precision(self):
+        a, b = MPF(1, 64), MPF(1, 192)
+        assert (a + b).precision == 192
+        assert (a * b).precision == 192
+
+    def test_truncation_at_budget(self):
+        wide = MPF((1 << 100) + 1, 64)
+        assert float(wide) == float(1 << 100)  # low bit truncated away
+
+    def test_alignment_cap_keeps_add_linear(self):
+        # Adding a tiny number to a huge one must not materialize the
+        # full 2^100000-bit alignment.
+        huge = MPF(1 << 100000, 128)
+        tiny = MPF.from_ratio(1, 1 << 100000, 128)
+        total = huge + tiny
+        assert total.exponent_of_top_bit == 100000
+
+
+class TestRoundingHelpers:
+    @pytest.mark.parametrize("num,den", [
+        (7, 2), (-7, 2), (8, 2), (-8, 2), (1, 3), (-1, 3), (0, 1),
+        (9, 4), (-9, 4),
+    ])
+    def test_trunc_ceil_round(self, num, den):
+        import math
+        value = MPF.from_ratio(num, den, 96)
+        exact = Fraction(num, den)
+        assert int(value.trunc_mpz()) == math.trunc(exact)
+        assert int(value.ceil_mpz()) == math.ceil(exact)
+        expected_round = math.floor(exact + Fraction(1, 2)) \
+            if exact >= 0 else math.ceil(exact - Fraction(1, 2))
+        assert int(value.round_mpz()) == expected_round
+
+    @given(fractions)
+    def test_dyadic_decomposition_is_exact(self, value):
+        x = as_mpf(value)
+        mantissa, exponent = x.to_fraction_parts()
+        reconstructed = Fraction(int(mantissa)) * Fraction(2) ** exponent
+        # The decomposition reproduces the STORED value exactly.
+        assert close(x, reconstructed, bits=120)
+
+    @given(fractions, st.integers(min_value=-100, max_value=100))
+    def test_ldexp(self, value, exponent):
+        x = as_mpf(value)
+        shifted = x.ldexp(exponent)
+        assert close(shifted, value * Fraction(2) ** exponent, bits=90)

@@ -1,0 +1,85 @@
+"""Tests for the interval-arithmetic layer."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpf import MPF
+from repro.mpfi import Interval
+from repro.mpn.nat import MpnError
+
+fractions = st.fractions(min_value=Fraction(-10 ** 6),
+                         max_value=Fraction(10 ** 6),
+                         max_denominator=10 ** 4)
+
+
+def enclosing(value: Fraction, precision: int = 96) -> Interval:
+    return Interval.from_ratio(value.numerator, value.denominator,
+                               precision)
+
+
+def surely_contains(interval: Interval, value: Fraction) -> bool:
+    # Compare through exact dyadic decompositions of the bounds.
+    lo_m, lo_e = interval.lo.to_fraction_parts()
+    hi_m, hi_e = interval.hi.to_fraction_parts()
+    lo = Fraction(int(lo_m)) * Fraction(2) ** lo_e
+    hi = Fraction(int(hi_m)) * Fraction(2) ** hi_e
+    return lo <= value <= hi
+
+
+class TestEnclosure:
+    @given(fractions, fractions)
+    @settings(max_examples=60)
+    def test_add_sub_mul_enclose(self, a, b):
+        ia, ib = enclosing(a), enclosing(b)
+        assert surely_contains(ia + ib, a + b)
+        assert surely_contains(ia - ib, a - b)
+        assert surely_contains(ia * ib, a * b)
+
+    @given(fractions, fractions.filter(lambda v: abs(v) > Fraction(1, 100)))
+    @settings(max_examples=40)
+    def test_div_encloses(self, a, b):
+        assert surely_contains(enclosing(a) / enclosing(b), a / b)
+
+    @given(fractions.filter(lambda v: v > 0))
+    @settings(max_examples=40)
+    def test_sqrt_encloses(self, a):
+        interval = enclosing(a).sqrt()
+        # Check via squaring the bounds: lo^2 <= a <= hi^2.
+        assert surely_contains(interval * interval, a)
+
+    def test_width_grows_but_stays_tiny(self):
+        # A chain of operations at 128 bits keeps the rigorous error
+        # below 2^-100.
+        x = Interval.from_ratio(1, 3, 128)
+        y = Interval.from_ratio(7, 11, 128)
+        result = (x + y) * (x - y) / y
+        assert result.width() < MPF.from_ratio(1, 1 << 100, 128)
+
+
+class TestStructure:
+    def test_exact_point(self):
+        point = Interval.exact(5, 96)
+        assert point.width() == MPF(0, 96)
+        assert point.contains(MPF(5, 96))
+
+    def test_bounds_order_enforced(self):
+        with pytest.raises(MpnError):
+            Interval(MPF(2, 96), MPF(1, 96))
+
+    def test_zero_division_rejected(self):
+        spanning = Interval(MPF(-1, 96), MPF(1, 96))
+        with pytest.raises(MpnError):
+            Interval.exact(1, 96) / spanning
+
+    def test_negative_sqrt_rejected(self):
+        with pytest.raises(MpnError):
+            Interval(MPF(-1, 96), MPF(1, 96)).sqrt()
+
+    def test_midpoint_and_neg(self):
+        interval = Interval(MPF(1, 96), MPF(3, 96))
+        assert float(interval.midpoint()) == 2.0
+        negated = -interval
+        assert float(negated.lo) == -3.0 and float(negated.hi) == -1.0

@@ -1,0 +1,130 @@
+"""Tests for the rationals layer (MPQ)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpq import MPQ
+from repro.mpz import MPZ
+
+rationals = st.fractions(min_value=Fraction(-10 ** 9),
+                         max_value=Fraction(10 ** 9),
+                         max_denominator=10 ** 6)
+
+
+def as_mpq(value: Fraction) -> MPQ:
+    return MPQ(value.numerator, value.denominator)
+
+
+def as_fraction(value: MPQ) -> Fraction:
+    return Fraction(int(value.numerator), int(value.denominator))
+
+
+class TestNormalization:
+    def test_lowest_terms(self):
+        q = MPQ(6, -9)
+        assert int(q.numerator) == -2
+        assert int(q.denominator) == 3
+
+    def test_zero_canonical(self):
+        q = MPQ(0, 7)
+        assert int(q.denominator) == 1
+        assert not q
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            MPQ(1, 0)
+
+    @given(rationals)
+    def test_always_reduced(self, value):
+        q = as_mpq(value)
+        assert int(q.numerator.gcd(q.denominator)) == 1
+        assert q.denominator > MPZ(0)
+
+
+class TestFieldAxioms:
+    @given(rationals, rationals)
+    def test_add_sub_mul(self, a, b):
+        assert as_fraction(as_mpq(a) + as_mpq(b)) == a + b
+        assert as_fraction(as_mpq(a) - as_mpq(b)) == a - b
+        assert as_fraction(as_mpq(a) * as_mpq(b)) == a * b
+
+    @given(rationals, rationals.filter(lambda v: v != 0))
+    def test_div(self, a, b):
+        assert as_fraction(as_mpq(a) / as_mpq(b)) == a / b
+
+    @given(rationals.filter(lambda v: v != 0))
+    def test_reciprocal(self, a):
+        q = as_mpq(a)
+        assert as_fraction(q * q.reciprocal()) == 1
+
+    @given(rationals, rationals, rationals)
+    @settings(max_examples=40)
+    def test_distributive(self, a, b, c):
+        qa, qb, qc = as_mpq(a), as_mpq(b), as_mpq(c)
+        assert qa * (qb + qc) == qa * qb + qa * qc
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            MPQ(1, 2) / MPQ(0)
+        with pytest.raises(ZeroDivisionError):
+            MPQ(0).reciprocal()
+
+
+class TestComparisonAndConversion:
+    @given(rationals, rationals)
+    def test_order(self, a, b):
+        assert (as_mpq(a) < as_mpq(b)) == (a < b)
+        assert (as_mpq(a) >= as_mpq(b)) == (a >= b)
+        assert (as_mpq(a) == as_mpq(b)) == (a == b)
+
+    @given(rationals)
+    def test_hash_matches_fraction(self, a):
+        assert hash(as_mpq(a)) == hash(a)
+
+    @given(rationals)
+    def test_float_and_floor(self, a):
+        q = as_mpq(a)
+        assert abs(float(q) - float(a)) < max(1e-9, abs(float(a)) * 1e-9)
+        assert int(q.floor_mpz()) == a.numerator // a.denominator
+
+    def test_to_mpf(self):
+        third = MPQ(1, 3).to_mpf(128)
+        text = third.to_decimal_string(30)
+        assert text.startswith("0." + "3" * 28)
+
+    def test_int_interop(self):
+        assert MPQ(1, 2) + 1 == MPQ(3, 2)
+        assert 2 * MPQ(1, 4) == MPQ(1, 2)
+        assert 1 - MPQ(1, 3) == MPQ(2, 3)
+        assert 1 / MPQ(2, 3) == MPQ(3, 2)
+
+
+class TestPower:
+    @given(rationals.filter(lambda v: v != 0),
+           st.integers(min_value=-6, max_value=6))
+    def test_pow(self, a, exponent):
+        assert as_fraction(as_mpq(a) ** exponent) == a ** exponent
+
+    def test_zero_to_negative_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            MPQ(0) ** -1
+
+
+class TestBinarySplittingUseCase:
+    def test_partial_sums_of_e(self):
+        # sum 1/k! accumulated exactly in MPQ, checked against exp(1).
+        total = MPQ(0)
+        factorial = MPZ(1)
+        for k in range(25):
+            if k:
+                factorial = factorial * k
+            total = total + MPQ(MPZ(1), factorial)
+        from repro.mpf import MPF
+        from repro.mpf.transcendental import exp
+        euler = exp(MPF(1, 160), 160)
+        difference = abs(total.to_mpf(160) - euler)
+        assert not difference \
+            or difference.exponent_of_top_bit < -70  # 25 terms ~ 1/25!

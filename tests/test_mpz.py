@@ -1,0 +1,206 @@
+"""Tests for the signed integer layer (MPZ)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpn.nat import MpnError
+from repro.mpz import MPZ
+
+signed_ints = st.one_of(
+    st.integers(min_value=-(1 << 40), max_value=1 << 40),
+    st.integers(min_value=-(1 << 500), max_value=(1 << 500) - 1),
+)
+
+nonzero_ints = signed_ints.filter(lambda v: v != 0)
+
+
+class TestRingOperations:
+    @given(signed_ints, signed_ints)
+    def test_add_sub_mul(self, a, b):
+        x, y = MPZ(a), MPZ(b)
+        assert int(x + y) == a + b
+        assert int(x - y) == a - b
+        assert int(x * y) == a * b
+
+    @given(signed_ints, signed_ints, signed_ints)
+    @settings(max_examples=50)
+    def test_distributivity(self, a, b, c):
+        x, y, z = MPZ(a), MPZ(b), MPZ(c)
+        assert x * (y + z) == x * y + x * z
+
+    @given(signed_ints)
+    def test_neg_abs(self, a):
+        assert int(-MPZ(a)) == -a
+        assert int(abs(MPZ(a))) == abs(a)
+
+    @given(signed_ints)
+    def test_int_interop(self, a):
+        assert int(MPZ(a) + 7) == a + 7
+        assert int(7 + MPZ(a)) == 7 + a
+        assert int(MPZ(a) * -3) == a * -3
+        assert int(5 - MPZ(a)) == 5 - a
+
+
+class TestDivision:
+    @given(signed_ints, nonzero_ints)
+    def test_divmod_floor_semantics(self, a, b):
+        quotient, remainder = divmod(MPZ(a), MPZ(b))
+        assert (int(quotient), int(remainder)) == divmod(a, b)
+
+    @given(signed_ints, nonzero_ints)
+    def test_floordiv_mod_consistency(self, a, b):
+        x, y = MPZ(a), MPZ(b)
+        assert x == (x // y) * y + (x % y)
+
+    def test_zero_division(self):
+        with pytest.raises(ZeroDivisionError):
+            divmod(MPZ(1), MPZ(0))
+
+    @pytest.mark.parametrize("a,b", [(7, 2), (-7, 2), (7, -2), (-7, -2)])
+    def test_sign_table(self, a, b):
+        assert (int(MPZ(a) // MPZ(b)), int(MPZ(a) % MPZ(b))) == divmod(a, b)
+
+
+class TestShifts:
+    @given(signed_ints, st.integers(min_value=0, max_value=150))
+    def test_lshift(self, a, count):
+        assert int(MPZ(a) << count) == a << count
+
+    @given(signed_ints, st.integers(min_value=0, max_value=150))
+    def test_rshift_floor(self, a, count):
+        assert int(MPZ(a) >> count) == a >> count
+
+
+class TestComparison:
+    @given(signed_ints, signed_ints)
+    def test_total_order(self, a, b):
+        x, y = MPZ(a), MPZ(b)
+        assert (x < y) == (a < b)
+        assert (x <= y) == (a <= b)
+        assert (x == y) == (a == b)
+        assert (x > y) == (a > b)
+
+    @given(signed_ints)
+    def test_hash_consistent_with_int(self, a):
+        assert hash(MPZ(a)) == hash(a)
+
+
+class TestPower:
+    @given(st.integers(min_value=-50, max_value=50),
+           st.integers(min_value=0, max_value=30))
+    def test_pow(self, base, exponent):
+        assert int(MPZ(base) ** MPZ(exponent)) == base ** exponent
+
+    @given(st.integers(min_value=-(1 << 100), max_value=(1 << 100) - 1),
+           st.integers(min_value=0, max_value=(1 << 50) - 1),
+           st.integers(min_value=1, max_value=(1 << 200) - 1))
+    @settings(max_examples=40)
+    def test_powmod(self, base, exponent, modulus):
+        got = pow(MPZ(base), MPZ(exponent), MPZ(modulus))
+        assert int(got) == pow(base, exponent, modulus)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(MpnError):
+            MPZ(2) ** MPZ(-1)
+
+
+class TestNumberTheory:
+    @given(signed_ints, signed_ints)
+    def test_gcd(self, a, b):
+        import math
+        assert int(MPZ(a).gcd(MPZ(b))) == math.gcd(a, b)
+
+    @given(st.integers(min_value=1, max_value=(1 << 200) - 1))
+    @settings(max_examples=40)
+    def test_invmod(self, a):
+        import math
+        modulus = (1 << 207) - 91  # odd, nearly certainly coprime
+        if math.gcd(a, modulus) != 1:
+            return
+        inverse = MPZ(a).invmod(MPZ(modulus))
+        assert int(inverse * a % modulus) == 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 300) - 1))
+    def test_isqrt(self, a):
+        import math
+        assert int(MPZ(a).isqrt()) == math.isqrt(a)
+
+    def test_isqrt_negative_rejected(self):
+        with pytest.raises(MpnError):
+            MPZ(-4).isqrt()
+
+
+class TestMisc:
+    def test_bool_sign_bitlength(self):
+        assert not MPZ(0)
+        assert MPZ(0).sign == 0
+        assert MPZ(-5).sign == -1 and MPZ(5).sign == 1
+        assert MPZ(255).bit_length() == 8
+
+    def test_repr_roundtrip(self):
+        assert repr(MPZ(-123)) == "MPZ(-123)"
+
+    def test_copy_constructor(self):
+        original = MPZ(12345)
+        assert int(MPZ(original)) == 12345
+
+    def test_from_limbs(self):
+        assert int(MPZ.from_limbs([1, 1])) == (1 << 32) + 1
+        assert int(MPZ.from_limbs([1, 1], sign=-1)) == -((1 << 32) + 1)
+
+
+class TestBitwise:
+    @given(st.integers(min_value=0, max_value=(1 << 300) - 1),
+           st.integers(min_value=0, max_value=(1 << 300) - 1))
+    def test_and_or_xor(self, a, b):
+        x, y = MPZ(a), MPZ(b)
+        assert int(x & y) == a & b
+        assert int(x | y) == a | b
+        assert int(x ^ y) == a ^ b
+
+    @given(st.integers(min_value=0, max_value=(1 << 300) - 1))
+    def test_popcount(self, a):
+        assert MPZ(a).popcount() == a.bit_count()
+
+    @given(st.integers(min_value=0, max_value=(1 << 300) - 1),
+           st.integers(min_value=0, max_value=(1 << 300) - 1))
+    def test_hamming_distance(self, a, b):
+        assert MPZ(a).hamming_distance(MPZ(b)) == (a ^ b).bit_count()
+
+    def test_negative_rejected(self):
+        with pytest.raises(MpnError):
+            MPZ(-1) & MPZ(1)
+        with pytest.raises(MpnError):
+            MPZ(-2).popcount()
+
+
+class TestSerialization:
+    @given(st.integers(min_value=0, max_value=(1 << 500) - 1))
+    def test_bytes_roundtrip_little(self, a):
+        data = MPZ(a).to_bytes("little")
+        assert int(MPZ.from_bytes(data, "little")) == a
+
+    @given(st.integers(min_value=0, max_value=(1 << 500) - 1))
+    def test_bytes_roundtrip_big(self, a):
+        data = MPZ(a).to_bytes("big")
+        assert int(MPZ.from_bytes(data, "big")) == a
+
+    @given(st.integers(min_value=1, max_value=(1 << 300) - 1))
+    def test_matches_int_to_bytes(self, a):
+        expected = a.to_bytes((a.bit_length() + 7) // 8, "big")
+        assert MPZ(a).to_bytes("big") == expected
+
+    def test_zero(self):
+        assert MPZ(0).to_bytes() == b"\x00"
+        assert int(MPZ.from_bytes(b"\x00")) == 0
+
+    def test_sign_passthrough(self):
+        data = MPZ(123456789).to_bytes()
+        assert int(MPZ.from_bytes(data, sign=-1)) == -123456789
+
+    def test_bad_byteorder(self):
+        with pytest.raises(ValueError):
+            MPZ(1).to_bytes("middle")
+        with pytest.raises(ValueError):
+            MPZ.from_bytes(b"\x01", "middle")

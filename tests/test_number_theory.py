@@ -1,0 +1,111 @@
+"""Tests for the MPZ number-theoretic extras."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpz.number_theory import (binomial, factorial, fibonacci,
+                                     lucas, lucas_lehmer, primorial)
+
+
+class TestFactorial:
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30)
+    def test_matches_math(self, n):
+        assert int(factorial(n)) == math.factorial(n)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            factorial(-1)
+
+    def test_large_is_consistent(self):
+        # (n+1)! = (n+1) * n! without an oracle.
+        n = 2000
+        assert factorial(n + 1) == factorial(n) * (n + 1)
+
+
+class TestBinomial:
+    @given(st.integers(min_value=0, max_value=120),
+           st.integers(min_value=-5, max_value=125))
+    @settings(max_examples=60)
+    def test_matches_math(self, n, k):
+        expected = math.comb(n, k) if 0 <= k <= n else 0
+        assert int(binomial(n, k)) == expected
+
+    def test_symmetry(self):
+        assert binomial(100, 30) == binomial(100, 70)
+
+    def test_pascal_rule(self):
+        assert binomial(80, 40) \
+            == binomial(79, 39) + binomial(79, 40)
+
+
+class TestFibonacci:
+    def test_small_values(self):
+        expected = [0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55]
+        for index, value in enumerate(expected):
+            assert int(fibonacci(index)) == value
+
+    @given(st.integers(min_value=2, max_value=800))
+    @settings(max_examples=25)
+    def test_recurrence(self, n):
+        assert fibonacci(n) == fibonacci(n - 1) + fibonacci(n - 2)
+
+    @given(st.integers(min_value=1, max_value=400))
+    @settings(max_examples=25)
+    def test_cassini_identity(self, n):
+        # F(n-1)F(n+1) - F(n)^2 = (-1)^n
+        left = fibonacci(n - 1) * fibonacci(n + 1) \
+            - fibonacci(n) * fibonacci(n)
+        assert int(left) == (1 if n % 2 == 0 else -1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fibonacci(-1)
+
+    def test_large_bit_length(self):
+        # F(n) ~ phi^n / sqrt(5): F(10000) has ~6942 bits.
+        assert abs(fibonacci(10000).bit_length() - 6942) <= 2
+
+
+class TestLucas:
+    def test_small_values(self):
+        expected = [2, 1, 3, 4, 7, 11, 18, 29]
+        for index, value in enumerate(expected):
+            assert int(lucas(index)) == value
+
+    @given(st.integers(min_value=1, max_value=300))
+    @settings(max_examples=20)
+    def test_lucas_fibonacci_identity(self, n):
+        # L(n) = F(n-1) + F(n+1)
+        assert lucas(n) == fibonacci(n - 1) + fibonacci(n + 1)
+
+
+class TestPrimorial:
+    def test_values(self):
+        assert int(primorial(1)) == 1
+        assert int(primorial(2)) == 2
+        assert int(primorial(10)) == 210
+        assert int(primorial(100)) == math.prod(
+            p for p in range(2, 101)
+            if all(p % d for d in range(2, int(p ** 0.5) + 1)))
+
+
+class TestLucasLehmer:
+    def test_known_mersenne_exponents(self):
+        mersenne_prime_exponents = {2, 3, 5, 7, 13, 17, 19, 31, 61, 89,
+                                    107, 127}
+        for p in range(2, 130):
+            expected = p in mersenne_prime_exponents
+            if _small_prime(p):
+                assert lucas_lehmer(p) == expected, p
+
+    def test_composite_exponent_rejected(self):
+        assert not lucas_lehmer(12)
+        assert not lucas_lehmer(1)
+
+
+def _small_prime(n: int) -> bool:
+    return n > 1 and all(n % d for d in range(2, int(n ** 0.5) + 1))

@@ -1,0 +1,34 @@
+"""Tests for the operator-class analysis helper."""
+
+import pytest
+
+from repro.profiling import ClassBreakdown, classify_breakdown
+
+
+class TestClassify:
+    def test_mapping(self):
+        breakdown = {"mul": 0.4, "powmod": 0.2, "add": 0.1, "sub": 0.05,
+                     "shift": 0.05, "div": 0.1, "sqrt": 0.02,
+                     "highlevel": 0.05, "aux": 0.03}
+        classes = classify_breakdown(breakdown)
+        assert classes.multiply == pytest.approx(0.6)
+        assert classes.add == pytest.approx(0.15)
+        assert classes.shift == pytest.approx(0.05)
+        assert classes.other_low == pytest.approx(0.12)
+        assert classes.high_level == pytest.approx(0.05)
+        assert classes.aux == pytest.approx(0.03)
+
+    def test_aggregates(self):
+        classes = ClassBreakdown(0.5, 0.2, 0.1, 0.1, 0.07, 0.03)
+        assert classes.kernel_share == pytest.approx(0.8)
+        assert classes.low_level_share == pytest.approx(0.9)
+        assert sum(classes.as_dict().values()) == pytest.approx(1.0)
+
+    def test_unknown_names_count_as_low_level(self):
+        classes = classify_breakdown({"mod": 0.5, "cmp": 0.3,
+                                      "logic": 0.2})
+        assert classes.other_low == pytest.approx(1.0)
+
+    def test_empty(self):
+        classes = classify_breakdown({})
+        assert classes.kernel_share == 0.0

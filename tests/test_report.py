@@ -1,0 +1,104 @@
+"""Tests for the report layer (figures + cross-platform summaries)."""
+
+import pytest
+
+from repro.cli import main
+from repro.profiling import KernelOp, OperationTrace
+from repro.report import TraceComparison, compare_trace, render_loglog
+
+
+def make_trace(bits: int = 8192, muls: int = 10) -> OperationTrace:
+    trace = OperationTrace()
+    trace.ops.extend([KernelOp("mul", bits, bits)] * muls)
+    trace.ops.append(KernelOp("add", bits, bits))
+    return trace
+
+
+class TestCompareTrace:
+    def test_all_platforms_present(self):
+        comparison = compare_trace(make_trace())
+        assert set(comparison.costs) == {"cpu", "cambricon_p", "gpu"}
+        for cost in comparison.costs.values():
+            assert cost.seconds > 0
+
+    def test_speedup_and_energy(self):
+        comparison = compare_trace(make_trace(bits=16384, muls=20))
+        assert comparison.speedup > 10       # monolithic sweet spot
+        # Pure-multiply traces are traffic-heavy, so the LLC term can
+        # pull the energy benefit below the speedup (unlike app mixes).
+        assert comparison.energy_benefit > 0.5 * comparison.speedup
+
+    def test_breakdown_classes(self):
+        comparison = compare_trace(make_trace())
+        assert comparison.cpu_breakdown["Multiply"] > 0.9
+
+    def test_table_renders(self):
+        table = compare_trace(make_trace()).table()
+        assert "cambricon_p" in table
+        assert "speedup" in table
+
+
+class TestRenderEdgeCases:
+    def test_single_point(self):
+        chart = render_loglog({"a": [(10, 10)]}, width=10, height=4)
+        assert "o" in chart
+
+    def test_flat_series(self):
+        chart = render_loglog({"a": [(1, 5), (100, 5)]},
+                              width=20, height=5)
+        # Two data glyphs plus one in the legend.
+        assert chart.count("o") == 3
+
+
+class TestCliPrice:
+    def test_price_rsa(self, capsys):
+        assert main(["price", "rsa", "--size", "256"]) == 0
+        output = capsys.readouterr().out
+        assert "cambricon_p" in output and "speedup" in output
+
+    def test_price_pi_default_size_clamped(self, capsys):
+        assert main(["price", "pi", "--size", "150"]) == 0
+        assert "kernel ops" in capsys.readouterr().out
+
+    def test_price_he(self, capsys):
+        assert main(["price", "he", "--size", "128"]) == 0
+        assert "gpu" in capsys.readouterr().out
+
+
+class TestScheduleView:
+    def test_occupancy_map_renders(self):
+        from repro.report import multiply_occupancy
+        chart = multiply_occupancy(4096, 4096)
+        assert "wave   0" in chart
+        assert "utilization" in chart
+
+    def test_full_wave_has_no_idle_slots(self):
+        from repro.core.controller import CoreController
+        from repro.report import occupancy_map
+        schedule = CoreController(num_pes=16).plan_multiply(64, 64)
+        chart = occupancy_map(schedule, max_columns=16)
+        first_wave = next(line for line in chart.splitlines()
+                          if line.startswith("wave   0"))
+        assert "." not in first_wave.split("|")[1]
+
+
+class TestCompileReport:
+    def test_compiles_from_results(self, tmp_path):
+        from repro.report import SECTIONS, compile_report
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig11_multiply.txt").write_text("fig11 body\n")
+        output = tmp_path / "REPORT.md"
+        text = compile_report(results, output)
+        assert output.exists()
+        assert "fig11 body" in text
+        assert "Missing results" in text  # the other sections
+
+    def test_cli_report(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "bips_lambda.txt").write_text("lambda body\n")
+        out = tmp_path / "R.md"
+        assert main(["report", "--results", str(results),
+                     "--output", str(out)]) == 0
+        assert out.exists()

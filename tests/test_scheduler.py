@@ -1,0 +1,147 @@
+"""Tests for the dependency-leveling instruction scheduler."""
+
+import pytest
+
+from repro.core.isa import Instruction, Opcode, OperandRef
+from repro.runtime.scheduler import BatchingDriver, level_program
+
+from tests.conftest import from_nat, to_nat
+
+
+def mul_instruction(src_a, src_b, dest):
+    return Instruction(Opcode.MUL, (src_a, src_b), destination=dest)
+
+
+class TestLeveling:
+    def test_independent_instructions_share_a_level(self):
+        refs = [OperandRef(i, 64) for i in range(4)]
+        program = [mul_instruction(refs[0], refs[1], 10),
+                   mul_instruction(refs[2], refs[3], 11)]
+        scheduled = level_program(program)
+        assert scheduled.depth == 1
+        assert scheduled.width == 2
+
+    def test_raw_dependency_splits_levels(self):
+        a, b = OperandRef(0, 64), OperandRef(1, 64)
+        product = OperandRef(10, 128)
+        program = [mul_instruction(a, b, 10),
+                   mul_instruction(product, b, 11)]
+        scheduled = level_program(program)
+        assert scheduled.depth == 2
+        assert [len(level) for level in scheduled.levels] == [1, 1]
+
+    def test_waw_dependency_preserved(self):
+        a, b = OperandRef(0, 64), OperandRef(1, 64)
+        program = [mul_instruction(a, b, 10),
+                   mul_instruction(a, b, 10)]  # rewrite of @10
+        assert level_program(program).depth == 2
+
+    def test_diamond(self):
+        a, b = OperandRef(0, 64), OperandRef(1, 64)
+        left, right = OperandRef(10, 128), OperandRef(11, 128)
+        program = [
+            mul_instruction(a, b, 10),
+            mul_instruction(b, a, 11),
+            Instruction(Opcode.ADD, (left, right), destination=12),
+        ]
+        scheduled = level_program(program)
+        assert scheduled.depth == 2
+        assert len(scheduled.levels[0]) == 2
+
+
+class TestBatchingDriver:
+    def test_results_exact_and_batched(self, rng):
+        driver = BatchingDriver()
+        values = [rng.getrandbits(1024) for _ in range(6)]
+        refs = [driver.alloc(to_nat(v)) for v in values]
+        program = [mul_instruction(refs[0], refs[1], 100),
+                   mul_instruction(refs[2], refs[3], 101),
+                   mul_instruction(refs[4], refs[5], 102)]
+        retirements, stats = driver.execute_scheduled(program)
+        assert stats["batched_multiplies"] == 3
+        assert stats["levels"] == 1
+        for index, (x, y) in enumerate([(0, 1), (2, 3), (4, 5)]):
+            assert from_nat(driver.result(100 + index)) \
+                == values[x] * values[y]
+
+    def test_batching_saves_cycles(self, rng):
+        driver = BatchingDriver()
+        refs = [driver.alloc(to_nat(rng.getrandbits(2048)))
+                for _ in range(8)]
+        program = [mul_instruction(refs[2 * i], refs[2 * i + 1],
+                                   200 + i) for i in range(4)]
+        _, stats = driver.execute_scheduled(program)
+        assert stats["batched_cycles"] < stats["serial_mul_cycles"]
+
+    def test_mixed_program_with_dependencies(self, rng):
+        # (a*b) and (c*d) batch; their sum depends on both.
+        driver = BatchingDriver()
+        a, b, c, d = (driver.alloc(to_nat(rng.getrandbits(500)))
+                      for _ in range(4))
+        program = [
+            mul_instruction(a, b, 50),
+            mul_instruction(c, d, 51),
+            Instruction(Opcode.ADD,
+                        (OperandRef(50, 1000), OperandRef(51, 1000)),
+                        destination=52),
+        ]
+        _, stats = driver.execute_scheduled(program)
+        assert stats["levels"] == 2
+        expected = (from_nat(driver.llc.read(a)) * from_nat(
+            driver.llc.read(b))
+            + from_nat(driver.llc.read(c)) * from_nat(
+                driver.llc.read(d)))
+        assert from_nat(driver.result(52)) == expected
+
+    def test_single_mul_level_runs_serially(self, rng):
+        driver = BatchingDriver()
+        a, b = (driver.alloc(to_nat(rng.getrandbits(300)))
+                for _ in range(2))
+        _, stats = driver.execute_scheduled(
+            [mul_instruction(a, b, 60)])
+        assert stats["batched_multiplies"] == 0
+        assert from_nat(driver.result(60)) \
+            == from_nat(driver.llc.read(a)) * from_nat(driver.llc.read(b))
+
+
+class TestRandomPrograms:
+    def test_batching_driver_matches_serial_driver(self, rng):
+        """Random DAG programs: the batching driver and the plain
+        driver must produce identical LLC contents."""
+        from repro.core.isa import Driver
+        for trial in range(5):
+            # Build identical drivers with identical initial values.
+            values = [rng.getrandbits(rng.randrange(1, 800)) | 1
+                      for _ in range(5)]
+            serial, batching = Driver(), BatchingDriver()
+            serial_refs = [serial.alloc(to_nat(v)) for v in values]
+            batch_refs = [batching.alloc(to_nat(v)) for v in values]
+            program_serial, program_batch = [], []
+            live_bits = {ref.address: ref.bits for ref in serial_refs}
+            for step in range(8):
+                destination = 100 + step
+                kind = rng.choice(["mul", "mul", "add", "shl"])
+                addresses = rng.sample(sorted(live_bits), 2)
+                refs_serial = tuple(
+                    OperandRef(a, live_bits[a]) for a in addresses)
+                if kind == "mul":
+                    op = Opcode.MUL
+                    out_bits = sum(live_bits[a] for a in addresses)
+                elif kind == "add":
+                    op = Opcode.ADD
+                    out_bits = max(live_bits[a] for a in addresses) + 1
+                else:
+                    op = Opcode.SHL
+                    refs_serial = refs_serial[:1]
+                    out_bits = live_bits[addresses[0]] + 5
+                instruction = Instruction(op, refs_serial, destination,
+                                          immediate=5)
+                program_serial.append(instruction)
+                program_batch.append(instruction)
+                live_bits[destination] = out_bits
+            serial.execute(program_serial)
+            batching.execute_scheduled(program_batch)
+            for address in live_bits:
+                if address >= 100:
+                    assert serial.result(address) \
+                        == batching.result(address), (trial, address)

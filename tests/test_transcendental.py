@@ -1,0 +1,168 @@
+"""Tests for the MPFR-style transcendental layer."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpf import MPF
+from repro.mpf.transcendental import (atan, cos, cos_sin, exp, ln, ln2,
+                                      pi_agm, sin)
+from repro.mpn.nat import MpnError
+
+PI_60 = ("3.1415926535897932384626433832795028841971693993751058209749"
+         "4459230781640628620899862803482534211706798214808651328230664")
+E_60 = ("2.7182818284590452353602874713526624977572470936999595749669"
+        "676277240766303535475945713821785251664274")
+LN2_60 = ("0.693147180559945309417232121458176568075500134360255254120"
+          "68000949339362196969471560586332699641868754200148102057068573")
+
+
+def digits_agree(value: MPF, reference: str, digits: int) -> bool:
+    return value.to_decimal_string(digits + 5)[:digits] \
+        == reference[:digits]
+
+
+small_args = st.fractions(min_value=Fraction(-8), max_value=Fraction(8),
+                          max_denominator=1000)
+
+
+class TestConstants:
+    def test_pi_agm_100_digits(self):
+        assert digits_agree(pi_agm(384), PI_60, 100)
+
+    def test_pi_agm_matches_chudnovsky(self):
+        # Two unrelated algorithms on the same stack agreeing to 200
+        # bits is strong end-to-end validation.
+        from repro.apps.pi import compute_pi
+        chud = compute_pi(80).digits
+        agm = pi_agm(320).to_decimal_string(80)
+        assert agm[:75] == chud[:75]
+
+    def test_ln2(self):
+        assert digits_agree(ln2(320), LN2_60, 80)
+
+    def test_caching(self):
+        assert pi_agm(192) is pi_agm(192)
+
+
+class TestExp:
+    def test_e(self):
+        assert digits_agree(exp(MPF(1, 320), 320), E_60, 80)
+
+    def test_exp_zero_is_one(self):
+        assert exp(MPF(0, 128), 128) == MPF(1, 128)
+
+    @given(small_args)
+    @settings(max_examples=30, deadline=None)
+    def test_matches_math(self, x):
+        value = MPF.from_ratio(x.numerator, x.denominator, 160)
+        got = float(exp(value, 160))
+        assert math.isclose(got, math.exp(float(x)), rel_tol=1e-12)
+
+    def test_functional_equation(self):
+        # exp(a+b) = exp(a)*exp(b) to working precision.
+        a = MPF.from_ratio(3, 7, 224)
+        b = MPF.from_ratio(-5, 11, 224)
+        lhs = exp(a + b, 224)
+        rhs = exp(a, 224) * exp(b, 224)
+        difference = abs(lhs - rhs)
+        assert not difference or difference.exponent_of_top_bit < -180
+
+
+class TestLn:
+    @given(small_args.filter(lambda v: v > 0))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_math(self, x):
+        value = MPF.from_ratio(x.numerator, x.denominator, 160)
+        got = float(ln(value, 160))
+        assert math.isclose(got, math.log(float(x)), rel_tol=1e-11,
+                            abs_tol=1e-12)
+
+    def test_ln_exp_roundtrip(self):
+        x = MPF.from_ratio(17, 5, 256)
+        back = exp(ln(x, 256), 256)
+        difference = abs(back - x)
+        assert not difference or difference.exponent_of_top_bit < -200
+
+    def test_large_argument(self):
+        # Seeding from the binary exponent must handle big inputs.
+        value = MPF(1 << 100, 192)
+        expected = 100 * math.log(2)
+        assert math.isclose(float(ln(value, 192)), expected,
+                            rel_tol=1e-12)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(MpnError):
+            ln(MPF(0, 128), 128)
+        with pytest.raises(MpnError):
+            ln(MPF(-3, 128), 128)
+
+
+class TestTrig:
+    @given(small_args)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_math(self, x):
+        value = MPF.from_ratio(x.numerator, x.denominator, 160)
+        c, s = cos_sin(value, 160)
+        assert math.isclose(float(c), math.cos(float(x)), abs_tol=1e-13)
+        assert math.isclose(float(s), math.sin(float(x)), abs_tol=1e-13)
+
+    def test_pythagorean_identity_beyond_double(self):
+        x = MPF.from_ratio(355, 113, 256)
+        c, s = cos_sin(x, 256)
+        unit = c * c + s * s
+        difference = abs(unit - MPF(1, 256))
+        assert not difference or difference.exponent_of_top_bit < -200
+
+    def test_range_reduction(self):
+        big = MPF(1000, 192)
+        assert math.isclose(float(cos(big, 192)), math.cos(1000),
+                            abs_tol=1e-11)
+        assert math.isclose(float(sin(big, 192)), math.sin(1000),
+                            abs_tol=1e-11)
+
+
+class TestAtan:
+    @given(small_args)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_math(self, x):
+        value = MPF.from_ratio(x.numerator, x.denominator, 160)
+        got = float(atan(value, 160))
+        assert math.isclose(got, math.atan(float(x)), abs_tol=1e-13)
+
+    def test_atan_one_is_quarter_pi(self):
+        quarter_pi = atan(MPF(1, 256), 256)
+        four = quarter_pi * MPF(4, 256)
+        difference = abs(four - pi_agm(256))
+        assert not difference or difference.exponent_of_top_bit < -200
+
+
+class TestPowerAndLog10:
+    def test_power_against_math(self):
+        from repro.mpf.transcendental import power
+        got = power(MPF(2, 192), MPF.from_ratio(1, 2, 192), 192)
+        reference = MPF(2, 192).sqrt()
+        error = abs(got - reference)
+        assert not error or error.exponent_of_top_bit < -180
+
+    def test_integer_exponent_matches_repeated_multiply(self):
+        from repro.mpf.transcendental import power
+        got = power(MPF(3, 224), MPF(7, 224), 224)
+        exact = MPF(3 ** 7, 224)
+        error = abs(got - exact)
+        assert not error or error.exponent_of_top_bit \
+            < exact.exponent_of_top_bit - 200
+
+    def test_negative_base_rejected(self):
+        from repro.mpf.transcendental import power
+        with pytest.raises(MpnError):
+            power(MPF(-2, 128), MPF(2, 128), 128)
+
+    def test_log10(self):
+        from repro.mpf.transcendental import log10
+        got = log10(MPF(1000, 192), 192)
+        error = abs(got - MPF(3, 192))
+        assert not error or error.exponent_of_top_bit < -180
