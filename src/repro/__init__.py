@@ -24,6 +24,16 @@ from repro.mpq import MPQ
 from repro.mpz import MPZ
 from repro.runtime import MPApca
 
+# Opt-in runtime invariant sanitizer (REPRO_SANITIZE=1): wraps the mpn
+# kernels with normalization/carry-bound checks.  When the variable is
+# unset, repro.analysis is not even imported and nothing is wrapped.
+import os as _os
+if _os.environ.get("REPRO_SANITIZE", "").strip().lower() not in (
+        "", "0", "false", "no", "off"):
+    from repro.analysis.sanitize import install as _install_sanitizer
+    _install_sanitizer()
+del _os
+
 __version__ = "1.0.0"
 
 __all__ = ["CambriconP", "CambriconPConfig", "Interval", "MPApca",

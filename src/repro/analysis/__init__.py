@@ -1,0 +1,34 @@
+"""Static analysis and runtime sanitizers for the reproduction.
+
+The mpn layer's value rests on contracts the test suite only samples:
+limb lists are little-endian base-2^32 with no trailing zeros, Python
+bigints never appear inside arithmetic kernels, and instruction streams
+handed to the :class:`~repro.core.isa.Driver` reference well-formed LLC
+operands.  Digit/limb-discipline violations are *silent-corruption*
+bugs, not crashes — exactly the class a reproduction must catch
+mechanically.  This package does so with three pillars:
+
+* :mod:`repro.analysis.lint` — an AST-based kernel-contract linter with
+  repo-specific rules (see :mod:`repro.analysis.rules`), run as
+  ``repro lint`` and as a pytest gate;
+* :mod:`repro.analysis.stream` — a static verifier for BIPS/ISA
+  instruction streams, diagnosing operand hazards with op-index
+  provenance *before* simulation (``repro verify-stream``);
+* :mod:`repro.analysis.sanitize` — an opt-in runtime mode
+  (``REPRO_SANITIZE=1`` or ``sanitizer(enabled=True)``) that wraps mpn
+  kernel entry/exit with normalization and carry-bound checks.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import LintReport, Violation, lint_paths, lint_source
+from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.sanitize import (SanitizerError, install, is_enabled,
+                                     sanitizer, uninstall)
+from repro.analysis.stream import StreamError, StreamViolation, verify_stream
+
+__all__ = [
+    "ALL_RULES", "LintReport", "Rule", "SanitizerError", "StreamError",
+    "StreamViolation", "Violation", "install", "is_enabled", "lint_paths",
+    "lint_source", "sanitizer", "uninstall", "verify_stream",
+]

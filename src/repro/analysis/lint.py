@@ -1,0 +1,167 @@
+"""The kernel-contract lint engine (``repro lint``).
+
+Parses every Python file once, hands the AST to each applicable rule
+from :mod:`repro.analysis.rules`, then filters findings through the
+per-line escape hatch::
+
+    some_offending_line()   # repro: noqa=bigint-in-kernel
+    another_offender()      # repro: noqa=rule-a,rule-b
+    silence_everything()    # repro: noqa
+    justified_crossing()    # repro: noqa=rule-a -- why this is fine
+
+A noqa comment placed on any physical line a violating statement spans
+suppresses the named rules for that statement; the bare form suppresses
+all rules.  Unknown rule names in a noqa are themselves reported, so
+stale suppressions cannot linger silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Union
+
+from repro.analysis.rules import ALL_RULES, RULES_BY_NAME
+from repro.analysis.rules.base import FileContext, Rule
+
+#: ``# repro: noqa`` or ``# repro: noqa=rule-a,rule-b``; anything after a
+#: ``--`` separator is a free-form justification and is ignored.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*=\s*(?P<rules>[\w, -]+?))?(?:\s--|$)",
+    re.IGNORECASE)
+
+#: Marker meaning "every rule" in a noqa set.
+_ALL = "*"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One confirmed lint finding with file provenance."""
+
+    path: str
+    line: int
+    rule: str
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return "%s:%d: %s [%s] %s" % (self.path, self.line, self.code,
+                                      self.rule, self.message)
+
+
+@dataclass
+class LintReport:
+    """The outcome of linting a set of paths."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [v.render() for v in self.violations]
+        lines.append("%d file(s) checked, %d violation(s)"
+                     % (self.files_checked, len(self.violations)))
+        return "\n".join(lines)
+
+
+def collect_noqa(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed rule names ('*' = all)."""
+    suppressions: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(token.start[0], token.string) for token in tokens
+                    if token.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        comments = [(number, line) for number, line
+                    in enumerate(source.splitlines(), start=1)
+                    if "#" in line]
+    for line_number, text in comments:
+        match = _NOQA_RE.search(text)
+        if not match:
+            continue
+        names = match.group("rules")
+        if names is None:
+            suppressions.setdefault(line_number, set()).add(_ALL)
+        else:
+            cleaned = {name.strip() for name in names.split(",")
+                       if name.strip()}
+            suppressions.setdefault(line_number, set()).update(cleaned)
+    return suppressions
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Sequence[Rule] = ALL_RULES) -> List[Violation]:
+    """Lint one file's source text; returns confirmed violations."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Violation(path, error.lineno or 0, "syntax-error", "RPR000",
+                          "file does not parse: %s" % error.msg)]
+    ctx = FileContext(path=path, tree=tree, source=source)
+    suppressions = collect_noqa(source)
+    used_suppressions: Set[int] = set()
+    violations: List[Violation] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if _is_suppressed(rule.name, finding.line, finding.end_line,
+                              suppressions, used_suppressions):
+                continue
+            violations.append(Violation(path, finding.line, rule.name,
+                                        rule.code, finding.message))
+    violations.extend(_unknown_noqa_rules(path, suppressions))
+    violations.sort(key=lambda v: (v.line, v.code))
+    return violations
+
+
+def _is_suppressed(rule_name: str, line: int, end_line: int,
+                   suppressions: Dict[int, Set[str]],
+                   used: Set[int]) -> bool:
+    for candidate in range(line, max(line, end_line) + 1):
+        names = suppressions.get(candidate)
+        if names and (_ALL in names or rule_name in names):
+            used.add(candidate)
+            return True
+    return False
+
+
+def _unknown_noqa_rules(path: str,
+                        suppressions: Dict[int, Set[str]]
+                        ) -> Iterable[Violation]:
+    """Report suppressions naming rules that do not exist (typo guard)."""
+    for line, names in sorted(suppressions.items()):
+        for name in sorted(names - {_ALL}):
+            if name not in RULES_BY_NAME:
+                yield Violation(path, line, "unknown-noqa", "RPR000",
+                                "noqa names unknown rule %r" % name)
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def lint_paths(paths: Iterable[Union[str, Path]],
+               rules: Sequence[Rule] = ALL_RULES) -> LintReport:
+    """Lint files and directories; the ``repro lint`` entry point."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        report.violations.extend(lint_source(source, str(file_path), rules))
+        report.files_checked += 1
+    return report

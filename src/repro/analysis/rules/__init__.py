@@ -1,0 +1,58 @@
+"""Registry of the repo-specific kernel-contract lint rules.
+
+Every rule is a small AST visitor with an identity (kebab-case name and
+an ``RPRnnn`` code), a rationale, and a scope predicate that limits it
+to the layer whose contract it protects (mpn kernels, the functional
+core, or the whole library).  The engine in :mod:`repro.analysis.lint`
+parses each file once and hands the tree to every applicable rule;
+violations can be suppressed per line with ``# repro: noqa=<rule>``.
+
+Rule catalogue (see ``docs/ANALYSIS.md`` for the full reference):
+
+====== ========================= =========================================
+Code   Name                      Contract protected
+====== ========================= =========================================
+RPR001 bigint-in-kernel          limb kernels never round-trip through
+                                 Python bigints
+RPR002 unnormalized-return       ``-> Nat`` functions return canonical
+                                 (trailing-zero-free) limb lists
+RPR003 caller-aliasing           kernels do not mutate caller arguments
+RPR004 bare-assert-in-library    contracts survive ``python -O``
+RPR005 float-in-cycle-model      the functional simulator stays integral
+RPR006 nondeterminism            the core simulator is reproducible
+RPR007 mutable-default-arg       no shared mutable defaults
+RPR008 magic-limb-constant       limb geometry comes from ``nat``
+RPR009 print-in-kernel           compute layers do not write to stdout
+RPR010 broad-except              no silent exception swallowing
+====== ========================= =========================================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import FileContext, Rule, RuleViolation
+from repro.analysis.rules.determinism import (FloatInCycleModel,
+                                              Nondeterminism)
+from repro.analysis.rules.kernel import (BigintInKernel, CallerAliasing,
+                                         UnnormalizedReturn)
+from repro.analysis.rules.library import (BareAssertInLibrary, BroadExcept,
+                                          MagicLimbConstant,
+                                          MutableDefaultArg, PrintInKernel)
+
+#: Every registered rule, in catalogue (code) order.
+ALL_RULES = (
+    BigintInKernel(),
+    UnnormalizedReturn(),
+    CallerAliasing(),
+    BareAssertInLibrary(),
+    FloatInCycleModel(),
+    Nondeterminism(),
+    MutableDefaultArg(),
+    MagicLimbConstant(),
+    PrintInKernel(),
+    BroadExcept(),
+)
+
+RULES_BY_NAME = {rule.name: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_NAME", "FileContext", "Rule",
+           "RuleViolation"]

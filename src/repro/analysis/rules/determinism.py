@@ -1,0 +1,117 @@
+"""Rules keeping the core simulator bit-exact and reproducible.
+
+The functional simulator (Converter/IPU/GU/PE/controller/transform) is
+the reference the paper's tables are validated against: its arithmetic
+must stay integral (no float rounding in pass/wave/limb accounting) and
+its behaviour must not depend on wall-clock time or unseeded RNG state.
+The *timing* models (model.py, energy.py, memory.py) legitimately use
+floats and are out of scope for RPR005.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.rules.base import FileContext, Rule, RuleViolation
+
+#: random-module functions that draw from the unseeded global RNG.
+_GLOBAL_RNG_FUNCS = frozenset({
+    "random", "randint", "randrange", "getrandbits", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "betavariate", "seed",
+})
+
+#: attribute calls that read wall-clock or OS entropy.
+_CLOCK_MODULES = frozenset({"time", "datetime"})
+
+
+class FloatInCycleModel(Rule):
+    """RPR005: the functional core's accounting stays integral."""
+
+    name = "float-in-cycle-model"
+    code = "RPR005"
+    rationale = ("Pass/wave/limb counts and bit-serial stepping must be "
+                 "exact: one float rounding in the functional simulator "
+                 "produces wrong limbs, not wrong timing.  Floats belong "
+                 "in the calibrated timing/energy models only.")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.is_core_functional
+
+    def check(self, ctx: FileContext) -> List[RuleViolation]:
+        found: List[RuleViolation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Constant) and \
+                    isinstance(node.value, float):
+                found.append(self.violation(
+                    node, "float literal %r in a functional-core module"
+                    % node.value))
+            elif isinstance(node, ast.BinOp) and \
+                    isinstance(node.op, ast.Div):
+                found.append(self.violation(
+                    node, "true division in a functional-core module; "
+                    "use // (exact) arithmetic"))
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id == "float":
+                found.append(self.violation(
+                    node, "float() cast in a functional-core module"))
+        return found
+
+
+class Nondeterminism(Rule):
+    """RPR006: no wall-clock or unseeded randomness in ``repro.core``."""
+
+    name = "nondeterminism"
+    code = "RPR006"
+    rationale = ("Simulation results feed the reproduced tables; a "
+                 "time/unseeded-RNG dependence makes runs unrepeatable "
+                 "and diffs meaningless.  Seeded random.Random(seed) is "
+                 "allowed.")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_core
+
+    def check(self, ctx: FileContext) -> List[RuleViolation]:
+        found: List[RuleViolation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                module_names = []
+                if isinstance(node, ast.Import):
+                    module_names = [alias.name for alias in node.names]
+                elif node.module:
+                    module_names = [node.module]
+                for name in module_names:
+                    root = name.split(".")[0]
+                    if root in _CLOCK_MODULES or root == "secrets":
+                        found.append(self.violation(
+                            node, "import of %r in the deterministic core"
+                            % root))
+            elif isinstance(node, ast.Call):
+                found.extend(self._check_call(node))
+        return found
+
+    def _check_call(self, node: ast.Call) -> List[RuleViolation]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name):
+            owner = func.value.id.lstrip("_")
+            if owner in _CLOCK_MODULES:
+                return [self.violation(
+                    node, "%s.%s() reads the wall clock in the "
+                    "deterministic core" % (owner, func.attr))]
+            if owner == "random" and func.attr in _GLOBAL_RNG_FUNCS:
+                return [self.violation(
+                    node, "random.%s() uses the unseeded global RNG; "
+                    "construct random.Random(seed)" % func.attr)]
+            if owner == "os" and func.attr == "urandom":
+                return [self.violation(
+                    node, "os.urandom() injects OS entropy into the "
+                    "deterministic core")]
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else "")
+        if name == "Random" and not node.args and not node.keywords:
+            return [self.violation(
+                node, "Random() without a seed is nondeterministic; pass "
+                "an explicit seed")]
+        return []

@@ -1,0 +1,207 @@
+"""Rules protecting the mpn limb-kernel contracts.
+
+The mpn layer promises (``repro/mpn/nat.py``): every natural is a
+little-endian base-2^32 limb list with no trailing zeros, all arithmetic
+is explicit carry/borrow propagation, and Python bigints appear only at
+conversion boundaries.  ARCHITECT-style digit-discipline violations are
+silent corruption, so each promise gets a mechanical tripwire here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.rules.base import (FileContext, Rule, RuleViolation,
+                                       annotation_is, call_name,
+                                       function_returns, walk_functions)
+
+#: Conversion entry points that must not appear inside kernels.
+_CONVERSIONS = frozenset({"nat_to_int", "nat_from_int", "int"})
+
+#: list methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({"append", "extend", "insert", "pop",
+                               "remove", "clear", "sort", "reverse"})
+
+
+class BigintInKernel(Rule):
+    """RPR001: no Python-bigint round trips inside mpn kernels."""
+
+    name = "bigint-in-kernel"
+    code = "RPR001"
+    rationale = ("Kernels must do explicit limb/carry arithmetic; a "
+                 "nat_to_int/int() round trip silently delegates to "
+                 "CPython bigints and invalidates every traffic and "
+                 "cycle analysis built on limb counts.")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.is_mpn_kernel
+
+    def check(self, ctx: FileContext) -> List[RuleViolation]:
+        found = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and \
+                    call_name(node) in _CONVERSIONS:
+                found.append(self.violation(
+                    node, "call to %s() inside an mpn kernel "
+                    "(limb arithmetic only; justify boundary crossings "
+                    "with a noqa)" % call_name(node)))
+        return found
+
+
+class UnnormalizedReturn(Rule):
+    """RPR002: ``-> Nat`` kernels must return canonical limb lists."""
+
+    name = "unnormalized-return"
+    code = "RPR002"
+    rationale = ("A Nat with trailing zero limbs breaks cmp/bit_length "
+                 "and every downstream kernel; raw buffers (slices, "
+                 "concatenations, comprehensions) must pass through "
+                 "normalize() before escaping.")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.is_mpn_kernel
+
+    def check(self, ctx: FileContext) -> List[RuleViolation]:
+        found: List[RuleViolation] = []
+        for func in walk_functions(ctx.tree):
+            if not annotation_is(func.returns, "Nat"):
+                continue
+            for ret in function_returns(func):
+                if ret.value is not None:
+                    found.extend(self._check_expr(ret.value, func.name))
+        return found
+
+    def _check_expr(self, expr: ast.AST,
+                    func_name: str) -> List[RuleViolation]:
+        if isinstance(expr, ast.IfExp):
+            return (self._check_expr(expr.body, func_name)
+                    + self._check_expr(expr.orelse, func_name))
+        suspect = None
+        if isinstance(expr, ast.ListComp):
+            suspect = "a list comprehension"
+        elif isinstance(expr, ast.BinOp):
+            suspect = "a list expression (concatenation/repetition)"
+        elif isinstance(expr, ast.Subscript) and \
+                isinstance(expr.slice, ast.Slice):
+            suspect = "a raw slice"
+        elif isinstance(expr, ast.List) and expr.elts:
+            last = expr.elts[-1]
+            if not (isinstance(last, ast.Constant)
+                    and isinstance(last.value, int) and last.value != 0):
+                suspect = "a list display with a possibly-zero top limb"
+        if suspect is None:
+            return []
+        return [self.violation(
+            expr, "%s() is annotated -> Nat but returns %s; route it "
+            "through normalize()" % (func_name, suspect))]
+
+
+class CallerAliasing(Rule):
+    """RPR003: kernels must not mutate caller-owned limb lists."""
+
+    name = "caller-aliasing"
+    code = "RPR003"
+    rationale = ("mpn functions are value-semantics: callers share limb "
+                 "lists freely (split/low_bits views, Toom pieces), so "
+                 "in-place mutation of a parameter corrupts operands the "
+                 "caller still holds.")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> List[RuleViolation]:
+        found: List[RuleViolation] = []
+        for func in walk_functions(ctx.tree):
+            params = {arg.arg for arg in (func.args.posonlyargs
+                                          + func.args.args
+                                          + func.args.kwonlyargs)
+                      if arg.arg != "self"}
+            if not params:
+                continue
+            rebound = self._rebound_names(func)
+            live = params - rebound
+            if not live:
+                continue
+            found.extend(self._check_body(func, live))
+        return found
+
+    @staticmethod
+    def _rebound_names(func: ast.FunctionDef) -> Set[str]:
+        """Parameter names reassigned to fresh objects in the body."""
+        rebound: Set[str] = set()
+
+        def visit_target(target: ast.AST) -> None:
+            # Only direct name bindings count: ``p[i] = x`` is a mutation
+            # of the caller's object, not a rebinding of ``p``.
+            if isinstance(target, ast.Name):
+                rebound.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    visit_target(element)
+            elif isinstance(target, ast.Starred):
+                visit_target(target.value)
+
+        for node in ast.walk(func):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets = [node.target]
+            elif isinstance(node, ast.withitem) and node.optional_vars:
+                targets = [node.optional_vars]
+            for target in targets:
+                visit_target(target)
+        return rebound
+
+    @staticmethod
+    def _flatten_targets(targets: List[ast.AST]) -> List[ast.AST]:
+        """Unpack tuple/list targets so nested subscripts are visible."""
+        flat: List[ast.AST] = []
+        stack = list(targets)
+        while stack:
+            target = stack.pop()
+            if isinstance(target, (ast.Tuple, ast.List)):
+                stack.extend(target.elts)
+            elif isinstance(target, ast.Starred):
+                stack.append(target.value)
+            else:
+                flat.append(target)
+        return flat
+
+    def _check_body(self, func: ast.FunctionDef,
+                    live: Set[str]) -> List[RuleViolation]:
+        def is_live_name(node: ast.AST) -> bool:
+            return isinstance(node, ast.Name) and node.id in live
+
+        found: List[RuleViolation] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _MUTATING_METHODS and \
+                    is_live_name(node.func.value):
+                found.append(self.violation(
+                    node, "%s() mutates parameter '%s' in place via "
+                    ".%s()" % (func.name, node.func.value.id,
+                               node.func.attr)))
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                # A tuple target like ``p[i], p[j] = ...`` mutates the
+                # parameter once for the purposes of a report.
+                hit = sorted({target.value.id
+                              for target in self._flatten_targets(targets)
+                              if isinstance(target, ast.Subscript)
+                              and is_live_name(target.value)})
+                for name in hit:
+                    found.append(self.violation(
+                        node, "%s() assigns into parameter '%s' "
+                        "(caller-visible mutation)" % (func.name, name)))
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and \
+                            is_live_name(target.value):
+                        found.append(self.violation(
+                            node, "%s() deletes from parameter '%s'"
+                            % (func.name, target.value.id)))
+        return found

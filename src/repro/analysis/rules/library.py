@@ -1,0 +1,154 @@
+"""Library-wide hygiene rules (everything under ``src/repro``)."""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.rules.base import (FileContext, Rule, RuleViolation,
+                                       call_name)
+# The canonical limb geometry — RPR008 exists to funnel code here.
+from repro.mpn.nat import LIMB_BASE as _LIMB_BASE
+from repro.mpn.nat import LIMB_MASK as _LIMB_MASK
+
+
+class BareAssertInLibrary(Rule):
+    """RPR004: library contracts raise MpnError, never ``assert``."""
+
+    name = "bare-assert-in-library"
+    code = "RPR004"
+    rationale = ("``python -O`` strips assert statements, so a contract "
+                 "expressed as one silently vanishes in optimized runs; "
+                 "library code must raise MpnError/ValueError instead.")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> List[RuleViolation]:
+        return [self.violation(node, "assert statement in library code; "
+                               "raise MpnError/ValueError so the check "
+                               "survives python -O")
+                for node in ast.walk(ctx.tree)
+                if isinstance(node, ast.Assert)]
+
+
+class MutableDefaultArg(Rule):
+    """RPR007: no mutable default arguments."""
+
+    name = "mutable-default-arg"
+    code = "RPR007"
+    rationale = ("A list/dict/set default is shared across every call; "
+                 "for limb-list parameters that is a caller-aliasing bug "
+                 "waiting to happen.")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> List[RuleViolation]:
+        found: List[RuleViolation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + \
+                [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                        isinstance(default, ast.Call)
+                        and call_name(default) in ("list", "dict", "set",
+                                                   "bytearray")):
+                    name = getattr(node, "name", "<lambda>")
+                    found.append(self.violation(
+                        default, "%s() has a mutable default argument"
+                        % name))
+        return found
+
+
+class MagicLimbConstant(Rule):
+    """RPR008: limb geometry comes from ``repro.mpn.nat``, not literals."""
+
+    name = "magic-limb-constant"
+    code = "RPR008"
+    rationale = ("Hard-coded 2^32 / 2^32-1 literals desynchronize from "
+                 "LIMB_BITS if the limb width is ever reconfigured; use "
+                 "LIMB_BASE/LIMB_MASK (or shift by a width variable).")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.filename != "nat.py"
+
+    def check(self, ctx: FileContext) -> List[RuleViolation]:
+        found: List[RuleViolation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Constant) and \
+                    isinstance(node.value, int) and \
+                    node.value in (_LIMB_BASE, _LIMB_MASK):
+                found.append(self.violation(
+                    node, "magic limb constant %d; use nat.LIMB_BASE / "
+                    "nat.LIMB_MASK" % node.value))
+            elif isinstance(node, ast.BinOp) and \
+                    isinstance(node.op, ast.LShift) and \
+                    isinstance(node.left, ast.Constant) and \
+                    node.left.value == 1 and \
+                    isinstance(node.right, ast.Constant) and \
+                    node.right.value == 32:
+                found.append(self.violation(
+                    node, "magic limb constant (1 << 32); use "
+                    "nat.LIMB_BASE"))
+        return found
+
+
+class PrintInKernel(Rule):
+    """RPR009: compute layers (mpn, core) do not write to stdout."""
+
+    name = "print-in-kernel"
+    code = "RPR009"
+    rationale = ("mpn/core modules are embedded by the runtime, apps and "
+                 "benchmark harness; stray prints corrupt scripted "
+                 "output (reports, CLI pipelines) and hide real logging.")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_mpn or ctx.in_core
+
+    def check(self, ctx: FileContext) -> List[RuleViolation]:
+        return [self.violation(node, "print() call in a compute-layer "
+                               "module")
+                for node in ast.walk(ctx.tree)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"]
+
+
+class BroadExcept(Rule):
+    """RPR010: no bare or silently-swallowed exception handlers."""
+
+    name = "broad-except"
+    code = "RPR010"
+    rationale = ("A bare except (or ``except Exception: pass``) converts "
+                 "contract violations into silent wrong answers — the "
+                 "exact failure mode this reproduction exists to rule "
+                 "out.")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> List[RuleViolation]:
+        found: List[RuleViolation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                found.append(self.violation(
+                    node, "bare except: catches SystemExit/KeyboardInterrupt "
+                    "and hides contract violations"))
+                continue
+            names = []
+            for leaf in ast.walk(node.type):
+                if isinstance(leaf, ast.Name):
+                    names.append(leaf.id)
+            swallows = all(isinstance(stmt, ast.Pass) for stmt in node.body)
+            if swallows and any(n in ("Exception", "BaseException")
+                                for n in names):
+                found.append(self.violation(
+                    node, "except %s with an empty body silently swallows "
+                    "errors" % names[0]))
+        return found

@@ -1,0 +1,153 @@
+"""Opt-in runtime invariant sanitizer for the mpn kernels.
+
+When enabled — ``REPRO_SANITIZE=1`` in the environment, or the
+:func:`sanitizer` context manager / :func:`install` — every profiled
+mpn API function and every ``repro.mpn.nat`` limb kernel is wrapped
+with entry/exit contract checks:
+
+* **representation**: every limb-list argument and result is a genuine
+  ``Nat`` — a list of ints in ``[0, 2^32)`` (the carry bound: a limb at
+  or above the base is a failed carry propagation) with no trailing
+  zero limbs (normalization);
+* **value semantics**: arguments are snapshotted on entry and compared
+  on exit, so a kernel that mutates a caller-owned limb list is caught
+  at the exact call, not three kernels later.
+
+When disabled nothing is wrapped: the module table holds the original
+function objects and the kernels run at full speed (the differential
+tests assert this zero-overhead property).  Violations raise
+:class:`SanitizerError` (an :class:`~repro.mpn.nat.MpnError`) naming
+the kernel and the offending operand.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Tuple
+
+from repro.mpn.nat import LIMB_BASE, MpnError
+
+#: Environment variable that enables the sanitizer at import time.
+ENV_VAR = "REPRO_SANITIZE"
+
+#: Profiled public API wrappers (module ``repro.mpn``).
+_MPN_API = ("add", "sub", "mul", "sqr", "divmod_nat", "mod", "divexact",
+            "isqrt", "sqrtrem", "iroot", "powmod", "gcd", "invmod",
+            "shl", "shr", "compare")
+
+#: Limb kernels (module ``repro.mpn.nat``).  ``normalize``/``copy`` are
+#: deliberately not wrapped: normalize's whole job is to receive raw
+#: buffers.
+_NAT_KERNELS = ("add", "add_1", "sub", "sub_1", "mul_1", "div_1",
+                "divexact_1", "shl", "shr", "and_", "or_", "xor_",
+                "low_bits", "split", "set_bit")
+
+#: (module, name) -> original function, for every installed wrapper.
+_originals: Dict[Tuple[Any, str], Callable] = {}
+
+
+class SanitizerError(MpnError):
+    """An mpn kernel violated a representation or aliasing contract."""
+
+
+def is_enabled() -> bool:
+    """True while the sanitizer wrappers are installed."""
+    return bool(_originals)
+
+
+def env_requests_sanitizer() -> bool:
+    """True when ``REPRO_SANITIZE`` is set to a truthy value."""
+    return os.environ.get(ENV_VAR, "").strip().lower() not in (
+        "", "0", "false", "no", "off")
+
+
+def check_nat(value: Any, kernel: str, role: str) -> None:
+    """Validate one limb list against the Nat contract."""
+    if not isinstance(value, list):
+        raise SanitizerError(
+            "%s: %s is %s, not a limb list" % (kernel, role,
+                                               type(value).__name__))
+    for index, limb in enumerate(value):
+        if not isinstance(limb, int) or isinstance(limb, bool):
+            raise SanitizerError(
+                "%s: %s limb %d is %s, not an int"
+                % (kernel, role, index, type(limb).__name__))
+        if not 0 <= limb < LIMB_BASE:
+            raise SanitizerError(
+                "%s: %s limb %d = %d is outside [0, 2^32) — a failed "
+                "carry propagation" % (kernel, role, index, limb))
+    if value and value[-1] == 0:
+        raise SanitizerError(
+            "%s: %s has trailing zero limbs (unnormalized Nat of "
+            "length %d)" % (kernel, role, len(value)))
+
+
+def _check_result(value: Any, kernel: str) -> None:
+    if isinstance(value, list):
+        check_nat(value, kernel, "result")
+    elif isinstance(value, tuple):
+        for position, element in enumerate(value):
+            if isinstance(element, list):
+                check_nat(element, kernel, "result[%d]" % position)
+
+
+def _wrap(original: Callable, kernel: str) -> Callable:
+    @functools.wraps(original)
+    def checked(*args: Any, **kwargs: Any) -> Any:
+        nat_args = [(position, argument)
+                    for position, argument in enumerate(args)
+                    if isinstance(argument, list)]
+        for position, argument in nat_args:
+            check_nat(argument, kernel, "argument %d" % position)
+        snapshots = [(position, argument, list(argument))
+                     for position, argument in nat_args]
+        result = original(*args, **kwargs)
+        for position, argument, before in snapshots:
+            if argument != before:
+                raise SanitizerError(
+                    "%s: mutated caller argument %d in place "
+                    "(value semantics violated)" % (kernel, position))
+        _check_result(result, kernel)
+        return result
+
+    checked.__repro_sanitizer__ = original
+    return checked
+
+
+def install() -> None:
+    """Install the sanitizer wrappers (idempotent)."""
+    if _originals:
+        return
+    import repro.mpn as mpn_api
+    from repro.mpn import nat as nat_kernels
+    for module, names in ((mpn_api, _MPN_API), (nat_kernels, _NAT_KERNELS)):
+        for name in names:
+            original = getattr(module, name)
+            _originals[(module, name)] = original
+            setattr(module, name, _wrap(original, name))
+
+
+def uninstall() -> None:
+    """Remove every wrapper and restore the original kernels."""
+    for (module, name), original in _originals.items():
+        setattr(module, name, original)
+    _originals.clear()
+
+
+@contextmanager
+def sanitizer(enabled: bool = True) -> Iterator[None]:
+    """Scoped enable/disable; restores the previous state on exit."""
+    was_enabled = is_enabled()
+    if enabled and not was_enabled:
+        install()
+    elif not enabled and was_enabled:
+        uninstall()
+    try:
+        yield
+    finally:
+        if was_enabled and not is_enabled():
+            install()
+        elif not was_enabled and is_enabled():
+            uninstall()

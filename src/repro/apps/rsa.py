@@ -165,7 +165,8 @@ def run(bits: int = 512, seed: int = 2022,
         last = RSAResult(key, message, ciphertext, recovered)
         if not last.ok:  # pragma: no cover - correctness guard
             raise AssertionError("RSA round trip failed")
-    assert last is not None
+    if last is None:
+        raise ValueError("messages must be >= 1")
     return last
 
 

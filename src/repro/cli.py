@@ -47,7 +47,9 @@ def _cmd_multiply(args: argparse.Namespace) -> int:
     device = CambriconP()
     product, report = device.multiply(nat_from_int(a), nat_from_int(b),
                                       bit_serial=args.bit_serial)
-    assert nat_to_int(product) == a * b
+    if nat_to_int(product) != a * b:
+        raise RuntimeError("device product mismatch at %d bits "
+                           "(simulator bug)" % args.bits)
     print("%d-bit x %d-bit multiply: exact (%d product bits)"
           % (args.bits, args.bits, nat_to_int(product).bit_length()))
     print("  passes=%d waves=%d cycles=%.0f time=%.3e s"
@@ -168,6 +170,25 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--which", choices=["11", "13", "all"],
                          default="all")
     figures.set_defaults(handler=_cmd_figures)
+
+    lint = commands.add_parser(
+        "lint", help="run the kernel-contract linter")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.set_defaults(handler=_cmd_lint)
+
+    verify = commands.add_parser(
+        "verify-stream",
+        help="statically verify a Driver instruction stream")
+    verify.add_argument("program", nargs="?",
+                        help="JSON program file (see docs/ANALYSIS.md)")
+    verify.add_argument("--selftest", action="store_true",
+                        help="verify a generated well-formed program and "
+                             "prove the checks fire on a hazardous one")
+    verify.set_defaults(handler=_cmd_verify_stream)
     return parser
 
 
@@ -202,6 +223,114 @@ def _cmd_report(args: argparse.Namespace) -> int:
     text = compile_report(Path(args.results), Path(args.output))
     print("wrote %s (%d sections, %d chars)"
           % (args.output, text.count("## "), len(text)))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import ALL_RULES, lint_paths
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print("%s %-24s %s" % (rule.code, rule.name, rule.rationale))
+        return 0
+    paths = args.paths or [Path(repro.__file__).parent]
+    report = lint_paths(paths)
+    if report.files_checked == 0:
+        # A typo'd path must not read as a clean bill of health.
+        print("lint: no Python files under %s"
+              % ", ".join(str(p) for p in paths), file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _load_stream_program(path: str):
+    """Parse a JSON stream description into (llc, program).
+
+    Format: ``{"llc": {"<addr>": <int or "0x..">, ...},
+    "program": [{"op": "mul", "sources": [[addr, bits], ...],
+    "dest": addr, "imm": 0}, ...]}``.
+    """
+    import json
+
+    from repro.core.isa import Instruction, Opcode, OperandRef, SharedLLC
+    from repro.mpn import nat_from_int
+    with open(path, "r", encoding="utf-8") as handle:
+        description = json.load(handle)
+    llc = SharedLLC()
+    for address, value in description.get("llc", {}).items():
+        number = int(value, 0) if isinstance(value, str) else int(value)
+        llc.write(int(address), nat_from_int(number))
+    program = []
+    for entry in description.get("program", []):
+        program.append(Instruction(
+            opcode=Opcode(entry["op"].lower()),
+            sources=tuple(OperandRef(int(addr), int(bits))
+                          for addr, bits in entry.get("sources", [])),
+            destination=int(entry["dest"]),
+            immediate=int(entry.get("imm", 0))))
+    return llc, program
+
+
+def _cmd_verify_stream(args: argparse.Namespace) -> int:
+    from repro.analysis.stream import verify_stream
+    if args.selftest:
+        return _verify_stream_selftest()
+    if not args.program:
+        print("verify-stream: provide a JSON program file or --selftest",
+              file=sys.stderr)
+        return 2
+    try:
+        llc, program = _load_stream_program(args.program)
+    except OSError as error:
+        print("verify-stream: cannot read %s: %s" % (args.program, error),
+              file=sys.stderr)
+        return 2
+    except (KeyError, TypeError, ValueError) as error:
+        # json.JSONDecodeError is a ValueError; bad opcodes/operand
+        # descriptors land here too.
+        print("verify-stream: malformed program %s: %s"
+              % (args.program, error), file=sys.stderr)
+        return 2
+    violations = verify_stream(program, llc)
+    for violation in violations:
+        print("%s:%s" % (args.program, violation.render()))
+    print("%d instruction(s), %d hazard(s)"
+          % (len(program), len(violations)))
+    return 0 if not violations else 1
+
+
+def _verify_stream_selftest() -> int:
+    from repro.analysis.stream import verify_stream
+    from repro.core.isa import Driver, Instruction, Opcode, OperandRef
+    from repro.mpn import nat_from_int
+    driver = Driver()
+    a = driver.alloc(nat_from_int(3 ** 50))
+    b = driver.alloc(nat_from_int(7 ** 40))
+    good = [
+        Instruction(Opcode.MUL, (a, b), destination=2),
+        Instruction(Opcode.SHL, (OperandRef(2, a.bits + b.bits),),
+                    destination=3, immediate=64),
+    ]
+    clean = driver.verify(good)
+    if clean:
+        for violation in clean:
+            print(violation.render(), file=sys.stderr)
+        print("selftest FAILED: well-formed stream reported hazardous")
+        return 1
+    hazardous = [
+        Instruction(Opcode.MUL, (a, OperandRef(99, 8)), destination=0),
+        Instruction(Opcode.ADD, (a,), destination=4, immediate=3),
+    ]
+    hazards = driver.verify(hazardous)
+    checks = sorted({violation.check for violation in hazards})
+    if not hazards:
+        print("selftest FAILED: hazardous stream verified clean")
+        return 1
+    print("selftest: clean stream ok; seeded stream raised %d hazard(s): %s"
+          % (len(hazards), ", ".join(checks)))
     return 0
 
 

@@ -221,14 +221,14 @@ class CambriconP:
             if product != _reference_mul(a, b):
                 raise MpnError("selftest mismatch at %d bits" % bits)
             if verbose:
-                print("selftest %5d bits: ok" % bits)
+                print("selftest %5d bits: ok" % bits)  # repro: noqa=print-in-kernel -- opt-in verbose selftest
         a = nat.nat_from_int(rng.getrandbits(200))
         b = nat.nat_from_int(rng.getrandbits(150))
         bit_serial, _ = self.multiply(a, b, bit_serial=True)
         if bit_serial != _reference_mul(a, b):
             raise MpnError("selftest bit-serial mismatch")
         if verbose:
-            print("selftest bit-serial path: ok")
+            print("selftest bit-serial path: ok")  # repro: noqa=print-in-kernel -- opt-in verbose selftest
         return True
 
     # -- helpers ---------------------------------------------------------------

@@ -123,7 +123,7 @@ def lambda_ratio(q: int, p_y: int) -> float:
     lambda_min = 0.367 at q = 4 for p_y = 32, which is why the
     architecture processes 4 bitflows in parallel.
     """
-    return (1.0 + ((1 << q) - 1) / p_y) / q
+    return (1.0 + ((1 << q) - 1) / p_y) / q  # repro: noqa=float-in-cycle-model -- analytic benefit ratio, not cycle accounting
 
 
 def best_q(p_y: int, candidates: Sequence[int] = tuple(range(1, 9))

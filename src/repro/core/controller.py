@@ -76,6 +76,21 @@ class CoreController:
         """
         return -(-(num_y_limbs + self.q - 1) // self.num_ipus)
 
+    def covers(self, num_x_limbs: int, num_y_limbs: int) -> bool:
+        """True when the chunk/window plan reaches every output point.
+
+        Chunk c0's passes cover t in [c0 + 32w - (q-1) + q - 1, ...]
+        for each window w; the last window must reach the top
+        convolution point t = nx + ny - 2, i.e. the windows must span
+        ny + q - 1 limbs (the sliding window's look-back).  Used by the
+        stream verifier to diagnose plan-incompatible IP vector shapes
+        before simulation.
+        """
+        if num_x_limbs < 1 or num_y_limbs < 1:
+            return False
+        return (self.window_count(num_y_limbs) * self.num_ipus
+                >= num_y_limbs + self.q - 1)
+
     def plan_multiply(self, num_x_limbs: int,
                       num_y_limbs: int) -> MultiplySchedule:
         """Schedule a monolithic (nx x ny)-limb multiplication."""

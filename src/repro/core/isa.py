@@ -101,6 +101,12 @@ class SharedLLC:
         self.bits_read += nat.bit_length(value)
         return list(value)
 
+    def snapshot(self) -> Dict[int, Nat]:
+        """Copy of the resident address space (for the stream verifier);
+        does not count as traffic."""
+        return {address: list(value)
+                for address, value in self._store.items()}
+
 
 @dataclass
 class RetiredInstruction:
@@ -131,10 +137,33 @@ class Driver:
         """Read back a destination."""
         return self.llc.read(address)
 
+    # -- static verification -----------------------------------------------------
+
+    def verify(self, program: List[Instruction]):
+        """Statically check a program against the current LLC contents.
+
+        Returns the list of :class:`~repro.analysis.stream.StreamViolation`
+        hazards (empty when the stream is well-formed).  See
+        :mod:`repro.analysis.stream` for the check catalogue.
+        """
+        from repro.analysis.stream import verify_stream
+        return verify_stream(program, self.llc, self.device.config)
+
     # -- execution ---------------------------------------------------------------
 
-    def execute(self, program: List[Instruction]) -> List[RetiredInstruction]:
-        """Run a program in order; returns the retirement log."""
+    def execute(self, program: List[Instruction],
+                verify: bool = False) -> List[RetiredInstruction]:
+        """Run a program in order; returns the retirement log.
+
+        With ``verify=True`` the stream is statically checked first and
+        a :class:`~repro.analysis.stream.StreamError` is raised — with
+        op-index provenance — instead of simulating a hazardous program.
+        """
+        if verify:
+            from repro.analysis.stream import StreamError
+            violations = self.verify(program)
+            if violations:
+                raise StreamError(violations)
         retirements = []
         for instruction in program:
             retirements.append(self._execute_one(instruction))

@@ -47,7 +47,7 @@ def _bit_reverse(values: List[MPC]) -> None:
     for index in range(size):
         rev = int(format(index, "0%db" % bits)[::-1], 2)
         if rev > index:
-            values[index], values[rev] = values[rev], values[index]
+            values[index], values[rev] = values[rev], values[index]  # repro: noqa=caller-aliasing -- documented in-place permute
 
 
 def fft(values: List[MPC], precision: int,

@@ -13,7 +13,7 @@ Reference: Burnikel & Ziegler, *Fast Recursive Division*, MPI-I-98-1-022.
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, List, Tuple
 
 from repro.mpn import nat
 from repro.mpn.div import divmod_schoolbook
@@ -85,8 +85,12 @@ def _div_3n2n(a12: Nat, a3: Nat, divisor: Nat, half_limbs: int,
     return nat.normalize(list(quotient)), nat.sub(candidate, correction)
 
 
-def _pad(limbs: Nat, count: int) -> Nat:
-    """Limb list padded with zeros to exactly ``count`` entries."""
+def _pad(limbs: Nat, count: int) -> List[int]:
+    """Raw limb buffer padded with zeros to exactly ``count`` entries.
+
+    The result is a positional buffer for slicing, *not* a Nat: it may
+    carry trailing zeros and must not escape into the nat kernels.
+    """
     return list(limbs) + [0] * (count - len(limbs))
 
 
@@ -119,7 +123,10 @@ def divmod_bz(a: Nat, b: Nat, mul_fn: MulFn) -> Tuple[Nat, Nat]:
     quotient: Nat = []
     remainder: Nat = []
     for block in blocks:
-        q_block, remainder = _div_2n1n(remainder, _pad(block, target),
+        # ``block`` is already normalized; _div_2n1n pads internally.
+        # (Padding here leaked a trailing-zero buffer into nat.add /
+        # divmod_schoolbook in the basecase branch.)
+        q_block, remainder = _div_2n1n(remainder, block,
                                        b_norm, target // 2, mul_fn)
         quotient = nat.add(nat.shl(quotient, target * LIMB_BITS),
                            q_block)

@@ -97,10 +97,10 @@ def _reciprocal(b: Nat, precision_bits: int, mul_fn: MulFn) -> Nat:
     divisor_bits = nat.bit_length(b)
     if precision_bits <= 30:
         top_shift = max(0, divisor_bits - 62)
-        top_word = nat.nat_to_int(nat.shr(b, top_shift))  # <= 62-bit word
+        top_word = nat.nat_to_int(nat.shr(b, top_shift))  # repro: noqa=bigint-in-kernel -- <= 62-bit machine-word base case
         estimate = (1 << (divisor_bits - top_shift + precision_bits)) \
             // (top_word + 1)
-        return nat.nat_from_int(estimate)
+        return nat.nat_from_int(estimate)  # repro: noqa=bigint-in-kernel -- word-sized seed back to limbs
 
     half = precision_bits // 2 + 4
     r_half = _reciprocal(b, half, mul_fn)

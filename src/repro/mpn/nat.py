@@ -51,7 +51,7 @@ def nat_to_int(limbs: Nat) -> int:
 def normalize(limbs: Nat) -> Nat:
     """Strip trailing zero limbs in place and return the list."""
     while limbs and limbs[-1] == 0:
-        limbs.pop()
+        limbs.pop()  # repro: noqa=caller-aliasing -- normalize IS the documented in-place canonicalizer
     return limbs
 
 

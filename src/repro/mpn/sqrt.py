@@ -46,8 +46,8 @@ def isqrt(value: Nat, mul_fn: MulFn) -> Nat:
     if bits == 0:
         return []
     if bits <= SQRT_BASECASE_BITS:
-        root, _ = _sqrtrem_word(nat.nat_to_int(value))
-        return nat.nat_from_int(root)
+        root, _ = _sqrtrem_word(nat.nat_to_int(value))  # repro: noqa=bigint-in-kernel -- machine-word base case
+        return nat.nat_from_int(root)  # repro: noqa=bigint-in-kernel -- machine-word base case
 
     # Seed with the root of the top half of the operand, scaled back up:
     # sqrt(v) ~ sqrt(v >> 2s) << s, accurate to ~2^(s+1) absolute, which a

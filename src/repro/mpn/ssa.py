@@ -99,14 +99,23 @@ def fermat_mul_2exp(a: Nat, exponent: int, w: int) -> Nat:
     return shifted
 
 
+def _reverse_bits(index: int, bits: int) -> int:
+    """``index`` with its low ``bits`` bits mirrored."""
+    reversed_index = 0
+    for _ in range(bits):
+        reversed_index = (reversed_index << 1) | (index & 1)
+        index >>= 1
+    return reversed_index
+
+
 def _bit_reverse_permute(values: List[Nat]) -> None:
     """In-place bit-reversal permutation for the iterative NTT."""
     size = len(values)
     bits = size.bit_length() - 1
     for index in range(size):
-        reversed_index = int(format(index, "0%db" % bits)[::-1], 2)
+        reversed_index = _reverse_bits(index, bits)
         if reversed_index > index:
-            values[index], values[reversed_index] = (
+            values[index], values[reversed_index] = (  # repro: noqa=caller-aliasing -- documented in-place permute
                 values[reversed_index], values[index])
 
 
@@ -124,8 +133,8 @@ def ntt(values: List[Nat], w: int, root_exponent: int) -> None:
                 low = values[start + offset]
                 high = fermat_mul_2exp(values[start + offset + half],
                                        twiddle, w)
-                values[start + offset] = fermat_add(low, high, w)
-                values[start + offset + half] = fermat_sub(low, high, w)
+                values[start + offset] = fermat_add(low, high, w)  # repro: noqa=caller-aliasing -- ntt is documented in-place
+                values[start + offset + half] = fermat_sub(low, high, w)  # repro: noqa=caller-aliasing -- ntt is documented in-place
                 twiddle += step
         span *= 2
 
@@ -198,5 +207,6 @@ def _to_pieces(value: Nat, piece_bits: int, transform_size: int) -> List[Nat]:
         remaining = nat.shr(remaining, piece_bits)
     if len(pieces) > transform_size:
         raise MpnError("operand too large for the chosen SSA split")
-    pieces.extend([[]] * (transform_size - len(pieces)))
+    # Distinct empty lists: ``[[]] * n`` would alias one shared zero.
+    pieces.extend([] for _ in range(transform_size - len(pieces)))
     return pieces

@@ -66,7 +66,7 @@ def interpolation_rows(k: int) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
     rows: List[Tuple[int, Tuple[int, ...]]] = []
     for row in inverse:
         denominator = lcm(*(entry.denominator for entry in row))
-        numerators = tuple(int(entry * denominator) for entry in row)
+        numerators = tuple(int(entry * denominator) for entry in row)  # repro: noqa=bigint-in-kernel -- exact Fraction -> word, import-time matrix
         rows.append((denominator, numerators))
     return tuple(rows)
 
@@ -74,7 +74,7 @@ def interpolation_rows(k: int) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
 def _invert(matrix: Sequence[Sequence[Fraction]]) -> List[List[Fraction]]:
     """Exact Gauss-Jordan inverse over the rationals (import-time only)."""
     size = len(matrix)
-    work = [list(row) + [Fraction(int(i == j)) for j in range(size)]
+    work = [list(row) + [Fraction(1 if i == j else 0) for j in range(size)]
             for i, row in enumerate(matrix)]
     for col in range(size):
         pivot_row = next(r for r in range(col, size) if work[r][col] != 0)
@@ -155,7 +155,7 @@ def _s_mul_int(value: SNat, factor: int) -> SNat:
         return signed.s_mul_small(value, factor)
     sign, mag = value
     factor_sign = -1 if factor < 0 else 1
-    factor_nat = nat.nat_from_int(abs(factor))
+    factor_nat = nat.nat_from_int(abs(factor))  # repro: noqa=bigint-in-kernel -- interpolation constant, not operand data
     product: Nat = []
     for shift, limb in enumerate(factor_nat):
         if limb:

@@ -40,7 +40,9 @@ class TraceComparison:
     def energy_benefit(self) -> float:
         cpu_joules = self.costs["cpu"].joules
         camp_joules = self.costs["cambricon_p"].joules
-        assert cpu_joules is not None and camp_joules is not None
+        if cpu_joules is None or camp_joules is None:
+            raise ValueError("energy benefit needs joules for both "
+                             "platforms; a cost model left them unset")
         return cpu_joules / camp_joules
 
     def table(self) -> str:

@@ -1,0 +1,14 @@
+"""A clean module: the fixture sweep must report nothing here."""
+
+from repro.mpn import nat
+from repro.mpn.nat import MpnError, Nat
+
+
+def doubled(value: Nat) -> Nat:
+    if not value:
+        raise MpnError("doubled() needs a non-zero operand")
+    return nat.shl(value, 1)
+
+
+def suppressed_crossing(value: Nat) -> int:
+    return nat.nat_to_int(value)  # repro: noqa=bigint-in-kernel -- fixture demonstrating the escape hatch

@@ -1,0 +1,18 @@
+"""Seeded functional-core violations (linted, never imported).
+
+Named ``controller.py`` so the file matches the functional-core module
+list that scopes RPR005.
+"""
+
+import random
+import time                                        # RPR006 (import)
+
+
+def jittered_cycles(cycles: int) -> float:         # RPR005 x2, RPR006 x2
+    scale = 1.5 + random.random()
+    time.sleep(0)
+    return cycles / scale
+
+
+def debug_dump(cycles: int) -> None:               # RPR009
+    print("cycles:", cycles)

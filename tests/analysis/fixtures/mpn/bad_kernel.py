@@ -1,0 +1,35 @@
+"""Seeded kernel-contract violations (linted, never imported)."""
+
+from repro.mpn.nat import Nat, nat_from_int, nat_to_int
+
+
+def roundtrip_mul(a: Nat, b: Nat) -> Nat:          # RPR001 x3, RPR002
+    product = nat_to_int(a) * nat_to_int(b)
+    return [product & 0xFFFF][:1]
+
+
+def push_limb(limbs: Nat, limb: int) -> None:      # RPR003 (.append)
+    limbs.append(limb)
+
+
+def clobber(limbs: Nat) -> None:                   # RPR003 (subscript)
+    limbs[0] = 0
+
+
+def checked_double(a: Nat, scratch=[]) -> Nat:     # RPR004, RPR007
+    assert a, "empty"
+    scratch.extend(a)
+    return nat_from_int(2)
+
+
+def wrap(value: int) -> int:                       # RPR008 x2
+    base = 1 << 32
+    return value % base % 4294967295
+
+
+def swallow(value: int) -> int:                    # RPR010
+    try:
+        return 1 // value
+    except Exception:
+        pass
+    return 0

@@ -1,0 +1,18 @@
+"""Gate: the shipped tree lints clean (the CI invariant, as a test)."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis.lint import lint_paths
+
+
+def test_src_repro_lints_clean():
+    package_root = Path(repro.__file__).parent
+    report = lint_paths([package_root])
+    assert report.files_checked > 80
+    assert report.ok, "\n" + report.render()
+
+
+def test_cli_lint_exits_zero():
+    from repro.cli import main
+    assert main(["lint"]) == 0

@@ -1,0 +1,146 @@
+"""The runtime invariant sanitizer: install semantics and what it catches."""
+
+import pytest
+
+import repro.mpn as mpn
+from repro.analysis import sanitize
+from repro.analysis.sanitize import SanitizerError, check_nat, sanitizer
+from repro.mpn import nat
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    """Every test starts and ends with the sanitizer uninstalled."""
+    sanitize.uninstall()
+    yield
+    sanitize.uninstall()
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_disabled_kernels_are_the_raw_functions(self):
+        # The acceptance bar: no wrapper object exists when disabled.
+        assert not sanitize.is_enabled()
+        for name in sanitize._NAT_KERNELS:
+            assert not hasattr(getattr(nat, name), "__repro_sanitizer__")
+        for name in sanitize._MPN_API:
+            assert not hasattr(getattr(mpn, name), "__repro_sanitizer__")
+
+    def test_install_uninstall_round_trips_identity(self):
+        originals = {name: getattr(nat, name)
+                     for name in sanitize._NAT_KERNELS}
+        sanitize.install()
+        assert all(getattr(nat, name) is not originals[name]
+                   for name in sanitize._NAT_KERNELS)
+        sanitize.uninstall()
+        assert all(getattr(nat, name) is originals[name]
+                   for name in sanitize._NAT_KERNELS)
+
+    def test_install_is_idempotent(self):
+        sanitize.install()
+        wrapped = nat.add
+        sanitize.install()          # no double wrapping
+        assert nat.add is wrapped
+        assert nat.add.__repro_sanitizer__.__name__ == "add"
+
+
+class TestEnvHook:
+    def test_env_parsing(self, monkeypatch):
+        for value, expected in (("1", True), ("true", True),
+                                ("0", False), ("", False),
+                                ("off", False), ("no", False)):
+            monkeypatch.setenv(sanitize.ENV_VAR, value)
+            assert sanitize.env_requests_sanitizer() is expected
+        monkeypatch.delenv(sanitize.ENV_VAR)
+        assert not sanitize.env_requests_sanitizer()
+
+
+class TestCheckNat:
+    def test_accepts_canonical_nats(self):
+        for good in ([], [1], [0, 1], [nat.LIMB_MASK] * 3):
+            check_nat(good, "k", "argument")
+
+    def test_rejects_non_list(self):
+        with pytest.raises(SanitizerError, match="not a limb list"):
+            check_nat(7, "k", "argument")
+
+    def test_rejects_non_int_limb(self):
+        with pytest.raises(SanitizerError, match="not an int"):
+            check_nat([1.5], "k", "argument")
+        with pytest.raises(SanitizerError, match="not an int"):
+            check_nat([True], "k", "argument")
+
+    def test_rejects_out_of_range_limb(self):
+        with pytest.raises(SanitizerError, match="carry propagation"):
+            check_nat([nat.LIMB_BASE], "k", "argument")
+        with pytest.raises(SanitizerError, match="outside"):
+            check_nat([-1], "k", "argument")
+
+    def test_rejects_trailing_zero(self):
+        with pytest.raises(SanitizerError, match="trailing zero"):
+            check_nat([5, 0], "k", "argument")
+
+
+class TestWrappedKernels:
+    def test_clean_calls_pass_through(self):
+        with sanitizer():
+            assert nat.add([5], [7]) == [12]
+            assert mpn.mul([3], [4]) == [12]
+
+    def test_unnormalized_argument_is_caught_at_the_call(self):
+        with sanitizer():
+            with pytest.raises(SanitizerError, match="add: argument 0"):
+                nat.add([5, 0], [7])
+
+    def test_oversized_limb_is_caught(self):
+        with sanitizer():
+            with pytest.raises(SanitizerError, match="argument 1"):
+                nat.add([5], [nat.LIMB_BASE])
+
+    def test_broken_kernel_result_is_caught(self, monkeypatch):
+        monkeypatch.setattr(nat, "add", lambda a, b: [7, 0])
+        with sanitizer():
+            with pytest.raises(SanitizerError, match="result"):
+                nat.add([1], [2])
+
+    def test_tuple_results_are_checked_elementwise(self, monkeypatch):
+        monkeypatch.setattr(nat, "split",
+                            lambda limbs, count: ([1], [2, 0]))
+        with sanitizer():
+            with pytest.raises(SanitizerError, match=r"result\[1\]"):
+                nat.split([1, 2, 3], 1)
+
+    def test_caller_mutation_is_caught(self, monkeypatch):
+        def mutating_add(a, b):
+            a.append(0xBAD)
+            return [0xBAD]
+        monkeypatch.setattr(nat, "add", mutating_add)
+        with sanitizer():
+            with pytest.raises(SanitizerError, match="mutated caller"):
+                nat.add([1], [2])
+
+    def test_profiled_api_is_wrapped_too(self):
+        with sanitizer():
+            with pytest.raises(SanitizerError, match="divmod_nat"):
+                mpn.divmod_nat([1, 0], [3])
+
+
+class TestContextManager:
+    def test_scoped_enable(self):
+        assert not sanitize.is_enabled()
+        with sanitizer():
+            assert sanitize.is_enabled()
+        assert not sanitize.is_enabled()
+
+    def test_scoped_disable_inside_enable(self):
+        with sanitizer():
+            with sanitizer(enabled=False):
+                assert not sanitize.is_enabled()
+                nat.add([5, 0], [7])   # unchecked by request
+            assert sanitize.is_enabled()
+        assert not sanitize.is_enabled()
+
+    def test_restores_state_on_error(self):
+        with pytest.raises(RuntimeError):
+            with sanitizer():
+                raise RuntimeError("boom")
+        assert not sanitize.is_enabled()

@@ -1,0 +1,150 @@
+"""The BIPS/ISA stream verifier flags every hazard class it documents."""
+
+import pytest
+
+from repro.analysis.stream import StreamError, verify_stream
+from repro.core.isa import Driver, Instruction, Opcode, OperandRef
+from repro.mpn import nat
+
+from tests.conftest import to_nat
+
+
+def checks(violations):
+    return {v.check for v in violations}
+
+
+@pytest.fixture
+def driver():
+    return Driver()
+
+
+class TestCleanStreams:
+    def test_straight_line_program_verifies(self, driver):
+        a = driver.alloc(to_nat(12345))
+        b = driver.alloc(to_nat(67890))
+        program = [
+            Instruction(Opcode.MUL, (a, b), destination=10),
+            Instruction(Opcode.SHL, (OperandRef(10, a.bits + b.bits),),
+                        destination=11, immediate=32),
+        ]
+        assert driver.verify(program) == []
+
+    def test_empty_program(self, driver):
+        assert driver.verify([]) == []
+
+    def test_computed_operand_within_bound_is_accepted(self, driver):
+        a = driver.alloc(to_nat(3))
+        b = driver.alloc(to_nat(5))
+        program = [
+            Instruction(Opcode.ADD, (a, b), destination=7),
+            # a=2 bits, b=3 bits -> sum is at most 4 bits.
+            Instruction(Opcode.ADD, (OperandRef(7, 4), b), destination=8),
+        ]
+        assert driver.verify(program) == []
+
+
+class TestHazards:
+    def test_sv_arity(self, driver):
+        a = driver.alloc(to_nat(7))
+        program = [Instruction(Opcode.ADD, (a,), destination=9)]
+        assert checks(driver.verify(program)) == {"SV-ARITY"}
+
+    def test_sv_undef(self, driver):
+        a = driver.alloc(to_nat(7))
+        program = [Instruction(Opcode.ADD, (a, OperandRef(99, 8)),
+                               destination=9)]
+        assert checks(driver.verify(program)) == {"SV-UNDEF"}
+
+    def test_sv_bits_truncating_descriptor(self, driver):
+        a = driver.alloc(to_nat(1 << 100))     # 101 significant bits
+        short = OperandRef(a.address, 32)       # drops 69 of them
+        program = [Instruction(Opcode.ADD, (short, short.__class__(
+            driver.alloc(to_nat(1)).address, 1)), destination=9)]
+        assert "SV-BITS" in checks(driver.verify(program))
+
+    def test_sv_bits_overdeclared_computed_operand(self, driver):
+        a = driver.alloc(to_nat(3))
+        b = driver.alloc(to_nat(5))
+        program = [
+            Instruction(Opcode.ADD, (a, b), destination=7),
+            # The producing ADD yields at most 4 bits; 1000 is a lie.
+            Instruction(Opcode.ADD, (OperandRef(7, 1000), b),
+                        destination=8),
+        ]
+        assert checks(driver.verify(program)) == {"SV-BITS"}
+
+    def test_sv_overlap(self, driver):
+        a = driver.alloc(to_nat(7))
+        b = driver.alloc(to_nat(9))
+        program = [Instruction(Opcode.ADD, (a, b),
+                               destination=a.address)]
+        assert checks(driver.verify(program)) == {"SV-OVERLAP"}
+
+    def test_sv_imm_negative_shift(self, driver):
+        a = driver.alloc(to_nat(7))
+        program = [Instruction(Opcode.SHL, (a,), destination=9,
+                               immediate=-1)]
+        assert checks(driver.verify(program)) == {"SV-IMM"}
+
+    def test_sv_imm_stray_immediate(self, driver):
+        a = driver.alloc(to_nat(7))
+        b = driver.alloc(to_nat(9))
+        program = [Instruction(Opcode.MUL, (a, b), destination=9,
+                               immediate=3)]
+        assert checks(driver.verify(program)) == {"SV-IMM"}
+
+    def test_sv_ipshape_mismatched_vectors(self, driver):
+        a = driver.alloc(to_nat((1 << 200) - 1))   # 7 limbs
+        b = driver.alloc(to_nat(5))                # 1 limb
+        program = [Instruction(Opcode.IP, (a, b), destination=9)]
+        assert checks(driver.verify(program)) == {"SV-IPSHAPE"}
+
+    def test_sv_plan_oversized_mul(self, driver):
+        limit = driver.device.config.monolithic_max_bits
+        a = driver.alloc(to_nat(1 << limit))       # limit + 1 bits
+        b = driver.alloc(to_nat(3))
+        program = [Instruction(Opcode.MUL, (a, b), destination=9)]
+        assert checks(driver.verify(program)) == {"SV-PLAN"}
+
+    def test_hazards_carry_op_index_provenance(self, driver):
+        a = driver.alloc(to_nat(7))
+        b = driver.alloc(to_nat(9))
+        program = [
+            Instruction(Opcode.ADD, (a, b), destination=9),
+            Instruction(Opcode.ADD, (a, OperandRef(99, 8)),
+                        destination=10),
+        ]
+        violations = driver.verify(program)
+        assert [v.op_index for v in violations] == [1]
+        assert "op#1" in violations[0].render()
+
+
+class TestDriverIntegration:
+    def test_execute_with_verify_raises_stream_error(self, driver):
+        a = driver.alloc(to_nat(7))
+        program = [Instruction(Opcode.ADD, (a, OperandRef(99, 8)),
+                               destination=9)]
+        with pytest.raises(StreamError) as excinfo:
+            driver.execute(program, verify=True)
+        assert excinfo.value.violations
+        assert driver.retired == []    # nothing was simulated
+
+    def test_execute_with_verify_runs_clean_programs(self, driver):
+        a = driver.alloc(to_nat(1234))
+        b = driver.alloc(to_nat(5678))
+        program = [Instruction(Opcode.MUL, (a, b), destination=10)]
+        driver.execute(program, verify=True)
+        assert nat.nat_to_int(driver.result(10)) == 1234 * 5678
+
+    def test_verify_stream_without_llc(self):
+        # No LLC: every operand must be produced by the program itself.
+        program = [Instruction(Opcode.ADD, (OperandRef(0, 4),
+                                            OperandRef(1, 4)),
+                               destination=2)]
+        assert checks(verify_stream(program)) == {"SV-UNDEF"}
+
+
+class TestCliSelftest:
+    def test_selftest_passes(self):
+        from repro.cli import main
+        assert main(["verify-stream", "--selftest"]) == 0

@@ -1,0 +1,72 @@
+"""Regression tests for contract holes surfaced by the linter/sanitizer."""
+
+import pytest
+
+from repro import mpn
+from repro.analysis.sanitize import sanitizer
+from repro.mpn import burnikel_ziegler, ssa
+from repro.mpn.burnikel_ziegler import divmod_bz
+
+from tests.conftest import from_nat, to_nat
+
+
+class TestBurnikelZieglerNormalization:
+    """divmod_bz fed a zero-padded block buffer into _div_2n1n; the
+    basecase there hands its ``low`` operand straight to nat.add and
+    divmod_schoolbook, which both require canonical Nats."""
+
+    def test_multi_block_division_under_sanitizer(self):
+        # Divisor > BZ_THRESHOLD_LIMBS forces the recursion; a dividend
+        # several blocks long exercises the per-block loop including
+        # blocks whose top limbs are zero after normalization.
+        b = (1 << 800) + 12345
+        a = (1 << 2600) + (1 << 801)
+        with sanitizer():
+            quotient, remainder = divmod_bz(to_nat(a), to_nat(b), mpn.mul)
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)
+
+    def test_block_with_many_trailing_zero_limbs(self):
+        # A dividend chunk that is mostly zeros once produced the
+        # maximally-padded buffer.
+        b = (1 << 800) - 1
+        a = (1 << 2048)
+        with sanitizer():
+            quotient, remainder = divmod_bz(to_nat(a), to_nat(b), mpn.mul)
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)
+
+    def test_pad_is_a_buffer_helper_not_a_nat(self):
+        padded = burnikel_ziegler._pad([5], 4)
+        assert padded == [5, 0, 0, 0]   # raw positional buffer by design
+
+
+class TestSsaInternals:
+    def test_reverse_bits_matches_string_reference(self):
+        for bits in range(1, 9):
+            for index in range(1 << bits):
+                expected = int(format(index, "0%db" % bits)[::-1], 2)
+                assert ssa._reverse_bits(index, bits) == expected
+
+    def test_to_pieces_padding_is_not_aliased(self):
+        pieces = ssa._to_pieces(to_nat(1), piece_bits=32, transform_size=8)
+        assert pieces[0] == [1]
+        tail = pieces[1:]
+        assert all(piece == [] for piece in tail)
+        # Each zero piece must be a distinct list object: SSA writes
+        # results back per slot, and a shared [] would alias them all.
+        assert len({id(piece) for piece in tail}) == len(tail)
+
+
+class TestAssertConversions:
+    def test_rsa_rejects_zero_messages(self):
+        from repro.apps import rsa
+        with pytest.raises(ValueError, match="messages"):
+            rsa.run(bits=128, seed=7, messages=0)
+
+    def test_energy_benefit_raises_on_missing_joules(self):
+        from repro.report.summary import PlatformCost, TraceComparison
+        comparison = TraceComparison(
+            costs={"cpu": PlatformCost(seconds=1.0, joules=None),
+                   "cambricon_p": PlatformCost(seconds=0.5, joules=2.0)},
+            cpu_breakdown={})
+        with pytest.raises(ValueError, match="joules"):
+            comparison.energy_benefit
