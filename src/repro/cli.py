@@ -92,19 +92,30 @@ def _cmd_lambda(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _sweep_point(bits: int) -> tuple:
+    """One sweep row (top-level so worker processes can run it)."""
     from repro.platforms import cpu
     from repro.runtime import mpapca
-    print("%-12s %-12s %-14s %s" % ("N (bits)", "CPU+GMP(s)",
-                                    "Cambricon-P(s)", "speedup"))
+    return bits, cpu.multiply_seconds(bits), mpapca.multiply_seconds(bits)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.parallel import ParallelExecutor
+    sizes = []
     bits = 64
     while bits <= args.max_bits:
-        cpu_seconds = cpu.multiply_seconds(bits)
-        camp_seconds = mpapca.multiply_seconds(bits)
+        sizes.append(bits)
+        bits *= 4
+    print("%-12s %-12s %-14s %s" % ("N (bits)", "CPU+GMP(s)",
+                                    "Cambricon-P(s)", "speedup"))
+    with ParallelExecutor(args.workers) as executor:
+        rows = executor.map(_sweep_point, sizes)
+    for bits, cpu_seconds, camp_seconds in rows:
         print("%-12d %-12.3e %-14.3e %.2fx"
               % (bits, cpu_seconds, camp_seconds,
                  cpu_seconds / camp_seconds))
-        bits *= 4
+    from repro.core.model import flush_cycle_cache
+    flush_cycle_cache()
     return 0
 
 
@@ -144,6 +155,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = commands.add_parser(
         "sweep", help="Figure-11-style multiply sweep")
     sweep.add_argument("--max-bits", type=int, default=1 << 20)
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: $REPRO_WORKERS)")
     sweep.set_defaults(handler=_cmd_sweep)
 
     price = commands.add_parser(
@@ -155,9 +168,25 @@ def build_parser() -> argparse.ArgumentParser:
     price.set_defaults(handler=_cmd_price)
 
     tune_parser = commands.add_parser(
-        "tune", help="measure multiplication thresholds on this host")
+        "tune", help="measure and persist kernel thresholds for this host")
     tune_parser.add_argument("--max-limbs", type=int, default=384)
+    tune_parser.add_argument("--repeats", type=int, default=3,
+                             help="best-of-N timing repetitions")
+    tune_parser.add_argument("--output", default=None,
+                             help="thresholds file (default: "
+                                  "$REPRO_THRESHOLDS or "
+                                  "~/.cache/repro/thresholds.json)")
+    tune_parser.add_argument("--dry-run", action="store_true",
+                             help="measure and print without persisting")
+    tune_parser.add_argument("--no-division", action="store_true",
+                             help="skip the division/Barrett crossovers")
     tune_parser.set_defaults(handler=_cmd_tune)
+
+    cache_parser = commands.add_parser(
+        "cache", help="inspect or clear the persistent caches")
+    cache_parser.add_argument("--clear", action="store_true",
+                              help="delete every on-disk cache file")
+    cache_parser.set_defaults(handler=_cmd_cache)
 
     report = commands.add_parser(
         "report", help="compile results/ into REPORT.md")
@@ -169,6 +198,8 @@ def build_parser() -> argparse.ArgumentParser:
         "figures", help="render Figures 11 and 13 as ASCII charts")
     figures.add_argument("--which", choices=["11", "13", "all"],
                          default="all")
+    figures.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: $REPRO_WORKERS)")
     figures.set_defaults(handler=_cmd_figures)
 
     lint = commands.add_parser(
@@ -210,10 +241,33 @@ def _cmd_price(args: argparse.Namespace) -> int:
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
-    from repro.mpn.tune import tune
-    result = tune(max_limbs=args.max_limbs)
+    from pathlib import Path
+
+    from repro.mpn.tune import save_thresholds, tune
+    result = tune(max_limbs=args.max_limbs, repeats=args.repeats,
+                  measure_division=not args.no_division)
     print(result.report())
     print("tuned policy:", result.policy)
+    if not args.dry_run:
+        output = Path(args.output) if args.output else None
+        target = save_thresholds(result.thresholds, output)
+        print("thresholds persisted to %s" % target)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.parallel import cache_root, clear_disk_caches
+    root = cache_root()
+    if args.clear:
+        removed = clear_disk_caches()
+        print("cleared %d cache file(s) under %s" % (len(removed), root))
+        return 0
+    print("cache root: %s" % root)
+    if not root.is_dir():
+        print("  (empty)")
+        return 0
+    for path in sorted(root.glob("*.json")):
+        print("  %-28s %8d bytes" % (path.name, path.stat().st_size))
     return 0
 
 
@@ -335,12 +389,14 @@ def _verify_stream_selftest() -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.parallel import ParallelExecutor
     from repro.report import figure_11, figure_13
-    if args.which in ("11", "all"):
-        print(figure_11())
-    if args.which in ("13", "all"):
-        print()
-        print(figure_13())
+    with ParallelExecutor(args.workers) as executor:
+        if args.which in ("11", "all"):
+            print(figure_11(executor=executor))
+        if args.which in ("13", "all"):
+            print()
+            print(figure_13(executor=executor))
     return 0
 
 

@@ -47,6 +47,13 @@ def get_policy() -> MulPolicy:
     return _ACTIVE_POLICY
 
 
+def use_tuned_policy() -> MulPolicy:
+    """Activate the host-tuned thresholds (``repro tune`` output, or the
+    checked-in defaults when nothing was tuned); returns the old policy."""
+    from repro.mpn.tune import tuned_policy
+    return set_policy(tuned_policy())
+
+
 def add(a: Nat, b: Nat) -> Nat:
     """Profiled addition of naturals."""
     with kernel("add", bit_length(a), bit_length(b)):
@@ -154,5 +161,5 @@ __all__ = [
     "add", "bit_length", "cmp", "compare", "divexact", "divmod_nat", "gcd",
     "get_bit", "get_policy", "invmod", "iroot", "is_zero", "isqrt", "mod", "mul",
     "nat_from_int", "nat_to_int", "normalize", "powmod", "set_policy",
-    "shl", "shr", "sqr", "sqrtrem", "sub",
+    "shl", "shr", "sqr", "sqrtrem", "sub", "use_tuned_policy",
 ]

@@ -1,0 +1,28 @@
+"""Parallel execution + persistent memoization for the repro stack.
+
+Two orthogonal services:
+
+* :class:`~repro.parallel.executor.ParallelExecutor` — a worker-pool
+  map with chunked submission, ordered gathering, and graceful serial
+  fallback, controlled by ``REPRO_WORKERS`` (0/unset = strict serial
+  no-op, ``auto`` = one worker per CPU);
+* :class:`~repro.parallel.cache.MemoCache` — an LRU memo cache with an
+  optional on-disk JSON layer under ``~/.cache/repro`` (override with
+  ``REPRO_CACHE_DIR``; disable persistence with ``REPRO_CACHE=0``).
+
+See docs/PARALLEL.md for the full contract.
+"""
+
+from repro.parallel.cache import (MemoCache, cache_root, clear_disk_caches,
+                                  make_key, named_cache,
+                                  persistence_enabled, registered_caches)
+from repro.parallel.executor import (CHUNK_ENV, WORKERS_ENV,
+                                     ParallelExecutor, available_cpus,
+                                     parallel_map, resolve_workers)
+
+__all__ = [
+    "CHUNK_ENV", "MemoCache", "ParallelExecutor", "WORKERS_ENV",
+    "available_cpus", "cache_root", "clear_disk_caches", "make_key",
+    "named_cache", "parallel_map", "persistence_enabled",
+    "registered_caches", "resolve_workers",
+]

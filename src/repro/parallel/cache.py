@@ -1,0 +1,232 @@
+"""In-memory LRU + on-disk memo caches for expensive evaluations.
+
+Figure regeneration prices the same (config, bitwidth, algorithm)
+model points over and over — across benchmark files, across pytest
+processes, across ``repro figures`` invocations.  :class:`MemoCache`
+memoizes those evaluations with a bounded in-memory LRU and an optional
+JSON spill under the user cache directory, so a second process starts
+warm.
+
+Layout (see docs/PARALLEL.md):
+
+* cache root: ``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``;
+* one JSON file per cache, ``<root>/<name>.json``, written atomically
+  (tempfile + rename) so a crashed writer never corrupts the store;
+* every file carries the cache's ``version`` salt — bump the producer's
+  version constant when the computation changes and stale entries are
+  ignored wholesale (the invalidation rule);
+* ``REPRO_CACHE=0`` disables the disk layer entirely (the in-memory
+  LRU still works, costing nothing across processes).
+
+Values must round-trip exactly through JSON; Python floats do
+(``repr`` round-trip), which the bit-identical cache tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional
+
+#: Environment override for the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Set to ``0`` to disable on-disk persistence.
+CACHE_ENV = "REPRO_CACHE"
+
+
+def cache_root() -> Path:
+    """Directory holding all persistent repro caches."""
+    override = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def persistence_enabled() -> bool:
+    """Whether caches may touch the disk (``REPRO_CACHE=0`` opts out)."""
+    return os.environ.get(CACHE_ENV, "").strip() != "0"
+
+
+def make_key(parts: Iterable[Any]) -> str:
+    """A stable string key from hashable/repr-able key parts."""
+    return "|".join(repr(part) for part in parts)
+
+
+class MemoCache:
+    """A named, bounded, optionally-persistent memo cache.
+
+    The in-memory side is an LRU of at most ``maxsize`` entries; the
+    disk side is loaded lazily on the first lookup so imports stay
+    cheap.  ``version`` salts the on-disk file: a file written by a
+    different version is ignored (and overwritten on the next save).
+    """
+
+    def __init__(self, name: str, maxsize: int = 4096,
+                 version: int = 1) -> None:
+        self.name = name
+        self.maxsize = max(1, maxsize)
+        self.version = version
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._loaded = False
+        self._dirty = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def path(self) -> Path:
+        """Where this cache persists on disk."""
+        return cache_root() / (self.name + ".json")
+
+    # -- core lookup ---------------------------------------------------------
+
+    def key(self, *parts: Any) -> str:
+        """Build a cache key from the given parts."""
+        return make_key(parts)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Cached value for ``key`` (LRU-touching), or ``default``."""
+        self._lazy_load()
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert/refresh an entry, evicting the LRU tail when full."""
+        self._lazy_load()
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self._dirty += 1
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def lookup(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Get-or-compute; the computed value is cached."""
+        sentinel = _MISS
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the disk file is untouched)."""
+        self._entries.clear()
+        self._loaded = True
+        self._dirty = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- persistence ---------------------------------------------------------
+
+    def _lazy_load(self) -> None:
+        if not self._loaded:
+            self._loaded = True
+            if persistence_enabled():
+                self.load()
+
+    def load(self, path: Optional[Path] = None) -> int:
+        """Merge persisted entries under the LRU bound; returns count.
+
+        Unreadable, malformed, or version-mismatched files are ignored:
+        a cache must never be able to break a computation.
+        """
+        self._loaded = True
+        target = path or self.path()
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return 0
+        if not isinstance(payload, dict) \
+                or payload.get("version") != self.version \
+                or not isinstance(payload.get("entries"), dict):
+            return 0
+        loaded = 0
+        for key, value in payload["entries"].items():
+            if key not in self._entries:
+                self._entries[key] = value
+                self._entries.move_to_end(key, last=False)
+                loaded += 1
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return loaded
+
+    def save(self, path: Optional[Path] = None) -> Optional[Path]:
+        """Atomically persist the cache; None when persistence is off."""
+        if path is None and not persistence_enabled():
+            return None
+        target = path or self.path()
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": self.version, "name": self.name,
+                   "entries": dict(self._entries)}
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(target.parent), prefix=target.name, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(temp_name, target)
+        except OSError:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            return None
+        self._dirty = 0
+        return target
+
+    def save_if_dirty(self, min_new: int = 1) -> Optional[Path]:
+        """Persist only when at least ``min_new`` puts happened."""
+        if self._dirty >= min_new:
+            return self.save()
+        return None
+
+
+class _Miss:
+    """Unique sentinel distinguishing 'absent' from a cached None."""
+
+
+_MISS = _Miss()
+
+#: Registry of caches created through :func:`named_cache`, so the CLI
+#: can report and clear them uniformly.
+_REGISTRY: dict = {}
+
+
+def named_cache(name: str, maxsize: int = 4096,
+                version: int = 1) -> MemoCache:
+    """A process-wide singleton cache per name."""
+    cache = _REGISTRY.get(name)
+    if cache is None or cache.version != version:
+        cache = MemoCache(name, maxsize=maxsize, version=version)
+        _REGISTRY[name] = cache
+    return cache
+
+
+def registered_caches() -> dict:
+    """Snapshot of the named-cache registry (name -> MemoCache)."""
+    return dict(_REGISTRY)
+
+
+def clear_disk_caches() -> list:
+    """Delete every ``*.json`` cache file under the root; returns paths."""
+    removed = []
+    root = cache_root()
+    if root.is_dir():
+        for path in sorted(root.glob("*.json")):
+            try:
+                path.unlink()
+                removed.append(path)
+            except OSError:
+                continue
+    for cache in _REGISTRY.values():
+        cache.clear()
+    return removed

@@ -1,0 +1,199 @@
+"""Process-pool fan-out for independent kernel and model evaluations.
+
+The software stack spends most of its wall-clock time on *embarrassingly
+parallel* work: independent mpn multiplies inside a scheduler level,
+independent model evaluations along a benchmark sweep, independent
+MPApca batch jobs.  :class:`ParallelExecutor` fans such task lists out
+across a worker-process pool with chunked submission and **ordered**
+result gathering, so callers observe exactly the list a serial loop
+would have produced.
+
+Design constraints (mirrored by tests/parallel/):
+
+* ``REPRO_WORKERS=0`` (or unset) makes every call a strict serial
+  no-op — byte-identical results and no subprocess is ever spawned;
+* tasks that cannot be pickled (lambdas, closures) degrade gracefully
+  to the serial path instead of crashing the caller;
+* a worker crash (``BrokenProcessPool``) also degrades to serial, so a
+  flaky host can never lose results;
+* results are gathered in submission order regardless of worker count,
+  keeping downstream consumers (figure data, retirement logs)
+  deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Environment variable selecting the worker count.  ``0`` / unset means
+#: serial; ``auto`` means one worker per available CPU.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment override for the submission chunk size.
+CHUNK_ENV = "REPRO_CHUNK"
+
+#: Errors that mean "this task list cannot travel to a worker process";
+#: they trigger the serial fallback rather than propagating.
+_PICKLING_ERRORS = (pickle.PicklingError, AttributeError, TypeError)
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count from an explicit argument or ``REPRO_WORKERS``.
+
+    ``None`` defers to the environment; an unset/empty variable means
+    serial (0), ``auto`` means :func:`available_cpus`, and anything
+    non-numeric raises so misconfiguration cannot silently serialize.
+    Negative counts clamp to 0.
+    """
+    if workers is not None:
+        return max(0, int(workers))
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 0
+    if raw.lower() == "auto":
+        return available_cpus()
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        raise ValueError(
+            "%s must be an integer or 'auto', got %r" % (WORKERS_ENV, raw)
+        ) from None
+
+
+class ParallelExecutor:
+    """Chunked, order-preserving map over a worker-process pool.
+
+    The pool is created lazily on the first parallel call and reused
+    across calls; :meth:`close` (or use as a context manager) releases
+    it.  ``stats`` counts how each call executed — ``parallel``,
+    ``serial`` (by configuration), or ``fallback`` (parallel attempt
+    degraded) — which the determinism tests assert on.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None) -> None:
+        self.workers = resolve_workers(workers)
+        self._chunk_size = chunk_size
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.stats = {"parallel": 0, "serial": 0, "fallback": 0}
+        self.last_mode = "unused"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool; a later call will build a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- chunking ------------------------------------------------------------
+
+    def chunk_size_for(self, num_items: int) -> int:
+        """Submission chunk: ~4 chunks per worker, env-overridable."""
+        if self._chunk_size is not None:
+            return max(1, self._chunk_size)
+        raw = os.environ.get(CHUNK_ENV, "").strip()
+        if raw:
+            try:
+                return max(1, int(raw))
+            except ValueError:
+                raise ValueError("%s must be an integer, got %r"
+                                 % (CHUNK_ENV, raw)) from None
+        return max(1, -(-num_items // (max(1, self.workers) * 4)))
+
+    # -- execution -----------------------------------------------------------
+
+    def map(self, fn: Callable[[ItemT], ResultT],
+            items: Sequence[ItemT],
+            chunk_size: Optional[int] = None) -> List[ResultT]:
+        """``[fn(x) for x in items]``, fanned out when workers allow.
+
+        Exceptions raised *by the task itself* propagate unchanged on
+        both paths; only transport failures (pickling, a dead worker)
+        fall back to serial.
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            self.stats["serial"] += 1
+            self.last_mode = "serial"
+            return [fn(item) for item in items]
+        # Pre-flight the transport: an unpicklable task submitted to a
+        # ProcessPoolExecutor poisons its queue-feeder thread (a later
+        # shutdown(wait=True) deadlocks on CPython 3.11), so tasks that
+        # cannot travel must never reach the pool.
+        try:
+            pickle.dumps((fn, items))
+        except _PICKLING_ERRORS:
+            self.stats["fallback"] += 1
+            self.last_mode = "fallback"
+            return [fn(item) for item in items]
+        chunk = chunk_size if chunk_size is not None \
+            else self.chunk_size_for(len(items))
+        try:
+            pool = self._ensure_pool()
+            results = list(pool.map(fn, items, chunksize=chunk))
+        except (BrokenProcessPool,) + _PICKLING_ERRORS:
+            # Dead workers (or a transport failure the pre-flight could
+            # not foresee) orphan the pool: drop it without joining its
+            # threads and redo the whole call serially.
+            self._discard_pool()
+            self.stats["fallback"] += 1
+            self.last_mode = "fallback"
+            return [fn(item) for item in items]
+        self.stats["parallel"] += 1
+        self.last_mode = "parallel"
+        return results
+
+    def starmap(self, fn: Callable[..., ResultT],
+                items: Sequence[tuple]) -> List[ResultT]:
+        """:meth:`map` for argument tuples."""
+        return self.map(_StarCall(fn), list(items))
+
+
+class _StarCall:
+    """Picklable ``fn(*args)`` adapter (a lambda would not pickle)."""
+
+    def __init__(self, fn: Callable[..., ResultT]) -> None:
+        self.fn = fn
+
+    def __call__(self, args: tuple) -> ResultT:
+        return self.fn(*args)
+
+
+def parallel_map(fn: Callable[[ItemT], ResultT], items: Sequence[ItemT],
+                 workers: Optional[int] = None) -> List[ResultT]:
+    """One-shot convenience wrapper around :class:`ParallelExecutor`."""
+    with ParallelExecutor(workers) as executor:
+        return executor.map(fn, items)

@@ -1,11 +1,13 @@
 """ASCII figures, schedules, and cross-platform cost summaries."""
 
 from repro.report.compile_report import SECTIONS, compile_report
-from repro.report.figures import figure_11, figure_13, render_loglog
+from repro.report.figures import (figure11_data, figure13_data, figure_11,
+                                  figure_13, render_loglog)
 from repro.report.schedule_view import multiply_occupancy, occupancy_map
 from repro.report.summary import (PlatformCost, TraceComparison,
                                   compare_trace)
 
 __all__ = ["SECTIONS", "compile_report", "PlatformCost", "TraceComparison", "compare_trace",
+           "figure11_data", "figure13_data",
            "figure_11", "figure_13", "multiply_occupancy",
            "occupancy_map", "render_loglog"]

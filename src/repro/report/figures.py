@@ -72,52 +72,108 @@ def render_loglog(series: Series, width: int = 72, height: int = 24,
     return "\n".join(lines)
 
 
-def figure_11(max_bits: int = 1 << 26) -> str:
-    """Figure 11 as ASCII: multiply time vs bitwidth per platform."""
+def _figure11_point(bits: int) -> Dict[str, float]:
+    """One Figure-11 column: per-platform seconds at ``bits``.
+
+    Top-level (picklable) so a :class:`~repro.parallel.ParallelExecutor`
+    can fan the sweep out across worker processes.
+    """
     from repro.platforms import avx512, cpu, gpu
     from repro.runtime import mpapca
-    series: Series = {"CPU+GMP": [], "Cambricon-P": [], "V100+CGBN": [],
-                      "AVX512IFMA": []}
+    point: Dict[str, float] = {
+        "bits": float(bits),
+        "CPU+GMP": cpu.multiply_seconds(bits),
+        "Cambricon-P": mpapca.multiply_seconds(bits),
+    }
+    if gpu.applicable(bits):
+        point["V100+CGBN"] = gpu.multiply_seconds(bits, batch=10000)
+    if avx512.applicable(bits):
+        point["AVX512IFMA"] = avx512.multiply_seconds(bits)
+    return point
+
+
+def figure11_data(max_bits: int = 1 << 26, executor=None) -> Series:
+    """Figure 11's series data: platform -> [(bits, seconds), ...].
+
+    The per-bitwidth points are independent model evaluations, so an
+    executor parallelizes them; ordered gathering keeps the series
+    identical to a serial sweep (golden-file tested).
+    """
+    sizes = []
     bits = 64
     while bits <= max_bits:
-        series["CPU+GMP"].append((bits, cpu.multiply_seconds(bits)))
-        series["Cambricon-P"].append((bits,
-                                      mpapca.multiply_seconds(bits)))
-        if gpu.applicable(bits):
-            series["V100+CGBN"].append(
-                (bits, gpu.multiply_seconds(bits, batch=10000)))
-        if avx512.applicable(bits):
-            series["AVX512IFMA"].append((bits,
-                                         avx512.multiply_seconds(bits)))
+        sizes.append(bits)
         bits *= 2
-    return render_loglog(series,
+    if executor is None:
+        from repro.parallel import ParallelExecutor
+        executor = ParallelExecutor()
+    points = executor.map(_figure11_point, sizes)
+    series: Series = {"CPU+GMP": [], "Cambricon-P": [], "V100+CGBN": [],
+                      "AVX512IFMA": []}
+    for x, point in zip(sizes, points):
+        for name in series:
+            if name in point:
+                series[name].append((x, point[name]))
+    _flush_model_cache()
+    return series
+
+
+def figure_11(max_bits: int = 1 << 26, executor=None) -> str:
+    """Figure 11 as ASCII: multiply time vs bitwidth per platform."""
+    return render_loglog(figure11_data(max_bits, executor),
                          title="Figure 11: N-bit multiply time (s)",
                          x_label="operand bits (log)",
                          y_label="sec")
 
 
-def figure_13() -> str:
-    """Figure 13 as ASCII: app speedups vs problem size (synthetic)."""
+#: (series name, x value, synthetic-trace builder, builder args) for
+#: every Figure-13 point; module-level so the points can be computed in
+#: worker processes by name.
+FIGURE13_POINTS: List[Tuple[str, int, str, tuple]] = (
+    [("Pi", d, "pi_trace", (d,)) for d in (10 ** 4, 10 ** 5, 10 ** 6)]
+    + [("Frac", p, "frac_trace", (p // 4, p))
+       for p in (4096, 16384, 65536)]
+    + [("zkcm", p, "zkcm_trace", (6, p)) for p in (2048, 3072, 4096)]
+    + [("RSA", b, "rsa_trace", (b,)) for b in (4096, 16384, 65536)]
+)
+
+
+def _figure13_point(spec: Tuple[str, int, str, tuple]
+                    ) -> Tuple[str, int, float]:
+    """(series, x, speedup) for one synthetic application point."""
     from repro.apps import synthetic
     from repro.platforms import cpu
     from repro.runtime import mpapca
+    name, x, builder, args = spec
+    trace = getattr(synthetic, builder)(*args)
+    speedup = (cpu.price_trace(trace).seconds
+               / mpapca.price_trace(trace).seconds)
+    return name, x, speedup
 
-    def speedup(trace) -> float:
-        return (cpu.price_trace(trace).seconds
-                / mpapca.price_trace(trace).seconds)
 
-    series: Series = {
-        "Pi": [(d, speedup(synthetic.pi_trace(d)))
-               for d in (10 ** 4, 10 ** 5, 10 ** 6)],
-        "Frac": [(p, speedup(synthetic.frac_trace(p // 4, p)))
-                 for p in (4096, 16384, 65536)],
-        "zkcm": [(p, speedup(synthetic.zkcm_trace(6, p)))
-                 for p in (2048, 3072, 4096)],
-        "RSA": [(b, speedup(synthetic.rsa_trace(b)))
-                for b in (4096, 16384, 65536)],
-    }
-    return render_loglog(series,
+def figure13_data(executor=None) -> Series:
+    """Figure 13's series data: app -> [(size, speedup), ...]."""
+    if executor is None:
+        from repro.parallel import ParallelExecutor
+        executor = ParallelExecutor()
+    results = executor.map(_figure13_point, FIGURE13_POINTS)
+    series: Series = {}
+    for name, x, speedup in results:
+        series.setdefault(name, []).append((x, speedup))
+    _flush_model_cache()
+    return series
+
+
+def figure_13(executor=None) -> str:
+    """Figure 13 as ASCII: app speedups vs problem size (synthetic)."""
+    return render_loglog(figure13_data(executor),
                          title="Figure 13: app speedup vs size "
                                "(Cambricon-P over CPU)",
                          x_label="problem size (digits/bits, log)",
                          y_label="speedup")
+
+
+def _flush_model_cache() -> None:
+    """Spill freshly-priced model points to the persistent cache."""
+    from repro.core.model import flush_cycle_cache
+    flush_cycle_cache()

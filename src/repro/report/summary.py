@@ -63,6 +63,17 @@ class TraceComparison:
         return "\n".join(lines)
 
 
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON form of the comparison (golden-file tested)."""
+        return {
+            "costs": {name: {"seconds": cost.seconds,
+                             "joules": cost.joules}
+                      for name, cost in self.costs.items()},
+            "speedup": self.speedup,
+            "cpu_breakdown": dict(self.cpu_breakdown),
+        }
+
+
 def compare_trace(trace: OperationTrace,
                   gpu_batch: int = 1) -> TraceComparison:
     """Price a trace on the CPU, GPU and Cambricon-P models."""

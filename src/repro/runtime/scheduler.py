@@ -61,7 +61,18 @@ def level_program(program: List[Instruction]) -> ScheduledProgram:
 
 
 class BatchingDriver(Driver):
-    """A driver that executes leveled programs with batched multiplies."""
+    """A driver that executes leveled programs with batched multiplies.
+
+    An optional :class:`repro.parallel.ParallelExecutor` fans each
+    level's independent multiply simulations across worker processes;
+    by construction (deterministic per-pair simulation + ordered
+    gathering) the retirement log and statistics are identical to the
+    serial driver's, so ``REPRO_WORKERS=0`` is a strict no-op.
+    """
+
+    def __init__(self, device=None, executor=None) -> None:
+        super().__init__(device)
+        self.executor = executor
 
     def execute_scheduled(self, program: List[Instruction]
                           ) -> Tuple[List[RetiredInstruction], dict]:
@@ -85,7 +96,7 @@ class BatchingDriver(Driver):
                 if any(len(pair) != 2 for pair in pairs):
                     raise MpnError("MUL expects two sources")
                 products, report = self.device.multiply_batch(
-                    list(pairs))
+                    list(pairs), executor=self.executor)
                 for instruction, product in zip(multiplies, products):
                     self.llc.write(instruction.destination, product)
                     retirements.append(

@@ -1,0 +1,116 @@
+"""Analytic model vs functional simulator cross-checks (ISSUE 2).
+
+Two invariants are pinned here:
+
+* the analytic :class:`CambriconPModel` and the functional simulator
+  agree — the device's execution reports quote exactly the model's
+  cycle counts, and the PE's *stepped* bit-serial pass consumes exactly
+  the model's pass latency;
+* the cycle-evaluation memo cache is invisible — cached, uncached, and
+  disk-roundtripped evaluations are bit-identical.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.core.accelerator import CambriconP
+from repro.core.model import (CambriconPConfig, CambriconPModel,
+                              cycle_cache)
+from repro.core.pe import ProcessingElement
+from repro.mpn import nat_from_int
+
+CONFIGS = [
+    CambriconPConfig(),
+    CambriconPConfig(num_pes=16, num_ipus=8, q=2),
+    CambriconPConfig(num_pes=64, num_ipus=16, q=4, limb_bits=16),
+]
+
+
+def bits_id(config: CambriconPConfig) -> str:
+    return "%dpe-%dipu-q%d-L%d" % (config.num_pes, config.num_ipus,
+                                   config.q, config.limb_bits)
+
+
+class TestModelMatchesSimulator:
+    @pytest.mark.parametrize("config", CONFIGS, ids=bits_id)
+    @pytest.mark.parametrize("bits", [33, 128, 1000])
+    def test_report_cycles_equal_model_cycles(self, config, bits):
+        device = CambriconP(config)
+        model = CambriconPModel(config)
+        rng = random.Random(bits)
+        a = nat_from_int(rng.getrandbits(bits) | (1 << (bits - 1)))
+        b = nat_from_int(rng.getrandbits(bits) | (1 << (bits - 1)))
+        _, report = device.multiply(a, b)
+        assert report.cycles == model.multiply_cycles(bits, bits)
+        assert report.seconds == model.seconds(report.cycles)
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=bits_id)
+    def test_stepped_pass_consumes_model_pass_latency(self, config):
+        """The bit-serially *stepped* PE and the analytic fill latency
+        must agree cycle for cycle."""
+        pe = ProcessingElement(config.num_ipus, config.q,
+                               config.limb_bits)
+        model = CambriconPModel(config)
+        rng = random.Random(7)
+        limit = (1 << config.limb_bits) - 1
+        chunk = [rng.randint(1, limit) for _ in range(config.q)]
+        window = [rng.randint(1, limit)
+                  for _ in range(pe.window_limbs)]
+        stepped = pe.compute_pass_bit_serial(chunk, window)
+        assert stepped.cycles == model.pass_latency_cycles
+
+    def test_bit_serial_and_word_paths_agree(self):
+        config = CONFIGS[1]
+        device = CambriconP(config)
+        rng = random.Random(42)
+        a = nat_from_int(rng.getrandbits(300) | (1 << 299))
+        b = nat_from_int(rng.getrandbits(290) | (1 << 289))
+        fast, fast_report = device.multiply(a, b)
+        slow, slow_report = device.multiply(a, b, bit_serial=True)
+        assert fast == slow
+        assert fast_report.cycles == slow_report.cycles
+
+
+class TestCacheTransparency:
+    def test_cached_equals_uncached_bitwise(self):
+        model = CambriconPModel()
+        for bits_a, bits_b in [(64, 64), (4096, 4096), (35904, 17),
+                               (100, 1000)]:
+            for dispatch in (True, False):
+                cached = model.multiply_cycles(bits_a, bits_b, dispatch)
+                uncached = model._multiply_cycles_uncached(
+                    bits_a, bits_b, dispatch)
+                assert struct.pack("<d", cached) \
+                    == struct.pack("<d", uncached)
+            cached = model.multiply_throughput_cycles(bits_a, bits_b)
+            uncached = model._multiply_throughput_cycles_uncached(
+                bits_a, bits_b)
+            assert struct.pack("<d", cached) \
+                == struct.pack("<d", uncached)
+
+    def test_disk_roundtrip_is_bit_identical(self, tmp_path,
+                                             monkeypatch):
+        from repro.parallel import cache as cache_mod
+        monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path))
+        model = CambriconPModel()
+        cache = cycle_cache()
+        cache.clear()
+        first = model.multiply_cycles(8192, 8192)
+        assert cache.save() is not None
+        cache.clear()
+        assert cache.load() > 0
+        # Served straight from the reloaded disk entries.
+        hits_before = cache.hits
+        second = model.multiply_cycles(8192, 8192)
+        assert cache.hits == hits_before + 1
+        assert struct.pack("<d", first) == struct.pack("<d", second)
+
+    def test_distinct_configs_do_not_collide(self):
+        small = CambriconPModel(CONFIGS[1])
+        large = CambriconPModel(CONFIGS[0])
+        assert small.multiply_cycles(2048, 2048) \
+            != large.multiply_cycles(2048, 2048)

@@ -1,0 +1,150 @@
+"""Differential cross-check of every division path vs bigints.
+
+Knuth-style schoolbook, Newton reciprocal, Burnikel–Ziegler recursion,
+and Barrett reduction are each checked against ``divmod``/`%` and
+against one another.  The Newton and BZ size thresholds are
+monkeypatched *small* so the recursive paths genuinely run on
+test-sized operands instead of short-circuiting to schoolbook.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.mpn import barrett as barrett_mod
+from repro.mpn import burnikel_ziegler as bz_mod
+from repro.mpn import div as div_mod
+from repro.mpn.barrett import BarrettContext
+from repro.mpn.mul import GMP_POLICY, mul
+
+from tests.conftest import from_nat, naturals, positive_naturals, to_nat
+from tests.differential.conftest import diff_examples
+
+pytestmark = pytest.mark.differential
+
+
+def oracle_mul(a, b):
+    return to_nat(from_nat(a) * from_nat(b))
+
+
+@pytest.fixture(scope="module")
+def small_thresholds():
+    """Force the recursive division paths on test-sized operands.
+
+    Module-scoped (hypothesis forbids function-scoped fixtures under
+    ``@given``); restores the production thresholds on the way out.
+    """
+    saved = (div_mod.NEWTON_DIV_THRESHOLD_BITS, bz_mod.BZ_THRESHOLD_LIMBS)
+    div_mod.NEWTON_DIV_THRESHOLD_BITS = 64
+    bz_mod.BZ_THRESHOLD_LIMBS = 2
+    yield
+    div_mod.NEWTON_DIV_THRESHOLD_BITS, bz_mod.BZ_THRESHOLD_LIMBS = saved
+
+
+class TestSchoolbook:
+    @given(a=naturals, b=positive_naturals)
+    @settings(max_examples=diff_examples(), deadline=None)
+    def test_matches_bigint_divmod(self, a, b):
+        quotient, remainder = div_mod.divmod_schoolbook(to_nat(a),
+                                                        to_nat(b))
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)
+
+    @pytest.mark.parametrize("a,b", [
+        (0, 1), (1, 1), (5, 7),
+        ((1 << 96) - 1, (1 << 32) - 1),      # saturated limbs
+        ((1 << 2000) - 1, (1 << 1000) + 1),  # wide, Knuth-D qhat stress
+        (1 << 1999, 3),                      # long quotient
+        ((1 << 128), (1 << 64)),             # exact power split
+    ])
+    def test_boundary_values(self, a, b):
+        quotient, remainder = div_mod.divmod_schoolbook(to_nat(a),
+                                                        to_nat(b))
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)
+
+
+class TestNewton:
+    @given(a=naturals, b=positive_naturals)
+    @settings(max_examples=diff_examples(), deadline=None)
+    def test_matches_bigint_divmod(self, a, b, small_thresholds):
+        quotient, remainder = div_mod.divmod_newton(to_nat(a), to_nat(b),
+                                                    oracle_mul)
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)
+
+    def test_recursive_path_actually_runs(self, small_thresholds,
+                                          monkeypatch):
+        """Guard against the threshold silently short-circuiting
+        everything to schoolbook."""
+        calls = []
+        real = div_mod._reciprocal
+        monkeypatch.setattr(div_mod, "_reciprocal",
+                            lambda *args: calls.append(1) or real(*args))
+        a, b = (1 << 900) - 3, (1 << 300) + 7
+        quotient, remainder = div_mod.divmod_newton(to_nat(a), to_nat(b),
+                                                    oracle_mul)
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)
+        assert calls, "Newton path never computed a reciprocal"
+
+
+class TestBurnikelZiegler:
+    @given(a=naturals, b=positive_naturals)
+    @settings(max_examples=diff_examples(), deadline=None)
+    def test_matches_bigint_divmod(self, a, b, small_thresholds):
+        quotient, remainder = bz_mod.divmod_bz(to_nat(a), to_nat(b),
+                                               oracle_mul)
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)
+
+    @given(a=naturals, b=positive_naturals)
+    @settings(max_examples=diff_examples(), deadline=None)
+    def test_with_dispatcher_mul(self, a, b, small_thresholds):
+        """BZ recursing through the real mpn multiplier, not the
+        bigint oracle — the production pairing."""
+        policy_mul = lambda x, y: mul(x, y, GMP_POLICY)  # noqa: E731
+        quotient, remainder = bz_mod.divmod_bz(to_nat(a), to_nat(b),
+                                               policy_mul)
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)
+
+
+class TestBarrett:
+    @given(value=naturals, modulus=positive_naturals)
+    @settings(max_examples=diff_examples(), deadline=None)
+    def test_reduce_matches_mod(self, value, modulus):
+        modulus += 2                        # Barrett needs m > 1
+        value %= modulus * modulus          # classic Barrett window
+        context = BarrettContext(to_nat(modulus), oracle_mul)
+        assert from_nat(context.reduce(to_nat(value))) == value % modulus
+
+    @given(a=naturals, b=naturals, modulus=positive_naturals)
+    @settings(max_examples=diff_examples(), deadline=None)
+    def test_mul_mod(self, a, b, modulus):
+        modulus += 2
+        a %= modulus
+        b %= modulus
+        context = BarrettContext(to_nat(modulus))
+        assert from_nat(context.mul_mod(to_nat(a), to_nat(b))) \
+            == (a * b) % modulus
+
+    def test_default_mul_is_the_dispatcher(self):
+        context = BarrettContext(to_nat((1 << 200) + 9))
+        assert context._mul is barrett_mod._default_mul
+
+
+class TestThreeWayAgreement:
+    @given(a=naturals, b=positive_naturals)
+    @settings(max_examples=diff_examples(), deadline=None)
+    def test_all_division_paths_agree(self, a, b, small_thresholds):
+        an, bn = to_nat(a), to_nat(b)
+        school = div_mod.divmod_schoolbook(an, bn)
+        assert div_mod.divmod_newton(an, bn, oracle_mul) == school
+        assert bz_mod.divmod_bz(an, bn, oracle_mul) == school
+        # And Barrett on the remainder, when the window allows.
+        if b > 1 and a < b * b:
+            context = BarrettContext(bn, oracle_mul)
+            assert context.reduce(an) == school[1]
+
+    @given(a=naturals, b=positive_naturals)
+    @settings(max_examples=diff_examples(), deadline=None)
+    def test_divmod_nat_front_door(self, a, b):
+        quotient, remainder = div_mod.divmod_nat(to_nat(a), to_nat(b),
+                                                 oracle_mul)
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)

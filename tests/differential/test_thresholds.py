@@ -1,0 +1,118 @@
+"""Correctness around every *persisted* crossover (ISSUE 2).
+
+Whatever thresholds ``repro tune`` has written (or the checked-in
+defaults, if none), the dispatcher must be exact at limbs t-1, t, t+1
+for every crossover in the ladder — the sizes where the algorithm
+switch actually happens.  Division crossovers get the same treatment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpn import burnikel_ziegler as bz_mod
+from repro.mpn.burnikel_ziegler import divmod_bz
+from repro.mpn.div import divmod_schoolbook
+from repro.mpn.mul import mul
+from repro.mpn.tune import (Thresholds, _random_operand,
+                            active_thresholds, default_thresholds)
+
+from tests.conftest import from_nat
+from tests.differential.conftest import FORCED_POLICY, diff_max_limbs
+
+pytestmark = pytest.mark.differential
+
+ACTIVE = active_thresholds()
+
+
+def boundary_sizes(threshold: int) -> list:
+    """Limb counts straddling a crossover, capped for test runtime."""
+    cap = diff_max_limbs()
+    return sorted({max(1, min(cap, threshold + delta))
+                   for delta in (-1, 0, 1)})
+
+
+def crossover_params():
+    """(name, limbs) for every persisted crossover within the cap."""
+    params = []
+    for name, threshold in ACTIVE.mul_crossovers():
+        if threshold > diff_max_limbs():
+            continue
+        for limbs in boundary_sizes(threshold):
+            params.append(pytest.param(name, limbs,
+                                       id="%s-%dL" % (name, limbs)))
+    return params
+
+
+class TestPersistedMulCrossovers:
+    def test_active_thresholds_are_well_formed(self):
+        ACTIVE.validate()
+
+    @pytest.mark.parametrize("name,limbs", crossover_params())
+    def test_exact_at_boundary(self, name, limbs):
+        policy = ACTIVE.policy()
+        for seed in range(3):
+            a = _random_operand(limbs, seed)
+            b = _random_operand(limbs, seed + 31)
+            assert from_nat(mul(a, b, policy)) \
+                == from_nat(a) * from_nat(b), \
+                "%s crossover wrong at %d limbs (seed %d)" \
+                % (name, limbs, seed)
+
+    def test_forced_policy_covers_the_whole_ladder(self):
+        """Even if the persisted crossovers sit above the cap, the
+        forced-tiny policy guarantees every regime was exercised."""
+        for name, threshold in (
+                Thresholds(karatsuba_limbs=FORCED_POLICY.karatsuba_limbs,
+                           toom3_limbs=FORCED_POLICY.toom3_limbs,
+                           toom4_limbs=FORCED_POLICY.toom4_limbs,
+                           toom6_limbs=FORCED_POLICY.toom6_limbs,
+                           ssa_limbs=FORCED_POLICY.ssa_limbs)
+                .mul_crossovers()):
+            for limbs in boundary_sizes(threshold):
+                a = _random_operand(limbs, limbs)
+                b = _random_operand(limbs, limbs + 1)
+                assert from_nat(mul(a, b, FORCED_POLICY)) \
+                    == from_nat(a) * from_nat(b), \
+                    "forced %s boundary wrong at %d limbs" % (name, limbs)
+
+
+class TestPersistedDivisionCrossovers:
+    def test_bz_exact_at_persisted_boundary(self):
+        threshold = min(ACTIVE.bz_limbs, diff_max_limbs())
+        saved = bz_mod.BZ_THRESHOLD_LIMBS
+        bz_mod.BZ_THRESHOLD_LIMBS = threshold
+        try:
+            mul_fn = lambda x, y: mul(x, y, ACTIVE.policy())  # noqa: E731
+            for limbs in boundary_sizes(threshold):
+                a = _random_operand(2 * limbs, limbs)
+                b = _random_operand(limbs, limbs + 17)
+                quotient, remainder = divmod_bz(a, b, mul_fn)
+                assert (from_nat(quotient), from_nat(remainder)) \
+                    == divmod(from_nat(a), from_nat(b))
+        finally:
+            bz_mod.BZ_THRESHOLD_LIMBS = saved
+
+    def test_schoolbook_agrees_at_the_same_sizes(self):
+        threshold = min(ACTIVE.bz_limbs, diff_max_limbs())
+        for limbs in boundary_sizes(threshold):
+            a = _random_operand(2 * limbs, limbs)
+            b = _random_operand(limbs, limbs + 17)
+            quotient, remainder = divmod_schoolbook(a, b)
+            assert (from_nat(quotient), from_nat(remainder)) \
+                == divmod(from_nat(a), from_nat(b))
+
+
+class TestDefaultsShipWithThePackage:
+    def test_checked_in_defaults_load(self):
+        defaults = default_thresholds()
+        defaults.validate()
+        assert defaults.karatsuba_limbs >= 2
+
+    def test_default_policy_is_exact_at_small_sizes(self):
+        policy = default_thresholds().policy("default")
+        for limbs in (1, 2, 3, 8):
+            a = _random_operand(limbs, limbs)
+            b = _random_operand(limbs, limbs + 3)
+            assert from_nat(mul(a, b, policy)) \
+                == from_nat(a) * from_nat(b)

@@ -1,0 +1,162 @@
+"""Tests for the LRU + on-disk memo cache layer."""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+
+import pytest
+
+from repro.parallel import cache as cache_mod
+from repro.parallel.cache import (MemoCache, cache_root,
+                                  clear_disk_caches, make_key,
+                                  named_cache, persistence_enabled)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache_dir(tmp_path, monkeypatch):
+    """Every test gets a private cache root; never touch ~/.cache."""
+    monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path / "cache"))
+    monkeypatch.delenv(cache_mod.CACHE_ENV, raising=False)
+    yield tmp_path / "cache"
+
+
+class TestLru:
+    def test_put_get_roundtrip(self):
+        cache = MemoCache("t", maxsize=4)
+        cache.put("a", 1.5)
+        assert cache.get("a") == 1.5
+        assert cache.get("missing") is None
+        assert cache.get("missing", -1) == -1
+
+    def test_eviction_order(self):
+        cache = MemoCache("t", maxsize=3)
+        for name in "abc":
+            cache.put(name, name.upper())
+        cache.get("a")           # refresh 'a'; 'b' is now oldest
+        cache.put("d", "D")
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert len(cache) == 3
+
+    def test_lookup_computes_once(self):
+        cache = MemoCache("t")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.lookup("k", compute) == 42
+        assert cache.lookup("k", compute) == 42
+        assert len(calls) == 1
+
+    def test_cached_none_is_not_recomputed(self):
+        cache = MemoCache("t")
+        cache.put("k", None)
+        assert cache.lookup("k", lambda: pytest.fail("recomputed")) \
+            is None
+
+    def test_make_key_stability(self):
+        assert make_key(("mul", (256, 32), 4096)) \
+            == make_key(("mul", (256, 32), 4096))
+        assert make_key(("mul", 1)) != make_key(("mul", 2))
+        assert MemoCache("t").key("a", 1) == make_key(("a", 1))
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, isolated_cache_dir):
+        cache = MemoCache("round", version=3)
+        cache.put("x", 1.25)
+        cache.put("y", [1, 2, 3])
+        path = cache.save()
+        assert path == isolated_cache_dir / "round.json"
+
+        fresh = MemoCache("round", version=3)
+        assert fresh.load() == 2
+        assert fresh.get("x") == 1.25
+        assert fresh.get("y") == [1, 2, 3]
+
+    def test_lazy_load_on_first_get(self):
+        cache = MemoCache("lazy")
+        cache.put("k", 7)
+        cache.save()
+        fresh = MemoCache("lazy")
+        assert fresh.get("k") == 7  # loaded implicitly
+
+    def test_version_mismatch_ignored(self):
+        cache = MemoCache("versioned", version=1)
+        cache.put("k", 1)
+        cache.save()
+        fresh = MemoCache("versioned", version=2)
+        assert fresh.load() == 0
+        assert fresh.get("k") is None
+
+    def test_corrupted_file_ignored(self, isolated_cache_dir):
+        isolated_cache_dir.mkdir(parents=True, exist_ok=True)
+        target = isolated_cache_dir / "broken.json"
+        target.write_text("{not json", encoding="utf-8")
+        assert MemoCache("broken").load() == 0
+        target.write_text(json.dumps({"entries": []}), encoding="utf-8")
+        assert MemoCache("broken").load() == 0
+
+    def test_floats_bit_identical_through_disk(self):
+        cache = MemoCache("floats")
+        values = [math.pi, 1e-300, 1.6e-8, 2.0 ** 100, 0.1 + 0.2]
+        for index, value in enumerate(values):
+            cache.put("f%d" % index, value)
+        cache.save()
+        fresh = MemoCache("floats")
+        fresh.load()
+        for index, value in enumerate(values):
+            reloaded = fresh.get("f%d" % index)
+            assert struct.pack("<d", reloaded) \
+                == struct.pack("<d", value)
+
+    def test_memory_entries_win_over_disk(self):
+        cache = MemoCache("merge")
+        cache.put("k", "old")
+        cache.save()
+        fresh = MemoCache("merge")
+        fresh.put("k", "new")
+        fresh.load()
+        assert fresh.get("k") == "new"
+
+    def test_save_if_dirty(self):
+        cache = MemoCache("dirty")
+        assert cache.save_if_dirty() is None
+        cache.put("k", 1)
+        assert cache.save_if_dirty() is not None
+        assert cache.save_if_dirty() is None  # clean again
+
+    def test_repro_cache_0_disables_disk(self, monkeypatch,
+                                         isolated_cache_dir):
+        monkeypatch.setenv(cache_mod.CACHE_ENV, "0")
+        assert not persistence_enabled()
+        cache = MemoCache("off")
+        cache.put("k", 1)
+        assert cache.save() is None
+        assert not (isolated_cache_dir / "off.json").exists()
+        # The in-memory layer still works.
+        assert cache.get("k") == 1
+
+
+class TestRegistry:
+    def test_named_cache_is_a_singleton(self):
+        first = named_cache("reg-test", version=5)
+        assert named_cache("reg-test", version=5) is first
+        # A version bump replaces the instance (stale entries dropped).
+        assert named_cache("reg-test", version=6) is not first
+
+    def test_clear_disk_caches(self, isolated_cache_dir):
+        cache = MemoCache("wipe")
+        cache.put("k", 1)
+        cache.save()
+        assert (isolated_cache_dir / "wipe.json").exists()
+        removed = clear_disk_caches()
+        assert isolated_cache_dir / "wipe.json" in removed
+        assert not (isolated_cache_dir / "wipe.json").exists()
+
+    def test_cache_root_env_override(self, isolated_cache_dir):
+        assert cache_root() == isolated_cache_dir

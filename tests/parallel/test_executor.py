@@ -1,0 +1,162 @@
+"""Contract tests for :class:`repro.parallel.ParallelExecutor`."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import (CHUNK_ENV, WORKERS_ENV, ParallelExecutor,
+                            available_cpus, parallel_map, resolve_workers)
+
+
+def square(value: int) -> int:
+    """Top-level (picklable) task."""
+    return value * value
+
+
+def fail_on_three(value: int) -> int:
+    """Top-level task that raises for one input."""
+    if value == 3:
+        raise ValueError("three is right out")
+    return value
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(2) == 2
+        assert resolve_workers(0) == 0
+
+    def test_env_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 0
+
+    def test_env_values(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        assert resolve_workers() == 0
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers() == 3
+        monkeypatch.setenv(WORKERS_ENV, "auto")
+        assert resolve_workers() == available_cpus()
+
+    def test_negative_clamps_to_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "-4")
+        assert resolve_workers() == 0
+        assert resolve_workers(-1) == 0
+
+    def test_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+
+class TestSerialPath:
+    def test_zero_workers_never_builds_a_pool(self):
+        executor = ParallelExecutor(0)
+        assert executor.map(square, range(10)) == [v * v
+                                                   for v in range(10)]
+        assert executor._pool is None
+        assert executor.last_mode == "serial"
+        assert executor.stats["parallel"] == 0
+
+    def test_single_item_stays_serial(self):
+        with ParallelExecutor(4) as executor:
+            assert executor.map(square, [5]) == [25]
+            assert executor.last_mode == "serial"
+
+    def test_task_exception_propagates(self):
+        executor = ParallelExecutor(0)
+        with pytest.raises(ValueError):
+            executor.map(fail_on_three, [1, 2, 3, 4])
+
+
+class TestParallelPath:
+    def test_ordered_results(self):
+        with ParallelExecutor(2) as executor:
+            values = list(range(23))
+            assert executor.map(square, values) == [v * v for v in values]
+            assert executor.last_mode == "parallel"
+
+    def test_task_exception_propagates(self):
+        with ParallelExecutor(2) as executor:
+            with pytest.raises(ValueError):
+                executor.map(fail_on_three, [1, 2, 3, 4])
+
+    def test_starmap(self):
+        with ParallelExecutor(2) as executor:
+            assert executor.starmap(pow, [(2, 3), (3, 2), (5, 2)]) \
+                == [8, 9, 25]
+
+    def test_parallel_map_convenience(self):
+        assert parallel_map(square, [1, 2, 3], workers=2) == [1, 4, 9]
+
+
+class TestPicklingFallback:
+    def test_lambda_falls_back_to_serial(self):
+        with ParallelExecutor(2) as executor:
+            assert executor.map(lambda v: v + 1, [1, 2, 3]) == [2, 3, 4]
+            assert executor.last_mode == "fallback"
+            assert executor.stats["fallback"] == 1
+
+    def test_pool_survives_a_fallback(self):
+        with ParallelExecutor(2) as executor:
+            executor.map(lambda v: v + 1, [1, 2, 3])
+            assert executor.map(square, [4, 5]) == [16, 25]
+            assert executor.last_mode == "parallel"
+
+    def test_closure_falls_back(self):
+        offset = 10
+
+        def shifted(value: int) -> int:
+            return value + offset
+
+        with ParallelExecutor(2) as executor:
+            assert executor.map(shifted, [1, 2]) == [11, 12]
+            assert executor.last_mode == "fallback"
+
+
+class TestChunking:
+    def test_explicit_chunk_size(self):
+        executor = ParallelExecutor(2, chunk_size=5)
+        assert executor.chunk_size_for(100) == 5
+
+    def test_env_chunk_size(self, monkeypatch):
+        monkeypatch.setenv(CHUNK_ENV, "9")
+        executor = ParallelExecutor(2)
+        assert executor.chunk_size_for(100) == 9
+
+    def test_default_targets_four_chunks_per_worker(self, monkeypatch):
+        monkeypatch.delenv(CHUNK_ENV, raising=False)
+        executor = ParallelExecutor(2)
+        assert executor.chunk_size_for(80) == 10
+        assert executor.chunk_size_for(1) == 1
+
+    def test_garbage_env_raises(self, monkeypatch):
+        monkeypatch.setenv(CHUNK_ENV, "lots")
+        with pytest.raises(ValueError):
+            ParallelExecutor(2).chunk_size_for(10)
+
+
+def test_close_is_idempotent():
+    executor = ParallelExecutor(2)
+    executor.map(square, [1, 2, 3, 4])
+    executor.close()
+    executor.close()
+    # A closed executor can lazily rebuild its pool.
+    assert executor.map(square, [6, 7]) == [36, 49]
+    executor.close()
+
+
+def test_workers_env_controls_default(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "2")
+    executor = ParallelExecutor()
+    assert executor.workers == 2
+    executor.close()
+    monkeypatch.delenv(WORKERS_ENV)
+    assert ParallelExecutor().workers == 0
+
+
+def test_available_cpus_positive():
+    assert available_cpus() >= 1
+    assert available_cpus() <= (os.cpu_count() or 1)

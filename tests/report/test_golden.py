@@ -1,0 +1,121 @@
+"""Golden-file regression tests for the report layer (ISSUE 2).
+
+Figure data and trace-comparison summaries are serialized to
+``tests/report/golden/*.json``.  Any change to the analytic models or
+figure pipelines that moves a number shows up as a diff here.
+
+Regenerate intentionally with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/report
+
+Values are compared with a tiny relative tolerance (1e-9) so the
+goldens survive benign float-formatting churn but catch real drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.apps import synthetic
+from repro.parallel import ParallelExecutor
+from repro.report.figures import figure11_data, figure13_data
+from repro.report.summary import compare_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REL_TOL = 1e-9
+
+#: Small figure-11 sweep: full pipeline, test-sized.
+FIG11_MAX_BITS = 1 << 14
+
+
+def build_figure11():
+    return figure11_data(max_bits=FIG11_MAX_BITS,
+                         executor=ParallelExecutor(0))
+
+
+def build_figure13():
+    return figure13_data(executor=ParallelExecutor(0))
+
+
+def build_pi_summary():
+    return compare_trace(synthetic.pi_trace(10 ** 4)).as_dict()
+
+
+def build_rsa_summary():
+    return compare_trace(synthetic.rsa_trace(2048), gpu_batch=4).as_dict()
+
+
+CASES = [
+    ("figure11", build_figure11),
+    ("figure13", build_figure13),
+    ("summary_pi", build_pi_summary),
+    ("summary_rsa", build_rsa_summary),
+]
+
+
+def assert_matches(actual, golden, path="$"):
+    """Structural equality with relative float tolerance."""
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), path
+        assert sorted(actual) == sorted(golden), \
+            "%s: keys %s != %s" % (path, sorted(actual), sorted(golden))
+        for key in golden:
+            assert_matches(actual[key], golden[key],
+                           "%s.%s" % (path, key))
+    elif isinstance(golden, list):
+        assert isinstance(actual, list), path
+        assert len(actual) == len(golden), \
+            "%s: length %d != %d" % (path, len(actual), len(golden))
+        for index, (mine, theirs) in enumerate(zip(actual, golden)):
+            assert_matches(mine, theirs, "%s[%d]" % (path, index))
+    elif isinstance(golden, float) and not isinstance(golden, bool):
+        assert isinstance(actual, (int, float)), path
+        assert actual == pytest.approx(golden, rel=REL_TOL), \
+            "%s: %r drifted from golden %r" % (path, actual, golden)
+    else:
+        assert actual == golden, \
+            "%s: %r != golden %r" % (path, actual, golden)
+
+
+@pytest.mark.parametrize("name,build", CASES, ids=[c[0] for c in CASES])
+def test_against_golden(name, build):
+    target = GOLDEN_DIR / ("%s.json" % name)
+    # Canonicalize through JSON so tuples become lists, exactly as the
+    # golden file stores them (floats round-trip bit-exactly).
+    actual = json.loads(json.dumps(build()))
+    if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(actual, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+        pytest.skip("golden %s regenerated" % name)
+    assert target.exists(), \
+        "missing golden %s — run with REPRO_UPDATE_GOLDEN=1" % target
+    golden = json.loads(target.read_text(encoding="utf-8"))
+    assert_matches(actual, golden)
+
+
+def test_goldens_are_committed():
+    """All four golden files exist in the repo (guards against a
+    swallowing REPRO_UPDATE_GOLDEN run never being committed)."""
+    missing = [name for name, _ in CASES
+               if not (GOLDEN_DIR / ("%s.json" % name)).exists()]
+    assert not missing, "golden files missing: %s" % missing
+
+
+def test_figure11_shape():
+    """Cheap structural invariants, independent of the goldens."""
+    data = build_figure11()
+    assert set(data) == {"CPU+GMP", "Cambricon-P", "V100+CGBN",
+                         "AVX512IFMA"}
+    for name, points in data.items():
+        xs = [x for x, _ in points]
+        assert xs == sorted(xs), "%s x-values not ascending" % name
+        assert all(seconds > 0 for _, seconds in points), name
+    # Every platform sweeps the same bitwidths it supports; the CPU
+    # baseline covers the full 64..max range.
+    assert [x for x, _ in data["CPU+GMP"]][0] == 64
+    assert [x for x, _ in data["CPU+GMP"]][-1] == FIG11_MAX_BITS
