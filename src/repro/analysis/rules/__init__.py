@@ -24,12 +24,14 @@ RPR007 mutable-default-arg       no shared mutable defaults
 RPR008 magic-limb-constant       limb geometry comes from ``nat``
 RPR009 print-in-kernel           compute layers do not write to stdout
 RPR010 broad-except              no silent exception swallowing
+RPR011 blocking-call-in-async    the serve event loop never blocks
 ====== ========================= =========================================
 """
 
 from __future__ import annotations
 
 from repro.analysis.rules.base import FileContext, Rule, RuleViolation
+from repro.analysis.rules.concurrency import BlockingCallInAsync
 from repro.analysis.rules.determinism import (FloatInCycleModel,
                                               Nondeterminism)
 from repro.analysis.rules.kernel import (BigintInKernel, CallerAliasing,
@@ -50,6 +52,7 @@ ALL_RULES = (
     MagicLimbConstant(),
     PrintInKernel(),
     BroadExcept(),
+    BlockingCallInAsync(),
 )
 
 RULES_BY_NAME = {rule.name: rule for rule in ALL_RULES}

@@ -1,0 +1,108 @@
+"""Async-safety rules for the service layer (``src/repro/serve``).
+
+The serve subsystem runs a single asyncio event loop in front of the
+batching executor; one synchronous sleep, socket call, or future wait
+inside a coroutine stalls every in-flight request at once.  Blocking
+work is legal — but it must go through ``loop.run_in_executor`` (or a
+worker process), never run inline in an ``async def`` body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.rules.base import FileContext, Rule, RuleViolation
+
+#: Method names whose synchronous call blocks the calling thread:
+#: future/executor waits and the blocking socket API.  ``send`` and
+#: ``join`` are deliberately absent (generator.send / str.join are
+#: ubiquitous false positives).
+_BLOCKING_METHODS = frozenset({
+    "result",        # concurrent.futures Future.result()
+    "recv", "recv_into", "recvfrom",        # socket reads
+    "accept", "connect", "sendall",         # socket lifecycle/writes
+    "makefile", "getresponse",              # socket/http.client waits
+})
+
+#: Module-level callables that block outright.
+_BLOCKING_MODULE_CALLS = frozenset({
+    ("time", "sleep"),
+    ("socket", "create_connection"),
+    ("socket", "getaddrinfo"),
+    ("subprocess", "run"),
+    ("subprocess", "check_output"),
+    ("subprocess", "check_call"),
+})
+
+
+def _awaited_calls(func: ast.AsyncFunctionDef) -> Set[int]:
+    """ids of Call nodes that are directly awaited (``await f(...)``)."""
+    return {id(node.value) for node in ast.walk(func)
+            if isinstance(node, ast.Await)
+            and isinstance(node.value, ast.Call)}
+
+
+def _own_calls(func: ast.AsyncFunctionDef) -> List[ast.Call]:
+    """Calls in ``func``'s own body, skipping nested function defs.
+
+    Nested synchronous ``def``s inside a coroutine are almost always
+    thunks handed to ``run_in_executor`` — their bodies run on a worker
+    thread, where blocking is the whole point.
+    """
+    calls: List[ast.Call] = []
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return calls
+
+
+class BlockingCallInAsync(Rule):
+    """RPR011: no synchronous blocking calls inside ``async def``."""
+
+    name = "blocking-call-in-async"
+    code = "RPR011"
+    rationale = ("The serve event loop is single-threaded: one inline "
+                 "time.sleep(), Future.result(), or blocking socket "
+                 "call inside a coroutine freezes every in-flight "
+                 "request; route blocking work through "
+                 "loop.run_in_executor instead.")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return "serve" in ctx.parts
+
+    def check(self, ctx: FileContext) -> List[RuleViolation]:
+        found: List[RuleViolation] = []
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            awaited = _awaited_calls(func)
+            for call in _own_calls(func):
+                if id(call) in awaited:
+                    continue
+                message = self._blocking_reason(call)
+                if message:
+                    found.append(self.violation(
+                        call, "%s inside async def %s(); %s"
+                        % (message, func.name, "run blocking work via "
+                           "loop.run_in_executor")))
+        return found
+
+    @staticmethod
+    def _blocking_reason(call: ast.Call) -> str:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and \
+                    (func.value.id, func.attr) in _BLOCKING_MODULE_CALLS:
+                return "blocking call %s.%s()" % (func.value.id, func.attr)
+            if func.attr in _BLOCKING_METHODS:
+                return "blocking .%s() call" % func.attr
+        elif isinstance(func, ast.Name) and func.id == "sleep":
+            return "blocking sleep() call"
+        return ""

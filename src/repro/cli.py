@@ -220,6 +220,40 @@ def build_parser() -> argparse.ArgumentParser:
                         help="verify a generated well-formed program and "
                              "prove the checks fire on a hazardous one")
     verify.set_defaults(handler=_cmd_verify_stream)
+
+    serve = commands.add_parser(
+        "serve", help="run the arbitrary-precision job server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8421,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--queue", type=int, default=None,
+                       help="admission-queue capacity "
+                            "(default: $REPRO_SERVE_QUEUE or 256)")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       help="dynamic-batch bound "
+                            "(default: $REPRO_SERVE_BATCH or 16)")
+    serve.add_argument("--batch-ms", type=float, default=None,
+                       help="batching latency window "
+                            "(default: $REPRO_SERVE_BATCH_MS or 5)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="executor workers (default: $REPRO_WORKERS)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="drive a verified load test against repro serve")
+    bench_serve.add_argument("--host", default="127.0.0.1")
+    bench_serve.add_argument("--port", type=int, default=None,
+                             help="target an already-running server "
+                                  "(default: self-host one)")
+    bench_serve.add_argument("--requests", type=int, default=200)
+    bench_serve.add_argument("--concurrency", type=int, default=8)
+    bench_serve.add_argument("--seed", type=int, default=2022)
+    bench_serve.add_argument("--no-verify", action="store_true",
+                             help="skip bit-identical verification")
+    bench_serve.add_argument("--output",
+                             default="results/BENCH_serve.json")
+    bench_serve.set_defaults(handler=_cmd_bench_serve)
     return parser
 
 
@@ -386,6 +420,44 @@ def _verify_stream_selftest() -> int:
     print("selftest: clean stream ok; seeded stream raised %d hazard(s): %s"
           % (len(hazards), ", ".join(checks)))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import ServeConfig, run_server
+
+    def announce(line: str) -> None:
+        print(line, flush=True)
+
+    config = ServeConfig.from_env(
+        host=args.host, port=args.port, queue_capacity=args.queue,
+        max_batch=args.max_batch, batch_ms=args.batch_ms,
+        workers=args.workers)
+    return run_server(config, announce=announce)
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import run_load, write_bench
+    from repro.serve.server import ServerThread
+
+    def drive(host: str, port: int) -> int:
+        report = run_load(host, port, requests=args.requests,
+                          concurrency=args.concurrency, seed=args.seed,
+                          verify=not args.no_verify)
+        report["self_hosted"] = args.port is None
+        print(json.dumps(report, indent=2, sort_keys=True))
+        if args.output:
+            write_bench(report, args.output)
+            print("wrote %s" % args.output, file=sys.stderr)
+        if report["wrong_answers"] or report["errors"]:
+            return 1
+        return 0
+
+    if args.port is not None:
+        return drive(args.host, args.port)
+    with ServerThread() as hosted:
+        return drive(hosted.host, hosted.port)
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:

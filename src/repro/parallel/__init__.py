@@ -17,12 +17,13 @@ from repro.parallel.cache import (MemoCache, cache_root, clear_disk_caches,
                                   make_key, named_cache,
                                   persistence_enabled, registered_caches)
 from repro.parallel.executor import (CHUNK_ENV, WORKERS_ENV,
-                                     ParallelExecutor, available_cpus,
-                                     parallel_map, resolve_workers)
+                                     ExecutorTimeout, ParallelExecutor,
+                                     available_cpus, parallel_map,
+                                     resolve_workers)
 
 __all__ = [
-    "CHUNK_ENV", "MemoCache", "ParallelExecutor", "WORKERS_ENV",
-    "available_cpus", "cache_root", "clear_disk_caches", "make_key",
-    "named_cache", "parallel_map", "persistence_enabled",
+    "CHUNK_ENV", "ExecutorTimeout", "MemoCache", "ParallelExecutor",
+    "WORKERS_ENV", "available_cpus", "cache_root", "clear_disk_caches",
+    "make_key", "named_cache", "parallel_map", "persistence_enabled",
     "registered_caches", "resolve_workers",
 ]

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -42,6 +44,22 @@ CHUNK_ENV = "REPRO_CHUNK"
 #: Errors that mean "this task list cannot travel to a worker process";
 #: they trigger the serial fallback rather than propagating.
 _PICKLING_ERRORS = (pickle.PicklingError, AttributeError, TypeError)
+
+
+class ExecutorTimeout(TimeoutError):
+    """A ``map``/``starmap`` call exceeded its ``timeout=`` deadline.
+
+    On the parallel path every not-yet-started chunk is cancelled and
+    the pool is discarded (a running worker cannot be preempted, so the
+    orphaned pool is abandoned rather than joined); on the serial path
+    the deadline is checked between items, because a single in-progress
+    ``fn`` call cannot be interrupted from Python.
+    """
+
+    def __init__(self, message: str, completed: int = 0) -> None:
+        super().__init__(message)
+        #: Items whose results were available before the deadline hit.
+        self.completed = completed
 
 
 def available_cpus() -> int:
@@ -90,7 +108,8 @@ class ParallelExecutor:
         self.workers = resolve_workers(workers)
         self._chunk_size = chunk_size
         self._pool: Optional[ProcessPoolExecutor] = None
-        self.stats = {"parallel": 0, "serial": 0, "fallback": 0}
+        self.stats = {"parallel": 0, "serial": 0, "fallback": 0,
+                      "timeout": 0}
         self.last_mode = "unused"
 
     # -- lifecycle -----------------------------------------------------------
@@ -137,18 +156,29 @@ class ParallelExecutor:
 
     def map(self, fn: Callable[[ItemT], ResultT],
             items: Sequence[ItemT],
-            chunk_size: Optional[int] = None) -> List[ResultT]:
+            chunk_size: Optional[int] = None,
+            timeout: Optional[float] = None) -> List[ResultT]:
         """``[fn(x) for x in items]``, fanned out when workers allow.
 
         Exceptions raised *by the task itself* propagate unchanged on
         both paths; only transport failures (pickling, a dead worker)
         fall back to serial.
+
+        ``timeout`` (seconds, whole-call deadline) raises
+        :class:`ExecutorTimeout` once exceeded.  On the parallel path
+        pending chunks are cancelled and the pool is discarded so a
+        hung worker can never block the caller forever; a transport
+        fallback re-runs serially under whatever budget remains.  On
+        the serial path the deadline is checked between items (a
+        single ``fn`` call cannot be preempted).
         """
         items = list(items)
+        deadline = None if timeout is None \
+            else time.monotonic() + max(0.0, timeout)
         if self.workers <= 1 or len(items) <= 1:
             self.stats["serial"] += 1
             self.last_mode = "serial"
-            return [fn(item) for item in items]
+            return self._run_serial(fn, items, deadline)
         # Pre-flight the transport: an unpicklable task submitted to a
         # ProcessPoolExecutor poisons its queue-feeder thread (a later
         # shutdown(wait=True) deadlocks on CPython 3.11), so tasks that
@@ -158,9 +188,11 @@ class ParallelExecutor:
         except _PICKLING_ERRORS:
             self.stats["fallback"] += 1
             self.last_mode = "fallback"
-            return [fn(item) for item in items]
+            return self._run_serial(fn, items, deadline)
         chunk = chunk_size if chunk_size is not None \
             else self.chunk_size_for(len(items))
+        if deadline is not None:
+            return self._map_with_deadline(fn, items, chunk, deadline)
         try:
             pool = self._ensure_pool()
             results = list(pool.map(fn, items, chunksize=chunk))
@@ -176,10 +208,78 @@ class ParallelExecutor:
         self.last_mode = "parallel"
         return results
 
+    def _run_serial(self, fn: Callable[[ItemT], ResultT],
+                    items: List[ItemT],
+                    deadline: Optional[float]) -> List[ResultT]:
+        """Serial loop with the between-items deadline check."""
+        results: List[ResultT] = []
+        for item in items:
+            if deadline is not None and time.monotonic() > deadline:
+                self.stats["timeout"] += 1
+                raise ExecutorTimeout(
+                    "serial map exceeded its deadline after %d/%d items"
+                    % (len(results), len(items)),
+                    completed=len(results))
+            results.append(fn(item))
+        return results
+
+    def _map_with_deadline(self, fn: Callable[[ItemT], ResultT],
+                           items: List[ItemT], chunk: int,
+                           deadline: float) -> List[ResultT]:
+        """Parallel map as explicit chunk futures under a deadline.
+
+        ``pool.map`` offers no way to cancel pending work, so the
+        deadline path submits chunks itself, gathers them in order,
+        and on expiry cancels whatever has not started before
+        abandoning the pool.
+        """
+        chunks = [items[i:i + chunk] for i in range(0, len(items), chunk)]
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_chunk_call, fn, part)
+                       for part in chunks]
+        except (BrokenProcessPool,) + _PICKLING_ERRORS:
+            self._discard_pool()
+            self.stats["fallback"] += 1
+            self.last_mode = "fallback"
+            return self._run_serial(fn, items, deadline)
+        results: List[ResultT] = []
+        try:
+            for future in futures:
+                remaining = deadline - time.monotonic()
+                results.extend(future.result(timeout=max(0.0, remaining)))
+        except _FutureTimeout:
+            for future in futures:
+                future.cancel()
+            self._discard_pool()
+            self.stats["timeout"] += 1
+            self.last_mode = "timeout"
+            raise ExecutorTimeout(
+                "parallel map exceeded its deadline with %d/%d results"
+                % (len(results), len(items)),
+                completed=len(results)) from None
+        except (BrokenProcessPool,) + _PICKLING_ERRORS:
+            for future in futures:
+                future.cancel()
+            self._discard_pool()
+            self.stats["fallback"] += 1
+            self.last_mode = "fallback"
+            return self._run_serial(fn, items, deadline)
+        self.stats["parallel"] += 1
+        self.last_mode = "parallel"
+        return results
+
     def starmap(self, fn: Callable[..., ResultT],
-                items: Sequence[tuple]) -> List[ResultT]:
+                items: Sequence[tuple],
+                timeout: Optional[float] = None) -> List[ResultT]:
         """:meth:`map` for argument tuples."""
-        return self.map(_StarCall(fn), list(items))
+        return self.map(_StarCall(fn), list(items), timeout=timeout)
+
+
+def _chunk_call(fn: Callable[[ItemT], ResultT],
+                chunk: Sequence[ItemT]) -> List[ResultT]:
+    """Worker-side evaluation of one submitted chunk (picklable)."""
+    return [fn(item) for item in chunk]
 
 
 class _StarCall:

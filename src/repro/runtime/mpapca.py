@@ -36,7 +36,7 @@ from repro.core.accelerator import CambriconP
 from repro.core.energy import LLC_ENERGY_PJ_PER_BIT, power_w
 from repro.core.model import (DEFAULT_CONFIG, CambriconPConfig,
                               CambriconPModel, DISPATCH_CYCLES)
-from repro.mpn import MPAPCA_POLICY
+from repro.mpn import MPAPCA_POLICY, MpnError
 from repro.mpn import nat as _nat
 from repro.mpn.mul import mul as _raw_mul
 from repro.mpn.nat import Nat
@@ -52,10 +52,30 @@ TOOM4_BITS = 8 * MONOLITHIC_MAX_BITS
 TOOM6_BITS = 18 * MONOLITHIC_MAX_BITS
 SSA_BITS = 80 * MONOLITHIC_MAX_BITS
 
+#: Sanity ceiling for cycle queries (bits).  The model extrapolates
+#: far beyond the hardware, but a width this absurd is always a bug in
+#: the caller (overflowed arithmetic, a byte/bit mix-up), so the
+#: pricing functions reject it rather than spin in the recursion.
+MODEL_MAX_QUERY_BITS = 1 << 40
+
+
+def _check_bits(name: str, bits: int, minimum: int = 0) -> None:
+    """Reject malformed operand widths before they enter the model."""
+    if not isinstance(bits, int) or isinstance(bits, bool):
+        raise MpnError("%s must be an int, got %r" % (name, bits))
+    if bits < minimum:
+        raise MpnError("%s must be >= %d, got %d"
+                       % (name, minimum, bits))
+    if bits > MODEL_MAX_QUERY_BITS:
+        raise MpnError("%s=%d exceeds the %d-bit model ceiling"
+                       % (name, bits, MODEL_MAX_QUERY_BITS))
+
 
 @lru_cache(maxsize=None)
 def mul_cycles(bits_a: int, bits_b: int = 0) -> float:
     """Accelerator cycles for an (a x b)-bit MPApca multiplication."""
+    _check_bits("bits_a", bits_a)
+    _check_bits("bits_b", bits_b)
     if bits_b == 0:
         bits_b = bits_a
     small, large = sorted((max(1, bits_a), max(1, bits_b)))
@@ -103,6 +123,8 @@ def _ssa_cycles(bits: int) -> float:
 
 def add_cycles(bits_a: int, bits_b: int = 0) -> float:
     """Accelerator cycles for addition/subtraction."""
+    _check_bits("bits_a", bits_a)
+    _check_bits("bits_b", bits_b)
     return _MODEL.add_cycles(max(bits_a, bits_b))
 
 
@@ -113,11 +135,14 @@ def shift_cycles() -> float:
 
 def div_cycles(bits_a: int, bits_b: int) -> float:
     """Division by Newton reciprocal: a few multiplies at operand size."""
+    _check_bits("bits_a", bits_a)
+    _check_bits("bits_b", bits_b)
     return 3.5 * mul_cycles(bits_a, max(bits_b, 1)) + DISPATCH_CYCLES
 
 
 def sqrt_cycles(bits: int) -> float:
     """Square root: ~2x a multiply (precision-doubling Newton)."""
+    _check_bits("bits", bits)
     return 2.0 * mul_cycles(bits, bits) + DISPATCH_CYCLES
 
 
@@ -127,6 +152,8 @@ def powmod_cycles(mod_bits: int, exp_bits: int) -> float:
     Each step is a multiply plus a Montgomery reduction, both composed
     of inner productions on the PE array (Section V-C).
     """
+    _check_bits("mod_bits", mod_bits)
+    _check_bits("exp_bits", exp_bits)
     per_product = 2.2 * mul_cycles(mod_bits, mod_bits)
     return 1.25 * exp_bits * per_product + DISPATCH_CYCLES
 

@@ -12,7 +12,7 @@ side of the paper's batch-processing capability.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.isa import (Driver, Instruction, Opcode,
                             RetiredInstruction)
@@ -70,9 +70,52 @@ class BatchingDriver(Driver):
     serial driver's, so ``REPRO_WORKERS=0`` is a strict no-op.
     """
 
-    def __init__(self, device=None, executor=None) -> None:
+    def __init__(self, device=None, executor=None,
+                 max_pending: Optional[int] = None) -> None:
         super().__init__(device)
         self.executor = executor
+        if max_pending is not None and max_pending < 1:
+            raise MpnError("max_pending must be at least 1")
+        #: Size-triggered flush threshold for :meth:`submit` (``None``
+        #: disables the guard; flushes are then explicit only).
+        self.max_pending = max_pending
+        self._pending: List[Instruction] = []
+
+    # -- incremental batching -------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Instructions buffered but not yet flushed."""
+        return len(self._pending)
+
+    def submit(self, instruction: Instruction
+               ) -> Optional[Tuple[List[RetiredInstruction], dict]]:
+        """Buffer one instruction toward the next batch.
+
+        Returns the retirement log and stats when the ``max_pending``
+        guard fires (the buffered batch is forced out), ``None`` while
+        the instruction merely joins the pending batch.  Long-lived
+        callers (the serve batcher, latency-sensitive hosts) pair this
+        with :meth:`flush` so a partially-filled batch can always be
+        forced out instead of waiting for the size trigger.
+        """
+        self._pending.append(instruction)
+        if self.max_pending is not None \
+                and len(self._pending) >= self.max_pending:
+            return self.flush()
+        return None
+
+    def flush(self) -> Tuple[List[RetiredInstruction], dict]:
+        """Execute whatever is pending now (partial batches included).
+
+        Idempotent when nothing is pending: returns an empty log and
+        zeroed stats, so shutdown paths can call it unconditionally.
+        """
+        if not self._pending:
+            return [], {"levels": 0, "width": 0, "batched_multiplies": 0,
+                        "batched_cycles": 0.0, "serial_mul_cycles": 0.0}
+        program, self._pending = self._pending, []
+        return self.execute_scheduled(program)
 
     def execute_scheduled(self, program: List[Instruction]
                           ) -> Tuple[List[RetiredInstruction], dict]:

@@ -1,0 +1,346 @@
+"""Job model for the serve layer: parse, validate, price, evaluate.
+
+A *job* is one client-requested operation — ``mul``, ``div``,
+``powmod``, ``pi_digits``, or ``model_cycles`` — with canonicalized
+integer parameters, an admission-control cost estimate (cycles, from
+:func:`repro.core.model.estimate_request_cycles`), an optional
+deadline, and a priority.  Validation happens entirely at the front
+door so nothing malformed, oversized, or divide-by-zero ever reaches
+the batching executor; the error codes here are the service's public
+vocabulary (``invalid:*`` for rejected inputs).
+
+:func:`evaluate` is the ground truth: it runs the *direct library
+call* for a job (mpn kernels, the pi application, the MPApca cycle
+model).  The server's answers must be bit-identical to it — the
+end-to-end property tests and the load-generating client both verify
+against this single definition.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.model import DEFAULT_CONFIG, estimate_request_cycles
+from repro.runtime import mpapca
+
+#: The service's job vocabulary.
+JOB_OPS = ("mul", "div", "powmod", "pi_digits", "model_cycles")
+
+#: Operand-size ceiling (bits) for mul/div/powmod requests.
+MAX_BITS_ENV = "REPRO_SERVE_MAX_BITS"
+DEFAULT_MAX_BITS = 1 << 20
+
+#: Ceiling for ``pi_digits`` requests.
+MAX_DIGITS_ENV = "REPRO_SERVE_MAX_DIGITS"
+DEFAULT_MAX_DIGITS = 20_000
+
+#: Ceiling for ``model_cycles`` bitwidth queries (the model is priced,
+#: not executed, so this is far above the execution ceiling).
+MODEL_MAX_BITS = 1 << 30
+
+#: Cycle-model operators a ``model_cycles`` job may query.
+MODEL_OPS = ("mul", "add", "sub", "shift", "cmp", "div", "mod", "sqrt",
+             "powmod")
+
+_job_counter = itertools.count(1)
+
+
+class JobError(ValueError):
+    """A request rejected at validation, carrying its public code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def max_operand_bits() -> int:
+    """Execution operand ceiling (``REPRO_SERVE_MAX_BITS``)."""
+    return _env_positive_int(MAX_BITS_ENV, DEFAULT_MAX_BITS)
+
+
+def max_pi_digits() -> int:
+    """``pi_digits`` ceiling (``REPRO_SERVE_MAX_DIGITS``)."""
+    return _env_positive_int(MAX_DIGITS_ENV, DEFAULT_MAX_DIGITS)
+
+
+def _env_positive_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError("%s must be an integer, got %r"
+                         % (name, raw)) from None
+    if value < 1:
+        raise ValueError("%s must be positive, got %d" % (name, value))
+    return value
+
+
+@dataclass
+class Job:
+    """One validated, admission-priced request."""
+
+    op: str
+    params: Dict[str, Any]
+    priority: int = 0
+    deadline_ms: Optional[float] = None
+    job_id: str = ""
+    cost_cycles: float = 0.0
+    created_at: float = field(default_factory=time.monotonic)
+    deadline_at: Optional[float] = None
+    seq: int = 0                     # assigned by the admission queue
+    future: Any = None               # asyncio.Future, attached by server
+    trace: Any = None                # RequestTrace when tracing is on
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Has this job's deadline passed?"""
+        if self.deadline_at is None:
+            return False
+        return (now if now is not None else time.monotonic()) \
+            > self.deadline_at
+
+    def queue_ms(self, now: Optional[float] = None) -> float:
+        """Milliseconds since the job was admitted."""
+        return ((now if now is not None else time.monotonic())
+                - self.created_at) * 1000.0
+
+    def cache_key(self) -> Optional[Tuple]:
+        """Memo key for idempotent, parameter-pure job types."""
+        if self.op in ("pi_digits", "model_cycles"):
+            return (self.op,) + tuple(sorted(self.params.items()))
+        return None
+
+
+def make_job(payload: Dict[str, Any]) -> Job:
+    """Parse one request body into a validated :class:`Job`.
+
+    Raises :class:`JobError` with a public ``invalid:*`` code on any
+    malformed field; nothing about the payload is trusted.
+    """
+    if not isinstance(payload, dict):
+        raise JobError("invalid:bad-json", "request body must be an object")
+    op = payload.get("op")
+    if op not in JOB_OPS:
+        raise JobError("invalid:unknown-op",
+                       "op must be one of %s, got %r"
+                       % (", ".join(JOB_OPS), op))
+    raw_params = payload.get("params", {})
+    if not isinstance(raw_params, dict):
+        raise JobError("invalid:bad-params", "params must be an object")
+    params = validate_params(op, raw_params)
+    priority = payload.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool) \
+            or not 0 <= priority <= 9:
+        raise JobError("invalid:priority",
+                       "priority must be an integer in [0, 9]")
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) \
+                or isinstance(deadline_ms, bool) or deadline_ms <= 0:
+            raise JobError("invalid:deadline",
+                           "deadline_ms must be a positive number")
+        deadline_ms = float(deadline_ms)
+    job_id = payload.get("id")
+    if job_id is None:
+        job_id = "job-%d" % next(_job_counter)
+    elif not isinstance(job_id, str) or len(job_id) > 128:
+        raise JobError("invalid:id", "id must be a short string")
+    job = Job(op=op, params=params, priority=priority,
+              deadline_ms=deadline_ms, job_id=job_id,
+              cost_cycles=estimated_cycles(op, params))
+    if deadline_ms is not None:
+        job.deadline_at = job.created_at + deadline_ms / 1000.0
+    return job
+
+
+# -- validation ---------------------------------------------------------------
+
+def validate_params(op: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Canonicalize one op's parameters (ints decoded, sizes checked)."""
+    if op == "mul":
+        a = _parse_operand(params, "a")
+        b = _parse_operand(params, "b")
+        return {"a": a, "b": b}
+    if op == "div":
+        a = _parse_operand(params, "a")
+        b = _parse_operand(params, "b")
+        if b == 0:
+            raise JobError("invalid:zero-divisor",
+                           "div requires a non-zero divisor")
+        return {"a": a, "b": b}
+    if op == "powmod":
+        base = _parse_operand(params, "base")
+        exponent = _parse_operand(params, "exp")
+        modulus = _parse_operand(params, "mod")
+        if modulus == 0:
+            raise JobError("invalid:zero-modulus",
+                           "powmod requires a non-zero modulus")
+        return {"base": base, "exp": exponent, "mod": modulus}
+    if op == "pi_digits":
+        digits = _parse_count(params, "digits")
+        ceiling = max_pi_digits()
+        if digits > ceiling:
+            raise JobError("invalid:oversized",
+                           "pi_digits limited to %d digits (got %d)"
+                           % (ceiling, digits))
+        return {"digits": digits}
+    if op == "model_cycles":
+        model_op = params.get("op")
+        if model_op not in MODEL_OPS:
+            raise JobError("invalid:unknown-model-op",
+                           "model op must be one of %s, got %r"
+                           % (", ".join(MODEL_OPS), model_op))
+        bits_a = _parse_count(params, "bits_a")
+        bits_b = _parse_count(params, "bits_b", default=0, minimum=0)
+        if max(bits_a, bits_b) > MODEL_MAX_BITS:
+            raise JobError("invalid:oversized",
+                           "model_cycles bitwidths limited to %d"
+                           % MODEL_MAX_BITS)
+        return {"op": model_op, "bits_a": bits_a, "bits_b": bits_b}
+    raise JobError("invalid:unknown-op", "unknown op %r" % op)
+
+
+def _parse_operand(params: Dict[str, Any], name: str) -> int:
+    """Decode one big-integer operand (int, or a hex/"0x" string)."""
+    if name not in params:
+        raise JobError("invalid:missing-param",
+                       "missing required parameter %r" % name)
+    value = params[name]
+    if isinstance(value, bool):
+        raise JobError("invalid:bad-int", "%s must be an integer" % name)
+    if isinstance(value, int):
+        number = value
+    elif isinstance(value, str):
+        try:
+            number = int(value, 0) if not value.lower().startswith("0x") \
+                else int(value, 16)
+        except ValueError:
+            raise JobError("invalid:bad-int",
+                           "%s is not a parsable integer (use hex "
+                           "\"0x...\" for large values)" % name) from None
+    else:
+        raise JobError("invalid:bad-int",
+                       "%s must be an int or a string" % name)
+    if number < 0:
+        raise JobError("invalid:negative",
+                       "%s must be non-negative" % name)
+    ceiling = max_operand_bits()
+    if number.bit_length() > ceiling:
+        raise JobError("invalid:oversized",
+                       "%s exceeds the %d-bit operand ceiling "
+                       "(REPRO_SERVE_MAX_BITS)" % (name, ceiling))
+    return number
+
+
+def _parse_count(params: Dict[str, Any], name: str,
+                 default: Optional[int] = None, minimum: int = 1) -> int:
+    value = params.get(name, default)
+    if value is None:
+        raise JobError("invalid:missing-param",
+                       "missing required parameter %r" % name)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise JobError("invalid:bad-int", "%s must be an integer" % name)
+    if value < minimum:
+        raise JobError("invalid:bad-int",
+                       "%s must be >= %d" % (name, minimum))
+    return value
+
+
+# -- admission pricing --------------------------------------------------------
+
+def estimated_cycles(op: str, params: Dict[str, Any]) -> float:
+    """Modeled service cost of one job, for queue-wait estimation."""
+    if op == "mul":
+        return estimate_request_cycles(
+            "mul", params["a"].bit_length(), params["b"].bit_length())
+    if op == "div":
+        return estimate_request_cycles(
+            "div", params["a"].bit_length(), params["b"].bit_length())
+    if op == "powmod":
+        return estimate_request_cycles(
+            "powmod", params["mod"].bit_length(),
+            params["exp"].bit_length())
+    if op == "pi_digits":
+        # Machin's formula: ~bits/4 arctan terms, each dominated by one
+        # division at working precision.
+        bits = int(params["digits"] * 3.33) + 64
+        terms = max(1, bits // 4)
+        return terms * estimate_request_cycles("div", bits, bits)
+    # model_cycles: a pure model lookup, negligible service time.
+    return 100.0
+
+
+# -- evaluation (the direct library call) -------------------------------------
+
+def evaluate(task: Tuple[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Run one ``(op, params)`` job through the direct library call.
+
+    Top-level and picklable so :class:`repro.parallel.ParallelExecutor`
+    can fan batches across worker processes.  This function *is* the
+    service's correctness oracle: every server response must be
+    bit-identical to its output for the same canonical parameters.
+    """
+    op, params = task
+    if op == "mul":
+        return {"product": hex(_library_mul(params["a"], params["b"]))}
+    if op == "div":
+        quotient, remainder = _library_divmod(params["a"], params["b"])
+        return {"quotient": hex(quotient), "remainder": hex(remainder)}
+    if op == "powmod":
+        value = _library_powmod(params["base"], params["exp"],
+                                params["mod"])
+        return {"value": hex(value)}
+    if op == "pi_digits":
+        from repro.apps import pi
+        result = pi.run(params["digits"])
+        return {"digits": result.digits, "terms": result.terms,
+                "precision_bits": result.precision_bits}
+    if op == "model_cycles":
+        cycles = model_cycles(params["op"], params["bits_a"],
+                              params["bits_b"])
+        return {"cycles": cycles,
+                "seconds": cycles / DEFAULT_CONFIG.frequency_hz}
+    raise JobError("invalid:unknown-op", "unknown op %r" % op)
+
+
+def _library_mul(a: int, b: int) -> int:
+    from repro.mpn import mul, nat_from_int, nat_to_int
+    return nat_to_int(mul(nat_from_int(a), nat_from_int(b)))
+
+
+def _library_divmod(a: int, b: int) -> Tuple[int, int]:
+    from repro.mpn import divmod_nat, nat_from_int, nat_to_int
+    quotient, remainder = divmod_nat(nat_from_int(a), nat_from_int(b))
+    return nat_to_int(quotient), nat_to_int(remainder)
+
+
+def _library_powmod(base: int, exponent: int, modulus: int) -> int:
+    from repro.mpn import nat_from_int, nat_to_int, powmod
+    return nat_to_int(powmod(nat_from_int(base), nat_from_int(exponent),
+                             nat_from_int(modulus)))
+
+
+def model_cycles(model_op: str, bits_a: int, bits_b: int) -> float:
+    """The queryable MPApca cycle model (``model_cycles`` jobs)."""
+    if model_op == "mul":
+        return mpapca.mul_cycles(max(1, bits_a), max(1, bits_b))
+    if model_op in ("add", "sub"):
+        return mpapca.add_cycles(bits_a, bits_b)
+    if model_op == "shift":
+        return mpapca.shift_cycles()
+    if model_op == "cmp":
+        return float(mpapca.DISPATCH_CYCLES)
+    if model_op in ("div", "mod"):
+        return mpapca.div_cycles(max(1, bits_a), max(1, bits_b))
+    if model_op == "sqrt":
+        return mpapca.sqrt_cycles(max(1, bits_a))
+    if model_op == "powmod":
+        return mpapca.powmod_cycles(max(1, bits_a), max(1, bits_b))
+    raise JobError("invalid:unknown-model-op",
+                   "unknown model op %r" % model_op)

@@ -1,0 +1,190 @@
+"""Bounded, admission-controlled priority queue for the serve layer.
+
+Two admission gates, checked synchronously at submit time so a client
+always gets an explicit answer instead of a silent drop:
+
+* **depth** — the queue never holds more than ``capacity`` jobs, so
+  server memory is K-bounded no matter how many clients arrive at
+  once (``rejected:overloaded`` / ``queue-full``);
+* **estimated wait** — every job is priced in modeled accelerator
+  cycles (:func:`repro.core.model.estimate_request_cycles` via
+  :mod:`repro.serve.jobs`), and the queue converts its backlog of
+  pending cycles into an expected wait using an EWMA of the observed
+  service rate (modeled cycles retired per wall millisecond).  Once
+  the estimate exceeds ``max_wait_ms`` the queue sheds rather than
+  building latency (``wait-exceeded``).
+
+Ordering is priority-first (9 highest), FIFO within a priority.  The
+consumer side is a single batcher task on the asyncio loop; submit is
+synchronous (no awaits between check and append), so admission is
+atomic with respect to the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, Optional
+
+from repro.serve.jobs import Job
+
+#: Public shed reasons (the ``reason`` field of an overload response).
+SHED_QUEUE_FULL = "queue-full"
+SHED_WAIT_EXCEEDED = "wait-exceeded"
+SHED_SHUTTING_DOWN = "shutting-down"
+
+#: EWMA smoothing for the observed service rate.
+_RATE_ALPHA = 0.3
+
+
+class AdmissionQueue:
+    """Priority queue with depth- and wait-based load shedding."""
+
+    def __init__(self, capacity: int = 256,
+                 max_wait_ms: Optional[float] = None) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self.capacity = capacity
+        self.max_wait_ms = max_wait_ms
+        self.closed = False
+        self.pending_cycles = 0.0
+        #: High-water mark of the depth, proving K-boundedness.
+        self.max_depth = 0
+        self.submitted = 0
+        self.shed = 0
+        self._items: List[Job] = []
+        self._seq = 0
+        self._event = asyncio.Event()
+        self._rate_cycles_per_ms: Optional[float] = None
+
+    # -- admission ------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    def try_submit(self, job: Job) -> Optional[str]:
+        """Admit a job or return the shed reason (``None`` = admitted)."""
+        if self.closed:
+            self.shed += 1
+            return SHED_SHUTTING_DOWN
+        if len(self._items) >= self.capacity:
+            self.shed += 1
+            return SHED_QUEUE_FULL
+        if self.max_wait_ms is not None:
+            estimate = self.estimated_wait_ms(job.cost_cycles)
+            if estimate is not None and estimate > self.max_wait_ms:
+                self.shed += 1
+                return SHED_WAIT_EXCEEDED
+        self._seq += 1
+        job.seq = self._seq
+        self._items.append(job)
+        self.pending_cycles += job.cost_cycles
+        self.submitted += 1
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
+        self._event.set()
+        return None
+
+    def estimated_wait_ms(self,
+                          extra_cycles: float = 0.0) -> Optional[float]:
+        """Expected queueing delay for a job arriving now.
+
+        ``None`` until at least one batch has completed (no observed
+        service rate yet — admission then falls back to the depth
+        bound alone).
+        """
+        if self._rate_cycles_per_ms is None \
+                or self._rate_cycles_per_ms <= 0.0:
+            return None
+        return (self.pending_cycles + extra_cycles) \
+            / self._rate_cycles_per_ms
+
+    def observe_service(self, cycles: float, wall_ms: float) -> None:
+        """Feed one completed batch into the service-rate EWMA."""
+        if wall_ms <= 0.0 or cycles <= 0.0:
+            return
+        rate = cycles / wall_ms
+        if self._rate_cycles_per_ms is None:
+            self._rate_cycles_per_ms = rate
+        else:
+            self._rate_cycles_per_ms = (
+                _RATE_ALPHA * rate
+                + (1.0 - _RATE_ALPHA) * self._rate_cycles_per_ms)
+
+    # -- consumption ----------------------------------------------------------
+
+    def _best_index(self) -> int:
+        best = 0
+        for index in range(1, len(self._items)):
+            job, incumbent = self._items[index], self._items[best]
+            if (job.priority, -job.seq) > (incumbent.priority,
+                                           -incumbent.seq):
+                best = index
+        return best
+
+    def _pop_index(self, index: int) -> Job:
+        job = self._items.pop(index)
+        self.pending_cycles = max(0.0,
+                                  self.pending_cycles - job.cost_cycles)
+        return job
+
+    async def get(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Highest-priority job; ``None`` on timeout or closed-empty."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while True:
+            if self._items:
+                return self._pop_index(self._best_index())
+            if self.closed:
+                return None
+            self._event.clear()
+            if deadline is None:
+                await self._event.wait()
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                await asyncio.wait_for(self._event.wait(), remaining)
+            except asyncio.TimeoutError:
+                return None
+
+    def take_compatible(self, op: str, limit: int) -> List[Job]:
+        """Pop up to ``limit`` queued jobs of the same op, in priority
+        order — the batcher's coalescing primitive."""
+        if limit <= 0:
+            return []
+        matching = sorted(
+            (index for index, job in enumerate(self._items)
+             if job.op == op),
+            key=lambda index: (-self._items[index].priority,
+                               self._items[index].seq))
+        chosen = set(matching[:limit])
+        taken = [job for index, job in enumerate(self._items)
+                 if index in chosen]
+        self._items = [job for index, job in enumerate(self._items)
+                       if index not in chosen]
+        for job in taken:
+            self.pending_cycles = max(
+                0.0, self.pending_cycles - job.cost_cycles)
+        taken.sort(key=lambda job: (-job.priority, job.seq))
+        return taken
+
+    async def wait_for_item(self, timeout: float) -> bool:
+        """Block until something is queued (or ``timeout`` seconds)."""
+        if self._items:
+            return True
+        if self.closed:
+            return False
+        self._event.clear()
+        try:
+            await asyncio.wait_for(self._event.wait(), max(0.0, timeout))
+        except asyncio.TimeoutError:
+            return False
+        return bool(self._items)
+
+    def close(self) -> None:
+        """Stop admissions; wake the consumer so it can drain."""
+        self.closed = True
+        self._event.set()

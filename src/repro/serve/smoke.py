@@ -1,0 +1,134 @@
+"""End-to-end smoke check: boot a real server, hammer it, drain it.
+
+Run as ``PYTHONPATH=src python -m repro.serve.smoke`` (CI's serve-smoke
+job).  The sequence:
+
+1. boot ``repro serve --port 0`` as a subprocess and parse the
+   announced ephemeral port;
+2. drive ~200 mixed requests through :func:`repro.serve.client.
+   run_load` with bit-identical verification against the oracle;
+3. scrape ``/metrics`` and require the core series to be present and
+   consistent with the load generator's own counts;
+4. send SIGTERM and require a graceful drain (exit code 0).
+
+Exit status is non-zero on any failure; all output goes to stdout so
+CI logs read as a transcript.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+from repro.serve.client import ServeClient, run_load
+
+_LISTEN_RE = re.compile(
+    r"repro-serve listening on (?P<host>[0-9.]+):(?P<port>\d+)")
+
+#: How long to wait for the subprocess to announce its port.
+_BOOT_TIMEOUT_S = 30.0
+#: How long SIGTERM may take to drain.
+_DRAIN_TIMEOUT_S = 30.0
+
+
+def _fail(message: str) -> int:
+    print("SMOKE FAIL: %s" % message)
+    return 1
+
+
+def main(requests: int = 200, concurrency: int = 8) -> int:
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.setdefault("REPRO_SERVE_BATCH_MS", "2")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    try:
+        host, port = _await_listening(process)
+        print("smoke: server up on %s:%d (pid %d)"
+              % (host, port, process.pid))
+
+        client = ServeClient(host, port)
+        if client.health() != "ok":
+            return _fail("healthz did not answer ok")
+
+        report = run_load(host, port, requests=requests,
+                          concurrency=concurrency, seed=7, verify=True)
+        print("smoke: load report: ok=%d shed=%d invalid=%d "
+              "deadline=%d errors=%d wrong=%d p50=%.1fms p99=%.1fms"
+              % (report["ok"], report["shed"], report["invalid"],
+                 report["deadline"], report["errors"],
+                 report["wrong_answers"],
+                 report["latency_ms"]["p50"],
+                 report["latency_ms"]["p99"]))
+        if report["wrong_answers"] != 0:
+            return _fail("bit-identical verification failed: %r"
+                         % report["failures"])
+        if report["errors"] != 0:
+            return _fail("transport/internal errors: %r"
+                         % report["failures"])
+        answered = report["ok"] + report["shed"] + report["deadline"]
+        if answered != requests:
+            return _fail("%d of %d requests unaccounted for"
+                         % (requests - answered, requests))
+        if report["ok"] == 0:
+            return _fail("no request succeeded")
+
+        text = client.metrics_text()
+        if "repro_serve_requests_total" not in text:
+            return _fail("/metrics missing repro_serve_requests_total")
+        if "repro_serve_latency_ms" not in text:
+            return _fail("/metrics missing latency histogram")
+        values = client.metrics_values()
+        served = sum(value for key, value in values.items()
+                     if key.startswith("repro_serve_requests_total"))
+        if served < requests:
+            return _fail("requests_total=%g < %d driven"
+                         % (served, requests))
+        print("smoke: metrics ok (%d series, requests_total=%g)"
+              % (len(values), served))
+
+        process.send_signal(signal.SIGTERM)
+        try:
+            code = process.wait(timeout=_DRAIN_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            return _fail("server did not drain within %gs after "
+                         "SIGTERM" % _DRAIN_TIMEOUT_S)
+        if code != 0:
+            return _fail("server exited %d after SIGTERM" % code)
+        print("smoke: graceful drain confirmed (exit 0)")
+        print("SMOKE PASS")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+
+def _await_listening(process: "subprocess.Popen[str]"):
+    deadline = time.monotonic() + _BOOT_TIMEOUT_S
+    stdout = process.stdout
+    if stdout is None:
+        raise RuntimeError("server stdout not captured")
+    while time.monotonic() < deadline:
+        line = stdout.readline()
+        if not line:
+            raise RuntimeError("server exited before announcing a port "
+                               "(code %r)" % process.poll())
+        sys.stdout.write("server| " + line)
+        match = _LISTEN_RE.search(line)
+        if match:
+            return match.group("host"), int(match.group("port"))
+    raise RuntimeError("server did not announce a port within %gs"
+                       % _BOOT_TIMEOUT_S)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Seeded async-safety violations for RPR011 (blocking-call-in-async).
+
+The directory name places this file in the serve scope; the coroutine
+below blocks the event loop three different ways.
+"""
+
+import time
+
+
+async def stalls_the_loop(sock, fut):
+    time.sleep(0.1)                    # RPR011: module-level sleep
+    sock.connect(("localhost", 80))    # RPR011: blocking socket call
+    return fut.result()                # RPR011: synchronous future wait

@@ -12,6 +12,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 KERNEL = "src/repro/mpn/fake_kernel.py"
 CORE = "src/repro/core/controller.py"
 APP = "src/repro/apps/fake_app.py"
+SERVE = "src/repro/serve/fake_server.py"
 
 
 def rules_fired(source: str, path: str):
@@ -19,10 +20,10 @@ def rules_fired(source: str, path: str):
 
 
 class TestRuleCatalogue:
-    def test_ten_rules_with_stable_codes(self):
-        assert len(ALL_RULES) == 10
+    def test_eleven_rules_with_stable_codes(self):
+        assert len(ALL_RULES) == 11
         codes = [rule.code for rule in ALL_RULES]
-        assert codes == ["RPR%03d" % i for i in range(1, 11)]
+        assert codes == ["RPR%03d" % i for i in range(1, 12)]
         assert all(rule.rationale for rule in ALL_RULES)
 
     def test_rules_by_name_round_trips(self):
@@ -138,6 +139,43 @@ class TestEachRuleFires:
         assert "broad-except" not in rules_fired(
             "try:\n    f()\nexcept ValueError:\n    pass\n", APP)
 
+    def test_blocking_call_in_async(self):
+        src = ("import time\n"
+               "async def handler():\n"
+               "    time.sleep(1)\n")
+        assert "blocking-call-in-async" in rules_fired(src, SERVE)
+        # Only the serve layer is in scope.
+        assert "blocking-call-in-async" not in rules_fired(src, APP)
+
+    def test_blocking_future_wait_in_async(self):
+        src = ("async def handler(fut):\n"
+               "    return fut.result()\n")
+        assert "blocking-call-in-async" in rules_fired(src, SERVE)
+
+    def test_blocking_socket_ops_in_async(self):
+        src = ("async def handler(sock):\n"
+               "    sock.connect((\"h\", 1))\n"
+               "    return sock.recv(1)\n")
+        findings = [v for v in lint_source(src, SERVE)
+                    if v.rule == "blocking-call-in-async"]
+        assert len(findings) == 2
+
+    def test_awaited_calls_are_not_blocking(self):
+        src = ("import asyncio\n"
+               "async def handler():\n"
+               "    await asyncio.sleep(1)\n")
+        assert "blocking-call-in-async" not in rules_fired(src, SERVE)
+
+    def test_sync_def_and_executor_thunks_are_out_of_scope(self):
+        src = ("import time\n"
+               "def worker():\n"
+               "    time.sleep(1)\n"
+               "async def handler(loop):\n"
+               "    def thunk():\n"
+               "        time.sleep(1)\n"
+               "    await loop.run_in_executor(None, thunk)\n")
+        assert "blocking-call-in-async" not in rules_fired(src, SERVE)
+
 
 class TestNoqa:
     def test_named_suppression(self):
@@ -200,7 +238,7 @@ class TestFixtureSweep:
     def test_every_rule_fires_on_the_fixture_tree(self):
         report = lint_paths([FIXTURES])
         codes = {v.code for v in report.violations}
-        assert codes == {"RPR%03d" % i for i in range(1, 11)}
+        assert codes == {"RPR%03d" % i for i in range(1, 12)}
 
     def test_clean_fixture_is_silent(self):
         report = lint_paths([FIXTURES / "clean"])

@@ -6,7 +6,8 @@ import os
 
 import pytest
 
-from repro.parallel import (CHUNK_ENV, WORKERS_ENV, ParallelExecutor,
+from repro.parallel import (CHUNK_ENV, WORKERS_ENV, ExecutorTimeout,
+                            ParallelExecutor,
                             available_cpus, parallel_map, resolve_workers)
 
 
@@ -136,6 +137,64 @@ class TestChunking:
         monkeypatch.setenv(CHUNK_ENV, "lots")
         with pytest.raises(ValueError):
             ParallelExecutor(2).chunk_size_for(10)
+
+
+def sleepy(seconds: float) -> float:
+    import time
+    time.sleep(seconds)
+    return seconds
+
+
+class TestTimeout:
+    def test_serial_map_without_timeout_unchanged(self):
+        with ParallelExecutor(0) as executor:
+            assert executor.map(square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_serial_deadline_between_items(self):
+        with ParallelExecutor(0) as executor:
+            with pytest.raises(ExecutorTimeout) as excinfo:
+                executor.map(sleepy, [0.05] * 20, timeout=0.08)
+            # At least one item completed before the deadline check.
+            assert 1 <= excinfo.value.completed < 20
+            assert executor.stats["timeout"] == 1
+
+    def test_generous_deadline_completes_serial(self):
+        with ParallelExecutor(0) as executor:
+            assert executor.map(sleepy, [0.0, 0.0], timeout=30.0) \
+                == [0.0, 0.0]
+            assert executor.stats["timeout"] == 0
+
+    def test_parallel_deadline_cancels_and_raises(self):
+        with ParallelExecutor(2) as executor:
+            with pytest.raises(ExecutorTimeout):
+                executor.map(sleepy, [0.3] * 8, chunk_size=1,
+                             timeout=0.1)
+            assert executor.last_mode == "timeout"
+            assert executor.stats["timeout"] == 1
+            # The pool was discarded; the executor still works after.
+            assert executor.map(square, [3, 4]) == [9, 16]
+
+    def test_generous_deadline_completes_parallel(self):
+        with ParallelExecutor(2) as executor:
+            assert executor.map(square, [1, 2, 3, 4], timeout=60.0) \
+                == [1, 4, 9, 16]
+            assert executor.last_mode == "parallel"
+
+    def test_unpicklable_task_falls_back_under_deadline(self):
+        with ParallelExecutor(2) as executor:
+            assert executor.map(lambda v: v + 1, [1, 2], timeout=30.0) \
+                == [2, 3]
+            assert executor.last_mode == "fallback"
+
+    def test_starmap_accepts_timeout(self):
+        with ParallelExecutor(0) as executor:
+            assert executor.starmap(pow, [(2, 3), (3, 2)],
+                                    timeout=30.0) == [8, 9]
+
+    def test_executor_timeout_is_a_timeout_error(self):
+        assert issubclass(ExecutorTimeout, TimeoutError)
+        error = ExecutorTimeout("late", completed=3)
+        assert error.completed == 3
 
 
 def test_close_is_idempotent():

@@ -1,0 +1,135 @@
+"""Job parsing, validation vocabulary, pricing, and the oracle."""
+
+import pytest
+
+from repro.serve.jobs import (JOB_OPS, JobError, estimated_cycles,
+                              evaluate, make_job, validate_params)
+
+
+def _job(op, params, **extra):
+    payload = {"op": op, "params": params}
+    payload.update(extra)
+    return make_job(payload)
+
+
+class TestMakeJob:
+    def test_minimal_mul(self):
+        job = _job("mul", {"a": 6, "b": 7})
+        assert job.op == "mul"
+        assert job.params == {"a": 6, "b": 7}
+        assert job.priority == 0
+        assert job.deadline_ms is None
+        assert job.cost_cycles > 0
+        assert job.job_id.startswith("job-")
+
+    def test_hex_string_operands(self):
+        job = _job("mul", {"a": "0xff", "b": "16"})
+        assert job.params == {"a": 255, "b": 16}
+
+    def test_explicit_id_priority_deadline(self):
+        job = _job("mul", {"a": 1, "b": 2}, id="x", priority=9,
+                   deadline_ms=50)
+        assert job.job_id == "x"
+        assert job.priority == 9
+        assert job.deadline_at is not None
+        assert not job.expired(job.created_at)
+        assert job.expired(job.created_at + 1.0)
+
+    @pytest.mark.parametrize("payload,code", [
+        ({"op": "nope", "params": {}}, "invalid:unknown-op"),
+        ({"op": "mul", "params": []}, "invalid:bad-params"),
+        ({"op": "mul", "params": {"a": 1}}, "invalid:missing-param"),
+        ({"op": "mul", "params": {"a": 1, "b": "xyz"}},
+         "invalid:bad-int"),
+        ({"op": "mul", "params": {"a": 1, "b": 2.5}}, "invalid:bad-int"),
+        ({"op": "mul", "params": {"a": 1, "b": True}},
+         "invalid:bad-int"),
+        ({"op": "mul", "params": {"a": -1, "b": 2}}, "invalid:negative"),
+        ({"op": "div", "params": {"a": 1, "b": 0}},
+         "invalid:zero-divisor"),
+        ({"op": "powmod", "params": {"base": 2, "exp": 3, "mod": 0}},
+         "invalid:zero-modulus"),
+        ({"op": "pi_digits", "params": {"digits": 10 ** 9}},
+         "invalid:oversized"),
+        ({"op": "pi_digits", "params": {"digits": 0}}, "invalid:bad-int"),
+        ({"op": "model_cycles", "params": {"op": "frobnicate",
+                                           "bits_a": 64}},
+         "invalid:unknown-model-op"),
+        ({"op": "mul", "params": {"a": 1, "b": 2}, "priority": 10},
+         "invalid:priority"),
+        ({"op": "mul", "params": {"a": 1, "b": 2}, "priority": "hi"},
+         "invalid:priority"),
+        ({"op": "mul", "params": {"a": 1, "b": 2}, "deadline_ms": -5},
+         "invalid:deadline"),
+        ({"op": "mul", "params": {"a": 1, "b": 2}, "id": "x" * 200},
+         "invalid:id"),
+    ])
+    def test_rejection_vocabulary(self, payload, code):
+        with pytest.raises(JobError) as excinfo:
+            make_job(payload)
+        assert excinfo.value.code == code
+
+    def test_operand_ceiling_is_configurable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_BITS", "16")
+        with pytest.raises(JobError) as excinfo:
+            _job("mul", {"a": 1 << 20, "b": 2})
+        assert excinfo.value.code == "invalid:oversized"
+
+
+class TestPricing:
+    def test_every_op_is_priced(self):
+        samples = {
+            "mul": {"a": 1 << 100, "b": 1 << 90},
+            "div": {"a": 1 << 100, "b": 7},
+            "powmod": {"base": 3, "exp": 65537, "mod": (1 << 64) + 13},
+            "pi_digits": {"digits": 50},
+            "model_cycles": {"op": "mul", "bits_a": 4096, "bits_b": 0},
+        }
+        assert set(samples) == set(JOB_OPS)
+        for op, raw in samples.items():
+            cost = estimated_cycles(op, validate_params(op, raw))
+            assert cost > 0
+
+    def test_bigger_work_costs_more(self):
+        small = estimated_cycles(
+            "mul", validate_params("mul", {"a": 1 << 64, "b": 1 << 64}))
+        large = estimated_cycles(
+            "mul", validate_params(
+                "mul", {"a": 1 << 4096, "b": 1 << 4096}))
+        assert large > small
+
+
+class TestOracle:
+    def test_mul_matches_python(self):
+        a, b = 3 ** 120, 7 ** 95
+        result = evaluate(("mul", {"a": a, "b": b}))
+        assert int(result["product"], 16) == a * b
+
+    def test_div_matches_python(self):
+        a, b = 10 ** 60 + 12345, 997
+        result = evaluate(("div", {"a": a, "b": b}))
+        assert int(result["quotient"], 16) == a // b
+        assert int(result["remainder"], 16) == a % b
+
+    def test_powmod_matches_python(self):
+        base, exp, mod = 0xABCDEF, 65537, (1 << 127) - 1
+        result = evaluate(("powmod", {"base": base, "exp": exp,
+                                      "mod": mod}))
+        assert int(result["value"], 16) == pow(base, exp, mod)
+
+    def test_pi_digits(self):
+        result = evaluate(("pi_digits", {"digits": 20}))
+        assert result["digits"].startswith("3.14159265358979")
+
+    def test_model_cycles_matches_runtime_model(self):
+        from repro.runtime import mpapca
+        result = evaluate(("model_cycles",
+                           {"op": "mul", "bits_a": 4096, "bits_b": 0}))
+        assert result["cycles"] == mpapca.mul_cycles(4096, 4096)
+        assert result["seconds"] > 0
+
+    def test_cache_key_only_for_pure_queries(self):
+        assert _job("pi_digits", {"digits": 10}).cache_key() is not None
+        assert _job("model_cycles",
+                    {"op": "mul", "bits_a": 64}).cache_key() is not None
+        assert _job("mul", {"a": 2, "b": 3}).cache_key() is None

@@ -1,0 +1,137 @@
+"""Metrics registry exposition and request-span tracing."""
+
+import json
+
+import pytest
+
+from repro.serve.metrics import (Counter, Gauge, Histogram,
+                                 MetricsRegistry, parse_exposition)
+from repro.serve.trace import RequestTrace, Tracer
+
+
+class TestPrimitives:
+    def test_counter_and_gauge(self):
+        counter, gauge = Counter(), Gauge()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        gauge.set(3.5)
+        gauge.set_max(2.0)
+        assert gauge.value == 3.5
+        gauge.set_max(7.0)
+        assert gauge.value == 7.0
+
+    def test_histogram_counts_and_mean(self):
+        histogram = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.mean == pytest.approx(138.875)
+
+    def test_histogram_percentiles_bracket_truth(self):
+        histogram = Histogram()
+        values = [float(v) for v in range(1, 1001)]  # 1..1000 ms
+        for value in values:
+            histogram.observe(value)
+        # Interpolation is within one log-bucket of the exact answer.
+        assert 200.0 <= histogram.percentile(0.5) <= 1000.0
+        assert histogram.percentile(0.99) <= 1000.0
+        assert histogram.percentile(0.0) >= 0.0
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("hits", op="mul") is \
+            registry.counter("hits", op="mul")
+        assert registry.counter("hits", op="mul") is not \
+            registry.counter("hits", op="div")
+
+    def test_counter_total_sums_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", op="mul").inc(3)
+        registry.counter("requests_total", op="div").inc(2)
+        assert registry.counter_total("requests_total") == 5
+        assert registry.counter_value("requests_total", op="mul") == 3
+
+    def test_render_round_trips_through_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", op="mul").inc(7)
+        registry.gauge("queue_depth").set(3)
+        registry.histogram("latency_ms").observe(12.0)
+        text = registry.render()
+        values = parse_exposition(text)
+        assert values['repro_serve_requests_total{op="mul"}'] == 7.0
+        assert values["repro_serve_queue_depth"] == 3.0
+        assert values["repro_serve_latency_ms_count"] == 1.0
+        assert values["repro_serve_latency_ms_sum"] == 12.0
+
+    def test_render_includes_buckets_and_quantiles(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 3.0, 30.0):
+            registry.histogram("latency_ms").observe(value)
+        text = registry.render()
+        assert 'latency_ms_bucket{le="+Inf"} 3' in text
+        assert 'quantile="0.99"' in text
+
+
+class TestTracing:
+    def test_disabled_tracer_allocates_nothing(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.begin("j1", "mul") is None
+        tracer.record(None)
+        assert tracer.completed() == []
+        assert tracer.dump() is None
+
+    def test_span_decomposition(self):
+        trace = RequestTrace("j1", "mul")
+        for name in ("received", "admitted", "batched",
+                     "execute_start", "execute_end", "responded"):
+            trace.mark(name)
+        trace.annotate(batch_size=4)
+        data = trace.to_dict()
+        assert data["id"] == "j1"
+        assert set(data["spans_ms"]) == {
+            "received->admitted", "admitted->batched",
+            "batched->execute_start", "execute_start->execute_end",
+            "execute_end->responded"}
+        assert data["meta"]["batch_size"] == 4
+        assert trace.span_ms("received", "responded") is not None
+        assert trace.span_ms("received", "nope") is None
+
+    def test_env_enables_tracing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        tracer = Tracer()
+        trace = tracer.begin("j2", "div")
+        assert trace is not None
+        tracer.record(trace)
+        assert tracer.recorded == 1
+
+    def test_dump_writes_jsonl(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        for index in range(3):
+            trace = tracer.begin("j%d" % index, "mul")
+            trace.mark("responded")
+            tracer.record(trace)
+        target = tmp_path / "trace.jsonl"
+        written = tracer.dump(target)
+        assert written == target
+        lines = target.read_text().splitlines()
+        assert len(lines) == 3
+        assert json.loads(lines[0])["op"] == "mul"
+        # The buffer drains on dump.
+        assert tracer.completed() == []
+
+    def test_capacity_bounds_the_buffer(self):
+        tracer = Tracer(enabled=True, capacity=2)
+        for index in range(5):
+            tracer.record(tracer.begin("j%d" % index, "mul"))
+        assert len(tracer.completed()) == 2
+        assert tracer.recorded == 5

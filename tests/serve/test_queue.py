@@ -1,0 +1,155 @@
+"""Admission control: depth bound, wait bound, priority ordering."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.jobs import make_job
+from repro.serve.queue import (SHED_QUEUE_FULL, SHED_SHUTTING_DOWN,
+                               SHED_WAIT_EXCEEDED, AdmissionQueue)
+
+
+def _job(priority=0, cost=None, a=123456789):
+    job = make_job({"op": "mul", "params": {"a": a, "b": 3},
+                    "priority": priority})
+    if cost is not None:
+        job.cost_cycles = cost
+    return job
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmission:
+    def test_depth_bound_is_hard(self):
+        queue = AdmissionQueue(capacity=3)
+        for _ in range(3):
+            assert queue.try_submit(_job()) is None
+        assert queue.try_submit(_job()) == SHED_QUEUE_FULL
+        assert queue.depth == 3
+        assert queue.max_depth == 3
+        assert queue.shed == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+    def test_closed_queue_sheds_shutting_down(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.close()
+        assert queue.try_submit(_job()) == SHED_SHUTTING_DOWN
+
+    def test_wait_bound_uses_observed_rate(self):
+        queue = AdmissionQueue(capacity=100, max_wait_ms=10.0)
+        #
+
+        # Before any observation there is no rate: depth rules alone.
+        assert queue.estimated_wait_ms() is None
+        assert queue.try_submit(_job(cost=1000.0)) is None
+        # 1 cycle per ms observed -> 1000 pending cycles = 1000 ms
+        # estimated wait, far over the 10 ms bound.
+        queue.observe_service(cycles=100.0, wall_ms=100.0)
+        assert queue.try_submit(_job(cost=1000.0)) == SHED_WAIT_EXCEEDED
+        assert queue.depth == 1
+
+    def test_wait_estimate_tracks_backlog(self):
+        queue = AdmissionQueue(capacity=100)
+        queue.observe_service(cycles=1000.0, wall_ms=10.0)  # 100 c/ms
+        for _ in range(4):
+            queue.try_submit(_job(cost=200.0))
+        assert queue.estimated_wait_ms() == pytest.approx(8.0)
+
+    def test_ewma_smooths_rate(self):
+        queue = AdmissionQueue(capacity=10)
+        queue.observe_service(1000.0, 10.0)
+        first = queue.estimated_wait_ms(extra_cycles=100.0)
+        queue.observe_service(10.0, 10.0)   # much slower batch
+        second = queue.estimated_wait_ms(extra_cycles=100.0)
+        assert second > first
+
+
+class TestOrdering:
+    def test_priority_first_fifo_within(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=10)
+            low1, low2 = _job(priority=1), _job(priority=1)
+            high = _job(priority=8)
+            for job in (low1, low2, high):
+                queue.try_submit(job)
+            assert await queue.get(0.01) is high
+            assert await queue.get(0.01) is low1
+            assert await queue.get(0.01) is low2
+        run(scenario())
+
+    def test_get_times_out_empty(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=2)
+            assert await queue.get(timeout=0.01) is None
+        run(scenario())
+
+    def test_get_wakes_on_submit(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=2)
+
+            async def feed():
+                await asyncio.sleep(0.02)
+                queue.try_submit(_job())
+
+            feeder = asyncio.ensure_future(feed())
+            job = await queue.get(timeout=1.0)
+            await feeder
+            return job
+
+        assert run(scenario()) is not None
+
+    def test_take_compatible_filters_and_orders(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=10)
+            mul_low = _job(priority=0)
+            div = make_job({"op": "div",
+                            "params": {"a": 100, "b": 7}})
+            mul_high = _job(priority=5)
+            for job in (mul_low, div, mul_high):
+                queue.try_submit(job)
+            taken = queue.take_compatible("mul", 8)
+            assert taken == [mul_high, mul_low]
+            assert queue.depth == 1          # the div job remains
+            assert queue.take_compatible("mul", 8) == []
+        run(scenario())
+
+    def test_take_compatible_respects_limit(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=10)
+            jobs = [_job(priority=p) for p in (1, 9, 5)]
+            for job in jobs:
+                queue.try_submit(job)
+            taken = queue.take_compatible("mul", 2)
+            assert [job.priority for job in taken] == [9, 5]
+        run(scenario())
+
+    def test_pending_cycles_balance(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=10)
+            for cost in (100.0, 200.0, 300.0):
+                queue.try_submit(_job(cost=cost))
+            assert queue.pending_cycles == pytest.approx(600.0)
+            await queue.get(0.01)
+            queue.take_compatible("mul", 8)
+            assert queue.pending_cycles == pytest.approx(0.0)
+        run(scenario())
+
+    def test_close_wakes_waiting_consumer(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=2)
+
+            async def closer():
+                await asyncio.sleep(0.02)
+                queue.close()
+
+            task = asyncio.ensure_future(closer())
+            job = await queue.get(timeout=5.0)
+            await task
+            return job
+
+        assert run(scenario()) is None

@@ -104,6 +104,51 @@ class TestBatchingDriver:
             == from_nat(driver.llc.read(a)) * from_nat(driver.llc.read(b))
 
 
+class TestSubmitFlush:
+    def test_flush_runs_pending_work(self, rng):
+        driver = BatchingDriver()
+        values = [rng.getrandbits(800) for _ in range(4)]
+        refs = [driver.alloc(to_nat(v)) for v in values]
+        assert driver.submit(mul_instruction(refs[0], refs[1], 300)) \
+            is None
+        assert driver.submit(mul_instruction(refs[2], refs[3], 301)) \
+            is None
+        assert driver.pending == 2
+        _, stats = driver.flush()
+        assert driver.pending == 0
+        assert stats["batched_multiplies"] == 2
+        assert from_nat(driver.result(300)) == values[0] * values[1]
+        assert from_nat(driver.result(301)) == values[2] * values[3]
+
+    def test_flush_empty_is_a_cheap_no_op(self):
+        driver = BatchingDriver()
+        retirements, stats = driver.flush()
+        assert retirements == []
+        assert stats["batched_multiplies"] == 0
+
+    def test_max_pending_forces_automatic_flush(self, rng):
+        driver = BatchingDriver(max_pending=2)
+        values = [rng.getrandbits(600) for _ in range(6)]
+        refs = [driver.alloc(to_nat(v)) for v in values]
+        assert driver.submit(mul_instruction(refs[0], refs[1], 400)) \
+            is None
+        flushed = driver.submit(mul_instruction(refs[2], refs[3], 401))
+        assert flushed is not None          # guard fired at 2 pending
+        assert driver.pending == 0
+        assert from_nat(driver.result(400)) == values[0] * values[1]
+        assert from_nat(driver.result(401)) == values[2] * values[3]
+        # The next submit starts a fresh batch.
+        assert driver.submit(mul_instruction(refs[4], refs[5], 402)) \
+            is None
+        driver.flush()
+        assert from_nat(driver.result(402)) == values[4] * values[5]
+
+    def test_max_pending_must_be_positive(self):
+        from repro.mpn import MpnError
+        with pytest.raises(MpnError):
+            BatchingDriver(max_pending=0)
+
+
 class TestRandomPrograms:
     def test_batching_driver_matches_serial_driver(self, rng):
         """Random DAG programs: the batching driver and the plain
