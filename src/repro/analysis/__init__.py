@@ -25,10 +25,12 @@ from repro.analysis.lint import LintReport, Violation, lint_paths, lint_source
 from repro.analysis.rules import ALL_RULES, Rule
 from repro.analysis.sanitize import (SanitizerError, install, is_enabled,
                                      sanitizer, uninstall)
-from repro.analysis.stream import StreamError, StreamViolation, verify_stream
+from repro.analysis.stream import (StreamError, StreamViolation,
+                                   verify_plan, verify_stream)
 
 __all__ = [
     "ALL_RULES", "LintReport", "Rule", "SanitizerError", "StreamError",
     "StreamViolation", "Violation", "install", "is_enabled", "lint_paths",
-    "lint_source", "sanitizer", "uninstall", "verify_stream",
+    "lint_source", "sanitizer", "uninstall", "verify_plan",
+    "verify_stream",
 ]

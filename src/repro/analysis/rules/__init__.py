@@ -25,6 +25,8 @@ RPR008 magic-limb-constant       limb geometry comes from ``nat``
 RPR009 print-in-kernel           compute layers do not write to stdout
 RPR010 broad-except              no silent exception swallowing
 RPR011 blocking-call-in-async    the serve event loop never blocks
+RPR012 direct-dispatch           work reaches kernels/ISA streams only
+                                 through the repro.plan lowering
 ====== ========================= =========================================
 """
 
@@ -34,6 +36,7 @@ from repro.analysis.rules.base import FileContext, Rule, RuleViolation
 from repro.analysis.rules.concurrency import BlockingCallInAsync
 from repro.analysis.rules.determinism import (FloatInCycleModel,
                                               Nondeterminism)
+from repro.analysis.rules.dispatch import DirectDispatch
 from repro.analysis.rules.kernel import (BigintInKernel, CallerAliasing,
                                          UnnormalizedReturn)
 from repro.analysis.rules.library import (BareAssertInLibrary, BroadExcept,
@@ -53,6 +56,7 @@ ALL_RULES = (
     PrintInKernel(),
     BroadExcept(),
     BlockingCallInAsync(),
+    DirectDispatch(),
 )
 
 RULES_BY_NAME = {rule.name: rule for rule in ALL_RULES}

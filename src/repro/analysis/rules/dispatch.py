@@ -1,0 +1,66 @@
+"""Dispatch-discipline rule: work reaches kernels through the plan IR.
+
+Every layer above the mpn package is supposed to lower requests through
+:mod:`repro.plan` — ``OpSpec → select → Plan`` — and execute the Plan,
+so algorithm choice stays behind the tuned thresholds and every cost /
+cache key comes from one place.  A caller that invokes a concrete
+kernel entrypoint (``mul_karatsuba``, ``divmod_newton``, ...) or
+hand-builds an ISA ``Instruction`` has bypassed that contract: its
+algorithm choice silently ignores ``repro tune`` output and its work is
+invisible to plan verification and memo-key salting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.rules.base import (FileContext, Rule, RuleViolation,
+                                       call_name)
+
+#: Concrete algorithm entrypoints (the dispatchers ``mul``/``mul_int``/
+#: ``divmod_nat`` stay callable anywhere — they route through
+#: plan.select themselves).
+KERNEL_ENTRYPOINTS = frozenset({
+    "mul_schoolbook", "sqr_schoolbook",
+    "mul_karatsuba", "sqr_karatsuba",
+    "mul_toom", "mul_ssa",
+    "divmod_schoolbook", "divmod_newton", "divmod_bz",
+})
+
+
+class DirectDispatch(Rule):
+    """RPR012: no direct kernel calls or ISA stream construction
+    outside the plan/mpn internals."""
+
+    name = "direct-dispatch"
+    code = "RPR012"
+    rationale = ("Layers above mpn must lower work through repro.plan "
+                 "(OpSpec -> select -> Plan); calling a concrete kernel "
+                 "or hand-building an ISA Instruction bypasses the "
+                 "tuned thresholds, plan verification, and the memo-key "
+                 "salting that keeps result caches honest.")
+
+    def applies(self, ctx: FileContext) -> bool:
+        # mpn owns the kernels; plan's lowering/streams are the one
+        # sanctioned construction site; core.isa defines Instruction.
+        return not ctx.in_mpn and "plan" not in ctx.parts \
+            and ctx.filename != "isa.py"
+
+    def check(self, ctx: FileContext) -> List[RuleViolation]:
+        found: List[RuleViolation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in KERNEL_ENTRYPOINTS:
+                found.append(self.violation(
+                    node, "direct call to kernel entrypoint %s(); "
+                    "lower the request through repro.plan and execute "
+                    "the Plan instead" % name))
+            elif name == "Instruction":
+                found.append(self.violation(
+                    node, "hand-built ISA Instruction; device streams "
+                    "come from repro.plan.streams.instructions_for "
+                    "(or BatchingDriver.submit_plan)"))
+        return found

@@ -26,6 +26,14 @@ SV-IPSHAPE IP vector shapes: equal limb counts, at least one element
 SV-PLAN    MUL operands fit the monolithic chunk/window plan (the
            LLC-streaming limit) and the plan covers every output point
 ========== ===========================================================
+
+:func:`verify_plan` applies the same treatment one layer up, to the
+lowered :class:`~repro.plan.lowering.Plan` IR (checks ``PV-*``): the
+cost estimate is sane, the backend resolution is legal, the recorded
+algorithm matches what re-running selection under the plan's own
+thresholds fingerprint produces, and — for device plans given
+operands — the materialized instruction stream passes every ``SV-*``
+check above.
 """
 
 from __future__ import annotations
@@ -225,6 +233,95 @@ def _check_plan(index: int, instruction: Instruction,
         report(index, instruction, "SV-PLAN",  # pragma: no cover - guard
                "chunk/window plan does not cover the %dx%d-limb product"
                % (limbs[0], limbs[1]))
+
+
+def verify_plan(plan, operands: Optional[Sequence] = None,
+                config: CambriconPConfig = DEFAULT_CONFIG
+                ) -> List[StreamViolation]:
+    """Statically check one lowered Plan; returns all hazards found.
+
+    Plan-level checks (op_index -1 marks the plan itself):
+
+    * **PV-COST** — the cycle estimate is finite and non-negative;
+    * **PV-BACKEND** — the resolved backend is legal for the op
+      (``device`` only for muls within the monolithic limit);
+    * **PV-ALGO** — for muls, re-deriving selection from the plan's
+      recorded thresholds fingerprint reproduces the recorded
+      algorithm (a mismatch means the plan was built under different
+      tuning than it claims, so its memo key is a lie);
+    * **PV-STEPS** — the step chain is non-empty and device plans
+      carry a stream step.
+
+    For device plans, passing ``operands`` additionally materializes
+    the instruction stream (:func:`repro.plan.streams.
+    instructions_for`) against a real LLC and runs every ``SV-*``
+    check on it; those violations are appended with their op-index
+    provenance.
+    """
+    import math
+
+    from repro.plan import select
+    from repro.plan.spec import PlanError
+
+    violations: List[StreamViolation] = []
+    provenance = "plan %s" % plan.spec.describe()
+
+    def report(check: str, message: str) -> None:
+        violations.append(StreamViolation(-1, check, message, provenance))
+
+    cost = plan.cost_cycles
+    if not (isinstance(cost, (int, float)) and math.isfinite(cost)
+            and cost >= 0.0):
+        report("PV-COST", "cost estimate %r is not a finite "
+               "non-negative cycle count" % (cost,))
+
+    if plan.backend not in ("library", "device"):
+        report("PV-BACKEND", "unresolved backend %r" % (plan.backend,))
+    elif plan.backend == "device":
+        if plan.spec.op != "mul":
+            report("PV-BACKEND", "only mul lowers to a device stream; "
+                   "%r cannot run on the device" % (plan.spec.op,))
+        elif max(plan.spec.bits_a, plan.spec.bits_b) \
+                > config.monolithic_max_bits:
+            report("PV-BACKEND",
+                   "device mul at %d bits exceeds the %d-bit "
+                   "monolithic limit"
+                   % (max(plan.spec.bits_a, plan.spec.bits_b),
+                      config.monolithic_max_bits))
+
+    if plan.spec.op == "mul" and plan.backend in ("library", "device"):
+        if plan.backend == "device":
+            expected = "monolithic"
+        else:
+            from repro.mpn.nat import LIMB_BITS
+            min_limbs = -(-min(max(plan.spec.bits_a, 1),
+                               max(plan.spec.bits_b, 1)) // LIMB_BITS)
+            expected = select.mul_algorithm(min_limbs, plan.policy())
+        if plan.algorithm != expected:
+            report("PV-ALGO",
+                   "plan records algorithm %r but selection under its "
+                   "own thresholds fingerprint yields %r"
+                   % (plan.algorithm, expected))
+
+    if not plan.steps:
+        report("PV-STEPS", "plan has no execution steps")
+    elif plan.backend == "device" \
+            and not any(step.kind == "stream" for step in plan.steps):
+        report("PV-STEPS", "device plan carries no stream step")
+
+    if operands is not None and plan.backend == "device" \
+            and not violations:
+        from repro.core.isa import Driver
+        from repro.plan.streams import instructions_for
+        driver = Driver()
+        refs = [driver.alloc(value) for value in operands]
+        try:
+            program = instructions_for(plan, refs, destination=1 << 20)
+        except PlanError as error:
+            report("PV-STREAM", str(error))
+        else:
+            violations.extend(verify_stream(program, driver.llc, config))
+    return violations
 
 
 def _result_upper_bound(instruction: Instruction,

@@ -202,6 +202,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes (default: $REPRO_WORKERS)")
     figures.set_defaults(handler=_cmd_figures)
 
+    plan_parser = commands.add_parser(
+        "plan", help="lower one operation to its execution plan")
+    plan_parser.add_argument("op",
+                             choices=["mul", "div", "mod", "powmod",
+                                      "sqrt", "add", "sub", "pi_digits",
+                                      "model_cycles"],
+                             help="operation to lower")
+    plan_parser.add_argument("--bits", type=int, default=4096,
+                             help="bit width of the first operand "
+                                  "(default 4096)")
+    plan_parser.add_argument("--bits-b", type=int, default=None,
+                             help="bit width of the second operand "
+                                  "(default: --bits)")
+    plan_parser.add_argument("--digits", type=int, default=100,
+                             help="pi_digits: decimal digits requested")
+    plan_parser.add_argument("--backend",
+                             choices=["auto", "library", "device"],
+                             default="auto",
+                             help="force the execution backend")
+    plan_parser.add_argument("--verify", action="store_true",
+                             help="run the static plan verifier on the "
+                                  "lowered plan")
+    plan_parser.set_defaults(handler=_cmd_plan)
+
     lint = commands.add_parser(
         "lint", help="run the kernel-contract linter")
     lint.add_argument("paths", nargs="*",
@@ -314,6 +338,40 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.stream import verify_plan
+    from repro.plan import OpSpec, PlanError
+    from repro.plan.lowering import lower
+
+    bits_b = args.bits_b if args.bits_b is not None else args.bits
+    detail = ()
+    bits_a = args.bits
+    if args.op == "pi_digits":
+        detail = (("digits", args.digits),)
+        bits_a = bits_b = 0
+    elif args.op == "model_cycles":
+        detail = (("model_op", "mul"),)
+        bits_b = 0
+    elif args.op == "powmod":
+        # mod width rides bits_a, exponent width bits_b; CLI lowering
+        # assumes the common odd-modulus (Montgomery) case.
+        detail = (("mod_odd", 1),)
+    try:
+        spec = OpSpec(args.op, bits_a, bits_b, args.backend, detail)
+        plan = lower(spec)
+    except PlanError as error:
+        print("plan: %s" % error, file=sys.stderr)
+        return 2
+    print(plan.describe())
+    if args.verify:
+        violations = verify_plan(plan)
+        for violation in violations:
+            print(violation.render())
+        print("verify: %d hazard(s)" % len(violations))
+        return 0 if not violations else 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -353,7 +411,9 @@ def _load_stream_program(path: str):
         llc.write(int(address), nat_from_int(number))
     program = []
     for entry in description.get("program", []):
-        program.append(Instruction(
+        # The stream loader deserializes externally-authored programs
+        # for verification; there is no plan to lower here.
+        program.append(Instruction(  # repro: noqa=direct-dispatch -- deserializing a user-supplied stream
             opcode=Opcode(entry["op"].lower()),
             sources=tuple(OperandRef(int(addr), int(bits))
                           for addr, bits in entry.get("sources", [])),
@@ -398,8 +458,8 @@ def _verify_stream_selftest() -> int:
     a = driver.alloc(nat_from_int(3 ** 50))
     b = driver.alloc(nat_from_int(7 ** 40))
     good = [
-        Instruction(Opcode.MUL, (a, b), destination=2),
-        Instruction(Opcode.SHL, (OperandRef(2, a.bits + b.bits),),
+        Instruction(Opcode.MUL, (a, b), destination=2),  # repro: noqa=direct-dispatch -- selftest needs raw streams
+        Instruction(Opcode.SHL, (OperandRef(2, a.bits + b.bits),),  # repro: noqa=direct-dispatch -- selftest needs raw streams
                     destination=3, immediate=64),
     ]
     clean = driver.verify(good)
@@ -409,8 +469,8 @@ def _verify_stream_selftest() -> int:
         print("selftest FAILED: well-formed stream reported hazardous")
         return 1
     hazardous = [
-        Instruction(Opcode.MUL, (a, OperandRef(99, 8)), destination=0),
-        Instruction(Opcode.ADD, (a,), destination=4, immediate=3),
+        Instruction(Opcode.MUL, (a, OperandRef(99, 8)), destination=0),  # repro: noqa=direct-dispatch -- seeding hazards on purpose
+        Instruction(Opcode.ADD, (a,), destination=4, immediate=3),  # repro: noqa=direct-dispatch -- seeding hazards on purpose
     ]
     hazards = driver.verify(hazardous)
     checks = sorted({violation.check for violation in hazards})

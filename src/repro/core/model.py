@@ -217,79 +217,6 @@ class CambriconPModel:
         return cycles / self.config.frequency_hz
 
 
-#: Shared model instance for the module-level estimator below.
-_DEFAULT_MODEL = None
-
-
-def _default_model() -> "CambriconPModel":
-    global _DEFAULT_MODEL
-    if _DEFAULT_MODEL is None:
-        _DEFAULT_MODEL = CambriconPModel(DEFAULT_CONFIG)
-    return _DEFAULT_MODEL
-
-
-#: Cycle multipliers for the composite operators, mirroring the MPApca
-#: runtime's composition (:mod:`repro.runtime.mpapca`): division by
-#: Newton reciprocal costs ~3.5 multiplies at operand size, square
-#: root ~2 (precision-doubling Newton), and Montgomery exponentiation
-#: ~2.75 hardware products per exponent bit.
-_COMPOSITE_MUL_FACTORS = {
-    "div": 3.5,
-    "mod": 3.5,
-    "sqrt": 2.0,
-}
-_POWMOD_PRODUCTS_PER_EXP_BIT = 2.75
-
-#: Operators :func:`estimate_request_cycles` understands.
-ESTIMATABLE_OPS = frozenset(
-    {"mul", "add", "sub", "shift", "cmp", "powmod"}
-    | set(_COMPOSITE_MUL_FACTORS))
-
-
-def _quantize_bits(bits: int) -> int:
-    """Round a bitwidth up to a power of two (cache-friendly bands)."""
-    return 1 << max(0, int(bits) - 1).bit_length() if bits > 1 else 1
-
-
-def estimate_request_cycles(op: str, bits_a: int, bits_b: int = 0,
-                            model: "CambriconPModel" = None) -> float:
-    """Coarse per-request cycle estimate for service admission control.
-
-    The serve layer (:mod:`repro.serve.queue`) prices every queued job
-    so it can shed load when the estimated wait exceeds its bound.
-    Admission runs on the request path, so the estimate is deliberately
-    cheap: bitwidths quantize up to powers of two (bounding the
-    distinct :meth:`CambriconPModel.multiply_cycles` plans the memo
-    cache must hold) and composite operators use fixed multiplier
-    factors instead of walking the runtime's recursive selection.  It
-    is an upper-band estimate for queueing, not the priced cost —
-    :func:`repro.runtime.price_trace` remains the honest model.
-    """
-    if model is None:
-        model = _default_model()
-    if op not in ESTIMATABLE_OPS:
-        raise ValueError("estimate_request_cycles: unknown operator %r "
-                         "(expected one of %s)"
-                         % (op, ", ".join(sorted(ESTIMATABLE_OPS))))
-    if bits_a < 0 or bits_b < 0:
-        raise ValueError("estimate_request_cycles: negative bitwidth")
-    wide = _quantize_bits(max(bits_a, bits_b, 1))
-    if op in ("add", "sub"):
-        return model.add_cycles(wide)
-    if op == "shift":
-        return model.shift_cycles()
-    if op == "cmp":
-        return float(DISPATCH_CYCLES)
-    mul = model.multiply_cycles(wide, wide)
-    if op == "mul":
-        return mul
-    if op == "powmod":
-        exp_bits = max(1, bits_b)
-        return (_POWMOD_PRODUCTS_PER_EXP_BIT * exp_bits * mul
-                + DISPATCH_CYCLES)
-    return _COMPOSITE_MUL_FACTORS[op] * mul + DISPATCH_CYCLES
-
-
 def cycle_cache():
     """The process-wide cycle-evaluation memo cache."""
     return _CYCLE_CACHE

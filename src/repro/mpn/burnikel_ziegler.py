@@ -18,10 +18,13 @@ from typing import Callable, List, Tuple
 from repro.mpn import nat
 from repro.mpn.div import divmod_schoolbook
 from repro.mpn.nat import LIMB_BITS, MpnError, Nat
+from repro.plan import select as _select
 
 MulFn = Callable[[Nat, Nat], Nat]
 
-#: Below this many divisor limbs, fall back to Algorithm D.
+#: Below this many divisor limbs, fall back to Algorithm D.  Read at
+#: call time and passed to :func:`repro.plan.select.bz_algorithm` as an
+#: explicit override (monkeypatch-friendly, planner-visible).
 BZ_THRESHOLD_LIMBS = 24
 
 
@@ -100,7 +103,10 @@ def divmod_bz(a: Nat, b: Nat, mul_fn: MulFn) -> Tuple[Nat, Nat]:
         raise MpnError("division by zero")
     if nat.cmp(a, b) < 0:
         return [], list(a)
-    if len(b) <= BZ_THRESHOLD_LIMBS:
+    # select's threshold is the smallest *winning* size, so the legacy
+    # "at or below stays schoolbook" constant maps to threshold + 1.
+    if _select.bz_algorithm(len(b), BZ_THRESHOLD_LIMBS + 1) \
+            == "schoolbook":
         return divmod_schoolbook(a, b)
 
     # Normalize: divisor length a power-of-two multiple of limbs with

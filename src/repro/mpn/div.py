@@ -18,10 +18,14 @@ from typing import Callable, Tuple
 
 from repro.mpn import nat
 from repro.mpn.nat import LIMB_BASE, LIMB_BITS, LIMB_MASK, MpnError, Nat
+from repro.plan import select as _select
 
 MulFn = Callable[[Nat, Nat], Nat]
 
 #: Below this divisor size (bits) Newton division falls back to Algorithm D.
+#: Read at call time and passed to :func:`repro.plan.select.div_algorithm`
+#: as an explicit override, so monkeypatched values keep working and the
+#: planner sees the same threshold this kernel does.
 NEWTON_DIV_THRESHOLD_BITS = 2048
 
 
@@ -122,7 +126,8 @@ def divmod_newton(a: Nat, b: Nat, mul_fn: MulFn) -> Tuple[Nat, Nat]:
         return [], list(a)
     dividend_bits = nat.bit_length(a)
     divisor_bits = nat.bit_length(b)
-    if divisor_bits <= NEWTON_DIV_THRESHOLD_BITS:
+    if _select.div_algorithm(
+            divisor_bits, NEWTON_DIV_THRESHOLD_BITS) == "schoolbook":
         return divmod_schoolbook(a, b)
 
     precision = dividend_bits - divisor_bits + 4
@@ -147,7 +152,10 @@ def divmod_newton(a: Nat, b: Nat, mul_fn: MulFn) -> Tuple[Nat, Nat]:
 def divmod_nat(a: Nat, b: Nat,
                mul_fn: MulFn | None = None) -> Tuple[Nat, Nat]:
     """Exact (quotient, remainder); picks schoolbook or Newton by size."""
-    if mul_fn is None or nat.bit_length(b) <= NEWTON_DIV_THRESHOLD_BITS:
+    algorithm = _select.div_algorithm(nat.bit_length(b),
+                                      NEWTON_DIV_THRESHOLD_BITS,
+                                      has_mul_fn=mul_fn is not None)
+    if algorithm == "schoolbook":
         return divmod_schoolbook(a, b)
     return divmod_newton(a, b, mul_fn)
 

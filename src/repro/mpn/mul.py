@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.mpn import nat
+from repro.plan import select as _select
 from repro.mpn.karatsuba import mul_karatsuba, sqr_karatsuba
 from repro.mpn.schoolbook import mul_schoolbook, sqr_schoolbook
 from repro.mpn.ssa import mul_ssa
@@ -46,18 +47,13 @@ class MulPolicy:
     ssa_limbs: int
 
     def algorithm_for(self, min_limbs: int) -> str:
-        """Name of the algorithm used for operands of this many limbs."""
-        if min_limbs >= self.ssa_limbs:
-            return "ssa"
-        if min_limbs >= self.toom6_limbs:
-            return "toom6"
-        if min_limbs >= self.toom4_limbs:
-            return "toom4"
-        if min_limbs >= self.toom3_limbs:
-            return "toom3"
-        if min_limbs >= self.karatsuba_limbs:
-            return "karatsuba"
-        return "basecase"
+        """Name of the algorithm used for operands of this many limbs.
+
+        Delegates to :func:`repro.plan.select.mul_algorithm` — the one
+        crossover lookup the planner also prices and caches against —
+        so dispatch and planning cannot drift.
+        """
+        return _select.mul_algorithm(min_limbs, self)
 
 
 #: GMP-6.2-shaped thresholds (x86-64 tuning ballpark).

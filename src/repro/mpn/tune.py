@@ -143,6 +143,15 @@ class Thresholds:
             ssa_limbs=self.ssa_limbs,
         )
 
+    def fingerprint(self) -> Tuple[int, ...]:
+        """The tuple identifying this tuning state.
+
+        Salts every plan memo key (:mod:`repro.plan.lowering`), so a
+        retune invalidates downstream result caches wholesale.
+        """
+        from repro.plan import select
+        return select.fingerprint(self)
+
     def mul_crossovers(self) -> List[Tuple[str, int]]:
         """(name, limbs) for every multiplication crossover, ascending."""
         return [("karatsuba", self.karatsuba_limbs),

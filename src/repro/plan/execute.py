@@ -1,0 +1,124 @@
+"""Plan execution: run a lowered Plan on its operand values.
+
+The library backend executes through the mpn kernels *under the plan's
+own selection policy*, so what runs is exactly what the plan priced and
+what the memo key describes.  The device backend allocs operands into
+a driver's shared LLC and retires the plan's instruction stream
+(:mod:`repro.plan.streams`).
+
+Results are raw Python values (ints, floats, app result records) —
+transport encoding (hex strings for the serve protocol) stays with the
+caller.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.plan.spec import OpSpec, PlanError
+
+
+def _plan_mul_fn(plan):
+    from repro.mpn.mul import mul as raw_mul
+    policy = plan.policy()
+    return lambda x, y: raw_mul(x, y, policy)
+
+
+def run(plan, params: Dict[str, Any], device=None) -> Dict[str, Any]:
+    """Execute one Plan with concrete parameters.
+
+    ``params`` uses the serve job vocabulary (``a``/``b``, ``base``/
+    ``exp``/``mod``, ``digits``, model query fields).  ``device`` — a
+    :class:`~repro.core.accelerator.CambriconP` — is required for
+    device-backed plans and ignored otherwise.
+    """
+    from repro.mpn import nat_from_int, nat_to_int
+
+    op = plan.spec.op
+    if plan.backend == "device":
+        if op != "mul":
+            raise PlanError("device execution supports only mul")
+        return {"product": _device_mul(plan, params["a"], params["b"],
+                                       device)}
+    if op == "mul":
+        mul_fn = _plan_mul_fn(plan)
+        product = mul_fn(nat_from_int(params["a"]),
+                         nat_from_int(params["b"]))
+        return {"product": nat_to_int(product)}
+    if op in ("div", "mod"):
+        from repro.mpn.div import divmod_nat
+        quotient, remainder = divmod_nat(nat_from_int(params["a"]),
+                                         nat_from_int(params["b"]),
+                                         _plan_mul_fn(plan))
+        if op == "mod":
+            return {"remainder": nat_to_int(remainder)}
+        return {"quotient": nat_to_int(quotient),
+                "remainder": nat_to_int(remainder)}
+    if op == "powmod":
+        from repro.mpn.montgomery import powmod
+        value = powmod(nat_from_int(params["base"]),
+                       nat_from_int(params["exp"]),
+                       nat_from_int(params["mod"]),
+                       _plan_mul_fn(plan))
+        return {"value": nat_to_int(value)}
+    if op == "pi_digits":
+        from repro.apps import pi
+        result = pi.run(int(params["digits"]))
+        return {"digits": result.digits, "terms": result.terms,
+                "precision_bits": result.precision_bits}
+    if op == "model_cycles":
+        cycles = model_query(params["op"], int(params.get("bits_a", 0)),
+                             int(params.get("bits_b", 0)))
+        return {"cycles": cycles}
+    raise PlanError("no executor for operator %r" % (op,))
+
+
+def _device_mul(plan, a: int, b: int, device) -> int:
+    from repro.core.isa import Driver
+    from repro.mpn import nat_from_int, nat_to_int
+    from repro.plan import streams
+    driver = Driver(device)
+    destination = 1 << 20
+    streams.run_on_driver(driver, plan,
+                          [nat_from_int(a), nat_from_int(b)],
+                          destination)
+    return nat_to_int(driver.result(destination))
+
+
+def model_query(model_op: str, bits_a: int, bits_b: int) -> float:
+    """Price one operator on the MPApca cycle model (pure lookup)."""
+    from repro.runtime import mpapca
+    if model_op == "mul":
+        return mpapca.mul_cycles(max(1, bits_a), max(1, bits_b))
+    if model_op in ("add", "sub"):
+        return mpapca.add_cycles(bits_a, bits_b)
+    if model_op == "shift":
+        return mpapca.shift_cycles()
+    if model_op == "cmp":
+        return float(mpapca.DISPATCH_CYCLES)
+    if model_op in ("div", "mod"):
+        return mpapca.div_cycles(max(1, bits_a), max(1, bits_b))
+    if model_op == "sqrt":
+        return mpapca.sqrt_cycles(max(1, bits_a))
+    if model_op == "powmod":
+        return mpapca.powmod_cycles(max(1, bits_a), max(1, bits_b))
+    raise PlanError("unknown model op %r" % (model_op,))
+
+
+def plan_for_job(op: str, params: Dict[str, Any],
+                 thresholds=None, backend: Optional[str] = None):
+    """Spec + lower in one call, honouring value-derived detail.
+
+    The one extra over :meth:`OpSpec.for_job`: powmod records the
+    modulus parity (it selects Montgomery vs. division-based
+    exponentiation), which only the values can tell.
+    """
+    from repro.plan.lowering import lower
+    spec = OpSpec.for_job(op, params)
+    if op == "powmod":
+        spec = OpSpec("powmod", spec.bits_a, spec.bits_b, spec.backend,
+                      (("mod_odd", int(params["mod"] & 1)),))
+    if backend is not None:
+        spec = OpSpec(spec.op, spec.bits_a, spec.bits_b, backend,
+                      spec.detail)
+    return lower(spec, thresholds)

@@ -1,0 +1,52 @@
+"""ISA-stream construction for device-backed Plans.
+
+The only place outside :mod:`repro.core.isa` itself that assembles
+:class:`~repro.core.isa.Instruction` streams (lint rule RPR012 keeps it
+that way): runtime drivers and the serve batcher hand a lowered
+:class:`~repro.plan.lowering.Plan` plus operand descriptors here and
+submit whatever comes back.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.isa import Instruction, Opcode, OperandRef
+from repro.plan.spec import PlanError
+
+#: Opcodes for the device-lowerable operators.
+_STREAM_OPCODES = {
+    "mul": Opcode.MUL,
+    "add": Opcode.ADD,
+    "sub": Opcode.SUB,
+}
+
+
+def instructions_for(plan, sources: Sequence[OperandRef],
+                     destination: int) -> List[Instruction]:
+    """The instruction stream realizing one device Plan.
+
+    ``sources`` are LLC descriptors for the operand values (already
+    resident, e.g. via ``driver.alloc``); ``destination`` is the LLC
+    address the result retires to.
+    """
+    if plan.backend != "device":
+        raise PlanError("instructions_for: plan for %r lowered to the "
+                        "%s backend, not a device stream"
+                        % (plan.spec.op, plan.backend))
+    opcode = _STREAM_OPCODES.get(plan.spec.op)
+    if opcode is None:
+        raise PlanError("instructions_for: no stream lowering for %r"
+                        % (plan.spec.op,))
+    if len(sources) != 2:
+        raise PlanError("%s stream expects 2 operands, got %d"
+                        % (plan.spec.op, len(sources)))
+    return [Instruction(opcode, (sources[0], sources[1]),
+                        destination=destination)]
+
+
+def run_on_driver(driver, plan, operands, destination: int):
+    """Alloc operands, build the plan's stream, execute it; the result
+    is readable at ``driver.result(destination)``."""
+    refs = [driver.alloc(value) for value in operands]
+    return driver.execute(instructions_for(plan, refs, destination))

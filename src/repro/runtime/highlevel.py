@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.mpn import nat
-from repro.mpn.div import divmod_newton, divmod_schoolbook
+from repro.mpn.div import divmod_nat
 from repro.mpn.montgomery import MontgomeryContext
 from repro.mpn.nat import MpnError, Nat
 from repro.mpn.sqrt import isqrt as _isqrt
@@ -62,10 +62,10 @@ class HighLevelOps:
         """
         if nat.is_zero(b):
             raise MpnError("division by zero")
-        if nat.bit_length(b) <= 2048:
-            # Small divisors: the host CPU path (schoolbook) wins.
-            return divmod_schoolbook(a, b)
-        return divmod_newton(a, b, self.runtime.mul)
+        # divmod_nat selects schoolbook vs. Newton through plan.select
+        # (small divisors: the host CPU path wins), with the runtime's
+        # mul composing the reciprocal iteration.
+        return divmod_nat(a, b, self.runtime.mul)
 
     # -- square root -----------------------------------------------------------
 

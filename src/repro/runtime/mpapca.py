@@ -220,6 +220,16 @@ def multiply_seconds(bits: int) -> float:
     return mul_cycles(bits, bits) / DEFAULT_CONFIG.frequency_hz
 
 
+@lru_cache(maxsize=4096)
+def _mul_plan(bits_a: int, bits_b: int, use_device: bool):
+    """The lowered multiply Plan for one width pair (cached: the
+    runtime calls this on every ``mul``)."""
+    from repro.plan import OpSpec
+    from repro.plan.lowering import lower
+    backend = "auto" if use_device else "library"
+    return lower(OpSpec("mul", bits_a, bits_b, backend), MPAPCA_POLICY)
+
+
 class MPApca:
     """Functional runtime: execute operators, accumulate modeled cost.
 
@@ -240,14 +250,36 @@ class MPApca:
     # -- operators -----------------------------------------------------------
 
     def mul(self, a: Nat, b: Nat) -> Nat:
-        """Multiplication (monolithic in hardware when it fits)."""
+        """Multiplication (monolithic in hardware when it fits).
+
+        The request lowers to a :class:`~repro.plan.lowering.Plan`
+        (under the MPApca hardware policy) and executes through
+        :meth:`execute_plan`, so what runs, what is accounted, and what
+        the planner would price are one and the same.
+        """
         bits_a, bits_b = _nat.bit_length(a), _nat.bit_length(b)
-        self._account(mul_cycles(bits_a, bits_b), 3 * max(bits_a, bits_b))
-        if (self.device is not None
-                and max(bits_a, bits_b) <= MONOLITHIC_MAX_BITS):
+        plan = _mul_plan(bits_a, bits_b, self.device is not None)
+        self._account(plan.cost(), 3 * max(bits_a, bits_b))
+        return self.execute_plan(plan, a, b)
+
+    def execute_plan(self, plan, *operands: Nat) -> Nat:
+        """Execute a lowered Plan's kernel chain or device stream.
+
+        Accounting is the caller's job (:meth:`mul` charges
+        ``plan.cost()``); execution is exact on either backend.
+        """
+        if plan.spec.op != "mul":
+            raise MpnError("MPApca executes mul plans; %r lowers "
+                           "through the high-level operators"
+                           % (plan.spec.op,))
+        a, b = operands
+        if plan.backend == "device":
+            if self.device is None:
+                raise MpnError("device-backed plan on a library-only "
+                               "runtime")
             product, _ = self.device.multiply(a, b)
             return product
-        return _raw_mul(a, b, MPAPCA_POLICY)
+        return _raw_mul(a, b, plan.policy())
 
     def add(self, a: Nat, b: Nat) -> Nat:
         """Parallel addition across PEs with chained GU carries."""

@@ -105,6 +105,25 @@ class BatchingDriver(Driver):
             return self.flush()
         return None
 
+    def submit_plan(self, plan, operands,
+                    destination: int
+                    ) -> Optional[Tuple[List[RetiredInstruction], dict]]:
+        """Buffer a device-backed Plan's instruction stream.
+
+        Operand values land in the shared LLC and the plan's lowered
+        stream (:func:`repro.plan.streams.instructions_for`) is
+        submitted instruction by instruction — the one sanctioned way
+        for callers above the runtime to turn work into device orders.
+        Returns whatever the last :meth:`submit` returned (a flushed
+        batch when the ``max_pending`` guard fires).
+        """
+        from repro.plan.streams import instructions_for
+        refs = [self.alloc(value) for value in operands]
+        flushed = None
+        for instruction in instructions_for(plan, refs, destination):
+            flushed = self.submit(instruction)
+        return flushed
+
     def flush(self) -> Tuple[List[RetiredInstruction], dict]:
         """Execute whatever is pending now (partial batches included).
 

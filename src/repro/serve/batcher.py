@@ -2,19 +2,22 @@
 
 The consumer half of the serve pipeline.  A single asyncio task pulls
 the highest-priority job off the :class:`~repro.serve.queue.
-AdmissionQueue`, coalesces queued jobs of the same operation into one
-batch until either ``max_batch`` is reached or the ``batch_ms``
-latency window expires, then dispatches the batch on a worker thread:
+AdmissionQueue`, coalesces queued jobs sharing a plan compatibility
+key (``Job.compat_key()`` — op + lowered backend) into one batch until
+either ``max_batch`` is reached or the ``batch_ms`` latency window
+expires, then dispatches the batch on a worker thread:
 
-* ``mul`` jobs whose operands fit the monolithic hardware limit run
-  through :class:`~repro.runtime.scheduler.BatchingDriver` — operands
-  land in the shared LLC, the MULs are submitted incrementally, and
-  the partial batch is forced out with the driver's ``flush()`` (one
-  pipelined device pass instead of per-job fills);
-* everything else (big muls, ``div``, ``powmod``, ``pi_digits``) runs
-  the direct library call via :class:`~repro.parallel.
-  ParallelExecutor`, with the executor's ``timeout=`` bounding a batch
-  by the tightest member deadline;
+* jobs whose plan lowered to the ``device`` backend (muls within the
+  monolithic hardware limit) run through :class:`~repro.runtime.
+  scheduler.BatchingDriver` — operands land in the shared LLC, each
+  plan's instruction stream is submitted incrementally via
+  ``submit_plan``, and the partial batch is forced out with the
+  driver's ``flush()`` (one pipelined device pass instead of per-job
+  fills);
+* everything else (library-backend plans: big muls, ``div``,
+  ``powmod``, ``pi_digits``) runs the direct library call via
+  :class:`~repro.parallel.ParallelExecutor`, with the executor's
+  ``timeout=`` bounding a batch by the tightest member deadline;
 * ``model_cycles`` and ``pi_digits`` results memoize in a small LRU —
   identical queries are answered from cache without touching the
   executor.
@@ -32,11 +35,9 @@ from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.accelerator import CambriconP
-from repro.core.isa import Instruction, Opcode
 from repro.core.model import DEFAULT_CONFIG
 from repro.mpn import nat_from_int, nat_to_int
 from repro.parallel import ExecutorTimeout, ParallelExecutor
-from repro.runtime.mpapca import MONOLITHIC_MAX_BITS
 from repro.runtime.scheduler import BatchingDriver
 from repro.serve import trace as tracing
 from repro.serve.jobs import Job, evaluate
@@ -100,7 +101,7 @@ class DynamicBatcher:
                 continue
             batch = [job]
             batch += self.queue.take_compatible(
-                job.op, self.max_batch - len(batch))
+                job.compat_key(), self.max_batch - len(batch))
             window_end = time.monotonic() + self.batch_ms / 1000.0
             while len(batch) < self.max_batch and not self.queue.closed:
                 remaining = window_end - time.monotonic()
@@ -110,7 +111,7 @@ class DynamicBatcher:
                 if not arrived:
                     break
                 more = self.queue.take_compatible(
-                    job.op, self.max_batch - len(batch))
+                    job.compat_key(), self.max_batch - len(batch))
                 if more:
                     batch.extend(more)
                 elif self.queue.depth > 0:
@@ -217,10 +218,12 @@ class DynamicBatcher:
                 pending.append(index)
         if pending:
             todo = [jobs[index] for index in pending]
+            # Coalescing already keys on the plan's compat_key, so a
+            # batch is homogeneous: either every plan lowered to the
+            # device backend or none did.
             if op == "mul" and all(
-                    max(job.params["a"].bit_length(),
-                        job.params["b"].bit_length())
-                    <= MONOLITHIC_MAX_BITS for job in todo):
+                    job.plan is not None
+                    and job.plan.backend == "device" for job in todo):
                 payloads = self._run_mul_batch(todo)
             else:
                 payloads = self.executor.map(
@@ -239,11 +242,12 @@ class DynamicBatcher:
     def _run_mul_batch(self, jobs: List[Job]) -> List[Dict[str, Any]]:
         """Device-backed mul batch through the BatchingDriver.
 
-        Operands land in the shared LLC; MULs are submitted
-        incrementally (the ``max_pending`` guard matches the batch
-        bound) and the partial batch is forced out with ``flush()`` —
-        products read back in request order are exact, so the payload
-        is bit-identical to the library multiply.
+        Operands land in the shared LLC; each job's lowered plan
+        streams its instructions through ``submit_plan`` (the
+        ``max_pending`` guard matches the batch bound) and the partial
+        batch is forced out with ``flush()`` — products read back in
+        request order are exact, so the payload is bit-identical to
+        the library multiply.
         """
         driver = BatchingDriver(
             self.device,
@@ -251,10 +255,10 @@ class DynamicBatcher:
             else None,
             max_pending=self.max_batch)
         for index, job in enumerate(jobs):
-            ref_a = driver.alloc(nat_from_int(job.params["a"]))
-            ref_b = driver.alloc(nat_from_int(job.params["b"]))
-            driver.submit(Instruction(Opcode.MUL, (ref_a, ref_b),
-                                      destination=_DEST_BASE + index))
+            driver.submit_plan(job.plan,
+                               [nat_from_int(job.params["a"]),
+                                nat_from_int(job.params["b"])],
+                               _DEST_BASE + index)
         driver.flush()
         return [{"product": hex(nat_to_int(
             driver.result(_DEST_BASE + index)))}

@@ -2,8 +2,9 @@
 
 A *job* is one client-requested operation — ``mul``, ``div``,
 ``powmod``, ``pi_digits``, or ``model_cycles`` — with canonicalized
-integer parameters, an admission-control cost estimate (cycles, from
-:func:`repro.core.model.estimate_request_cycles`), an optional
+integer parameters, the lowered execution :class:`~repro.plan.
+lowering.Plan` (admission cost = ``plan.cost()``, batch compatibility
+= ``plan.compat_key``, cache salting = ``plan.memo_key``), an optional
 deadline, and a priority.  Validation happens entirely at the front
 door so nothing malformed, oversized, or divide-by-zero ever reaches
 the batching executor; the error codes here are the service's public
@@ -24,7 +25,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from repro.core.model import DEFAULT_CONFIG, estimate_request_cycles
+from repro.core.model import DEFAULT_CONFIG
+from repro.plan import PlanError
+from repro.plan.execute import model_query, plan_for_job
 from repro.runtime import mpapca
 
 #: The service's job vocabulary.
@@ -97,6 +100,7 @@ class Job:
     seq: int = 0                     # assigned by the admission queue
     future: Any = None               # asyncio.Future, attached by server
     trace: Any = None                # RequestTrace when tracing is on
+    plan: Any = None                 # lowered repro.plan Plan
 
     def expired(self, now: Optional[float] = None) -> bool:
         """Has this job's deadline passed?"""
@@ -110,10 +114,24 @@ class Job:
         return ((now if now is not None else time.monotonic())
                 - self.created_at) * 1000.0
 
+    def compat_key(self) -> Tuple[str, str]:
+        """Batch-compatibility key (jobs sharing it may coalesce)."""
+        if self.plan is not None:
+            return self.plan.compat_key
+        return (self.op, "library")
+
     def cache_key(self) -> Optional[Tuple]:
-        """Memo key for idempotent, parameter-pure job types."""
+        """Memo key for idempotent, parameter-pure job types.
+
+        Includes the plan's memo key (thresholds fingerprint +
+        algorithm choice), so a ``repro tune`` retune in a running
+        server changes every cache key and can never serve a result
+        computed under the old plan.
+        """
         if self.op in ("pi_digits", "model_cycles"):
-            return (self.op,) + tuple(sorted(self.params.items()))
+            salt = self.plan.memo_key if self.plan is not None else ()
+            return (self.op,) + tuple(sorted(self.params.items())) \
+                + tuple(salt)
         return None
 
 
@@ -151,9 +169,10 @@ def make_job(payload: Dict[str, Any]) -> Job:
         job_id = "job-%d" % next(_job_counter)
     elif not isinstance(job_id, str) or len(job_id) > 128:
         raise JobError("invalid:id", "id must be a short string")
+    plan = plan_for_job(op, params)
     job = Job(op=op, params=params, priority=priority,
               deadline_ms=deadline_ms, job_id=job_id,
-              cost_cycles=estimated_cycles(op, params))
+              cost_cycles=plan.cost(), plan=plan)
     if deadline_ms is not None:
         job.deadline_at = job.created_at + deadline_ms / 1000.0
     return job
@@ -255,25 +274,14 @@ def _parse_count(params: Dict[str, Any], name: str,
 # -- admission pricing --------------------------------------------------------
 
 def estimated_cycles(op: str, params: Dict[str, Any]) -> float:
-    """Modeled service cost of one job, for queue-wait estimation."""
-    if op == "mul":
-        return estimate_request_cycles(
-            "mul", params["a"].bit_length(), params["b"].bit_length())
-    if op == "div":
-        return estimate_request_cycles(
-            "div", params["a"].bit_length(), params["b"].bit_length())
-    if op == "powmod":
-        return estimate_request_cycles(
-            "powmod", params["mod"].bit_length(),
-            params["exp"].bit_length())
-    if op == "pi_digits":
-        # Machin's formula: ~bits/4 arctan terms, each dominated by one
-        # division at working precision.
-        bits = int(params["digits"] * 3.33) + 64
-        terms = max(1, bits // 4)
-        return terms * estimate_request_cycles("div", bits, bits)
-    # model_cycles: a pure model lookup, negligible service time.
-    return 100.0
+    """Modeled service cost of one job, for queue-wait estimation.
+
+    A thin view over the plan lowering: the estimate *is* the lowered
+    plan's cost, priced by the one
+    :class:`~repro.core.model.CambriconPModel` — there is no serve-side
+    copy of the cycle math to drift from it.
+    """
+    return plan_for_job(op, params).cost()
 
 
 # -- evaluation (the direct library call) -------------------------------------
@@ -328,19 +336,7 @@ def _library_powmod(base: int, exponent: int, modulus: int) -> int:
 
 def model_cycles(model_op: str, bits_a: int, bits_b: int) -> float:
     """The queryable MPApca cycle model (``model_cycles`` jobs)."""
-    if model_op == "mul":
-        return mpapca.mul_cycles(max(1, bits_a), max(1, bits_b))
-    if model_op in ("add", "sub"):
-        return mpapca.add_cycles(bits_a, bits_b)
-    if model_op == "shift":
-        return mpapca.shift_cycles()
-    if model_op == "cmp":
-        return float(mpapca.DISPATCH_CYCLES)
-    if model_op in ("div", "mod"):
-        return mpapca.div_cycles(max(1, bits_a), max(1, bits_b))
-    if model_op == "sqrt":
-        return mpapca.sqrt_cycles(max(1, bits_a))
-    if model_op == "powmod":
-        return mpapca.powmod_cycles(max(1, bits_a), max(1, bits_b))
-    raise JobError("invalid:unknown-model-op",
-                   "unknown model op %r" % model_op)
+    try:
+        return model_query(model_op, bits_a, bits_b)
+    except PlanError as error:
+        raise JobError("invalid:unknown-model-op", str(error)) from None

@@ -7,7 +7,7 @@ always gets an explicit answer instead of a silent drop:
   server memory is K-bounded no matter how many clients arrive at
   once (``rejected:overloaded`` / ``queue-full``);
 * **estimated wait** — every job is priced in modeled accelerator
-  cycles (:func:`repro.core.model.estimate_request_cycles` via
+  cycles (its lowered plan's ``Plan.cost()``, attached by
   :mod:`repro.serve.jobs`), and the queue converts its backlog of
   pending cycles into an expected wait using an EWMA of the observed
   service rate (modeled cycles retired per wall millisecond).  Once
@@ -150,14 +150,20 @@ class AdmissionQueue:
             except asyncio.TimeoutError:
                 return None
 
-    def take_compatible(self, op: str, limit: int) -> List[Job]:
-        """Pop up to ``limit`` queued jobs of the same op, in priority
-        order — the batcher's coalescing primitive."""
+    def take_compatible(self, key, limit: int) -> List[Job]:
+        """Pop up to ``limit`` queued jobs with the same batch
+        compatibility key (``Job.compat_key()`` — op + plan backend),
+        in priority order — the batcher's coalescing primitive.
+
+        Keying on the plan rather than the op name keeps device-backed
+        muls and oversized library-path muls in separate batches, so a
+        big multiply never forces a whole device batch onto the
+        library path."""
         if limit <= 0:
             return []
         matching = sorted(
             (index for index, job in enumerate(self._items)
-             if job.op == op),
+             if job.compat_key() == key),
             key=lambda index: (-self._items[index].priority,
                                self._items[index].seq))
         chosen = set(matching[:limit])

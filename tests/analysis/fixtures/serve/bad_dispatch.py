@@ -1,0 +1,18 @@
+"""Seeded dispatch-discipline violations (linted, never imported).
+
+Lives under ``serve/`` — a layer that must lower work through
+repro.plan, not reach past it to kernels or raw ISA streams.
+"""
+
+from repro.core.isa import Instruction, Opcode
+from repro.mpn.karatsuba import mul_karatsuba
+from repro.mpn.schoolbook import mul_schoolbook
+
+
+def sneaky_mul(a, b):                              # RPR012 x2
+    product = mul_karatsuba(a, b, mul_schoolbook)
+    return product
+
+
+def sneaky_stream(ref_a, ref_b):                   # RPR012
+    return Instruction(Opcode.MUL, (ref_a, ref_b), destination=2)

@@ -20,10 +20,10 @@ def rules_fired(source: str, path: str):
 
 
 class TestRuleCatalogue:
-    def test_eleven_rules_with_stable_codes(self):
-        assert len(ALL_RULES) == 11
+    def test_twelve_rules_with_stable_codes(self):
+        assert len(ALL_RULES) == 12
         codes = [rule.code for rule in ALL_RULES]
-        assert codes == ["RPR%03d" % i for i in range(1, 12)]
+        assert codes == ["RPR%03d" % i for i in range(1, 13)]
         assert all(rule.rationale for rule in ALL_RULES)
 
     def test_rules_by_name_round_trips(self):
@@ -176,6 +176,31 @@ class TestEachRuleFires:
                "    await loop.run_in_executor(None, thunk)\n")
         assert "blocking-call-in-async" not in rules_fired(src, SERVE)
 
+    def test_direct_dispatch_kernel_call(self):
+        src = ("def f(a, b):\n"
+               "    return mul_karatsuba(a, b, mul_schoolbook)\n")
+        assert "direct-dispatch" in rules_fired(src, SERVE)
+        assert "direct-dispatch" in rules_fired(src, APP)
+        # The kernels' own package is the sanctioned home.
+        assert "direct-dispatch" not in rules_fired(src, KERNEL)
+
+    def test_direct_dispatch_instruction_construction(self):
+        src = ("def f(ref):\n"
+               "    return Instruction(Opcode.MUL, (ref, ref), 2)\n")
+        assert "direct-dispatch" in rules_fired(src, SERVE)
+        # plan.streams and the ISA definition itself stay exempt.
+        assert "direct-dispatch" not in rules_fired(
+            src, "src/repro/plan/streams.py")
+        assert "direct-dispatch" not in rules_fired(
+            src, "src/repro/core/isa.py")
+
+    def test_direct_dispatch_leaves_dispatchers_alone(self):
+        src = ("def f(a, b):\n"
+               "    return mul(a, b)\n"
+               "def g(a, b):\n"
+               "    return divmod_nat(a, b)\n")
+        assert "direct-dispatch" not in rules_fired(src, SERVE)
+
 
 class TestNoqa:
     def test_named_suppression(self):
@@ -238,7 +263,7 @@ class TestFixtureSweep:
     def test_every_rule_fires_on_the_fixture_tree(self):
         report = lint_paths([FIXTURES])
         codes = {v.code for v in report.violations}
-        assert codes == {"RPR%03d" % i for i in range(1, 12)}
+        assert codes == {"RPR%03d" % i for i in range(1, 13)}
 
     def test_clean_fixture_is_silent(self):
         report = lint_paths([FIXTURES / "clean"])

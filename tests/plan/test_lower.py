@@ -1,0 +1,114 @@
+"""Lowering: backend resolution, costs, keys, cache round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.model import DEFAULT_CONFIG
+from repro.plan import OpSpec, PlanError
+from repro.plan.lowering import (PLAN_SCHEMA_VERSION, Plan, lower,
+                                 plan_cache)
+from repro.plan import select
+from repro.runtime import mpapca
+from repro.runtime.mpapca import MONOLITHIC_MAX_BITS
+
+
+class TestBackendResolution:
+    def test_small_mul_lowers_to_device(self):
+        plan = lower(OpSpec.for_mul(4096, 4096))
+        assert plan.backend == "device"
+        assert plan.algorithm == "monolithic"
+
+    def test_big_mul_falls_back_to_library(self):
+        plan = lower(OpSpec.for_mul(MONOLITHIC_MAX_BITS + 1, 64))
+        assert plan.backend == "library"
+
+    def test_explicit_library_respected(self):
+        plan = lower(OpSpec.for_mul(4096, 4096, backend="library"))
+        assert plan.backend == "library"
+        assert plan.algorithm != "monolithic"
+
+    def test_oversized_device_request_rejected(self):
+        with pytest.raises(PlanError):
+            lower(OpSpec.for_mul(MONOLITHIC_MAX_BITS + 1, 64,
+                                 backend="device"))
+
+    def test_non_mul_device_request_rejected(self):
+        with pytest.raises(PlanError):
+            lower(OpSpec("div", 4096, 64, backend="device"))
+
+
+class TestCost:
+    def test_mul_cost_is_the_one_model(self):
+        plan = lower(OpSpec.for_mul(4096, 4096))
+        assert plan.cost() == mpapca.mul_cycles(4096, 4096)
+
+    def test_div_cost_matches_composition_rule(self):
+        plan = lower(OpSpec("div", 8192, 4096))
+        assert plan.cost() == mpapca.div_cycles(8192, 4096)
+
+    def test_powmod_cost_matches_composition_rule(self):
+        plan = lower(OpSpec("powmod", 2048, 17,
+                            detail=(("mod_odd", 1),)))
+        assert plan.cost() == mpapca.powmod_cycles(2048, 17)
+
+    def test_seconds_uses_device_frequency(self):
+        plan = lower(OpSpec.for_mul(4096, 4096))
+        assert plan.seconds() == pytest.approx(
+            plan.cost() / DEFAULT_CONFIG.frequency_hz)
+
+
+class TestKeys:
+    def test_compat_key_separates_backends(self):
+        device = lower(OpSpec.for_mul(4096, 4096))
+        library = lower(OpSpec.for_mul(MONOLITHIC_MAX_BITS + 1,
+                                       MONOLITHIC_MAX_BITS + 1))
+        assert device.compat_key == ("mul", "device")
+        assert library.compat_key == ("mul", "library")
+
+    def test_memo_key_carries_schema_and_fingerprint(self):
+        plan = lower(OpSpec.for_mul(4096, 4096))
+        assert plan.memo_key[0] == PLAN_SCHEMA_VERSION
+        assert tuple(plan.tuning) == \
+            plan.memo_key[1:1 + len(plan.tuning)]
+
+    def test_retuning_changes_memo_key(self):
+        thresholds = select.active()
+        retuned = dataclasses.replace(thresholds, karatsuba_limbs=7)
+        before = lower(OpSpec.for_mul(1 << 20, 1 << 20), thresholds)
+        after = lower(OpSpec.for_mul(1 << 20, 1 << 20), retuned)
+        assert before.memo_key != after.memo_key
+
+
+class TestPolicyRoundTrip:
+    def test_plan_policy_reproduces_thresholds(self):
+        thresholds = select.active()
+        plan = lower(OpSpec.for_mul(1 << 20, 1 << 20), thresholds)
+        policy = plan.policy()
+        assert policy.karatsuba_limbs == thresholds.karatsuba_limbs
+        assert policy.ssa_limbs == thresholds.ssa_limbs
+
+    def test_library_algorithm_matches_policy_dispatch(self):
+        thresholds = select.active()
+        for bits in (64, 4096, 1 << 17, 1 << 20):
+            plan = lower(OpSpec.for_mul(bits, bits, backend="library"),
+                         thresholds)
+            limbs = -(-bits // 32)
+            assert plan.algorithm == \
+                thresholds.policy().algorithm_for(limbs)
+
+
+class TestPlanCache:
+    def test_payload_round_trip(self):
+        plan = lower(OpSpec("powmod", 2048, 17,
+                            detail=(("mod_odd", 1),)))
+        clone = Plan.from_payload(plan.to_payload())
+        assert clone == plan
+
+    def test_cached_lowering_is_identical(self):
+        spec = OpSpec.for_mul(4096, 4096)
+        assert lower(spec) == lower(spec)
+        assert lower(spec) == lower(spec, use_cache=False)
+
+    def test_cache_is_version_salted(self):
+        assert plan_cache().version == PLAN_SCHEMA_VERSION

@@ -1,0 +1,60 @@
+"""OpSpec: validation, canonical keys, job-parameter derivation."""
+
+import pytest
+
+from repro.plan import OpSpec, PlanError
+
+
+class TestValidation:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(PlanError):
+            OpSpec("fft", 64, 64)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(PlanError):
+            OpSpec("mul", 64, 64, backend="gpu")
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(PlanError):
+            OpSpec("mul", -1, 64)
+
+    def test_bool_bits_rejected(self):
+        with pytest.raises(PlanError):
+            OpSpec("mul", True, 64)
+
+    def test_detail_must_be_tuple_pairs(self):
+        spec = OpSpec("pi_digits", detail=(("digits", 50),))
+        assert spec.detail_value("digits", 0) == 50
+        assert spec.detail_value("missing", 7) == 7
+
+
+class TestConstruction:
+    def test_for_mul(self):
+        spec = OpSpec.for_mul(4096, 2048)
+        assert (spec.op, spec.bits_a, spec.bits_b) == ("mul", 4096, 2048)
+        assert spec.backend == "auto"
+
+    def test_for_job_mul_uses_bit_lengths(self):
+        spec = OpSpec.for_job("mul", {"a": 1 << 100, "b": 3})
+        assert spec.bits_a == 101
+        assert spec.bits_b == 2
+
+    def test_for_job_powmod_uses_mod_and_exp(self):
+        spec = OpSpec.for_job(
+            "powmod", {"base": 2, "exp": 65537, "mod": (1 << 127) - 1})
+        assert spec.bits_a == 127
+        assert spec.bits_b == 17
+
+    def test_for_job_pi_digits_rides_detail(self):
+        spec = OpSpec.for_job("pi_digits", {"digits": 42})
+        assert spec.detail_value("digits", 0) == 42
+
+    def test_key_is_hashable_and_distinct(self):
+        seen = {OpSpec.for_mul(64, 64).key(),
+                OpSpec.for_mul(64, 65).key(),
+                OpSpec.for_mul(64, 64, backend="library").key()}
+        assert len(seen) == 3
+
+    def test_describe_mentions_op_and_bits(self):
+        text = OpSpec.for_mul(4096, 4096).describe()
+        assert "mul" in text and "4096" in text

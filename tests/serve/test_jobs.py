@@ -90,13 +90,44 @@ class TestPricing:
             cost = estimated_cycles(op, validate_params(op, raw))
             assert cost > 0
 
+    def test_admission_estimate_is_the_one_model(self):
+        """Serve keeps no private cycle math: the admission estimate
+        for a job equals the CambriconPModel-backed MPApca pricing of
+        the same OpSpec, exactly."""
+        from repro.core.model import CambriconPModel
+        from repro.runtime import mpapca
+        a, b = 3 ** 800, 7 ** 650
+        job = make_job({"op": "mul", "params": {"a": a, "b": b}})
+        bits = (a.bit_length(), b.bit_length())
+        assert job.cost_cycles == mpapca.mul_cycles(*bits)
+        # ...which for a monolithic-range mul is the analytic model's
+        # own multiply latency (DISPATCH included), untouched.
+        assert job.cost_cycles == \
+            CambriconPModel().multiply_cycles(*bits)
+        div = make_job({"op": "div", "params": {"a": a, "b": b}})
+        assert div.cost_cycles == mpapca.div_cycles(a.bit_length(),
+                                                    b.bit_length())
+
+    def test_job_cost_equals_plan_cost(self):
+        job = make_job({"op": "powmod",
+                        "params": {"base": 3, "exp": 65537,
+                                   "mod": (1 << 127) - 1}})
+        assert job.plan is not None
+        assert job.cost_cycles == job.plan.cost()
+
     def test_bigger_work_costs_more(self):
+        # Small monolithic muls fill a single PE wave, so the modeled
+        # device latency is flat there; compare across sizes where the
+        # wave count (and then the library fallback) actually grows.
         small = estimated_cycles(
             "mul", validate_params("mul", {"a": 1 << 64, "b": 1 << 64}))
+        medium = estimated_cycles(
+            "mul", validate_params(
+                "mul", {"a": 1 << 35900, "b": 1 << 35900}))
         large = estimated_cycles(
             "mul", validate_params(
-                "mul", {"a": 1 << 4096, "b": 1 << 4096}))
-        assert large > small
+                "mul", {"a": 1 << (1 << 17), "b": 1 << (1 << 17)}))
+        assert small < medium < large
 
 
 class TestOracle:
@@ -127,6 +158,38 @@ class TestOracle:
                            {"op": "mul", "bits_a": 4096, "bits_b": 0}))
         assert result["cycles"] == mpapca.mul_cycles(4096, 4096)
         assert result["seconds"] > 0
+
+
+class TestPlanKeys:
+    def test_compat_key_splits_mul_by_backend(self):
+        small = make_job({"op": "mul", "params": {"a": 3, "b": 5}})
+        big = make_job({"op": "mul",
+                        "params": {"a": 1 << 40000, "b": 1 << 40000}})
+        assert small.compat_key() == ("mul", "device")
+        assert big.compat_key() == ("mul", "library")
+
+    def test_cache_key_carries_plan_memo_key(self):
+        job = make_job({"op": "model_cycles",
+                        "params": {"op": "mul", "bits_a": 256,
+                                   "bits_b": 0}})
+        assert tuple(job.plan.memo_key) \
+            == tuple(job.cache_key()[-len(job.plan.memo_key):])
+
+    def test_retuning_changes_cache_key(self):
+        """A ``repro tune`` retune in a running server must never be
+        served results cached under the old thresholds: the plan memo
+        key inside the cache key changes with the tuning."""
+        import dataclasses
+
+        from repro.plan import select
+        from repro.plan.execute import plan_for_job
+        params = {"op": "mul", "bits_a": 256, "bits_b": 0}
+        job = make_job({"op": "model_cycles", "params": params})
+        retuned = dataclasses.replace(select.active(),
+                                      karatsuba_limbs=7)
+        stale = dataclasses.replace(
+            job, plan=plan_for_job("model_cycles", params, retuned))
+        assert stale.cache_key() != job.cache_key()
 
     def test_cache_key_only_for_pure_queries(self):
         assert _job("pi_digits", {"digits": 10}).cache_key() is not None

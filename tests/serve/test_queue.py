@@ -112,10 +112,10 @@ class TestOrdering:
             mul_high = _job(priority=5)
             for job in (mul_low, div, mul_high):
                 queue.try_submit(job)
-            taken = queue.take_compatible("mul", 8)
+            taken = queue.take_compatible(mul_low.compat_key(), 8)
             assert taken == [mul_high, mul_low]
             assert queue.depth == 1          # the div job remains
-            assert queue.take_compatible("mul", 8) == []
+            assert queue.take_compatible(mul_low.compat_key(), 8) == []
         run(scenario())
 
     def test_take_compatible_respects_limit(self):
@@ -124,18 +124,19 @@ class TestOrdering:
             jobs = [_job(priority=p) for p in (1, 9, 5)]
             for job in jobs:
                 queue.try_submit(job)
-            taken = queue.take_compatible("mul", 2)
+            taken = queue.take_compatible(jobs[0].compat_key(), 2)
             assert [job.priority for job in taken] == [9, 5]
         run(scenario())
 
     def test_pending_cycles_balance(self):
         async def scenario():
             queue = AdmissionQueue(capacity=10)
-            for cost in (100.0, 200.0, 300.0):
-                queue.try_submit(_job(cost=cost))
+            jobs = [_job(cost=cost) for cost in (100.0, 200.0, 300.0)]
+            for job in jobs:
+                queue.try_submit(job)
             assert queue.pending_cycles == pytest.approx(600.0)
             await queue.get(0.01)
-            queue.take_compatible("mul", 8)
+            queue.take_compatible(jobs[0].compat_key(), 8)
             assert queue.pending_cycles == pytest.approx(0.0)
         run(scenario())
 
