@@ -20,12 +20,17 @@ from repro.analysis.rules.base import (FileContext, Rule, RuleViolation,
 
 #: Concrete algorithm entrypoints (the dispatchers ``mul``/``mul_int``/
 #: ``divmod_nat`` stay callable anywhere — they route through
-#: plan.select themselves).
+#: plan.select themselves).  The block-packed kernels of
+#: :mod:`repro.mpn.packed` are covered too: they are reachable only
+#: through the dispatchers' backend resolution or a lowered
+#: ``backend="packed"`` Plan, never called directly.
 KERNEL_ENTRYPOINTS = frozenset({
     "mul_schoolbook", "sqr_schoolbook",
     "mul_karatsuba", "sqr_karatsuba",
     "mul_toom", "mul_ssa",
     "divmod_schoolbook", "divmod_newton", "divmod_bz",
+    "mul_packed", "sqr_packed", "divmod_packed",
+    "add_packed", "sub_packed", "shl_packed", "shr_packed",
 })
 
 

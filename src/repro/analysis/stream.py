@@ -244,7 +244,8 @@ def verify_plan(plan, operands: Optional[Sequence] = None,
 
     * **PV-COST** — the cycle estimate is finite and non-negative;
     * **PV-BACKEND** — the resolved backend is legal for the op
-      (``device`` only for muls within the monolithic limit);
+      (``device`` only for muls within the monolithic limit,
+      ``packed`` only for mul/div/mod);
     * **PV-ALGO** — for muls, re-deriving selection from the plan's
       recorded thresholds fingerprint reproduces the recorded
       algorithm (a mismatch means the plan was built under different
@@ -275,8 +276,13 @@ def verify_plan(plan, operands: Optional[Sequence] = None,
         report("PV-COST", "cost estimate %r is not a finite "
                "non-negative cycle count" % (cost,))
 
-    if plan.backend not in ("library", "device"):
+    if plan.backend not in ("library", "device", "packed"):
         report("PV-BACKEND", "unresolved backend %r" % (plan.backend,))
+    elif plan.backend == "packed":
+        if plan.spec.op not in ("mul", "div", "mod"):
+            report("PV-BACKEND", "the packed backend executes only "
+                   "mul/div/mod; %r cannot run packed"
+                   % (plan.spec.op,))
     elif plan.backend == "device":
         if plan.spec.op != "mul":
             report("PV-BACKEND", "only mul lowers to a device stream; "
@@ -289,13 +295,16 @@ def verify_plan(plan, operands: Optional[Sequence] = None,
                    % (max(plan.spec.bits_a, plan.spec.bits_b),
                       config.monolithic_max_bits))
 
-    if plan.spec.op == "mul" and plan.backend in ("library", "device"):
+    if plan.spec.op == "mul" \
+            and plan.backend in ("library", "device", "packed"):
+        from repro.mpn.nat import LIMB_BITS
+        min_limbs = -(-min(max(plan.spec.bits_a, 1),
+                           max(plan.spec.bits_b, 1)) // LIMB_BITS)
         if plan.backend == "device":
             expected = "monolithic"
+        elif plan.backend == "packed":
+            expected = select.packed_chain(min_limbs)[0][0]
         else:
-            from repro.mpn.nat import LIMB_BITS
-            min_limbs = -(-min(max(plan.spec.bits_a, 1),
-                               max(plan.spec.bits_b, 1)) // LIMB_BITS)
             expected = select.mul_algorithm(min_limbs, plan.policy())
         if plan.algorithm != expected:
             report("PV-ALGO",

@@ -1,0 +1,13 @@
+"""Kernel-level benchmarking: the perf trajectory's measurement tools.
+
+``repro bench-kernels`` (:mod:`repro.bench.kernels`) times the mpn
+dispatchers' limb and block-packed backends across a Figure-11-style
+bit-width ladder, verifies bit-identity between them on every measured
+point, and writes ``results/BENCH_kernels.json`` so perf changes land
+with before/after numbers attached.
+"""
+
+from repro.bench.kernels import (BENCH_SCHEMA_VERSION, bench_kernels,
+                                 write_bench)
+
+__all__ = ["BENCH_SCHEMA_VERSION", "bench_kernels", "write_bench"]

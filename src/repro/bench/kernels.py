@@ -1,0 +1,217 @@
+"""``repro bench-kernels``: limb-vs-packed kernel timings + hotspots.
+
+Measures the mpn dispatchers — never concrete kernels — with both
+backends pinned explicitly, so what is timed is exactly what a lowered
+``backend="library"`` or ``backend="packed"`` plan executes:
+
+* ``before`` = the limb backend (per-limb Python loops, the seed
+  implementation's only path);
+* ``after`` = the block-packed backend (:mod:`repro.mpn.packed`).
+
+Timings are best-of-N ``perf_counter_ns`` (the same discipline as
+:mod:`repro.mpn.tune`); every measured point also asserts the two
+backends return bit-identical limb lists, so a benchmark run doubles as
+a coarse differential test.  A cProfile pass over the largest measured
+multiply records where the interpreter time actually goes, which is the
+evidence the packed backend exists to change.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import os
+import pstats
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.mpn import nat
+from repro.mpn.div import divmod_nat
+from repro.mpn.mul import mul, sqr
+from repro.mpn.nat import Nat
+from repro.mpn.packed import PACK_LIMBS
+from repro.mpn.tune import _random_operand, tuned_policy
+
+#: Bump when the JSON layout changes meaning.
+BENCH_SCHEMA_VERSION = 1
+
+#: Figure-11-style bit-width ladder (the paper sweeps multiply sizes in
+#: this range; 64k bits is the headline point).
+FULL_LADDER = (1024, 4096, 16384, 65536)
+
+#: Reduced ladder for CI smoke runs (--quick).
+QUICK_LADDER = (1024, 4096, 16384)
+
+#: Minimum packed/limb ratio --check tolerates at the largest measured
+#: size (generous to absorb CI noise; a real regression lands far
+#: below it).
+CHECK_MIN_SPEEDUP = 0.9
+
+
+def _best_ns(fn: Callable[[], object], repeats: int) -> int:
+    """Best-of-``repeats`` wall time of ``fn()`` in nanoseconds."""
+    best = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter_ns()
+        fn()
+        elapsed = time.perf_counter_ns() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _operands(op: str, bits: int, seed: int):
+    limbs = max(1, bits // nat.LIMB_BITS)
+    if op == "div":
+        # 2n-by-n: the shape Figure 11's division rows use.
+        return (_random_operand(2 * limbs, seed),
+                _random_operand(limbs, seed + 7))
+    return (_random_operand(limbs, seed),
+            _random_operand(limbs, seed + 7))
+
+
+def _runners(op: str, a: Nat, b: Nat, policy):
+    """(limb thunk, packed thunk) for one measured point.
+
+    Both go through the public dispatchers with the backend pinned, so
+    RPR012 dispatch discipline holds and the timings match what plans
+    execute.
+    """
+    if op == "mul":
+        return (lambda: mul(a, b, policy, backend="limb"),
+                lambda: mul(a, b, policy, backend="packed"))
+    if op == "sqr":
+        return (lambda: sqr(a, policy, backend="limb"),
+                lambda: sqr(a, policy, backend="packed"))
+    if op == "div":
+        def limb_mul(x: Nat, y: Nat) -> Nat:
+            return mul(x, y, policy, backend="limb")
+        return (lambda: divmod_nat(a, b, limb_mul, backend="limb"),
+                lambda: divmod_nat(a, b, backend="packed"))
+    raise ValueError("bench-kernels: unknown op %r" % (op,))
+
+
+def _hotspots(thunk: Callable[[], object], top: int = 8) -> List[Dict]:
+    """Top functions by cumulative time for one profiled run."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    thunk()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    rows: List[Dict] = []
+    for (filename, line, func), (calls, _, tottime, cumtime, _) in sorted(
+            stats.stats.items(), key=lambda item: -item[1][3])[:top]:
+        rows.append({
+            "function": "%s:%d:%s" % (os.path.basename(filename), line,
+                                      func),
+            "calls": int(calls),
+            "tottime_s": round(tottime, 6),
+            "cumtime_s": round(cumtime, 6),
+        })
+    return rows
+
+
+def bench_kernels(quick: bool = False, repeats: int = 5,
+                  seed: int = 2022, profile: bool = True) -> Dict:
+    """Measure every (op, bits) point and return the report dict."""
+    ladder = QUICK_LADDER if quick else FULL_LADDER
+    policy = tuned_policy()
+    entries: List[Dict] = []
+    for op in ("mul", "sqr", "div"):
+        for bits in ladder:
+            a, b = _operands(op, bits, seed)
+            limb_run, packed_run = _runners(op, a, b, policy)
+            if limb_run() != packed_run():
+                raise AssertionError(
+                    "bench-kernels: %s at %d bits disagrees between "
+                    "limb and packed backends" % (op, bits))
+            limb_ns = _best_ns(limb_run, repeats)
+            packed_ns = _best_ns(packed_run, repeats)
+            entries.append({
+                "op": op,
+                "bits": bits,
+                "before_limb_ns": limb_ns,
+                "after_packed_ns": packed_ns,
+                "speedup": round(limb_ns / max(1, packed_ns), 3),
+            })
+
+    hotspots: Dict[str, List[Dict]] = {}
+    if profile:
+        top_bits = ladder[-1]
+        a, b = _operands("mul", top_bits, seed)
+        limb_run, packed_run = _runners("mul", a, b, policy)
+        hotspots = {
+            "limb_mul_%d_bits" % top_bits: _hotspots(limb_run),
+            "packed_mul_%d_bits" % top_bits: _hotspots(packed_run),
+        }
+
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "generated_by": "repro bench-kernels",
+        "quick": quick,
+        "repeats": repeats,
+        "seed": seed,
+        "pack_limbs": PACK_LIMBS,
+        "cpus": os.cpu_count() or 1,
+        "policy": policy.name,
+        "entries": entries,
+        "hotspots": hotspots,
+    }
+
+
+def check_report(report: Dict) -> List[str]:
+    """Regression check: packed must not lose to limb at the top size.
+
+    Returns human-readable failures (empty = pass).  Applied at the
+    largest measured size per op with the generous
+    :data:`CHECK_MIN_SPEEDUP` tolerance — CI noise survives, a real
+    packed regression does not.
+    """
+    failures: List[str] = []
+    top: Dict[str, Dict] = {}
+    for entry in report.get("entries", []):
+        current = top.get(entry["op"])
+        if current is None or entry["bits"] > current["bits"]:
+            top[entry["op"]] = entry
+    for op, entry in sorted(top.items()):
+        if entry["speedup"] < CHECK_MIN_SPEEDUP:
+            failures.append(
+                "%s at %d bits: packed is %.2fx the limb backend "
+                "(< %.2fx tolerance)"
+                % (op, entry["bits"], entry["speedup"],
+                   CHECK_MIN_SPEEDUP))
+    return failures
+
+
+def render_report(report: Dict) -> str:
+    """Fixed-width table for terminal output."""
+    lines = ["kernel benchmarks (best of %d, pack k=%d, policy=%s):"
+             % (report["repeats"], report["pack_limbs"],
+                report["policy"]),
+             "  %-4s %8s %14s %14s %9s"
+             % ("op", "bits", "limb (before)", "packed (after)",
+                "speedup")]
+    for entry in report["entries"]:
+        lines.append("  %-4s %8d %12.3f ms %12.3f ms %8.2fx"
+                     % (entry["op"], entry["bits"],
+                        entry["before_limb_ns"] / 1e6,
+                        entry["after_packed_ns"] / 1e6,
+                        entry["speedup"]))
+    for label, rows in report.get("hotspots", {}).items():
+        lines.append("  hotspots: %s" % label)
+        for row in rows[:5]:
+            lines.append("    %9.3f ms cum  %8d calls  %s"
+                         % (row["cumtime_s"] * 1e3, row["calls"],
+                            row["function"]))
+    return "\n".join(lines)
+
+
+def write_bench(report: Dict, output: str) -> Optional[Path]:
+    """Persist the report JSON (parents created as needed)."""
+    target = Path(output)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    return target

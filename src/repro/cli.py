@@ -180,6 +180,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="measure and print without persisting")
     tune_parser.add_argument("--no-division", action="store_true",
                              help="skip the division/Barrett crossovers")
+    tune_parser.add_argument("--no-packed", action="store_true",
+                             help="skip the packed-backend crossovers")
     tune_parser.set_defaults(handler=_cmd_tune)
 
     cache_parser = commands.add_parser(
@@ -218,7 +220,8 @@ def build_parser() -> argparse.ArgumentParser:
     plan_parser.add_argument("--digits", type=int, default=100,
                              help="pi_digits: decimal digits requested")
     plan_parser.add_argument("--backend",
-                             choices=["auto", "library", "device"],
+                             choices=["auto", "library", "device",
+                                      "packed"],
                              default="auto",
                              help="force the execution backend")
     plan_parser.add_argument("--verify", action="store_true",
@@ -278,6 +281,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--output",
                              default="results/BENCH_serve.json")
     bench_serve.set_defaults(handler=_cmd_bench_serve)
+
+    bench_kernels = commands.add_parser(
+        "bench-kernels",
+        help="time the limb vs block-packed mpn backends and record "
+             "before/after numbers")
+    bench_kernels.add_argument("--quick", action="store_true",
+                               help="reduced ladder for CI smoke runs")
+    bench_kernels.add_argument("--check", action="store_true",
+                               help="exit 1 if packed regresses below "
+                                    "0.9x the limb backend at the "
+                                    "largest measured size")
+    bench_kernels.add_argument("--repeats", type=int, default=5,
+                               help="best-of-N timing repetitions")
+    bench_kernels.add_argument("--seed", type=int, default=2022)
+    bench_kernels.add_argument("--no-profile", action="store_true",
+                               help="skip the cProfile hotspot pass")
+    bench_kernels.add_argument("--output",
+                               default="results/BENCH_kernels.json")
+    bench_kernels.set_defaults(handler=_cmd_bench_kernels)
     return parser
 
 
@@ -303,7 +325,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
     from repro.mpn.tune import save_thresholds, tune
     result = tune(max_limbs=args.max_limbs, repeats=args.repeats,
-                  measure_division=not args.no_division)
+                  measure_division=not args.no_division,
+                  measure_packed=not args.no_packed)
     print(result.report())
     print("tuned policy:", result.policy)
     if not args.dry_run:
@@ -518,6 +541,28 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         return drive(args.host, args.port)
     with ServerThread() as hosted:
         return drive(hosted.host, hosted.port)
+
+
+def _cmd_bench_kernels(args: argparse.Namespace) -> int:
+    from repro.bench import bench_kernels, write_bench
+    from repro.bench.kernels import check_report, render_report
+
+    report = bench_kernels(quick=args.quick, repeats=args.repeats,
+                           seed=args.seed,
+                           profile=not args.no_profile)
+    print(render_report(report))
+    if args.output:
+        write_bench(report, args.output)
+        print("wrote %s" % args.output, file=sys.stderr)
+    if args.check:
+        failures = check_report(report)
+        for failure in failures:
+            print("check: %s" % failure, file=sys.stderr)
+        if failures:
+            return 1
+        print("check: packed >= %.1fx limb at the largest size for "
+              "every op" % 0.9, file=sys.stderr)
+    return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:

@@ -20,6 +20,7 @@ from repro.mpn import gcd as _gcd
 from repro.mpn import montgomery as _montgomery
 from repro.mpn import mul as _mul
 from repro.mpn import nat as _nat
+from repro.mpn import packed as _packed
 from repro.mpn import sqrt as _sqrt
 from repro.mpn.montgomery import MontgomeryContext
 from repro.mpn.mul import (GMP_POLICY, MPAPCA_POLICY, PYTHON_POLICY,
@@ -54,9 +55,23 @@ def use_tuned_policy() -> MulPolicy:
     return set_policy(tuned_policy())
 
 
+def _use_packed_linear(a: Nat, b: Nat = ()) -> bool:
+    """Route O(n) kernels through the block-packed path when it wins.
+
+    Sub stays on the limb path (measured at parity): the packed borrow
+    chain buys nothing once the pack round trip is paid.
+    """
+    from repro.plan import select as _select
+    return (max(len(a), len(b)) >= _packed.LINEAR_PACK_MIN_LIMBS
+            and _select.mul_backend(_packed.LINEAR_PACK_MIN_LIMBS)
+            == "packed")
+
+
 def add(a: Nat, b: Nat) -> Nat:
     """Profiled addition of naturals."""
     with kernel("add", bit_length(a), bit_length(b)):
+        if _use_packed_linear(a, b):
+            return _packed.add_packed(a, b)
         return _nat.add(a, b)
 
 
@@ -69,12 +84,16 @@ def sub(a: Nat, b: Nat) -> Nat:
 def shl(a: Nat, count: int) -> Nat:
     """Profiled left shift."""
     with kernel("shift", bit_length(a), count):
+        if _use_packed_linear(a):
+            return _packed.shl_packed(a, count)
         return _nat.shl(a, count)
 
 
 def shr(a: Nat, count: int) -> Nat:
     """Profiled right shift."""
     with kernel("shift", bit_length(a), count):
+        if _use_packed_linear(a):
+            return _packed.shr_packed(a, count)
         return _nat.shr(a, count)
 
 
@@ -84,28 +103,30 @@ def compare(a: Nat, b: Nat) -> int:
         return _nat.cmp(a, b)
 
 
-def mul(a: Nat, b: Nat, policy: Optional[MulPolicy] = None) -> Nat:
+def mul(a: Nat, b: Nat, policy: Optional[MulPolicy] = None,
+        backend: str = "auto") -> Nat:
     """Profiled multiplication under the active (or given) policy."""
     with kernel("mul", bit_length(a), bit_length(b)):
-        return _mul.mul(a, b, policy or _ACTIVE_POLICY)
+        return _mul.mul(a, b, policy or _ACTIVE_POLICY, backend)
 
 
-def sqr(a: Nat, policy: Optional[MulPolicy] = None) -> Nat:
+def sqr(a: Nat, policy: Optional[MulPolicy] = None,
+        backend: str = "auto") -> Nat:
     """Profiled squaring."""
     with kernel("mul", bit_length(a), bit_length(a)):
-        return _mul.sqr(a, policy or _ACTIVE_POLICY)
+        return _mul.sqr(a, policy or _ACTIVE_POLICY, backend)
 
 
-def divmod_nat(a: Nat, b: Nat) -> Tuple[Nat, Nat]:
+def divmod_nat(a: Nat, b: Nat, backend: str = "auto") -> Tuple[Nat, Nat]:
     """Profiled (quotient, remainder)."""
     with kernel("div", bit_length(a), bit_length(b)):
-        return _div.divmod_nat(a, b, _unprofiled_mul)
+        return _div.divmod_nat(a, b, _unprofiled_mul, backend)
 
 
-def mod(a: Nat, b: Nat) -> Nat:
+def mod(a: Nat, b: Nat, backend: str = "auto") -> Nat:
     """Profiled remainder."""
     with kernel("mod", bit_length(a), bit_length(b)):
-        return _div.divmod_nat(a, b, _unprofiled_mul)[1]
+        return _div.divmod_nat(a, b, _unprofiled_mul, backend)[1]
 
 
 def divexact(a: Nat, b: Nat) -> Nat:

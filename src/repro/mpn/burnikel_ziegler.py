@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Callable, List, Tuple
 
 from repro.mpn import nat
-from repro.mpn.div import divmod_schoolbook
+from repro.mpn.div import basecase_divmod
 from repro.mpn.nat import LIMB_BITS, MpnError, Nat
 from repro.plan import select as _select
 
@@ -38,7 +38,9 @@ def _div_2n1n(high: Nat, low: Nat, divisor: Nat, half_limbs: int,
     n = 2 * half_limbs
     if n <= BZ_THRESHOLD_LIMBS:
         dividend = nat.add(nat.shl(high, n * LIMB_BITS), low)
-        return divmod_schoolbook(dividend, divisor)
+        # Route through the dispatcher-level basecase so the packed
+        # kernels are picked up when the tuned crossover says they win.
+        return basecase_divmod(dividend, divisor)
     low_padded = _pad(list(low), n)
     low_lo = nat.normalize(low_padded[:half_limbs])
     low_hi = nat.normalize(low_padded[half_limbs:])
@@ -107,7 +109,7 @@ def divmod_bz(a: Nat, b: Nat, mul_fn: MulFn) -> Tuple[Nat, Nat]:
     # "at or below stays schoolbook" constant maps to threshold + 1.
     if _select.bz_algorithm(len(b), BZ_THRESHOLD_LIMBS + 1) \
             == "schoolbook":
-        return divmod_schoolbook(a, b)
+        return basecase_divmod(a, b)
 
     # Normalize: divisor length a power-of-two multiple of limbs with
     # the top bit set; scale the dividend identically.

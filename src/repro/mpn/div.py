@@ -18,9 +18,14 @@ from typing import Callable, Tuple
 
 from repro.mpn import nat
 from repro.mpn.nat import LIMB_BASE, LIMB_BITS, LIMB_MASK, MpnError, Nat
+from repro.mpn.packed import divmod_packed
 from repro.plan import select as _select
 
 MulFn = Callable[[Nat, Nat], Nat]
+
+#: Backends the division dispatcher understands (mirrors
+#: :data:`repro.mpn.mul.MUL_BACKENDS`).
+DIV_BACKENDS = ("auto", "limb", "packed")
 
 #: Below this divisor size (bits) Newton division falls back to Algorithm D.
 #: Read at call time and passed to :func:`repro.plan.select.div_algorithm`
@@ -149,9 +154,39 @@ def divmod_newton(a: Nat, b: Nat, mul_fn: MulFn) -> Tuple[Nat, Nat]:
         return quotient, remainder
 
 
+def basecase_divmod(a: Nat, b: Nat) -> Tuple[Nat, Nat]:
+    """The basecase division the recursive schemes should bottom out in.
+
+    Burnikel-Ziegler (and anything else that reduces to quadratic
+    division below its threshold) calls here instead of hard-coding
+    Algorithm D, so its basecases transparently pick up the block-
+    packed kernel when the tuned crossover says it wins.
+    """
+    if _select.div_backend(len(b)) == "packed":
+        return divmod_packed(a, b)
+    return divmod_schoolbook(a, b)
+
+
 def divmod_nat(a: Nat, b: Nat,
-               mul_fn: MulFn | None = None) -> Tuple[Nat, Nat]:
-    """Exact (quotient, remainder); picks schoolbook or Newton by size."""
+               mul_fn: MulFn | None = None,
+               backend: str = "auto") -> Tuple[Nat, Nat]:
+    """Exact (quotient, remainder); picks the algorithm *and* backend.
+
+    ``backend="auto"`` consults the tuned packed-vs-limb crossover and
+    runs the whole division as block Algorithm D
+    (:func:`repro.mpn.packed.divmod_packed`) when the packed backend
+    wins — its per-block inner loop beats the limb Newton iteration
+    across the practical range because each multiply-subtract step is
+    one C-level int op.  ``backend="limb"`` forces the classic
+    schoolbook/Newton selection.
+    """
+    if backend == "auto":
+        backend = _select.div_backend(len(b))
+    elif backend not in DIV_BACKENDS:
+        raise MpnError("unknown div backend %r (expected one of %s)"
+                       % (backend, ", ".join(DIV_BACKENDS)))
+    if backend == "packed" and not nat.is_zero(b):
+        return divmod_packed(a, b)
     algorithm = _select.div_algorithm(nat.bit_length(b),
                                       NEWTON_DIV_THRESHOLD_BITS,
                                       has_mul_fn=mul_fn is not None)
@@ -160,14 +195,16 @@ def divmod_nat(a: Nat, b: Nat,
     return divmod_newton(a, b, mul_fn)
 
 
-def mod(a: Nat, b: Nat, mul_fn: MulFn | None = None) -> Nat:
+def mod(a: Nat, b: Nat, mul_fn: MulFn | None = None,
+        backend: str = "auto") -> Nat:
     """Remainder of a / b."""
-    return divmod_nat(a, b, mul_fn)[1]
+    return divmod_nat(a, b, mul_fn, backend)[1]
 
 
-def divexact(a: Nat, b: Nat, mul_fn: MulFn | None = None) -> Nat:
+def divexact(a: Nat, b: Nat, mul_fn: MulFn | None = None,
+             backend: str = "auto") -> Nat:
     """Quotient of an exact division (raises if a remainder appears)."""
-    quotient, remainder = divmod_nat(a, b, mul_fn)
+    quotient, remainder = divmod_nat(a, b, mul_fn, backend)
     if not nat.is_zero(remainder):
         raise MpnError("divexact: division was not exact")
     return quotient

@@ -21,10 +21,18 @@ from dataclasses import dataclass
 from repro.mpn import nat
 from repro.plan import select as _select
 from repro.mpn.karatsuba import mul_karatsuba, sqr_karatsuba
+from repro.mpn.packed import mul_packed, sqr_packed
 from repro.mpn.schoolbook import mul_schoolbook, sqr_schoolbook
 from repro.mpn.ssa import mul_ssa
 from repro.mpn.toom import mul_toom
-from repro.mpn.nat import Nat
+from repro.mpn.nat import MpnError, Nat
+
+#: Backends the dispatcher understands.  ``auto`` resolves through
+#: :func:`repro.plan.select.mul_backend` against the tuned packed
+#: crossover; ``limb`` forces the per-limb algorithm ladder (what
+#: explicit-policy callers and differential tests exercise); ``packed``
+#: forces the block-packed kernels of :mod:`repro.mpn.packed`.
+MUL_BACKENDS = ("auto", "limb", "packed")
 
 
 @dataclass(frozen=True)
@@ -90,15 +98,36 @@ PYTHON_POLICY = MulPolicy(
 )
 
 
-def mul(a: Nat, b: Nat, policy: MulPolicy = GMP_POLICY) -> Nat:
-    """Product of two naturals under the given selection policy."""
+def _resolve_backend(backend: str, min_limbs: int) -> str:
+    if backend == "auto":
+        return _select.mul_backend(min_limbs)
+    if backend not in MUL_BACKENDS:
+        raise MpnError("unknown mul backend %r (expected one of %s)"
+                       % (backend, ", ".join(MUL_BACKENDS)))
+    return backend
+
+
+def mul(a: Nat, b: Nat, policy: MulPolicy = GMP_POLICY,
+        backend: str = "auto") -> Nat:
+    """Product of two naturals under the given selection policy.
+
+    ``backend="auto"`` consults the tuned packed-vs-limb crossover and
+    routes whole operands to :func:`repro.mpn.packed.mul_packed` when
+    the block-packed kernels win; the block multiplier carries its own
+    schoolbook/Karatsuba ladder at block granularity, so the limb
+    ladder below only runs for the limb backend.  Once resolved, the
+    backend is pinned for the recursion — an explicit ``backend="limb"``
+    caller gets pure limb kernels all the way down.
+    """
     if not a or not b:
         return []
     min_limbs = min(len(a), len(b))
+    if _resolve_backend(backend, min_limbs) == "packed":
+        return mul_packed(a, b)
     algorithm = policy.algorithm_for(min_limbs)
 
     def recurse(x: Nat, y: Nat) -> Nat:
-        return mul(x, y, policy)
+        return mul(x, y, policy, "limb")
 
     if algorithm == "basecase":
         return mul_schoolbook(a, b)
@@ -113,14 +142,17 @@ def mul(a: Nat, b: Nat, policy: MulPolicy = GMP_POLICY) -> Nat:
     return mul_ssa(a, b, recurse)
 
 
-def sqr(a: Nat, policy: MulPolicy = GMP_POLICY) -> Nat:
+def sqr(a: Nat, policy: MulPolicy = GMP_POLICY,
+        backend: str = "auto") -> Nat:
     """Square of a natural; uses dedicated squaring paths where they exist."""
     if not a:
         return []
+    if _resolve_backend(backend, len(a)) == "packed":
+        return sqr_packed(a)
     algorithm = policy.algorithm_for(len(a))
 
     def recurse_sqr(x: Nat) -> Nat:
-        return sqr(x, policy)
+        return sqr(x, policy, "limb")
 
     if algorithm == "basecase":
         return sqr_schoolbook(a)
@@ -129,9 +161,10 @@ def sqr(a: Nat, policy: MulPolicy = GMP_POLICY) -> Nat:
     # Toom/SSA squaring falls back to the general product of equal operands;
     # the asymptotic class is unchanged (GMP's Toom squaring saves only a
     # constant factor).
-    return mul(a, a, policy)
+    return mul(a, a, policy, "limb")
 
 
-def mul_int(a: Nat, b: Nat, policy: MulPolicy = GMP_POLICY) -> Nat:
+def mul_int(a: Nat, b: Nat, policy: MulPolicy = GMP_POLICY,
+            backend: str = "auto") -> Nat:
     """Alias retained for API symmetry with GMP's mpn_mul."""
-    return mul(a, b, policy)
+    return mul(a, b, policy, backend)

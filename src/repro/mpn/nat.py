@@ -15,11 +15,29 @@ length").
 
 from __future__ import annotations
 
+import sys
+from array import array
 from typing import Iterable, List
 
 LIMB_BITS = 32
 LIMB_BASE = 1 << LIMB_BITS
 LIMB_MASK = LIMB_BASE - 1
+
+_LIMB_BYTES = LIMB_BITS // 8
+
+
+def _limb_typecode() -> str:
+    """array typecode matching the limb's 4-byte width ("" when none fits)."""
+    for code in ("I", "L"):
+        if array(code).itemsize == _LIMB_BYTES:
+            return code
+    return ""
+
+
+#: Bulk bytes<->limbs conversion needs a 4-byte array type and a
+#: little-endian host so the raw buffer *is* the limb sequence.
+_LIMB_CODE = _limb_typecode()
+_BULK_CONVERT = bool(_LIMB_CODE) and sys.byteorder == "little"
 
 #: A natural number: little-endian limbs, normalized (no trailing zeros).
 Nat = List[int]
@@ -30,18 +48,35 @@ class MpnError(ValueError):
 
 
 def nat_from_int(value: int) -> Nat:
-    """Convert a non-negative Python int into a normalized limb list."""
+    """Convert a non-negative Python int into a normalized limb list.
+
+    This sits on every transport/cache boundary (serve job decode, memo
+    store), so the conversion goes through ``int.to_bytes`` in one C
+    call instead of a per-limb shift loop (which is O(n^2) in C-side
+    work because each ``value >>= 32`` copies the whole bigint).
+    """
     if value < 0:
         raise MpnError("naturals cannot be negative: %d" % value)
-    limbs: Nat = []
-    while value:
-        limbs.append(value & LIMB_MASK)
-        value >>= LIMB_BITS
-    return limbs
+    if value == 0:
+        return []
+    byte_count = -(-value.bit_length() // (8 * _LIMB_BYTES)) * _LIMB_BYTES
+    data = value.to_bytes(byte_count, "little")
+    if _BULK_CONVERT:
+        return normalize(list(array(_LIMB_CODE, data)))
+    return normalize([int.from_bytes(data[i:i + _LIMB_BYTES], "little")
+                      for i in range(0, len(data), _LIMB_BYTES)])
 
 
 def nat_to_int(limbs: Nat) -> int:
     """Convert a limb list back to a Python int (test/IO boundary only)."""
+    if not limbs:
+        return 0
+    if _BULK_CONVERT:
+        try:
+            return int.from_bytes(array(_LIMB_CODE, limbs).tobytes(),
+                                  "little")
+        except (OverflowError, TypeError):
+            pass  # out-of-range limb: fall through to the exact loop
     value = 0
     for limb in reversed(limbs):
         value = (value << LIMB_BITS) | limb

@@ -39,6 +39,7 @@ from repro.mpn.div import divmod_schoolbook
 from repro.mpn.karatsuba import mul_karatsuba
 from repro.mpn.mul import GMP_POLICY, MulPolicy, mul
 from repro.mpn.nat import Nat
+from repro.mpn.packed import divmod_packed, mul_packed
 from repro.mpn.schoolbook import mul_schoolbook
 from repro.mpn.toom import mul_toom
 
@@ -128,6 +129,13 @@ class Thresholds:
     #: Modulus limbs where a precomputed Barrett reduce beats one
     #: schoolbook division (repeated-reduction workloads).
     barrett_limbs: int = 8
+    #: Operand limbs where the block-packed multiplier
+    #: (:mod:`repro.mpn.packed`) beats the limb ladder; 0 disables the
+    #: packed backend entirely.
+    packed_mul_limbs: int = 4
+    #: Divisor limbs where block Algorithm D beats the limb division
+    #: family; 0 disables the packed division path.
+    packed_div_limbs: int = 4
     repeats: int = DEFAULT_REPEATS
     max_limbs: int = 0
     version: int = THRESHOLDS_VERSION
@@ -173,6 +181,9 @@ class Thresholds:
                                  % (name, values))
         if self.bz_limbs < 2 or self.barrett_limbs < 1:
             raise ValueError("division thresholds must be positive")
+        if self.packed_mul_limbs < 0 or self.packed_div_limbs < 0:
+            raise ValueError("packed thresholds must be >= 0 "
+                             "(0 disables the packed backend)")
 
 
 def thresholds_path() -> Path:
@@ -234,9 +245,31 @@ def default_thresholds() -> Thresholds:
     )
 
 
+#: (file stamp, Thresholds) memo for :func:`active_thresholds`.
+_ACTIVE_CACHE: Tuple[Optional[Tuple], Optional[Thresholds]] = (None, None)
+
+
 def active_thresholds() -> Thresholds:
-    """Persisted thresholds when available, checked-in defaults else."""
-    return load_thresholds() or default_thresholds()
+    """Persisted thresholds when available, checked-in defaults else.
+
+    Memoized on the persisted file's (path, mtime, size) stamp: the
+    mpn dispatchers consult the active thresholds per operation for
+    backend selection, so an unconditional disk read here would
+    dominate small kernels.  A retune (new mtime), file removal, or
+    ``$REPRO_THRESHOLDS`` retarget changes the stamp and refreshes.
+    """
+    global _ACTIVE_CACHE
+    target = thresholds_path()
+    try:
+        stat = target.stat()
+        stamp = (str(target), stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        stamp = (str(target), -1, -1)
+    if _ACTIVE_CACHE[0] == stamp and _ACTIVE_CACHE[1] is not None:
+        return _ACTIVE_CACHE[1]
+    thresholds = load_thresholds(target) or default_thresholds()
+    _ACTIVE_CACHE = (stamp, thresholds)
+    return thresholds
 
 
 def tuned_policy() -> MulPolicy:
@@ -273,7 +306,8 @@ def find_division_crossover(max_limbs: int, seed: int = 1,
 
     def recursive(dividend: Nat, divisor: Nat) -> Nat:
         return divmod_bz(dividend, divisor,
-                         lambda x, y: mul(x, y, GMP_POLICY))[0]
+                         lambda x, y: mul(x, y, GMP_POLICY,
+                                          backend="limb"))[0]
 
     def timed(fn: Callable[[Nat, Nat], Nat], limbs: int) -> int:
         dividend = _random_operand(2 * limbs, seed)
@@ -324,9 +358,47 @@ def find_barrett_crossover(max_limbs: int, seed: int = 1,
     return low
 
 
+def find_packed_mul_crossover(max_limbs: int, seed: int = 1,
+                              repeats: int = DEFAULT_REPEATS) -> int:
+    """Operand limbs where the block-packed multiplier beats the limb
+    ladder (both sides run exactly what dispatch would run)."""
+    def limb_side(a: Nat, b: Nat) -> Nat:
+        return mul(a, b, GMP_POLICY, backend="limb")
+
+    return find_crossover(limb_side, mul_packed, 2,
+                          max(8, max_limbs), seed, repeats)
+
+
+def find_packed_div_crossover(max_limbs: int, seed: int = 1,
+                              repeats: int = DEFAULT_REPEATS) -> int:
+    """Divisor limbs where block Algorithm D beats the limb division."""
+    def limb_side(dividend: Nat, divisor: Nat) -> Nat:
+        return divmod_schoolbook(dividend, divisor)[0]
+
+    def packed_side(dividend: Nat, divisor: Nat) -> Nat:
+        return divmod_packed(dividend, divisor)[0]
+
+    def timed(fn: Callable[[Nat, Nat], Nat], limbs: int) -> int:
+        dividend = _random_operand(2 * limbs, seed)
+        divisor = _random_operand(limbs, seed + 7)
+        return _time_once(fn, dividend, divisor, repeats)
+
+    low, high = 2, max(8, max_limbs)
+    if timed(packed_side, high) >= timed(limb_side, high):
+        return high
+    while low < high:
+        mid = (low + high) // 2
+        if timed(packed_side, mid) < timed(limb_side, mid):
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
 def tune(max_limbs: int = 512, seed: int = 1,
          repeats: int = DEFAULT_REPEATS,
-         measure_division: bool = True) -> TuneResult:
+         measure_division: bool = True,
+         measure_packed: bool = True) -> TuneResult:
     """Measure the crossovers this host actually exhibits.
 
     Multiplication: schoolbook/Karatsuba and Karatsuba/Toom-3 are
@@ -347,7 +419,9 @@ def tune(max_limbs: int = 512, seed: int = 1,
                              10 ** 9, 10 ** 9, 10 ** 9)
 
     def dispatch(a: Nat, b: Nat) -> Nat:
-        return mul(a, b, tuned_so_far)
+        # Forced limb backend: this measures the limb-ladder crossover,
+        # not the packed backend (which has its own bisection below).
+        return mul(a, b, tuned_so_far, backend="limb")
 
     def toom3_once(a: Nat, b: Nat) -> Nat:
         return mul_toom(a, b, 3, dispatch)
@@ -383,6 +457,16 @@ def tune(max_limbs: int = 512, seed: int = 1,
         measurements.append(("schoolbook->burnikel-ziegler", bz_limbs))
         measurements.append(("division->barrett", barrett_limbs))
 
+    packed_mul_limbs = default_thresholds().packed_mul_limbs
+    packed_div_limbs = default_thresholds().packed_div_limbs
+    if measure_packed:
+        packed_mul_limbs = find_packed_mul_crossover(
+            min(64, max(8, max_limbs)), seed, repeats)
+        packed_div_limbs = find_packed_div_crossover(
+            min(64, max(8, max_limbs)), seed, repeats)
+        measurements.append(("limb->packed mul", packed_mul_limbs))
+        measurements.append(("limb->packed div", packed_div_limbs))
+
     thresholds = Thresholds(
         karatsuba_limbs=karatsuba_limbs,
         toom3_limbs=toom3_limbs,
@@ -391,6 +475,8 @@ def tune(max_limbs: int = 512, seed: int = 1,
         ssa_limbs=policy.ssa_limbs,
         bz_limbs=bz_limbs,
         barrett_limbs=barrett_limbs,
+        packed_mul_limbs=packed_mul_limbs,
+        packed_div_limbs=packed_div_limbs,
         repeats=repeats,
         max_limbs=max_limbs,
     )

@@ -18,10 +18,21 @@ from typing import Any, Dict, Optional
 from repro.plan.spec import OpSpec, PlanError
 
 
+def _plan_backend(plan) -> str:
+    """The mpn-dispatcher backend a plan's kernels must run on.
+
+    A ``library`` plan priced the limb ladder, a ``packed`` plan the
+    block kernels; execution pins the matching backend so what runs is
+    exactly what the plan's memo key describes.
+    """
+    return "packed" if plan.backend == "packed" else "limb"
+
+
 def _plan_mul_fn(plan):
     from repro.mpn.mul import mul as raw_mul
     policy = plan.policy()
-    return lambda x, y: raw_mul(x, y, policy)
+    backend = _plan_backend(plan)
+    return lambda x, y: raw_mul(x, y, policy, backend)
 
 
 def run(plan, params: Dict[str, Any], device=None) -> Dict[str, Any]:
@@ -49,7 +60,8 @@ def run(plan, params: Dict[str, Any], device=None) -> Dict[str, Any]:
         from repro.mpn.div import divmod_nat
         quotient, remainder = divmod_nat(nat_from_int(params["a"]),
                                          nat_from_int(params["b"]),
-                                         _plan_mul_fn(plan))
+                                         _plan_mul_fn(plan),
+                                         backend=_plan_backend(plan))
         if op == "mod":
             return {"remainder": nat_to_int(remainder)}
         return {"quotient": nat_to_int(quotient),

@@ -28,7 +28,9 @@ from repro.plan.spec import OpSpec, PlanError
 
 #: Bump when lowering output changes shape or meaning; salts both the
 #: plan cache file and every Plan memo key.
-PLAN_SCHEMA_VERSION = 1
+#: v2: packed backend (block-packed mpn kernels) joins resolution; the
+#: thresholds fingerprint grew the packed crossovers.
+PLAN_SCHEMA_VERSION = 2
 
 #: Host-side cost of answering a pure model query (cycles at device
 #: frequency); the query itself never touches the accelerator.
@@ -60,7 +62,7 @@ class Plan:
     """The lowered form of one operation request."""
 
     spec: OpSpec
-    backend: str                       # resolved: "library" | "device"
+    backend: str           # resolved: "library" | "device" | "packed"
     algorithm: str
     steps: Tuple[PlanStep, ...]
     cost_cycles: float
@@ -172,11 +174,11 @@ def _tuning_for(thresholds) -> Tuple[Tuple[int, ...], str]:
     """(fingerprint, policy name) for a Thresholds or MulPolicy."""
     if hasattr(thresholds, "barrett_limbs"):       # Thresholds record
         return select.fingerprint(thresholds), "tuned"
-    # A bare MulPolicy (e.g. the MPApca hardware policy): no division
-    # or Barrett crossovers, version slot 0 marks it as ad hoc.
+    # A bare MulPolicy (e.g. the MPApca hardware policy): no division,
+    # Barrett, or packed crossovers; version slot 0 marks it as ad hoc.
     return ((0, thresholds.karatsuba_limbs, thresholds.toom3_limbs,
              thresholds.toom4_limbs, thresholds.toom6_limbs,
-             thresholds.ssa_limbs, 0, 0), thresholds.name)
+             thresholds.ssa_limbs, 0, 0, 0, 0), thresholds.name)
 
 
 def lower(spec: OpSpec, thresholds=None, use_cache: bool = True) -> Plan:
@@ -201,8 +203,17 @@ def lower(spec: OpSpec, thresholds=None, use_cache: bool = True) -> Plan:
     return Plan.from_payload(payload)
 
 
-def _resolve_backend(spec: OpSpec) -> str:
+#: Ops the block-packed backend can execute.
+_PACKED_OPS = ("mul", "div", "mod")
+
+
+def _resolve_backend(spec: OpSpec, thresholds) -> str:
+    from repro.mpn.nat import LIMB_BITS
+    from repro.plan import select as _select
     from repro.runtime import mpapca
+    if spec.backend == "packed" and spec.op not in _PACKED_OPS:
+        raise PlanError("backend=packed supports only %s; %r lowers to "
+                        "the library" % ("/".join(_PACKED_OPS), spec.op))
     if spec.op == "mul":
         fits = max(spec.bits_a, spec.bits_b) <= mpapca.MONOLITHIC_MAX_BITS
         if spec.backend == "device" and not fits:
@@ -212,11 +223,24 @@ def _resolve_backend(spec: OpSpec) -> str:
                 % (max(spec.bits_a, spec.bits_b),
                    mpapca.MONOLITHIC_MAX_BITS))
         if spec.backend == "auto":
-            return "device" if fits else "library"
+            if fits:
+                return "device"
+            min_limbs = -(-min(max(spec.bits_a, 1),
+                               max(spec.bits_b, 1)) // LIMB_BITS)
+            if _select.mul_backend(min_limbs, thresholds) == "packed":
+                return "packed"
+            return "library"
         return spec.backend
     if spec.backend == "device":
         raise PlanError("backend=device supports only mul streams; "
                         "%r lowers to the library" % (spec.op,))
+    if spec.op in ("div", "mod"):
+        if spec.backend == "auto":
+            divisor_limbs = -(-max(spec.bits_b, 1) // LIMB_BITS)
+            if _select.div_backend(divisor_limbs, thresholds) == "packed":
+                return "packed"
+            return "library"
+        return spec.backend
     return "library"
 
 
@@ -230,7 +254,7 @@ def _lower_uncached(spec: OpSpec, thresholds, tuning: Tuple[int, ...],
     from repro.mpn.nat import LIMB_BITS
     from repro.runtime import mpapca
 
-    backend = _resolve_backend(spec)
+    backend = _resolve_backend(spec, thresholds)
     policy = thresholds.policy() if hasattr(thresholds, "policy") \
         else thresholds
     op = spec.op
@@ -242,6 +266,12 @@ def _lower_uncached(spec: OpSpec, thresholds, tuning: Tuple[int, ...],
             steps = [PlanStep("stream", "monolithic",
                               "one MUL instruction, %dx%d bits"
                               % (spec.bits_a, spec.bits_b))]
+        elif backend == "packed":
+            min_limbs = -(-min(max(spec.bits_a, 1),
+                               max(spec.bits_b, 1)) // LIMB_BITS)
+            steps = [PlanStep("kernel", name, "%d blocks" % blocks)
+                     for name, blocks in select.packed_chain(min_limbs)]
+            algorithm = steps[0].algorithm
         else:
             min_limbs = -(-min(max(spec.bits_a, 1),
                                max(spec.bits_b, 1)) // LIMB_BITS)
@@ -249,15 +279,20 @@ def _lower_uncached(spec: OpSpec, thresholds, tuning: Tuple[int, ...],
             algorithm = steps[0].algorithm
         cost = mpapca.mul_cycles(spec.bits_a, spec.bits_b)
     elif op in ("div", "mod"):
-        algorithm = select.div_algorithm(spec.bits_b)
-        if algorithm == "newton":
-            reciprocal_limbs = -(-max(spec.bits_b, 1) // LIMB_BITS)
-            steps = [PlanStep("kernel", "newton-reciprocal",
-                              "precision-doubling iteration")]
-            steps.extend(_mul_kernel_steps(reciprocal_limbs, policy))
+        if backend == "packed":
+            algorithm = "packed-schoolbook"
+            steps = [PlanStep("kernel", "packed-schoolbook",
+                              "block Knuth Algorithm D")]
         else:
-            steps = [PlanStep("kernel", "schoolbook",
-                              "Knuth Algorithm D")]
+            algorithm = select.div_algorithm(spec.bits_b)
+            if algorithm == "newton":
+                reciprocal_limbs = -(-max(spec.bits_b, 1) // LIMB_BITS)
+                steps = [PlanStep("kernel", "newton-reciprocal",
+                                  "precision-doubling iteration")]
+                steps.extend(_mul_kernel_steps(reciprocal_limbs, policy))
+            else:
+                steps = [PlanStep("kernel", "schoolbook",
+                                  "Knuth Algorithm D")]
         cost = mpapca.div_cycles(spec.bits_a, max(spec.bits_b, 1))
     elif op == "sqrt":
         algorithm = "newton-sqrt"

@@ -23,7 +23,12 @@ keys.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Tuple
+
+#: Kill switch: ``REPRO_PACKED=0`` forces the limb backend everywhere
+#: (differential triage aid; normal selection ignores it).
+PACKED_ENV = "REPRO_PACKED"
 
 #: Fast-multiplication regimes, fastest-threshold last.  Selection walks
 #: from the top: the highest regime whose threshold the smaller operand
@@ -69,6 +74,57 @@ def mul_chain(min_limbs: int, policy) -> List[Tuple[str, int]]:
             limbs = -(-limbs // split) + 1
         else:
             limbs = max(1, policy.ssa_limbs - 1)
+
+
+def _packed_enabled() -> bool:
+    return os.environ.get(PACKED_ENV, "").strip() != "0"
+
+
+def mul_backend(min_limbs: int, thresholds=None) -> str:
+    """``"packed"`` or ``"limb"`` for a product of this size.
+
+    The packed backend (:mod:`repro.mpn.packed`) wins once the pack/
+    unpack round trip amortizes; the crossover is the tuned
+    ``packed_mul_limbs`` threshold (0 disables the backend, as does the
+    ``REPRO_PACKED=0`` kill switch).
+    """
+    if not _packed_enabled():
+        return "limb"
+    if thresholds is None:
+        thresholds = active()
+    crossover = getattr(thresholds, "packed_mul_limbs", 0)
+    if crossover and min_limbs >= crossover:
+        return "packed"
+    return "limb"
+
+
+def div_backend(divisor_limbs: int, thresholds=None) -> str:
+    """``"packed"`` or ``"limb"`` for a division by this divisor."""
+    if not _packed_enabled():
+        return "limb"
+    if thresholds is None:
+        thresholds = active()
+    crossover = getattr(thresholds, "packed_div_limbs", 0)
+    if crossover and divisor_limbs >= crossover:
+        return "packed"
+    return "limb"
+
+
+def packed_chain(min_limbs: int) -> List[Tuple[str, int]]:
+    """Descent ``[(algorithm, blocks), ...]`` inside the packed backend.
+
+    The packed multiplier has exactly two regimes — block Karatsuba
+    above ``KARATSUBA_BLOCKS`` blocks, block schoolbook below — so the
+    chain is short; the unit is *blocks* (``PACK_LIMBS`` limbs each).
+    """
+    from repro.mpn.packed import KARATSUBA_BLOCKS, PACK_LIMBS
+    blocks = max(1, -(-max(1, min_limbs) // PACK_LIMBS))
+    chain: List[Tuple[str, int]] = []
+    while blocks >= KARATSUBA_BLOCKS:
+        chain.append(("packed-karatsuba", blocks))
+        blocks = -(-blocks // 2) + 1
+    chain.append(("packed-basecase", blocks))
+    return chain
 
 
 def div_algorithm(divisor_bits: int,
@@ -118,8 +174,10 @@ def fingerprint(thresholds=None) -> Tuple[int, ...]:
     """The tuple that identifies one tuning state (salts memo keys).
 
     Covers the thresholds schema version plus every crossover that can
-    change an algorithm choice; retuning with ``repro tune`` changes
-    the fingerprint and therefore every plan memo key derived from it.
+    change an algorithm choice — including the packed-backend
+    crossovers, so moving them can never serve a result cached under
+    the other backend's plan; retuning with ``repro tune`` changes the
+    fingerprint and therefore every plan memo key derived from it.
     """
     if thresholds is None:
         thresholds = active()
@@ -132,4 +190,6 @@ def fingerprint(thresholds=None) -> Tuple[int, ...]:
         thresholds.ssa_limbs,
         getattr(thresholds, "bz_limbs", 0),
         getattr(thresholds, "barrett_limbs", 0),
+        getattr(thresholds, "packed_mul_limbs", 0),
+        getattr(thresholds, "packed_div_limbs", 0),
     )

@@ -28,8 +28,10 @@ PLAN_OPS = (
 
 #: Requested execution backends.  ``auto`` resolves during lowering:
 #: device when the operation fits the monolithic hardware multiplier,
-#: library otherwise.
-BACKENDS = ("auto", "library", "device")
+#: otherwise packed (the block-packed kernels of
+#: :mod:`repro.mpn.packed`) or library by the tuned packed crossover.
+#: ``packed`` may be requested explicitly for mul/div/mod.
+BACKENDS = ("auto", "library", "device", "packed")
 
 
 class PlanError(ValueError):

@@ -194,6 +194,21 @@ class TestEachRuleFires:
         assert "direct-dispatch" not in rules_fired(
             src, "src/repro/core/isa.py")
 
+    def test_direct_dispatch_covers_packed_entrypoints(self):
+        """The block-packed kernels joined KERNEL_ENTRYPOINTS: calling
+        them above mpn is the same contract breach as calling the limb
+        kernels directly."""
+        for name in ("mul_packed", "sqr_packed", "divmod_packed",
+                     "add_packed", "sub_packed", "shl_packed",
+                     "shr_packed"):
+            src = ("def f(a, b):\n"
+                   "    return %s(a, b)\n" % name)
+            assert "direct-dispatch" in rules_fired(src, SERVE), name
+            assert "direct-dispatch" in rules_fired(src, APP), name
+            # Inside mpn (the dispatchers' home) the calls are legal.
+            assert "direct-dispatch" not in rules_fired(src, KERNEL), \
+                name
+
     def test_direct_dispatch_leaves_dispatchers_alone(self):
         src = ("def f(a, b):\n"
                "    return mul(a, b)\n"

@@ -1,0 +1,200 @@
+"""The block-packed backend is bit-identical to the limb backend.
+
+The packed kernels exist purely for speed, so the contract is strict:
+at every size — and especially straddling the ``packed_mul_limbs`` /
+``packed_div_limbs`` crossovers where dispatch flips backends — the
+mpn dispatchers must return the same limbs whichever backend runs, and
+both must match Python's bigints.  The plan layer rides the same
+crossovers, so lowered ``packed`` plans are checked against ``library``
+plans and the memo-key salting is checked against threshold changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import mpn
+from repro.mpn.div import divmod_nat
+from repro.mpn.mul import GMP_POLICY, mul, sqr
+from repro.mpn.packed import LINEAR_PACK_MIN_LIMBS
+from repro.plan import OpSpec, select
+from repro.plan.execute import run
+from repro.plan.lowering import lower
+
+from tests.conftest import from_nat, to_nat
+from tests.differential.conftest import diff_examples, naturals_of_bits
+
+pytestmark = pytest.mark.differential
+
+
+def _operand(limbs: int, seed: int) -> int:
+    rng = random.Random(0xB10C ^ seed)
+    return rng.getrandbits(32 * limbs) | (1 << (32 * limbs - 1))
+
+
+def _crossover_band(threshold: int):
+    """Limb counts straddling one backend crossover, plus deep sizes."""
+    band = {1, max(1, threshold - 1), threshold, threshold + 1,
+            4 * threshold + 1, 64, 200}
+    return sorted(band)
+
+
+class TestMulCrossover:
+    @pytest.mark.parametrize(
+        "limbs", _crossover_band(select.active().packed_mul_limbs))
+    def test_backends_agree_at_boundary(self, limbs):
+        a, b = _operand(limbs, 1), _operand(limbs, 2)
+        an, bn = to_nat(a), to_nat(b)
+        limb = mul(an, bn, GMP_POLICY, backend="limb")
+        packed = mul(an, bn, GMP_POLICY, backend="packed")
+        auto = mul(an, bn, GMP_POLICY)
+        assert limb == packed == auto
+        assert from_nat(limb) == a * b
+
+    @pytest.mark.parametrize(
+        "limbs", _crossover_band(select.active().packed_mul_limbs))
+    def test_sqr_backends_agree_at_boundary(self, limbs):
+        a = _operand(limbs, 3)
+        an = to_nat(a)
+        assert sqr(an, GMP_POLICY, backend="limb") \
+            == sqr(an, GMP_POLICY, backend="packed") \
+            == sqr(an, GMP_POLICY)
+        assert from_nat(sqr(an, GMP_POLICY)) == a * a
+
+    def test_auto_resolution_flips_exactly_at_threshold(self):
+        threshold = select.active().packed_mul_limbs
+        assert threshold > 0, "container tuning should enable packed"
+        assert select.mul_backend(threshold - 1) == "limb"
+        assert select.mul_backend(threshold) == "packed"
+
+    def test_kill_switch_forces_limb(self, monkeypatch):
+        monkeypatch.setenv(select.PACKED_ENV, "0")
+        threshold = select.active().packed_mul_limbs
+        assert select.mul_backend(threshold + 100) == "limb"
+        assert select.div_backend(threshold + 100) == "limb"
+
+    def test_zero_threshold_disables_backend(self):
+        disabled = dataclasses.replace(select.active(),
+                                       packed_mul_limbs=0)
+        assert select.mul_backend(10 ** 6, disabled) == "limb"
+
+    @given(a=naturals_of_bits(4096), b=naturals_of_bits(4096))
+    @settings(max_examples=diff_examples(), deadline=None)
+    def test_hypothesis_mul_three_way(self, a, b):
+        an, bn = to_nat(a), to_nat(b)
+        packed = mul(an, bn, GMP_POLICY, backend="packed")
+        assert packed == mul(an, bn, GMP_POLICY, backend="limb")
+        assert from_nat(packed) == a * b
+
+
+class TestDivCrossover:
+    @pytest.mark.parametrize(
+        "divisor_limbs", _crossover_band(select.active().packed_div_limbs))
+    def test_backends_agree_at_boundary(self, divisor_limbs):
+        a = _operand(2 * divisor_limbs + 3, 4)
+        b = _operand(divisor_limbs, 5)
+        an, bn = to_nat(a), to_nat(b)
+
+        def limb_mul(x, y):
+            return mul(x, y, GMP_POLICY, backend="limb")
+
+        limb = divmod_nat(an, bn, limb_mul, backend="limb")
+        packed = divmod_nat(an, bn, backend="packed")
+        auto = divmod_nat(an, bn)
+        assert limb == packed == auto
+        quotient, remainder = packed
+        assert (from_nat(quotient), from_nat(remainder)) == divmod(a, b)
+
+    def test_auto_resolution_flips_exactly_at_threshold(self):
+        threshold = select.active().packed_div_limbs
+        assert threshold > 0, "container tuning should enable packed"
+        assert select.div_backend(threshold - 1) == "limb"
+        assert select.div_backend(threshold) == "packed"
+
+    @given(a=naturals_of_bits(4096), b=naturals_of_bits(2048, 1))
+    @settings(max_examples=diff_examples(), deadline=None)
+    def test_hypothesis_divmod_three_way(self, a, b):
+        an, bn = to_nat(a), to_nat(b)
+        packed = divmod_nat(an, bn, backend="packed")
+        assert packed == divmod_nat(an, bn, backend="limb")
+        assert (from_nat(packed[0]), from_nat(packed[1])) \
+            == divmod(a, b)
+
+    def test_mod_backends_agree(self):
+        a, b = _operand(40, 6), _operand(9, 7)
+        an, bn = to_nat(a), to_nat(b)
+        assert mpn.mod(an, bn, backend="packed") \
+            == mpn.mod(an, bn, backend="limb")
+        assert from_nat(mpn.mod(an, bn)) == a % b
+
+
+class TestLinearKernelRouting:
+    """add/shl/shr auto-route to packed above LINEAR_PACK_MIN_LIMBS;
+    either way the dispatcher result must match bigints."""
+
+    @pytest.mark.parametrize("limbs", (LINEAR_PACK_MIN_LIMBS - 1,
+                                       LINEAR_PACK_MIN_LIMBS,
+                                       LINEAR_PACK_MIN_LIMBS + 1))
+    def test_add_straddles_the_gate(self, limbs):
+        a, b = _operand(limbs, 8), _operand(limbs, 9)
+        assert from_nat(mpn.add(to_nat(a), to_nat(b))) == a + b
+        # All-ones: the carry ripples across every block boundary.
+        ones = (1 << (32 * limbs)) - 1
+        assert from_nat(mpn.add(to_nat(ones), to_nat(1))) == ones + 1
+
+    @pytest.mark.parametrize("count", (0, 1, 31, 32, 255, 256, 257,
+                                       5000))
+    def test_shifts_straddle_the_gate(self, count):
+        for limbs in (LINEAR_PACK_MIN_LIMBS - 1,
+                      LINEAR_PACK_MIN_LIMBS + 1):
+            a = _operand(limbs, 10)
+            assert from_nat(mpn.shl(to_nat(a), count)) == a << count
+            assert from_nat(mpn.shr(to_nat(a), count)) == a >> count
+
+
+class TestPlanLayer:
+    def test_packed_plan_matches_library_plan(self):
+        a, b = _operand(64, 11), _operand(64, 12)
+        spec_args = (a.bit_length(), b.bit_length())
+        packed = lower(OpSpec.for_mul(*spec_args, backend="packed"),
+                       use_cache=False)
+        library = lower(OpSpec.for_mul(*spec_args, backend="library"),
+                        use_cache=False)
+        assert packed.backend == "packed"
+        payload = run(packed, {"a": a, "b": b})
+        assert payload["product"] == run(library,
+                                         {"a": a, "b": b})["product"]
+        assert payload["product"] == a * b
+
+    def test_packed_div_plan_matches_bigint(self):
+        a, b = _operand(96, 13), _operand(40, 14)
+        plan = lower(OpSpec("div", a.bit_length(), b.bit_length(),
+                            backend="packed"), use_cache=False)
+        payload = run(plan, {"a": a, "b": b})
+        assert (payload["quotient"], payload["remainder"]) \
+            == divmod(a, b)
+
+    def test_memo_key_changes_with_packed_thresholds(self):
+        """Retuning the packed crossovers must invalidate cached plans:
+        the fingerprint inside the memo key covers them."""
+        spec = OpSpec.for_mul(64 * 32, 64 * 32)
+        active = select.active()
+        baseline = lower(spec, active, use_cache=False)
+        for field in ("packed_mul_limbs", "packed_div_limbs"):
+            moved = dataclasses.replace(
+                active, **{field: getattr(active, field) + 3})
+            assert lower(spec, moved, use_cache=False).memo_key \
+                != baseline.memo_key, field
+
+    def test_memo_key_separates_backends(self):
+        spec_args = (64 * 32, 64 * 32)
+        packed = lower(OpSpec.for_mul(*spec_args, backend="packed"),
+                       use_cache=False)
+        library = lower(OpSpec.for_mul(*spec_args, backend="library"),
+                        use_cache=False)
+        assert packed.memo_key != library.memo_key

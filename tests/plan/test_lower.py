@@ -19,9 +19,34 @@ class TestBackendResolution:
         assert plan.backend == "device"
         assert plan.algorithm == "monolithic"
 
-    def test_big_mul_falls_back_to_library(self):
+    def test_big_mul_falls_back_to_packed(self):
+        plan = lower(OpSpec.for_mul(MONOLITHIC_MAX_BITS + 1,
+                                    MONOLITHIC_MAX_BITS + 1))
+        assert plan.backend == "packed"
+        assert plan.algorithm.startswith("packed-")
+
+    def test_big_mul_small_operand_falls_back_to_library(self):
+        # min_limbs = 2 sits below the packed crossover.
         plan = lower(OpSpec.for_mul(MONOLITHIC_MAX_BITS + 1, 64))
         assert plan.backend == "library"
+
+    def test_big_mul_falls_back_to_library_when_packed_disabled(self):
+        thresholds = dataclasses.replace(select.active(),
+                                         packed_mul_limbs=0)
+        plan = lower(OpSpec.for_mul(MONOLITHIC_MAX_BITS + 1,
+                                    MONOLITHIC_MAX_BITS + 1),
+                     thresholds)
+        assert plan.backend == "library"
+
+    def test_explicit_packed_respected(self):
+        plan = lower(OpSpec.for_mul(4096, 4096, backend="packed"))
+        assert plan.backend == "packed"
+        assert plan.algorithm.startswith("packed-")
+
+    def test_packed_rejected_for_unsupported_op(self):
+        with pytest.raises(PlanError):
+            lower(OpSpec("powmod", 2048, 17, backend="packed",
+                         detail=(("mod_odd", 1),)))
 
     def test_explicit_library_respected(self):
         plan = lower(OpSpec.for_mul(4096, 4096, backend="library"))
@@ -62,9 +87,13 @@ class TestKeys:
     def test_compat_key_separates_backends(self):
         device = lower(OpSpec.for_mul(4096, 4096))
         library = lower(OpSpec.for_mul(MONOLITHIC_MAX_BITS + 1,
-                                       MONOLITHIC_MAX_BITS + 1))
+                                       MONOLITHIC_MAX_BITS + 1,
+                                       backend="library"))
+        packed = lower(OpSpec.for_mul(MONOLITHIC_MAX_BITS + 1,
+                                      MONOLITHIC_MAX_BITS + 1))
         assert device.compat_key == ("mul", "device")
         assert library.compat_key == ("mul", "library")
+        assert packed.compat_key == ("mul", "packed")
 
     def test_memo_key_carries_schema_and_fingerprint(self):
         plan = lower(OpSpec.for_mul(4096, 4096))

@@ -66,7 +66,9 @@ class TestFingerprint:
         assert fp == (thresholds.version, thresholds.karatsuba_limbs,
                       thresholds.toom3_limbs, thresholds.toom4_limbs,
                       thresholds.toom6_limbs, thresholds.ssa_limbs,
-                      thresholds.bz_limbs, thresholds.barrett_limbs)
+                      thresholds.bz_limbs, thresholds.barrett_limbs,
+                      thresholds.packed_mul_limbs,
+                      thresholds.packed_div_limbs)
 
     def test_thresholds_method_delegates(self):
         thresholds = select.active()

@@ -166,7 +166,8 @@ class TestPlanKeys:
         big = make_job({"op": "mul",
                         "params": {"a": 1 << 40000, "b": 1 << 40000}})
         assert small.compat_key() == ("mul", "device")
-        assert big.compat_key() == ("mul", "library")
+        # Over-monolithic muls now resolve to the block-packed backend.
+        assert big.compat_key() == ("mul", "packed")
 
     def test_cache_key_carries_plan_memo_key(self):
         job = make_job({"op": "model_cycles",
