@@ -26,13 +26,13 @@ from repro.runtime import MPApca
 
 # Opt-in runtime invariant sanitizer (REPRO_SANITIZE=1): wraps the mpn
 # kernels with normalization/carry-bound checks.  When the variable is
-# unset, repro.analysis is not even imported and nothing is wrapped.
-import os as _os
-if _os.environ.get("REPRO_SANITIZE", "").strip().lower() not in (
-        "", "0", "false", "no", "off"):
+# unset, repro.analysis.sanitize is not even imported and nothing is
+# wrapped (repro.analysis.env is a stdlib-only registry module).
+from repro.analysis import env as _env
+if _env.flag(_env.SANITIZE):
     from repro.analysis.sanitize import install as _install_sanitizer
     _install_sanitizer()
-del _os
+del _env
 
 __version__ = "1.0.0"
 

@@ -6,31 +6,74 @@ bigints never appear inside arithmetic kernels, and instruction streams
 handed to the :class:`~repro.core.isa.Driver` reference well-formed LLC
 operands.  Digit/limb-discipline violations are *silent-corruption*
 bugs, not crashes — exactly the class a reproduction must catch
-mechanically.  This package does so with three pillars:
+mechanically.  This package does so with four pillars:
 
 * :mod:`repro.analysis.lint` — an AST-based kernel-contract linter with
   repo-specific rules (see :mod:`repro.analysis.rules`), run as
   ``repro lint`` and as a pytest gate;
+* :mod:`repro.analysis.flow` — a whole-program dataflow engine (call
+  graph + per-function summaries + interprocedural fixpoint) powering
+  the AF (aliasing/flow), CC (concurrency), and EV (env/config) rule
+  families, run as ``repro analyze``;
 * :mod:`repro.analysis.stream` — a static verifier for BIPS/ISA
   instruction streams, diagnosing operand hazards with op-index
   provenance *before* simulation (``repro verify-stream``);
 * :mod:`repro.analysis.sanitize` — an opt-in runtime mode
   (``REPRO_SANITIZE=1`` or ``sanitizer(enabled=True)``) that wraps mpn
   kernel entry/exit with normalization and carry-bound checks.
+
+:mod:`repro.analysis.env` — the central registry every ``REPRO_*``
+environment read goes through — also lives here; it is stdlib-only and
+imported by the lowest layers (parallel, mpn), which is why this
+``__init__`` resolves its exports lazily (PEP 562): ``import
+repro.analysis.env`` must not drag the linter (and through the
+sanitizer, the mpn package) into every import chain.
 """
 
 from __future__ import annotations
 
-from repro.analysis.lint import LintReport, Violation, lint_paths, lint_source
-from repro.analysis.rules import ALL_RULES, Rule
-from repro.analysis.sanitize import (SanitizerError, install, is_enabled,
-                                     sanitizer, uninstall)
-from repro.analysis.stream import (StreamError, StreamViolation,
-                                   verify_plan, verify_stream)
+from typing import Any
 
-__all__ = [
-    "ALL_RULES", "LintReport", "Rule", "SanitizerError", "StreamError",
-    "StreamViolation", "Violation", "install", "is_enabled", "lint_paths",
-    "lint_source", "sanitizer", "uninstall", "verify_plan",
-    "verify_stream",
-]
+#: Public name -> "module:attribute" it is re-exported from.
+_EXPORTS = {
+    "ALL_RULES": "repro.analysis.rules:ALL_RULES",
+    "LintReport": "repro.analysis.lint:LintReport",
+    "Rule": "repro.analysis.rules:Rule",
+    "SanitizerError": "repro.analysis.sanitize:SanitizerError",
+    "StreamError": "repro.analysis.stream:StreamError",
+    "StreamViolation": "repro.analysis.stream:StreamViolation",
+    "Violation": "repro.analysis.lint:Violation",
+    "install": "repro.analysis.sanitize:install",
+    "is_enabled": "repro.analysis.sanitize:is_enabled",
+    "lint_paths": "repro.analysis.lint:lint_paths",
+    "lint_source": "repro.analysis.lint:lint_source",
+    "sanitizer": "repro.analysis.sanitize:sanitizer",
+    "uninstall": "repro.analysis.sanitize:uninstall",
+    "verify_plan": "repro.analysis.stream:verify_plan",
+    "verify_stream": "repro.analysis.stream:verify_stream",
+    "analyze_paths": "repro.analysis.flow:analyze_paths",
+    "AnalysisReport": "repro.analysis.flow:AnalysisReport",
+    "Finding": "repro.analysis.flow:Finding",
+    "NoqaAudit": "repro.analysis.audit:NoqaAudit",
+    "audit_noqa": "repro.analysis.audit:audit_noqa",
+    "write_sarif": "repro.analysis.flow:write_sarif",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        target = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError("module %r has no attribute %r"
+                             % (__name__, name)) from None
+    import importlib
+    module_name, attribute = target.split(":")
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,83 @@
+"""Dead-suppression audit (``repro lint --audit-noqa``).
+
+A ``# repro: noqa=...`` comment is *dead* when neither engine needs
+it: removing it would surface no lint violation and no flow finding.
+Dead markers are worse than noise — they advertise a contract
+violation that no longer exists and train readers to skim past the
+live ones.
+
+The audit runs both engines over the same files, merges the sets of
+noqa lines each actually consumed, and reports every noqa comment in
+neither set.  (A suppression used by *either* engine is alive: flow
+findings honour the same comment syntax as lint findings.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Union
+
+from pathlib import Path
+
+from repro.analysis import lint as _lint
+from repro.analysis.flow.engine import analyze_paths
+
+
+@dataclass(frozen=True)
+class DeadNoqa:
+    """One suppression comment that no engine needed."""
+
+    path: str
+    line: int
+    rules: str  # comma-joined names, or '*' for the bare form
+
+    def render(self) -> str:
+        return ("%s:%d: dead noqa (%s) — no lint or flow finding is "
+                "suppressed here; delete the comment"
+                % (self.path, self.line, self.rules))
+
+
+@dataclass
+class NoqaAudit:
+    """Outcome of one ``--audit-noqa`` run."""
+
+    dead: List[DeadNoqa] = field(default_factory=list)
+    total_noqa: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.dead
+
+    def render(self) -> str:
+        lines = [entry.render() for entry in self.dead]
+        lines.append("%d file(s) checked, %d noqa comment(s), %d dead"
+                     % (self.files_checked, self.total_noqa,
+                        len(self.dead)))
+        return "\n".join(lines)
+
+
+def audit_noqa(paths: Iterable[Union[str, Path]]) -> NoqaAudit:
+    """Find every noqa comment that suppresses nothing."""
+    files = _lint.iter_python_files(paths)
+    audit = NoqaAudit(files_checked=len(files))
+
+    # Flow usage first: one whole-program run covers every file.
+    flow_report = analyze_paths([str(path) for path in files],
+                                baseline_path=None)
+    flow_used: Dict[str, Set[int]] = flow_report.used_noqa
+
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        _, noqa_lines, lint_used = _lint.lint_source_tracking(
+            source, str(file_path))
+        audit.total_noqa += len(noqa_lines)
+        suppressions = _lint.collect_noqa(source)
+        used = lint_used | flow_used.get(str(file_path), set())
+        for line in sorted(noqa_lines - used):
+            names = sorted(suppressions.get(line, ()))
+            audit.dead.append(DeadNoqa(
+                path=str(file_path), line=line,
+                rules=",".join(names) or "*"))
+    audit.dead.sort(key=lambda entry: (entry.path, entry.line))
+    return audit

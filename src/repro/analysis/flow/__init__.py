@@ -1,0 +1,36 @@
+"""Interprocedural flow analysis (``repro analyze``).
+
+Where :mod:`repro.analysis.lint` checks one file at a time, this
+package builds a whole-program view — module-level call graph plus a
+per-function summary of mutations, escapes, await points, blocking
+calls and environment reads — and fixpoint-propagates the mutation
+facts along call edges.  Three rule families run on top:
+
+* **AF** (:mod:`~repro.analysis.flow.rules_af`) — aliasing/flow: the
+  interprocedural upgrade of RPR003;
+* **CC** (:mod:`~repro.analysis.flow.rules_cc`) — async races, lost
+  tasks, pickle-hostile pool submissions;
+* **EV** (:mod:`~repro.analysis.flow.rules_ev`) — the ``REPRO_*``
+  registry contract.
+
+See ``docs/ANALYSIS.md`` for the design and the rule catalogue.
+"""
+
+from repro.analysis.flow.callgraph import load_program, module_name_for
+from repro.analysis.flow.catalog import (ALL_RULE_IDS, FLOW_RULE_NAMES,
+                                         RULE_IDS_BY_NAME)
+from repro.analysis.flow.engine import (DEFAULT_BASELINE, AnalysisReport,
+                                        analyze_paths, build_program,
+                                        load_baseline, propagate,
+                                        save_baseline)
+from repro.analysis.flow.model import (Finding, FunctionInfo,
+                                       FunctionSummary, Mutation, Program)
+from repro.analysis.flow.sarif import to_sarif, write_sarif
+
+__all__ = [
+    "ALL_RULE_IDS", "AnalysisReport", "DEFAULT_BASELINE", "Finding",
+    "FLOW_RULE_NAMES", "FunctionInfo", "FunctionSummary", "Mutation",
+    "Program", "RULE_IDS_BY_NAME", "analyze_paths", "build_program",
+    "load_baseline", "load_program", "module_name_for", "propagate",
+    "save_baseline", "to_sarif", "write_sarif",
+]

@@ -1,0 +1,201 @@
+"""Whole-program loading and call resolution.
+
+:func:`load_program` parses every Python file under the given paths,
+derives dotted module names (anchored at the ``repro`` package when the
+file lives inside it, bare stem otherwise — which makes single-file
+test fixtures self-contained programs), builds per-module import
+tables, and registers every function and method by dotted qualname.
+
+Call resolution is deliberately syntactic and sound-for-the-repo
+rather than general:
+
+* ``f(...)``            — a module-level function of the same module,
+  or a ``from m import f`` binding;
+* ``mod.f(...)``        — ``mod`` imported as a module alias;
+* ``self.f(...)``       — a method of the lexically enclosing class.
+
+Anything else (dynamic dispatch, instance attributes holding
+callables, star imports) resolves to nothing and simply contributes no
+interprocedural edge — the engine under-approximates rather than
+guessing.  Argument mapping skips the implicit ``self`` slot for
+bound-method calls so caller expressions line up with callee parameter
+indices.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.flow.model import (CallSite, FunctionInfo, ModuleInfo,
+                                       Program)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a source path.
+
+    Paths inside the ``repro`` package get their real dotted name (the
+    engine anchors at the last ``repro`` path component); anything else
+    becomes its bare stem, so a fixture file is its own tiny program.
+    """
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    if "repro" in parts[:-1]:
+        anchor = len(parts) - 2 - parts[:-1][::-1].index("repro")
+        dotted = parts[anchor:-1]
+        if stem != "__init__":
+            dotted.append(stem)
+        return ".".join(dotted)
+    return stem
+
+
+def _iter_python_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                files.append(path)
+            continue
+        for root, dirs, names in os.walk(path):
+            dirs[:] = sorted(d for d in dirs
+                             if d not in ("__pycache__", ".git"))
+            for name in sorted(names):
+                if name.endswith(".py"):
+                    files.append(os.path.join(root, name))
+    return files
+
+
+def _import_table(tree: ast.Module) -> Dict[str, str]:
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                elif "." not in alias.name:
+                    table[alias.name] = alias.name
+                # ``import a.b`` binds ``a``; attribute calls through it
+                # would need two hops, which nothing in-tree does.
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level:
+                continue  # relative imports are not used in-tree
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = node.module + "." + alias.name
+    return table
+
+
+def _param_names(node: ast.AST) -> List[str]:
+    args = node.args
+    names = [a.arg for a in getattr(args, "posonlyargs", [])]
+    names += [a.arg for a in args.args]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    names += [a.arg for a in args.kwonlyargs]
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _register_functions(module: ModuleInfo, program: Program) -> None:
+    def visit(body, class_name: Optional[str]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = class_name + "." if class_name else ""
+                qualname = "%s.%s%s" % (module.name, scope, node.name)
+                info = FunctionInfo(
+                    qualname=qualname, module=module.name,
+                    path=module.path, name=node.name, node=node,
+                    params=tuple(_param_names(node)),
+                    is_async=isinstance(node, ast.AsyncFunctionDef),
+                    class_name=class_name, lineno=node.lineno)
+                program.functions[qualname] = info
+                module.functions.append(qualname)
+                # Nested defs are summarised as part of their parent.
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, node.name)
+
+    visit(module.tree.body, None)
+
+
+def load_program(paths: Iterable[str]) -> Program:
+    """Parse every file under ``paths`` into a :class:`Program`."""
+    program = Program()
+    for path in _iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue  # lint reports these; the flow engine skips them
+        module = ModuleInfo(name=module_name_for(path), path=path,
+                            tree=tree, source=source,
+                            imports=_import_table(tree))
+        program.modules[module.name] = module
+        _register_functions(module, program)
+    return program
+
+
+def resolve_callee(program: Program, module: ModuleInfo,
+                   caller: FunctionInfo,
+                   call: ast.Call) -> Optional[FunctionInfo]:
+    """The in-program function a call targets, if it can be named."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        local = module.name + "." + func.id
+        if local in program.functions:
+            return program.functions[local]
+        target = module.imports.get(func.id)
+        if target and target in program.functions:
+            return program.functions[target]
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        base, attr = func.value.id, func.attr
+        if base == "self" and caller.class_name:
+            qualname = "%s.%s.%s" % (module.name, caller.class_name, attr)
+            return program.functions.get(qualname)
+        target = module.imports.get(base)
+        if target and target in program.modules:
+            return program.functions.get(target + "." + attr)
+    return None
+
+
+def map_arguments(callee: FunctionInfo, call: ast.Call,
+                  bound: bool) -> Dict[int, ast.expr]:
+    """Map caller argument expressions onto callee parameter indices.
+
+    ``bound`` means the call was made through an instance (``self.f()``)
+    so positional arguments start at parameter 1.  Starred arguments
+    and ``**kwargs`` contribute nothing (soundly under-approximate).
+    """
+    offset = 1 if bound and callee.params[:1] == ("self",) else 0
+    mapping: Dict[int, ast.expr] = {}
+    for position, argument in enumerate(call.args):
+        if isinstance(argument, ast.Starred):
+            break
+        index = position + offset
+        if index < len(callee.params):
+            mapping[index] = argument
+    for keyword in call.keywords:
+        if keyword.arg is None:
+            continue
+        index = callee.param_index(keyword.arg)
+        if index is not None:
+            mapping[index] = keyword.value
+    return mapping
+
+
+def resolve_call_site(program: Program, module: ModuleInfo,
+                      caller: FunctionInfo,
+                      call: ast.Call) -> Optional[CallSite]:
+    callee = resolve_callee(program, module, caller, call)
+    if callee is None:
+        return None
+    bound = (isinstance(call.func, ast.Attribute)
+             and isinstance(call.func.value, ast.Name)
+             and call.func.value.id == "self")
+    return CallSite(callee=callee.qualname, line=call.lineno,
+                    args=map_arguments(callee, call, bound), node=call)

@@ -1,0 +1,107 @@
+"""Identities of the flow-analysis rule families (AF / CC / EV).
+
+Kept import-light (stdlib only) so :mod:`repro.analysis.lint` can
+recognise flow rule names inside ``# repro: noqa=...`` comments without
+importing the whole engine, and so the docs/tests can enumerate the
+catalogue cheaply.
+
+Families:
+
+* **AF** — aliasing/flow: interprocedural upgrades of the syntactic
+  RPR003 caller-aliasing contract;
+* **CC** — concurrency: async races, lost coroutines/tasks, and
+  process-pool capture hazards in the serve/parallel layers;
+* **EV** — env/config: every ``REPRO_*`` environment read goes through
+  the :mod:`repro.analysis.env` registry.
+
+``AF000`` is reserved for engine findings (stale or unjustified
+baseline entries), mirroring RPR000 in the linter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class RuleId:
+    """Identity and rationale of one flow rule."""
+
+    code: str
+    name: str
+    rationale: str
+
+
+CALLER_MUTATION = RuleId(
+    "AF001", "flow-caller-mutation",
+    "A function hands one of its own parameters to a callee chain that "
+    "mutates it in place; the caller's caller still holds that buffer, "
+    "so the mutation is caller-visible even though no statement in "
+    "this function mutates anything (the interprocedural upgrade of "
+    "RPR003).")
+
+OPERAND_OVERLAP = RuleId(
+    "AF002", "inplace-operand-overlap",
+    "The same object is passed as two operands of a call whose callee "
+    "mutates one of those parameters; the in-place write corrupts the "
+    "other operand mid-computation (the Burnikel-Ziegler buffer-reuse "
+    "bug class).")
+
+AWAIT_SPANNING_RMW = RuleId(
+    "CC001", "await-spanning-rmw",
+    "An async function reads shared state, suspends at an await, and "
+    "writes the state back; another task interleaves at the await and "
+    "the write clobbers its update.  Guard the read-modify-write with "
+    "a lock or restructure it to a single synchronous step.")
+
+UNAWAITED_CORO = RuleId(
+    "CC002", "unawaited-coroutine",
+    "Calling an async function creates a coroutine object; discarding "
+    "it means the body never runs and any exception is lost (asyncio "
+    "only warns at garbage collection).")
+
+UNTRACKED_TASK = RuleId(
+    "CC003", "untracked-task",
+    "A task spawned with ensure_future/create_task whose outcome is "
+    "never observed (no await, no add_done_callback, not returned) "
+    "swallows its exception until shutdown — a crashed consumer task "
+    "leaves every pending future hanging silently.")
+
+EXECUTOR_CAPTURE = RuleId(
+    "CC004", "executor-capture",
+    "A lambda or nested function submitted to the ParallelExecutor "
+    "cannot be pickled to a worker process; the call silently degrades "
+    "to the serial fallback and the fan-out buys nothing.")
+
+ENV_OUTSIDE_REGISTRY = RuleId(
+    "EV001", "env-read-outside-registry",
+    "Environment variables are read only through the "
+    "repro.analysis.env registry, so every knob and killswitch is "
+    "declared, typed, documented, and enumerable.")
+
+UNDECLARED_ENV = RuleId(
+    "EV002", "undeclared-env-var",
+    "A REPRO_* name that is not declared in the repro.analysis.env "
+    "registry is either a typo'd killswitch (it silently does "
+    "nothing) or an undocumented knob.")
+
+ENGINE = RuleId(
+    "AF000", "flow-engine",
+    "Engine findings: baseline entries that match nothing (stale) or "
+    "carry no justification.")
+
+#: Every reportable rule, in catalogue order.
+ALL_RULE_IDS: Tuple[RuleId, ...] = (
+    CALLER_MUTATION, OPERAND_OVERLAP, AWAIT_SPANNING_RMW, UNAWAITED_CORO,
+    UNTRACKED_TASK, EXECUTOR_CAPTURE, ENV_OUTSIDE_REGISTRY,
+    UNDECLARED_ENV,
+)
+
+RULE_IDS_BY_NAME: Dict[str, RuleId] = {
+    rule.name: rule for rule in ALL_RULE_IDS + (ENGINE,)}
+
+#: Names the lint engine must accept in noqa comments without
+#: reporting ``unknown-noqa`` (flow findings honour the same escape
+#: hatch as lint findings).
+FLOW_RULE_NAMES = frozenset(RULE_IDS_BY_NAME)

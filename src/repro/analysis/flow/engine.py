@@ -1,0 +1,222 @@
+"""The flow engine driver: fixpoint, rules, noqa, baseline.
+
+:func:`analyze_paths` is the ``repro analyze`` entry point.  The
+pipeline is::
+
+    load_program -> summarize_program -> propagate (fixpoint)
+        -> AF/CC/EV rules -> noqa filter -> baseline filter
+
+**Fixpoint.**  One dataflow fact propagates interprocedurally: "this
+parameter is mutated".  Each round walks every resolved call site; if
+the callee's summary mutates parameter *j* and the caller passes its
+own (never-rebound) parameter *i* in that slot, the caller's summary
+gains a transitive mutation for *i* whose chain extends the callee's.
+The mutation set only grows and is bounded by the parameter count, so
+the iteration terminates; chains therefore follow the *shortest*
+discovery path, which is what a human wants in the message.
+
+**Suppression.**  Findings honour the same per-line escape hatch as
+the linter (``# repro: noqa=flow-caller-mutation -- why``), and
+additionally a checked-in JSON baseline keyed by ``(rule, function
+qualname)`` — stable across reformatting, unlike line numbers.  Every
+baseline entry must carry a non-empty ``why``; entries that match no
+current finding are reported as stale (AF000), so the baseline can
+only shrink.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import lint as _lint
+from repro.analysis.flow import (catalog, rules_af, rules_cc, rules_ev,
+                                 summaries)
+from repro.analysis.flow.callgraph import load_program
+from repro.analysis.flow.model import Finding, Mutation, Program
+
+#: The checked-in baseline shipped next to the engine.
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+#: (rule id, checker) in catalogue order.
+CHECKS = (
+    (catalog.CALLER_MUTATION, rules_af.check_caller_mutation),
+    (catalog.OPERAND_OVERLAP, rules_af.check_operand_overlap),
+    (catalog.AWAIT_SPANNING_RMW, rules_cc.check_await_spanning_rmw),
+    (catalog.UNAWAITED_CORO, rules_cc.check_unawaited_coroutine),
+    (catalog.UNTRACKED_TASK, rules_cc.check_untracked_task),
+    (catalog.EXECUTOR_CAPTURE, rules_cc.check_executor_capture),
+    (catalog.ENV_OUTSIDE_REGISTRY, rules_ev.check_env_outside_registry),
+    (catalog.UNDECLARED_ENV, rules_ev.check_undeclared_env),
+)
+
+
+def propagate(program: Program, max_rounds: int = 64) -> int:
+    """Run the mutation fixpoint; returns the number of rounds."""
+    rounds = 0
+    changed = True
+    while changed and rounds < max_rounds:
+        changed = False
+        rounds += 1
+        for qualname, summary in program.summaries.items():
+            info = program.functions[qualname]
+            rebound = set(summary.rebound) | {"self"}
+            for site in summary.calls:
+                callee_summary = program.summaries.get(site.callee)
+                if callee_summary is None:
+                    continue
+                for callee_index, mutation in \
+                        sorted(callee_summary.mutates.items()):
+                    argument = site.args.get(callee_index)
+                    if not isinstance(argument, ast.Name) \
+                            or argument.id in rebound:
+                        continue
+                    index = info.param_index(argument.id)
+                    if index is None or index in summary.mutates:
+                        continue
+                    summary.mutates[index] = Mutation(
+                        line=site.line, how=mutation.how,
+                        chain=(site.callee,) + mutation.chain)
+                    changed = True
+    return rounds
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: ``(rule, function)`` plus justification."""
+
+    rule: str
+    function: str
+    why: str
+
+
+def load_baseline(path: str) -> Tuple[List[BaselineEntry], List[Finding]]:
+    """Parse a baseline file; malformed entries come back as findings."""
+    engine = catalog.ENGINE
+    if not os.path.exists(path):
+        return [], []
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    entries: List[BaselineEntry] = []
+    problems: List[Finding] = []
+    for position, raw in enumerate(data.get("entries", [])):
+        rule = raw.get("rule", "")
+        function = raw.get("function", "")
+        why = raw.get("why", "").strip()
+        if not (rule and function and why):
+            problems.append(Finding(
+                rule=engine.name, code=engine.code, path=path,
+                line=position + 1, function=function or "<baseline>",
+                message="baseline entry %d needs non-empty 'rule', "
+                "'function' and 'why' fields — an unjustified "
+                "suppression is indistinguishable from a mistake"
+                % position))
+            continue
+        entries.append(BaselineEntry(rule=rule, function=function, why=why))
+    return entries, problems
+
+
+def save_baseline(path: str, findings: Sequence[Finding],
+                  why: str = "accepted when the baseline was written; "
+                  "revisit before relying on this code path") -> None:
+    """Write every finding as a baseline entry (``--write-baseline``)."""
+    entries = [{"rule": f.rule, "function": f.function, "why": why}
+               for f in sorted({f.key(): f for f in findings}.values(),
+                               key=lambda f: (f.rule, f.function))]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": 1, "entries": entries}, handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one ``repro analyze`` run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    functions: int = 0
+    fixpoint_rounds: int = 0
+    suppressed_noqa: int = 0
+    suppressed_baseline: int = 0
+    #: path -> noqa lines that suppressed at least one flow finding
+    #: (consumed by ``repro lint --audit-noqa``).
+    used_noqa: Dict[str, Set[int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            "%d file(s), %d function(s) analyzed in %d fixpoint "
+            "round(s): %d finding(s), %d suppressed (%d noqa, %d "
+            "baseline)" % (self.files_checked, self.functions,
+                           self.fixpoint_rounds, len(self.findings),
+                           self.suppressed_noqa + self.suppressed_baseline,
+                           self.suppressed_noqa, self.suppressed_baseline))
+        return "\n".join(lines)
+
+
+def build_program(paths: Iterable[str]) -> Program:
+    """Load, summarize and fixpoint a program (shared with tests)."""
+    program = load_program(paths)
+    summaries.summarize_program(program)
+    return program
+
+
+def analyze_paths(paths: Iterable[str],
+                  baseline_path: Optional[str] = DEFAULT_BASELINE
+                  ) -> AnalysisReport:
+    """Analyze files/directories; the ``repro analyze`` entry point.
+
+    ``baseline_path=None`` disables baselining (``--no-baseline``):
+    every finding is reported, which is how the gate audits whether the
+    checked-in baseline has gone stale.
+    """
+    program = build_program(paths)
+    report = AnalysisReport(files_checked=len(program.modules),
+                            functions=len(program.functions))
+    report.fixpoint_rounds = propagate(program)
+
+    raw: List[Finding] = []
+    for _, check in CHECKS:
+        raw.extend(check(program))
+
+    noqa_by_path: Dict[str, Dict[int, Set[str]]] = {
+        module.path: _lint.collect_noqa(module.source)
+        for module in program.modules.values()}
+    entries: List[BaselineEntry] = []
+    if baseline_path is not None:
+        entries, problems = load_baseline(baseline_path)
+        raw.extend(problems)
+    matched: Set[Tuple[str, str]] = set()
+    accepted = {(entry.rule, entry.function) for entry in entries}
+
+    for finding in raw:
+        used = report.used_noqa.setdefault(finding.path, set())
+        if _lint._is_suppressed(finding.rule, finding.line, finding.line,
+                                noqa_by_path.get(finding.path, {}), used):
+            report.suppressed_noqa += 1
+            continue
+        if finding.key() in accepted:
+            matched.add(finding.key())
+            report.suppressed_baseline += 1
+            continue
+        report.findings.append(finding)
+
+    engine = catalog.ENGINE
+    for entry in entries:
+        if (entry.rule, entry.function) not in matched:
+            report.findings.append(Finding(
+                rule=engine.name, code=engine.code,
+                path=baseline_path or "", line=0, function=entry.function,
+                message="stale baseline entry: no current %s finding in "
+                "%s() — delete the entry" % (entry.rule, entry.function)))
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return report

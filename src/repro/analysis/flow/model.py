@@ -1,0 +1,143 @@
+"""Data model of the interprocedural flow engine.
+
+The engine works on three layers of records, all plain dataclasses so
+rules and tests can poke at them without touching ``ast`` again:
+
+* :class:`ModuleInfo` — one parsed source file plus its import table
+  (local alias -> dotted target), the basis of call resolution;
+* :class:`FunctionInfo` — one function or method, addressed by dotted
+  qualname (``repro.mpn.nat.add`` or ``repro.serve.server.ReproServer.
+  start``);
+* :class:`FunctionSummary` — the facts the fixpoint propagates: which
+  parameters the function mutates (directly or via callees), await
+  points, blocking calls, environment reads, and every resolved call
+  site with its argument mapping.
+
+A :class:`Finding` is one rule hit; it carries the function qualname so
+the baseline can match on stable identity rather than line numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One way a parameter gets mutated, with its provenance.
+
+    ``chain`` is empty for a direct in-function mutation and otherwise
+    lists the callee qualnames walked to reach the mutating statement
+    (outermost first), so a finding can say *how* the mutation flows.
+    """
+
+    line: int
+    how: str
+    chain: Tuple[str, ...] = ()
+
+    @property
+    def direct(self) -> bool:
+        return not self.chain
+
+
+@dataclass
+class CallSite:
+    """One resolved call: who is called and which caller expressions
+    land in which callee parameter slots."""
+
+    callee: str
+    line: int
+    #: callee parameter index -> caller-side argument expression.
+    args: Dict[int, ast.expr]
+    node: ast.Call
+
+
+@dataclass
+class FunctionInfo:
+    """Identity and shape of one function or method."""
+
+    qualname: str
+    module: str
+    path: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    params: Tuple[str, ...]
+    is_async: bool
+    class_name: Optional[str] = None
+    lineno: int = 0
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    def param_index(self, name: str) -> Optional[int]:
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
+
+@dataclass
+class FunctionSummary:
+    """Propagated facts about one function (the fixpoint state)."""
+
+    #: parameter index -> how it is (transitively) mutated.
+    mutates: Dict[int, Mutation] = field(default_factory=dict)
+    #: lines holding an ``await`` expression.
+    awaits: List[int] = field(default_factory=list)
+    #: (line, description) of likely event-loop-blocking calls.
+    blocking: List[Tuple[int, str]] = field(default_factory=list)
+    #: (line, rendered expression) of raw ``os.environ`` reads.
+    env_reads: List[Tuple[int, str]] = field(default_factory=list)
+    #: resolved intra-program call sites.
+    calls: List[CallSite] = field(default_factory=list)
+    #: parameter names rebound before use (excluded from aliasing).
+    rebound: Tuple[str, ...] = ()
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file and its name-resolution context."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source: str
+    #: local alias -> fully dotted target (module or module attribute).
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: qualnames of functions defined in this module.
+    functions: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    """The whole-program view every rule receives."""
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    summaries: Dict[str, FunctionSummary] = field(default_factory=dict)
+
+    def summary(self, qualname: str) -> Optional[FunctionSummary]:
+        return self.summaries.get(qualname)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One flow-rule hit, identified stably for baselining."""
+
+    rule: str
+    code: str
+    path: str
+    line: int
+    function: str
+    message: str
+
+    def key(self) -> Tuple[str, str]:
+        return (self.rule, self.function)
+
+    def render(self) -> str:
+        return "%s:%d: %s [%s/%s] %s" % (
+            self.path, self.line, self.function or "<module>", self.code,
+            self.rule, self.message)

@@ -1,0 +1,78 @@
+"""AF family: interprocedural aliasing/flow rules.
+
+These run after the fixpoint, so a summary's ``mutates`` map already
+contains transitive entries (``Mutation.chain`` names the callee path).
+
+* **AF001 flow-caller-mutation** fires at the *call site* where a
+  function forwards one of its own parameters into a callee chain that
+  mutates it.  Direct mutations are deliberately left to RPR003 — the
+  two rules partition the problem: syntactic mutation is the linter's,
+  mutation-by-delegation is the flow engine's.
+* **AF002 inplace-operand-overlap** fires where one object is passed
+  as two operands of a call that mutates one of them — the classic
+  ``divmod(n, n)``-with-scratch-buffers corruption, which no
+  intraprocedural rule can see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.flow import catalog
+from repro.analysis.flow.model import Finding, Program
+
+
+def _chain_text(chain) -> str:
+    return " -> ".join(name.rsplit(".", 1)[-1] + "()" for name in chain)
+
+
+def check_caller_mutation(program: Program) -> List[Finding]:
+    rule = catalog.CALLER_MUTATION
+    findings: List[Finding] = []
+    for qualname, summary in sorted(program.summaries.items()):
+        info = program.functions[qualname]
+        for index, mutation in sorted(summary.mutates.items()):
+            if mutation.direct:
+                continue  # RPR003's jurisdiction
+            findings.append(Finding(
+                rule=rule.name, code=rule.code, path=info.path,
+                line=mutation.line, function=qualname,
+                message="%s() forwards parameter '%s' into %s, which "
+                "mutates it in place (%s); the caller's buffer changes "
+                "under it" % (info.name, info.params[index],
+                              _chain_text(mutation.chain), mutation.how)))
+    return findings
+
+
+def check_operand_overlap(program: Program) -> List[Finding]:
+    rule = catalog.OPERAND_OVERLAP
+    findings: List[Finding] = []
+    for qualname, summary in sorted(program.summaries.items()):
+        info = program.functions[qualname]
+        for site in summary.calls:
+            callee_summary = program.summary(site.callee)
+            if callee_summary is None or not callee_summary.mutates:
+                continue
+            callee = program.functions[site.callee]
+            by_name = {}
+            for index, expr in site.args.items():
+                if isinstance(expr, ast.Name):
+                    by_name.setdefault(expr.id, []).append(index)
+            for name, indices in sorted(by_name.items()):
+                if len(indices) < 2:
+                    continue
+                mutated = [i for i in indices
+                           if i in callee_summary.mutates]
+                if not mutated:
+                    continue
+                index = mutated[0]
+                findings.append(Finding(
+                    rule=rule.name, code=rule.code, path=info.path,
+                    line=site.line, function=qualname,
+                    message="%s() passes '%s' as %d operands of %s(), "
+                    "which mutates parameter '%s' in place — the "
+                    "overlapping operand is corrupted mid-call"
+                    % (info.name, name, len(indices), callee.name,
+                       callee.params[index])))
+    return findings

@@ -1,0 +1,390 @@
+"""CC family: async concurrency rules for the serve/parallel layers.
+
+The serve event loop is cooperatively scheduled: every ``await`` is a
+point where any other task may run.  These rules find the three ways
+that bites in practice — state read before an await and written after
+it (CC001), coroutines and tasks whose outcome nobody observes (CC002,
+CC003), and work handed to the process pool that cannot survive the
+pickle boundary (CC004).
+
+The traversal is a linear scan over each async function body: every
+leaf statement becomes one event carrying its attribute loads, stores,
+awaits, and lock-guard depth, in source order.  ``async with`` items
+whose context expression mentions a lock/semaphore/mutex name guard
+everything inside them; state touched under guard is exempt from
+CC001.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.flow import catalog
+from repro.analysis.flow.model import Finding, FunctionInfo, Program
+
+#: Substrings marking an ``async with`` context as a mutual-exclusion
+#: guard (``self._lock``, ``state_sem``, ``asyncio.Lock()`` results...).
+_GUARD_HINTS = ("lock", "sem", "mutex")
+
+#: Spawn entry points whose result is a Task that must be observed.
+_SPAWN_ATTRS = frozenset({"ensure_future", "create_task"})
+
+#: Receiver-name substrings marking a process/thread pool submission.
+_POOL_HINTS = ("executor", "pool")
+
+#: Pool methods whose function argument crosses the pickle boundary.
+_POOL_METHODS = frozenset({"map", "starmap", "submit", "imap",
+                           "imap_unordered", "apply_async"})
+
+
+def _attr_path(node: ast.AST) -> Optional[str]:
+    """Dotted path of a Name/Attribute chain (``self.queue.depth``,
+    ``task``); ``None`` for anything rooted elsewhere (calls, subscripts)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_guard(item: ast.withitem) -> bool:
+    try:
+        rendered = ast.unparse(item.context_expr).lower()
+    except Exception:  # pragma: no cover - unparse is total on stdlib ast
+        return False
+    return any(hint in rendered for hint in _GUARD_HINTS)
+
+
+class _Pending:
+    """A pending attribute load: where it happened and whether an
+    await has suspended the coroutine since."""
+
+    __slots__ = ("line", "awaited")
+
+    def __init__(self, line: int, awaited: bool = False) -> None:
+        self.line = line
+        self.awaited = awaited
+
+    def copy(self) -> "_Pending":
+        return _Pending(self.line, self.awaited)
+
+
+def _copy_state(state: Dict[str, _Pending]) -> Dict[str, _Pending]:
+    return {path: pending.copy() for path, pending in state.items()}
+
+
+def _merge_states(states: List[Dict[str, _Pending]]) -> Dict[str, _Pending]:
+    merged: Dict[str, _Pending] = {}
+    for state in states:
+        for path, pending in state.items():
+            seen = merged.get(path)
+            if seen is None:
+                merged[path] = pending.copy()
+            else:
+                seen.awaited = seen.awaited or pending.awaited
+                seen.line = min(seen.line, pending.line)
+    return merged
+
+
+def _statement_facts(stmt: ast.stmt,
+                     header_only: bool) -> Tuple[Set[str], Set[str], bool]:
+    """(attribute loads, attribute stores, contains-await) for one
+    statement; ``header_only`` restricts a compound statement to its
+    test/iter expression (its body is scanned as separate events)."""
+    roots: List[ast.AST]
+    if not header_only:
+        roots = [stmt]
+    elif isinstance(stmt, (ast.If, ast.While)):
+        roots = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        roots = [stmt.iter, stmt.target]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        roots = [item.context_expr for item in stmt.items]
+    else:
+        roots = []
+    loads: Set[str] = set()
+    stores: Set[str] = set()
+    has_await = False
+    for root in roots:
+        for node in ast.walk(root):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, ast.Await):
+                has_await = True
+            elif isinstance(node, ast.AugAssign):
+                # ``self.x += ...`` both reads and writes the path even
+                # though the AST gives the target a Store context only.
+                path = _attr_path(node.target)
+                if path is not None:
+                    loads.add(path)
+                    stores.add(path)
+            elif isinstance(node, ast.Attribute):
+                path = _attr_path(node)
+                if path is None:
+                    continue
+                if isinstance(node.ctx, ast.Store):
+                    stores.add(path)
+                elif isinstance(node.ctx, ast.Load):
+                    loads.add(path)
+    return loads, stores, has_await
+
+
+class _RmwScanner:
+    """Branch-aware scan of one async function body.
+
+    The state maps each ``self.*`` path to its pending load; an await
+    marks every pending load suspended; a store of a suspended path is
+    a finding.  Control flow is respected where it matters for false
+    positives: branches that cannot fall through (they return or
+    raise) do not leak their awaits into the code after the branch,
+    states merge at If joins, and loop bodies are scanned twice so a
+    loop-carried read-await-write is still caught.  Loads refresh the
+    pending state (a re-read after the await means the store derives
+    from current data), and anything under a lock-guarded ``async
+    with`` is exempt.
+    """
+
+    def __init__(self, info: FunctionInfo, rule) -> None:
+        self.info = info
+        self.rule = rule
+        self.findings: List[Finding] = []
+        self.reported: Set[str] = set()
+
+    def _flag(self, line: int, path: str) -> None:
+        if path in self.reported:
+            return
+        self.reported.add(path)
+        self.findings.append(Finding(
+            rule=self.rule.name, code=self.rule.code, path=self.info.path,
+            line=line, function=self.info.qualname,
+            message="%s() reads %s, suspends at an await, then writes "
+            "it back — another task can interleave at the await and "
+            "lose its update; guard the read-modify-write with a lock"
+            % (self.info.name, path)))
+
+    def _step(self, stmt: ast.stmt, header_only: bool, guarded: bool,
+              state: Dict[str, _Pending]) -> None:
+        loads, stores, has_await = _statement_facts(stmt, header_only)
+        if guarded:
+            # A guarded load/store is protected; the await inside a
+            # lock still suspends the coroutine for unguarded state.
+            if has_await:
+                for pending in state.values():
+                    pending.awaited = True
+            return
+        if has_await:
+            for path in stores & loads:
+                if path.startswith("self."):
+                    self._flag(stmt.lineno, path)
+            for pending in state.values():
+                pending.awaited = True
+        for path in stores:
+            pending = state.pop(path, None)  # repro: noqa=caller-aliasing -- the scanner threads one mutable state dict by design
+            if pending is not None and pending.awaited \
+                    and path.startswith("self."):
+                self._flag(stmt.lineno, path)
+        for path in loads:
+            if path.startswith("self."):
+                state[path] = _Pending(stmt.lineno)  # repro: noqa=caller-aliasing -- the scanner threads one mutable state dict by design
+
+    def scan(self, body: List[ast.stmt], state: Dict[str, _Pending],
+             guarded: bool) -> bool:
+        """Walk one statement list; returns whether it falls through."""
+        for stmt in body:
+            compound = isinstance(stmt, (ast.If, ast.While, ast.For,
+                                         ast.AsyncFor, ast.With,
+                                         ast.AsyncWith, ast.Try))
+            self._step(stmt, compound, guarded, state)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.Return, ast.Raise, ast.Break,
+                                 ast.Continue)):
+                return False
+            if isinstance(stmt, ast.If):
+                then_state = _copy_state(state)
+                else_state = _copy_state(state)
+                exits = []
+                if self.scan(stmt.body, then_state, guarded):
+                    exits.append(then_state)
+                if self.scan(stmt.orelse, else_state, guarded):
+                    exits.append(else_state)
+                if not exits:
+                    return False
+                state.clear()  # repro: noqa=caller-aliasing -- join: replace contents with the branch merge
+                state.update(_merge_states(exits))
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                # Two passes catch loop-carried read-await-write; the
+                # loop may also run zero times, so merge with entry.
+                once = _copy_state(state)
+                self.scan(stmt.body, once, guarded)
+                state.update(_merge_states([state, once]))
+                twice = _copy_state(state)
+                self.scan(stmt.body, twice, guarded)
+                state.update(_merge_states([state, twice]))
+                self.scan(stmt.orelse, state, guarded)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = guarded or (isinstance(stmt, ast.AsyncWith)
+                                    and any(_is_guard(item)
+                                            for item in stmt.items))
+                if not self.scan(stmt.body, state, inner):
+                    return False
+            elif isinstance(stmt, ast.Try):
+                body_state = _copy_state(state)
+                exits = []
+                if self.scan(stmt.body + stmt.orelse, body_state, guarded):
+                    exits.append(body_state)
+                for handler in stmt.handlers:
+                    # An exception may interrupt the body anywhere, so
+                    # the handler starts from entry|after-body.
+                    handler_state = _merge_states([state, body_state])
+                    if self.scan(handler.body, handler_state, guarded):
+                        exits.append(handler_state)
+                if not exits and not stmt.finalbody:
+                    return False
+                state.clear()  # repro: noqa=caller-aliasing -- join: replace contents with the branch merge
+                state.update(_merge_states(exits) if exits else {})
+                if not self.scan(stmt.finalbody, state, guarded):
+                    return False
+                if not exits:
+                    return False
+        return True
+
+
+def check_await_spanning_rmw(program: Program) -> List[Finding]:
+    rule = catalog.AWAIT_SPANNING_RMW
+    findings: List[Finding] = []
+    for qualname, info in sorted(program.functions.items()):
+        if not info.is_async:
+            continue
+        scanner = _RmwScanner(info, rule)
+        scanner.scan(info.node.body, {}, False)
+        findings.extend(scanner.findings)
+    return findings
+
+
+def check_unawaited_coroutine(program: Program) -> List[Finding]:
+    rule = catalog.UNAWAITED_CORO
+    findings: List[Finding] = []
+    for qualname, summary in sorted(program.summaries.items()):
+        info = program.functions[qualname]
+        statements = {id(stmt.value): stmt for stmt in ast.walk(info.node)
+                      if isinstance(stmt, ast.Expr)}
+        for site in summary.calls:
+            callee = program.functions[site.callee]
+            if not callee.is_async or id(site.node) not in statements:
+                continue
+            findings.append(Finding(
+                rule=rule.name, code=rule.code, path=info.path,
+                line=site.line, function=qualname,
+                message="%s() calls async %s() without awaiting it — "
+                "the coroutine is created and dropped, so its body "
+                "never runs" % (info.name, callee.name)))
+    return findings
+
+
+def _spawn_calls(info: FunctionInfo) -> List[ast.Call]:
+    return [node for node in ast.walk(info.node)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SPAWN_ATTRS]
+
+
+def _parent_map(root: ast.AST) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _task_observed(info: FunctionInfo, path: str) -> bool:
+    """Whether the task stored at ``path`` is awaited, given a done
+    callback, returned, or passed onward within this function."""
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Await) and _attr_path(node.value) == path:
+            return True
+        if isinstance(node, ast.Return) and node.value is not None \
+                and _attr_path(node.value) == path:
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr == "add_done_callback" \
+                    and _attr_path(func.value) == path:
+                return True
+            for argument in node.args:
+                if _attr_path(argument) == path:
+                    return True
+    return False
+
+
+def check_untracked_task(program: Program) -> List[Finding]:
+    rule = catalog.UNTRACKED_TASK
+    findings: List[Finding] = []
+    for qualname, info in sorted(program.functions.items()):
+        spawns = _spawn_calls(info)
+        if not spawns:
+            continue
+        parents = _parent_map(info.node)
+        for call in spawns:
+            parent = parents.get(id(call))
+            dropped: Optional[str] = None
+            if isinstance(parent, ast.Expr):
+                dropped = "discards the task object outright"
+            elif isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+                target = _attr_path(parent.targets[0])
+                if target is not None and \
+                        not _task_observed(info, target):
+                    dropped = ("stores it in %s but never awaits it, "
+                               "adds a done callback, or hands it on"
+                               % target)
+            if dropped is None:
+                continue
+            findings.append(Finding(
+                rule=rule.name, code=rule.code, path=info.path,
+                line=call.lineno, function=qualname,
+                message="%s() spawns a task with %s() and %s — if the "
+                "task crashes, the exception is silently swallowed"
+                % (info.name, call.func.attr, dropped)))
+    return findings
+
+
+def check_executor_capture(program: Program) -> List[Finding]:
+    rule = catalog.EXECUTOR_CAPTURE
+    findings: List[Finding] = []
+    for qualname, info in sorted(program.functions.items()):
+        nested = {node.name for node in ast.walk(info.node)
+                  if isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef))
+                  and node is not info.node}
+        for node in ast.walk(info.node):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _POOL_METHODS
+                    and node.args):
+                continue
+            receiver = _attr_path(node.func.value) or ""
+            if not any(hint in receiver.lower() for hint in _POOL_HINTS):
+                continue
+            worker = node.args[0]
+            reason = None
+            if isinstance(worker, ast.Lambda):
+                reason = "a lambda"
+            elif isinstance(worker, ast.Name) and worker.id in nested:
+                reason = "nested function %s()" % worker.id
+            if reason is None:
+                continue
+            findings.append(Finding(
+                rule=rule.name, code=rule.code, path=info.path,
+                line=node.lineno, function=qualname,
+                message="%s() submits %s to %s.%s(); it cannot be "
+                "pickled to a worker process, so the call degrades to "
+                "the serial fallback — pass a module-level function"
+                % (info.name, reason, receiver, node.func.attr)))
+    return findings

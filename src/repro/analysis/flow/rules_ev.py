@@ -1,0 +1,76 @@
+"""EV family: environment/killswitch registry rules.
+
+Every ``REPRO_*`` knob goes through :mod:`repro.analysis.env` — that is
+the whole point of the registry: one table of names, types, defaults,
+and docs (rendered into ``docs/ENV.md``), instead of ``os.environ``
+reads scattered through six subsystems.
+
+* **EV001 env-read-outside-registry** flags any raw environment read
+  (``os.environ.get/[]``, ``os.getenv``, ``setdefault``, ``pop``)
+  outside the registry module itself.  Wholesale snapshots such as
+  ``dict(os.environ)`` (used to build child-process environments) do
+  not read a variable and are not flagged.
+* **EV002 undeclared-env-var** flags any whole-string ``REPRO_*``
+  literal that the registry does not declare — a typo'd killswitch
+  silently does nothing, which is the worst possible failure mode for
+  a killswitch.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis import env as _env
+from repro.analysis.flow import catalog, summaries
+from repro.analysis.flow.model import Finding, Program
+
+#: Module that is allowed to touch ``os.environ``: the registry.
+_REGISTRY_MODULE = "repro.analysis.env"
+
+
+def _owner(program: Program, module_name: str, line: int) -> str:
+    """Qualname of the function containing ``line`` (for baselining)."""
+    best = ""
+    best_start = -1
+    for qualname in program.modules[module_name].functions:
+        info = program.functions[qualname]
+        node = info.node
+        end = getattr(node, "end_lineno", node.lineno)
+        if node.lineno <= line <= end and node.lineno > best_start:
+            best, best_start = qualname, node.lineno
+    return best or module_name
+
+
+def check_env_outside_registry(program: Program) -> List[Finding]:
+    rule = catalog.ENV_OUTSIDE_REGISTRY
+    findings: List[Finding] = []
+    for name, module in sorted(program.modules.items()):
+        if name == _REGISTRY_MODULE:
+            continue
+        for line, rendered in summaries.environ_reads(module.tree):
+            findings.append(Finding(
+                rule=rule.name, code=rule.code, path=module.path,
+                line=line, function=_owner(program, name, line),
+                message="raw environment read via %s — declare the "
+                "variable in repro.analysis.env and read it through "
+                "the registry" % rendered))
+    return findings
+
+
+def check_undeclared_env(program: Program) -> List[Finding]:
+    rule = catalog.UNDECLARED_ENV
+    declared = set(_env.REGISTRY)
+    findings: List[Finding] = []
+    for name, module in sorted(program.modules.items()):
+        if name == _REGISTRY_MODULE:
+            continue
+        for line, literal in summaries.env_var_literals(module.tree):
+            if literal in declared:
+                continue
+            findings.append(Finding(
+                rule=rule.name, code=rule.code, path=module.path,
+                line=line, function=_owner(program, name, line),
+                message="'%s' is not declared in the repro.analysis.env "
+                "registry — an undeclared killswitch silently does "
+                "nothing" % literal))
+    return findings

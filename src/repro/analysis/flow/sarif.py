@@ -1,0 +1,58 @@
+"""SARIF 2.1.0 export for ``repro analyze --sarif``.
+
+The Static Analysis Results Interchange Format is what code-scanning
+UIs (GitHub's included) ingest; one run object carries the tool's rule
+catalogue plus one result per finding.  Only the small mandatory
+subset of the schema is emitted — enough for annotation, nothing
+speculative.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.flow import catalog
+from repro.analysis.flow.model import Finding
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(findings: Sequence[Finding]) -> dict:
+    """The SARIF document for a set of findings, as plain data."""
+    rules = [{
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name},
+        "fullDescription": {"text": rule.rationale},
+    } for rule in catalog.ALL_RULE_IDS + (catalog.ENGINE,)]
+    results = [{
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": "[%s] %s" % (finding.rule, finding.message)},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {"startLine": max(1, finding.line)},
+            },
+        }],
+    } for finding in findings]
+    return {
+        "version": "2.1.0",
+        "$schema": _SCHEMA,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-analyze",
+                "informationUri": "docs/ANALYSIS.md",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: str, findings: Sequence[Finding]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_sarif(findings), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,173 @@
+"""Per-function summary extraction (the fixpoint seed).
+
+Each function gets one pass that records its *direct* facts:
+
+* parameter mutations, using the same syntactic contract as RPR003
+  (mutating list-method calls, subscript stores, subscript deletes,
+  minus parameters rebound to fresh objects) — including suppressed
+  occurrences, because a kernel that legitimately mutates under a
+  ``# repro: noqa=caller-aliasing`` still mutates as far as its
+  *callers* are concerned;
+* ``await`` points and likely event-loop-blocking calls (the RPR011
+  heuristics);
+* raw ``os.environ`` / ``os.getenv`` reads;
+* every call site the callgraph can resolve to an in-program function,
+  with its argument mapping.
+
+Transitive facts are added later by the engine's fixpoint; this module
+never looks across function boundaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.flow import callgraph
+from repro.analysis.flow.model import (FunctionInfo, FunctionSummary,
+                                       Mutation, Program)
+from repro.analysis.rules.concurrency import (_BLOCKING_METHODS,
+                                              _BLOCKING_MODULE_CALLS)
+from repro.analysis.rules.kernel import _MUTATING_METHODS, CallerAliasing
+
+#: Attribute accesses on ``os`` that read the environment.
+_ENVIRON_READS = frozenset({"get", "setdefault", "pop"})
+
+
+def own_nodes(func: ast.AST) -> Iterable[ast.AST]:
+    """Every node in ``func``'s own body, skipping nested defs/lambdas.
+
+    Nested functions run when *they* are called, not when their parent
+    is; attributing their effects to the parent would fabricate
+    mutations and call edges at the wrong site.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def environ_reads(root: ast.AST) -> List[Tuple[int, str]]:
+    """(line, rendered call) for every raw environment read under
+    ``root``: ``os.environ.get/.setdefault/.pop``, ``os.environ[...]``,
+    ``del os.environ[...]`` and ``os.getenv(...)``."""
+
+    def is_os_environ(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Attribute)
+                and node.attr == "environ"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "os")
+
+    reads: List[Tuple[int, str]] = []
+    for node in ast.walk(root):
+        if isinstance(node, ast.Attribute) and is_os_environ(node.value) \
+                and node.attr in _ENVIRON_READS:
+            reads.append((node.lineno, "os.environ.%s" % node.attr))
+        elif isinstance(node, ast.Subscript) and is_os_environ(node.value):
+            reads.append((node.lineno, "os.environ[...]"))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "getenv" \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id == "os":
+            reads.append((node.lineno, "os.getenv"))
+    return reads
+
+
+def env_var_literals(root: ast.AST) -> List[Tuple[int, str]]:
+    """(line, name) for every string literal that *is* a ``REPRO_*``
+    environment-variable name (whole-string match, so prose mentioning
+    a variable inside a docstring does not count)."""
+    literals: List[Tuple[int, str]] = []
+    for node in ast.walk(root):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            value = node.value
+            if value.startswith("REPRO_") and len(value) > 6 \
+                    and value.isupper() \
+                    and value.replace("_", "").isalnum():
+                literals.append((node.lineno, value))
+    return literals
+
+
+def _direct_mutations(info: FunctionInfo,
+                      live: frozenset) -> Dict[int, Mutation]:
+    def live_param(node: ast.AST) -> Optional[int]:
+        if isinstance(node, ast.Name) and node.id in live:
+            return info.param_index(node.id)
+        return None
+
+    mutations: Dict[int, Mutation] = {}
+
+    def record(index: Optional[int], line: int, how: str) -> None:
+        if index is not None and index not in mutations:
+            mutations[index] = Mutation(line=line, how=how)
+
+    for node in own_nodes(info.node):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _MUTATING_METHODS:
+            record(live_param(node.func.value), node.lineno,
+                   ".%s()" % node.func.attr)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in CallerAliasing._flatten_targets(targets):
+                if isinstance(target, ast.Subscript):
+                    record(live_param(target.value), node.lineno,
+                           "subscript store")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    record(live_param(target.value), node.lineno,
+                           "subscript delete")
+    return mutations
+
+
+def _blocking_calls(info: FunctionInfo) -> List[Tuple[int, str]]:
+    awaited = {id(node.value) for node in ast.walk(info.node)
+               if isinstance(node, ast.Await)
+               and isinstance(node.value, ast.Call)}
+    found: List[Tuple[int, str]] = []
+    for node in own_nodes(info.node):
+        if not isinstance(node, ast.Call) or id(node) in awaited:
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and \
+                    (func.value.id, func.attr) in _BLOCKING_MODULE_CALLS:
+                found.append((node.lineno,
+                              "%s.%s()" % (func.value.id, func.attr)))
+            elif func.attr in _BLOCKING_METHODS:
+                found.append((node.lineno, ".%s()" % func.attr))
+    return found
+
+
+def summarize_function(program: Program, info: FunctionInfo
+                       ) -> FunctionSummary:
+    module = program.modules[info.module]
+    rebound = CallerAliasing._rebound_names(info.node)
+    live = frozenset(name for name in info.params
+                     if name != "self" and name not in rebound)
+    summary = FunctionSummary(
+        mutates=_direct_mutations(info, live),
+        awaits=sorted(node.lineno for node in own_nodes(info.node)
+                      if isinstance(node, ast.Await)),
+        blocking=_blocking_calls(info),
+        env_reads=environ_reads(info.node),
+        rebound=tuple(sorted(rebound)))
+    for node in own_nodes(info.node):
+        if isinstance(node, ast.Call):
+            site = callgraph.resolve_call_site(program, module, info, node)
+            if site is not None and site.callee != info.qualname:
+                summary.calls.append(site)
+    return summary
+
+
+def summarize_program(program: Program) -> None:
+    """Fill ``program.summaries`` with the direct facts (fixpoint seed)."""
+    for qualname, info in program.functions.items():
+        program.summaries[qualname] = summarize_function(program, info)

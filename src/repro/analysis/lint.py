@@ -23,8 +23,9 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Set, Union
+from typing import Dict, Iterable, List, Sequence, Set, Tuple, Union
 
+from repro.analysis.flow.catalog import FLOW_RULE_NAMES
 from repro.analysis.rules import ALL_RULES, RULES_BY_NAME
 from repro.analysis.rules.base import FileContext, Rule
 
@@ -99,11 +100,29 @@ def collect_noqa(source: str) -> Dict[int, Set[str]]:
 def lint_source(source: str, path: str = "<string>",
                 rules: Sequence[Rule] = ALL_RULES) -> List[Violation]:
     """Lint one file's source text; returns confirmed violations."""
+    violations, _, _ = lint_source_tracking(source, path, rules)
+    return violations
+
+
+def lint_source_tracking(source: str, path: str = "<string>",
+                         rules: Sequence[Rule] = ALL_RULES
+                         ) -> "Tuple[List[Violation], Set[int], Set[int]]":
+    """Lint one file and also report its suppression-comment usage.
+
+    Returns ``(violations, noqa_lines, used_lines)`` where the last
+    two are the lines carrying a noqa comment and the subset that
+    actually suppressed a lint finding — the raw material of
+    ``repro lint --audit-noqa`` (flow-rule usage is merged in by
+    :mod:`repro.analysis.audit`, since flow findings honour the same
+    comments).
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
-        return [Violation(path, error.lineno or 0, "syntax-error", "RPR000",
-                          "file does not parse: %s" % error.msg)]
+        return ([Violation(path, error.lineno or 0, "syntax-error",
+                           "RPR000",
+                           "file does not parse: %s" % error.msg)],
+                set(), set())
     ctx = FileContext(path=path, tree=tree, source=source)
     suppressions = collect_noqa(source)
     used_suppressions: Set[int] = set()
@@ -119,7 +138,7 @@ def lint_source(source: str, path: str = "<string>",
                                         rule.code, finding.message))
     violations.extend(_unknown_noqa_rules(path, suppressions))
     violations.sort(key=lambda v: (v.line, v.code))
-    return violations
+    return violations, set(suppressions), used_suppressions
 
 
 def _is_suppressed(rule_name: str, line: int, end_line: int,
@@ -139,7 +158,7 @@ def _unknown_noqa_rules(path: str,
     """Report suppressions naming rules that do not exist (typo guard)."""
     for line, names in sorted(suppressions.items()):
         for name in sorted(names - {_ALL}):
-            if name not in RULES_BY_NAME:
+            if name not in RULES_BY_NAME and name not in FLOW_RULE_NAMES:
                 yield Violation(path, line, "unknown-noqa", "RPR000",
                                 "noqa names unknown rule %r" % name)
 

@@ -23,14 +23,14 @@ the kernel and the offending operand.
 from __future__ import annotations
 
 import functools
-import os
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, Tuple
 
+from repro.analysis import env as _env
 from repro.mpn.nat import LIMB_BASE, MpnError
 
 #: Environment variable that enables the sanitizer at import time.
-ENV_VAR = "REPRO_SANITIZE"
+ENV_VAR = _env.SANITIZE.name
 
 #: Profiled public API wrappers (module ``repro.mpn``).
 _MPN_API = ("add", "sub", "mul", "sqr", "divmod_nat", "mod", "divexact",
@@ -59,8 +59,7 @@ def is_enabled() -> bool:
 
 def env_requests_sanitizer() -> bool:
     """True when ``REPRO_SANITIZE`` is set to a truthy value."""
-    return os.environ.get(ENV_VAR, "").strip().lower() not in (
-        "", "0", "false", "no", "off")
+    return _env.flag(_env.SANITIZE)
 
 
 def check_nat(value: Any, kernel: str, role: str) -> None:

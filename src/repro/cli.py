@@ -229,6 +229,29 @@ def build_parser() -> argparse.ArgumentParser:
                                   "lowered plan")
     plan_parser.set_defaults(handler=_cmd_plan)
 
+    analyze = commands.add_parser(
+        "analyze", help="run the interprocedural flow analyzer")
+    analyze.add_argument("paths", nargs="*",
+                         help="files/directories to analyze (default: "
+                              "the installed repro package)")
+    analyze.add_argument("--sarif", metavar="OUT.json",
+                         help="also write findings as SARIF 2.1.0")
+    analyze.add_argument("--no-baseline", action="store_true",
+                         help="ignore the checked-in baseline and "
+                              "report everything")
+    analyze.add_argument("--baseline", metavar="PATH",
+                         help="baseline file to apply (default: the "
+                              "checked-in one)")
+    analyze.add_argument("--write-baseline", metavar="PATH",
+                         help="accept every current finding into PATH "
+                              "and exit")
+    analyze.add_argument("--list-rules", action="store_true",
+                         help="print the AF/CC/EV rule catalogue")
+    analyze.add_argument("--env-table", action="store_true",
+                         help="print the REPRO_* registry as a "
+                              "markdown table (docs/ENV.md source)")
+    analyze.set_defaults(handler=_cmd_analyze)
+
     lint = commands.add_parser(
         "lint", help="run the kernel-contract linter")
     lint.add_argument("paths", nargs="*",
@@ -236,6 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "installed repro package)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    lint.add_argument("--audit-noqa", action="store_true",
+                      help="report noqa comments that suppress nothing "
+                           "(in lint or flow analysis)")
     lint.set_defaults(handler=_cmd_lint)
 
     verify = commands.add_parser(
@@ -395,6 +421,44 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.flow import (ALL_RULE_IDS, DEFAULT_BASELINE,
+                                     analyze_paths, save_baseline,
+                                     write_sarif)
+    if args.list_rules:
+        for rule in ALL_RULE_IDS:
+            print("%s %-24s %s" % (rule.code, rule.name, rule.rationale))
+        return 0
+    if args.env_table:
+        from repro.analysis import env
+        print(env.render_table())
+        return 0
+    paths = [str(p) for p in args.paths] \
+        or [str(Path(repro.__file__).parent)]
+    if args.write_baseline:
+        report = analyze_paths(paths, baseline_path=None)
+        save_baseline(args.write_baseline, report.findings)
+        print("analyze: wrote %d baseline entr%s to %s"
+              % (len(report.findings),
+                 "y" if len(report.findings) == 1 else "ies",
+                 args.write_baseline))
+        return 0
+    baseline = None if args.no_baseline \
+        else (args.baseline or DEFAULT_BASELINE)
+    report = analyze_paths(paths, baseline_path=baseline)
+    if report.files_checked == 0:
+        print("analyze: no Python files under %s" % ", ".join(paths),
+              file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.sarif:
+        write_sarif(args.sarif, report.findings)
+    return 0 if report.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -405,6 +469,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print("%s %-24s %s" % (rule.code, rule.name, rule.rationale))
         return 0
     paths = args.paths or [Path(repro.__file__).parent]
+    if args.audit_noqa:
+        from repro.analysis.audit import audit_noqa
+        audit = audit_noqa(paths)
+        if audit.files_checked == 0:
+            print("lint: no Python files under %s"
+                  % ", ".join(str(p) for p in paths), file=sys.stderr)
+            return 2
+        print(audit.render())
+        return 0 if audit.ok else 1
     report = lint_paths(paths)
     if report.files_checked == 0:
         # A typo'd path must not read as a clean bill of health.

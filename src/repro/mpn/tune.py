@@ -188,7 +188,8 @@ class Thresholds:
 
 def thresholds_path() -> Path:
     """Where thresholds persist: ``$REPRO_THRESHOLDS`` or the cache root."""
-    override = os.environ.get(THRESHOLDS_ENV, "").strip()
+    from repro.analysis import env as _env
+    override = _env.THRESHOLDS.raw()
     if override:
         return Path(override).expanduser()
     from repro.parallel.cache import cache_root

@@ -31,16 +31,18 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Iterable, Optional
 
+from repro.analysis import env as _env
+
 #: Environment override for the cache root directory.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_DIR_ENV = _env.CACHE_DIR.name
 
 #: Set to ``0`` to disable on-disk persistence.
-CACHE_ENV = "REPRO_CACHE"
+CACHE_ENV = _env.CACHE.name
 
 
 def cache_root() -> Path:
     """Directory holding all persistent repro caches."""
-    override = os.environ.get(CACHE_DIR_ENV, "").strip()
+    override = _env.CACHE_DIR.raw()
     if override:
         return Path(override).expanduser()
     return Path.home() / ".cache" / "repro"
@@ -48,7 +50,7 @@ def cache_root() -> Path:
 
 def persistence_enabled() -> bool:
     """Whether caches may touch the disk (``REPRO_CACHE=0`` opts out)."""
-    return os.environ.get(CACHE_ENV, "").strip() != "0"
+    return _env.enabled(_env.CACHE)
 
 
 def make_key(parts: Iterable[Any]) -> str:

@@ -31,15 +31,17 @@ from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, TypeVar
 
+from repro.analysis import env as _env
+
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
 
 #: Environment variable selecting the worker count.  ``0`` / unset means
 #: serial; ``auto`` means one worker per available CPU.
-WORKERS_ENV = "REPRO_WORKERS"
+WORKERS_ENV = _env.WORKERS.name
 
 #: Environment override for the submission chunk size.
-CHUNK_ENV = "REPRO_CHUNK"
+CHUNK_ENV = _env.CHUNK.name
 
 #: Errors that mean "this task list cannot travel to a worker process";
 #: they trigger the serial fallback rather than propagating.
@@ -80,7 +82,7 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     """
     if workers is not None:
         return max(0, int(workers))
-    raw = os.environ.get(WORKERS_ENV, "").strip()
+    raw = _env.WORKERS.raw()
     if not raw:
         return 0
     if raw.lower() == "auto":
@@ -143,13 +145,8 @@ class ParallelExecutor:
         """Submission chunk: ~4 chunks per worker, env-overridable."""
         if self._chunk_size is not None:
             return max(1, self._chunk_size)
-        raw = os.environ.get(CHUNK_ENV, "").strip()
-        if raw:
-            try:
-                return max(1, int(raw))
-            except ValueError:
-                raise ValueError("%s must be an integer, got %r"
-                                 % (CHUNK_ENV, raw)) from None
+        if _env.CHUNK.is_set():
+            return max(1, _env.int_value(_env.CHUNK, 1))
         return max(1, -(-num_items // (max(1, self.workers) * 4)))
 
     # -- execution -----------------------------------------------------------

@@ -23,12 +23,13 @@ keys.
 
 from __future__ import annotations
 
-import os
 from typing import List, Optional, Tuple
+
+from repro.analysis import env as _env
 
 #: Kill switch: ``REPRO_PACKED=0`` forces the limb backend everywhere
 #: (differential triage aid; normal selection ignores it).
-PACKED_ENV = "REPRO_PACKED"
+PACKED_ENV = _env.PACKED.name
 
 #: Fast-multiplication regimes, fastest-threshold last.  Selection walks
 #: from the top: the highest regime whose threshold the smaller operand
@@ -77,7 +78,7 @@ def mul_chain(min_limbs: int, policy) -> List[Tuple[str, int]]:
 
 
 def _packed_enabled() -> bool:
-    return os.environ.get(PACKED_ENV, "").strip() != "0"
+    return _env.enabled(_env.PACKED)
 
 
 def mul_backend(min_limbs: int, thresholds=None) -> str:

@@ -20,11 +20,11 @@ against this single definition.
 from __future__ import annotations
 
 import itertools
-import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.analysis import env as _env
 from repro.core.model import DEFAULT_CONFIG
 from repro.plan import PlanError
 from repro.plan.execute import model_query, plan_for_job
@@ -34,11 +34,11 @@ from repro.runtime import mpapca
 JOB_OPS = ("mul", "div", "powmod", "pi_digits", "model_cycles")
 
 #: Operand-size ceiling (bits) for mul/div/powmod requests.
-MAX_BITS_ENV = "REPRO_SERVE_MAX_BITS"
+MAX_BITS_ENV = _env.SERVE_MAX_BITS.name
 DEFAULT_MAX_BITS = 1 << 20
 
 #: Ceiling for ``pi_digits`` requests.
-MAX_DIGITS_ENV = "REPRO_SERVE_MAX_DIGITS"
+MAX_DIGITS_ENV = _env.SERVE_MAX_DIGITS.name
 DEFAULT_MAX_DIGITS = 20_000
 
 #: Ceiling for ``model_cycles`` bitwidth queries (the model is priced,
@@ -63,26 +63,14 @@ class JobError(ValueError):
 
 def max_operand_bits() -> int:
     """Execution operand ceiling (``REPRO_SERVE_MAX_BITS``)."""
-    return _env_positive_int(MAX_BITS_ENV, DEFAULT_MAX_BITS)
+    return _env.int_value(_env.SERVE_MAX_BITS, DEFAULT_MAX_BITS,
+                          minimum=1)
 
 
 def max_pi_digits() -> int:
     """``pi_digits`` ceiling (``REPRO_SERVE_MAX_DIGITS``)."""
-    return _env_positive_int(MAX_DIGITS_ENV, DEFAULT_MAX_DIGITS)
-
-
-def _env_positive_int(name: str, default: int) -> int:
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError("%s must be an integer, got %r"
-                         % (name, raw)) from None
-    if value < 1:
-        raise ValueError("%s must be positive, got %d" % (name, value))
-    return value
+    return _env.int_value(_env.SERVE_MAX_DIGITS, DEFAULT_MAX_DIGITS,
+                          minimum=1)
 
 
 @dataclass

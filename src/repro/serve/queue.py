@@ -190,6 +190,16 @@ class AdmissionQueue:
             return False
         return bool(self._items)
 
+    def drain(self) -> List[Job]:
+        """Pop every queued job at once (the crash path).
+
+        The caller owns answering the drained futures — the batcher is
+        gone, so nobody else ever will.
+        """
+        taken, self._items = self._items, []
+        self.pending_cycles = 0.0
+        return taken
+
     def close(self) -> None:
         """Stop admissions; wake the consumer so it can drain."""
         self.closed = True

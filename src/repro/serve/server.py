@@ -26,11 +26,11 @@ from __future__ import annotations
 
 import asyncio
 import json
-import os
 import signal
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set, Tuple
 
+from repro.analysis import env as _env
 from repro.serve import trace as tracing
 from repro.serve.batcher import DynamicBatcher
 from repro.serve.jobs import JobError, make_job
@@ -38,30 +38,14 @@ from repro.serve.metrics import MetricsRegistry
 from repro.serve.queue import AdmissionQueue
 
 #: Capacity knobs (see docs/SERVING.md).
-QUEUE_ENV = "REPRO_SERVE_QUEUE"
-MAX_WAIT_ENV = "REPRO_SERVE_MAX_WAIT_MS"
-BATCH_ENV = "REPRO_SERVE_BATCH"
-BATCH_MS_ENV = "REPRO_SERVE_BATCH_MS"
-TIMEOUT_ENV = "REPRO_SERVE_TIMEOUT_S"
+QUEUE_ENV = _env.SERVE_QUEUE.name
+MAX_WAIT_ENV = _env.SERVE_MAX_WAIT_MS.name
+BATCH_ENV = _env.SERVE_BATCH.name
+BATCH_MS_ENV = _env.SERVE_BATCH_MS.name
+TIMEOUT_ENV = _env.SERVE_TIMEOUT_S.name
 
 _MAX_BODY_BYTES = 8 << 20
 _MAX_HEADER_LINES = 64
-
-
-def _env_number(name: str, default: float, minimum: float,
-                integer: bool = False):
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return int(default) if integer else default
-    try:
-        value = int(raw) if integer else float(raw)
-    except ValueError:
-        raise ValueError("%s must be a number, got %r"
-                         % (name, raw)) from None
-    if value < minimum:
-        raise ValueError("%s must be >= %s, got %s"
-                         % (name, minimum, value))
-    return value
 
 
 @dataclass
@@ -81,11 +65,15 @@ class ServeConfig:
     @classmethod
     def from_env(cls, **overrides: Any) -> "ServeConfig":
         config = cls(
-            queue_capacity=_env_number(QUEUE_ENV, 256, 1, integer=True),
-            max_wait_ms=_env_number(MAX_WAIT_ENV, 10_000.0, 1.0),
-            max_batch=_env_number(BATCH_ENV, 16, 1, integer=True),
-            batch_ms=_env_number(BATCH_MS_ENV, 5.0, 0.0),
-            exec_timeout_s=_env_number(TIMEOUT_ENV, 120.0, 0.1),
+            queue_capacity=_env.int_value(_env.SERVE_QUEUE, 256,
+                                          minimum=1),
+            max_wait_ms=_env.float_value(_env.SERVE_MAX_WAIT_MS,
+                                         10_000.0, minimum=1.0),
+            max_batch=_env.int_value(_env.SERVE_BATCH, 16, minimum=1),
+            batch_ms=_env.float_value(_env.SERVE_BATCH_MS, 5.0,
+                                      minimum=0.0),
+            exec_timeout_s=_env.float_value(_env.SERVE_TIMEOUT_S, 120.0,
+                                            minimum=0.1),
         )
         for name, value in overrides.items():
             if value is not None:
@@ -143,12 +131,42 @@ class ReproServer:
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         self._batcher_task = asyncio.ensure_future(self.batcher.run())
+        self._batcher_task.add_done_callback(self._on_batcher_done)
         return self.host, self.port
 
     def trigger_shutdown(self) -> None:
         """Begin a graceful drain (signal-handler entry point)."""
         if self._shutdown_task is None:
             self._shutdown_task = asyncio.ensure_future(self.shutdown())
+            self._shutdown_task.add_done_callback(self._on_shutdown_done)
+
+    def _on_batcher_done(self, task: "asyncio.Task") -> None:
+        """Observe the batcher consumer (it is spawned, never awaited
+        on the hot path): if it crashes, every queued future would
+        otherwise hang until its client's deadline, silently.  Fail
+        them immediately, stop admissions, and count the crash."""
+        if task.cancelled():
+            return
+        error = task.exception()
+        if error is None:
+            return
+        self.registry.counter("batcher_crash_total").inc()
+        self.queue.close()
+        for job in self.queue.drain():
+            if job.future is not None and not job.future.done():
+                job.future.set_result(
+                    {"ok": False, "id": job.job_id, "op": job.op,
+                     "error": "error:internal",
+                     "message": "batcher crashed: %s" % error})
+
+    def _on_shutdown_done(self, task: "asyncio.Task") -> None:
+        """Observe the drain task: an exception mid-shutdown must not
+        leave ``wait_terminated()`` callers hanging forever."""
+        if task.cancelled():
+            return
+        if task.exception() is not None:
+            self.registry.counter("shutdown_error_total").inc()
+            self._terminated.set()
 
     async def shutdown(self) -> None:
         """Drain: stop accepting, shed new work, finish queued work."""
@@ -161,7 +179,10 @@ class ReproServer:
             await self._server.wait_closed()
         self.queue.close()
         if self._batcher_task is not None:
-            await self._batcher_task
+            try:
+                await self._batcher_task
+            except Exception:  # repro: noqa=broad-except -- observed and counted by _on_batcher_done; the drain must still terminate
+                pass
         if self._connections:
             await asyncio.gather(*tuple(self._connections),
                                  return_exceptions=True)

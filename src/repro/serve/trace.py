@@ -17,14 +17,15 @@ Tracing off (the default) means no trace objects are ever allocated:
 from __future__ import annotations
 
 import json
-import os
 import time
 from collections import deque
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Tuple
 
-TRACE_ENV = "REPRO_TRACE"
-TRACE_FILE_ENV = "REPRO_TRACE_FILE"
+from repro.analysis import env as _env
+
+TRACE_ENV = _env.TRACE.name
+TRACE_FILE_ENV = _env.TRACE_FILE.name
 DEFAULT_TRACE_FILE = "repro-serve-trace.jsonl"
 
 #: Span boundaries in lifecycle order.
@@ -34,8 +35,7 @@ SPAN_MARKS = ("received", "admitted", "batched", "execute_start",
 
 def trace_enabled() -> bool:
     """Is tracing requested via the environment?"""
-    return os.environ.get(TRACE_ENV, "").strip().lower() not in (
-        "", "0", "false", "no", "off")
+    return _env.flag(_env.TRACE)
 
 
 class RequestTrace:
@@ -127,8 +127,7 @@ class Tracer:
         if not self.enabled or not self._completed:
             return None
         target = Path(path) if path is not None else Path(
-            os.environ.get(TRACE_FILE_ENV, "").strip()
-            or DEFAULT_TRACE_FILE)
+            _env.string(_env.TRACE_FILE, DEFAULT_TRACE_FILE))
         with open(target, "a", encoding="utf-8") as handle:
             for trace in self._completed:
                 handle.write(json.dumps(trace.to_dict(),

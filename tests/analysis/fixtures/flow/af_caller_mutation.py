@@ -1,0 +1,37 @@
+"""Fixture: AF001 flow-caller-mutation (analyzed, never imported).
+
+``sink`` mutates directly (RPR003's jurisdiction, not AF001); every
+function that forwards its own parameter into ``sink`` — at any chain
+depth — is an AF001 positive unless it rebinds first or suppresses.
+"""
+
+
+def sink(buf):
+    buf.append(1)  # repro: noqa=caller-aliasing -- fixture: the direct mutator
+    return buf
+
+
+def forwards(data):
+    return sink(data)  # AF001: data flows into sink's mutation
+
+
+def deep(data):
+    return forwards(data)  # AF001: two-hop chain deep -> forwards -> sink
+
+
+def forwards_noqa(data):
+    return sink(data)  # repro: noqa=flow-caller-mutation -- fixture: suppressed positive
+
+
+def rebinds_first(data):
+    data = list(data)
+    return sink(data)  # negative: sink gets a fresh copy
+
+
+def local_buffer():
+    scratch = []
+    return sink(scratch)  # negative: scratch is function-owned
+
+
+def keyword_forward(data):
+    return sink(buf=data)  # AF001: keyword arguments map too

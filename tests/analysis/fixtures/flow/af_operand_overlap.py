@@ -1,0 +1,32 @@
+"""Fixture: AF002 inplace-operand-overlap (analyzed, never imported).
+
+``accumulate`` extends its first operand in place; passing the same
+object in both slots corrupts the source mid-iteration.  Forwarding a
+parameter into ``accumulate`` at all is an AF001 positive as well, so
+the expectations in ``test_flow_rules.py`` assert per rule.
+"""
+
+
+def accumulate(dst, src):
+    dst.extend(src)  # repro: noqa=caller-aliasing -- fixture: the in-place kernel
+    return dst
+
+
+def overlap(values):
+    return accumulate(values, values)  # AF002 (and AF001): same object, both slots
+
+
+def overlap_noqa(values):
+    return accumulate(values, values)  # repro: noqa=inplace-operand-overlap,flow-caller-mutation -- fixture: suppressed positive
+
+
+def disjoint(a, b):
+    return accumulate(a, b)  # AF001 only: distinct operands, no AF002
+
+
+def same_but_harmless(a):
+    return compare(a, a)  # negative: compare mutates nothing
+
+
+def compare(x, y):
+    return len(x) - len(y)

@@ -1,0 +1,26 @@
+"""Fixture: CC004 executor-capture (analyzed, never imported)."""
+
+
+def double(x):
+    return 2 * x
+
+
+def submits_lambda(executor, items):
+    return executor.map(lambda x: 2 * x, items)  # CC004: lambda can't pickle
+
+
+def submits_nested(executor, items):
+    def worker(x):
+        return 2 * x
+    return executor.map(worker, items)  # CC004: nested def can't pickle
+
+
+def submits_module_level(executor, items):
+    return executor.map(double, items)  # negative: picklable
+
+def submits_noqa(executor, items):
+    return executor.starmap(lambda x, y: x * y, items)  # repro: noqa=executor-capture -- fixture: suppressed positive
+
+
+def builtin_map(items):
+    return map(lambda x: 2 * x, items)  # negative: not a pool

@@ -1,0 +1,48 @@
+"""Fixture: CC001 await-spanning-rmw (analyzed, never imported)."""
+
+import asyncio
+
+
+async def compute(chunk):
+    return chunk
+
+
+class Counter:
+    def __init__(self):
+        self.total = 0
+        self._lock = asyncio.Lock()
+
+    async def racy(self, chunk):
+        current = self.total
+        value = await compute(chunk)
+        self.total = current + value  # CC001: read at top, await, write
+
+    async def augmented(self):
+        self.total += await compute(1)  # CC001: RMW spanning one await
+
+    async def guarded(self, chunk):
+        async with self._lock:
+            current = self.total
+            value = await compute(chunk)
+            self.total = current + value  # negative: under the lock
+
+    async def early_return(self):
+        if self.total:
+            await asyncio.sleep(0)
+            return
+        self.total = 1  # negative: the awaiting branch returns
+
+    async def refreshed(self, chunk):
+        value = await compute(chunk)
+        self.total = self.total + value  # negative: re-read after await
+
+    async def racy_noqa(self):
+        current = self.total
+        await asyncio.sleep(0)
+        self.total = current + 1  # repro: noqa=await-spanning-rmw -- fixture: suppressed positive
+
+    async def loop_carried(self, chunks):
+        for chunk in chunks:
+            staged = self.total + chunk
+            await asyncio.sleep(0)
+            self.total = staged  # CC001: carried across iterations

@@ -1,0 +1,51 @@
+"""Fixture: CC002 unawaited-coroutine / CC003 untracked-task
+(analyzed, never imported)."""
+
+import asyncio
+
+
+async def work():
+    return 1
+
+
+def fire_and_forget():
+    work()  # CC002: coroutine created and dropped
+
+
+async def forgot_await():
+    work()  # CC002: same mistake inside a coroutine
+
+
+async def awaited_properly():
+    await work()  # negative
+
+
+def coro_noqa():
+    work()  # repro: noqa=unawaited-coroutine -- fixture: suppressed positive
+
+
+async def spawner():
+    asyncio.ensure_future(work())  # CC003: task discarded outright
+
+
+class Owner:
+    def __init__(self):
+        self._task = None
+
+    def begin(self):
+        self._task = asyncio.ensure_future(work())  # CC003: stored, never observed
+
+    def begin_watched(self):
+        self._task = asyncio.ensure_future(work())
+        self._task.add_done_callback(print)  # negative: observed
+
+    def begin_awaited(self):
+        task = asyncio.create_task(work())
+        return task  # negative: handed to the caller
+
+    async def begin_gathered(self):
+        task = asyncio.create_task(work())
+        await asyncio.gather(task)  # negative: passed onward
+
+    def begin_noqa(self):
+        self._task = asyncio.ensure_future(work())  # repro: noqa=untracked-task -- fixture: suppressed positive

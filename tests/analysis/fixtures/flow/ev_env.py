@@ -1,0 +1,34 @@
+"""Fixture: EV001/EV002 env-registry rules (analyzed, never imported)."""
+
+import os
+
+DEBUG = os.environ.get("REPRO_FIXTURE_DEBUG", "")  # EV001 + EV002
+
+
+def reads_raw():
+    return os.getenv("PATH", "")  # EV001: every read goes via the registry
+
+
+def reads_subscript():
+    return os.environ["HOME"]  # EV001
+
+
+def snapshot():
+    return dict(os.environ)  # negative: wholesale copy, not a read
+
+
+def declared_literal():
+    return "REPRO_SANITIZE"  # negative: declared in the registry
+
+
+def undeclared_literal():
+    return "REPRO_FIXTURE_MISSING"  # EV002: not in the registry
+
+
+def prose_mention():
+    """Docstrings citing REPRO_SANITIZE inline are not literals."""
+    return None
+
+
+def read_noqa():
+    return os.environ.get("TERM")  # repro: noqa=env-read-outside-registry -- fixture: suppressed positive

@@ -1,0 +1,95 @@
+"""Unit coverage for the flow engine's program model: module naming,
+import tables, call resolution, summaries, and the mutation fixpoint."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis.flow import build_program, module_name_for, propagate
+from repro.analysis.flow.callgraph import load_program
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+
+
+class TestModuleNaming:
+    def test_package_files_get_dotted_names(self):
+        root = Path(repro.__file__).parent
+        assert module_name_for(str(root / "mpn" / "nat.py")) \
+            == "repro.mpn.nat"
+        assert module_name_for(str(root / "__init__.py")) == "repro"
+        assert module_name_for(str(root / "serve" / "__init__.py")) \
+            == "repro.serve"
+
+    def test_fixture_files_are_their_own_modules(self):
+        assert module_name_for(
+            str(FIXTURES / "af_caller_mutation.py")) \
+            == "af_caller_mutation"
+
+
+class TestProgramLoading:
+    def test_functions_and_methods_register_by_qualname(self):
+        program = load_program([str(FIXTURES / "cc_tasks.py")])
+        assert "cc_tasks.work" in program.functions
+        assert "cc_tasks.Owner.begin" in program.functions
+        info = program.functions["cc_tasks.work"]
+        assert info.is_async
+        assert program.functions["cc_tasks.Owner.begin"].class_name \
+            == "Owner"
+
+    def test_import_table_resolves_from_imports_and_aliases(self):
+        root = Path(repro.__file__).parent
+        program = load_program([str(root / "serve" / "batcher.py")])
+        module = program.modules["repro.serve.batcher"]
+        assert module.imports["AdmissionQueue"] \
+            == "repro.serve.queue.AdmissionQueue"
+        assert module.imports["tracing"] == "repro.serve.trace"
+
+
+class TestSummaries:
+    def test_direct_mutation_is_recorded_with_noqa_ignored(self):
+        # sink() carries a caller-aliasing noqa; its *summary* still
+        # records the mutation, because callers care about behaviour,
+        # not about what the linter was told to accept.
+        program = build_program([str(FIXTURES / "af_caller_mutation.py")])
+        summary = program.summaries["af_caller_mutation.sink"]
+        assert 0 in summary.mutates
+        assert summary.mutates[0].direct
+        assert summary.mutates[0].how == ".append()"
+
+    def test_rebound_parameters_are_not_live(self):
+        program = build_program([str(FIXTURES / "af_caller_mutation.py")])
+        summary = program.summaries["af_caller_mutation.rebinds_first"]
+        assert "data" in summary.rebound
+        propagate(program)
+        assert not summary.mutates
+
+    def test_await_points_and_calls_are_collected(self):
+        program = build_program([str(FIXTURES / "cc_rmw.py")])
+        summary = program.summaries["cc_rmw.Counter.racy"]
+        assert summary.awaits
+        callees = {site.callee for site in summary.calls}
+        assert "cc_rmw.compute" in callees
+
+
+class TestFixpoint:
+    def test_transitive_mutation_propagates_with_chain(self):
+        program = build_program([str(FIXTURES / "af_caller_mutation.py")])
+        rounds = propagate(program)
+        assert rounds >= 2  # deep() needs forwards() resolved first
+        forwards = program.summaries["af_caller_mutation.forwards"]
+        assert 0 in forwards.mutates
+        assert forwards.mutates[0].chain == ("af_caller_mutation.sink",)
+        deep = program.summaries["af_caller_mutation.deep"]
+        assert deep.mutates[0].chain == (
+            "af_caller_mutation.forwards", "af_caller_mutation.sink")
+
+    def test_keyword_arguments_map_to_parameter_slots(self):
+        program = build_program([str(FIXTURES / "af_caller_mutation.py")])
+        propagate(program)
+        summary = program.summaries["af_caller_mutation.keyword_forward"]
+        assert 0 in summary.mutates
+
+    def test_whole_tree_fixpoint_terminates(self):
+        program = build_program([str(Path(repro.__file__).parent)])
+        rounds = propagate(program)
+        assert rounds < 64
+        assert len(program.functions) > 900

@@ -1,0 +1,139 @@
+"""The analyzer as a gate: the tree stays clean, the baseline stays
+honest, the noqa audit stays empty, and the CLI exit codes hold."""
+
+import json
+from pathlib import Path
+
+import repro
+from repro.analysis.audit import audit_noqa
+from repro.analysis.flow import (DEFAULT_BASELINE, analyze_paths,
+                                 load_baseline, save_baseline, to_sarif,
+                                 write_sarif)
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+SRC = Path(repro.__file__).parent
+
+
+class TestTreeIsClean:
+    def test_src_repro_has_zero_findings(self):
+        report = analyze_paths([str(SRC)])
+        assert report.ok, report.render()
+
+    def test_and_needs_zero_baseline_entries(self):
+        # The checked-in baseline is empty: every defect the analyzer
+        # found in-tree was fixed, not accepted.  Keep it that way.
+        report = analyze_paths([str(SRC)])
+        assert report.suppressed_baseline == 0
+        entries, problems = load_baseline(DEFAULT_BASELINE)
+        assert entries == [] and problems == []
+
+    def test_no_noqa_comment_in_tree_is_dead(self):
+        audit = audit_noqa([SRC])
+        assert audit.ok, audit.render()
+        assert audit.total_noqa > 0  # the audit did see real markers
+
+
+class TestBaselineWorkflow:
+    def test_write_then_apply_suppresses_everything(self, tmp_path):
+        fixture = str(FIXTURES / "af_caller_mutation.py")
+        open_report = analyze_paths([fixture], baseline_path=None)
+        assert open_report.findings
+        baseline = tmp_path / "baseline.json"
+        save_baseline(str(baseline), open_report.findings)
+        gated = analyze_paths([fixture], baseline_path=str(baseline))
+        assert gated.ok
+        assert gated.suppressed_baseline == len(open_report.findings)
+
+    def test_stale_entry_is_a_finding(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"version": 1, "entries": [
+            {"rule": "flow-caller-mutation",
+             "function": "af_caller_mutation.no_such_function",
+             "why": "left over from a deleted function"}]}))
+        report = analyze_paths([str(FIXTURES / "cc_executor.py")],
+                               baseline_path=str(baseline))
+        stale = [f for f in report.findings if f.code == "AF000"]
+        assert len(stale) == 1
+        assert "stale" in stale[0].message
+
+    def test_entry_without_why_is_a_finding(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"version": 1, "entries": [
+            {"rule": "flow-caller-mutation",
+             "function": "af_caller_mutation.forwards", "why": "  "}]}))
+        report = analyze_paths([str(FIXTURES / "af_caller_mutation.py")],
+                               baseline_path=str(baseline))
+        problems = [f for f in report.findings if f.code == "AF000"]
+        assert len(problems) == 1
+        assert "why" in problems[0].message
+
+    def test_round_trip_preserves_keys(self, tmp_path):
+        fixture = str(FIXTURES / "cc_rmw.py")
+        report = analyze_paths([fixture], baseline_path=None)
+        path = tmp_path / "baseline.json"
+        save_baseline(str(path), report.findings)
+        entries, problems = load_baseline(str(path))
+        assert problems == []
+        assert {(e.rule, e.function) for e in entries} \
+            == {f.key() for f in report.findings}
+        assert all(e.why for e in entries)
+
+
+class TestSarifExport:
+    def test_document_shape(self):
+        report = analyze_paths([str(FIXTURES / "ev_env.py")],
+                               baseline_path=None)
+        doc = to_sarif(report.findings)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert len(run["results"]) == len(report.findings) > 0
+        for result in run["results"]:
+            assert result["ruleId"] in declared
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+
+    def test_write_sarif_emits_valid_json(self, tmp_path):
+        report = analyze_paths([str(FIXTURES / "cc_tasks.py")],
+                               baseline_path=None)
+        out = tmp_path / "analysis.sarif.json"
+        write_sarif(str(out), report.findings)
+        loaded = json.loads(out.read_text())
+        assert loaded["runs"][0]["results"]
+
+
+class TestCliExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["analyze", str(SRC)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        code = main(["analyze", "--no-baseline",
+                     str(FIXTURES / "cc_rmw.py")])
+        assert code == 1
+        assert "await-spanning-rmw" in capsys.readouterr().out
+
+    def test_no_files_exit_two(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path)]) == 2
+        capsys.readouterr()
+
+    def test_list_rules_and_env_table(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "AF001" in out and "EV002" in out
+        assert main(["analyze", "--env-table"]) == 0
+        assert "REPRO_SANITIZE" in capsys.readouterr().out
+
+    def test_audit_noqa_flags_dead_marker(self, tmp_path, capsys):
+        victim = tmp_path / "victim.py"
+        victim.write_text(
+            "def f(xs):\n"
+            "    return xs  # repro: noqa=caller-aliasing -- stale\n")
+        assert main(["lint", "--audit-noqa", str(tmp_path)]) == 1
+        assert "dead noqa" in capsys.readouterr().out
+
+    def test_audit_noqa_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", "--audit-noqa", str(SRC)]) == 0
+        capsys.readouterr()

@@ -1,0 +1,102 @@
+"""Every AF/CC/EV rule, proven on its fixture: positives fire at the
+expected function, negatives stay silent, noqa comments suppress."""
+
+from pathlib import Path
+
+from repro.analysis.flow import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+
+
+def _findings(name, rule=None):
+    report = analyze_paths([str(FIXTURES / name)], baseline_path=None)
+    found = report.findings if rule is None \
+        else [f for f in report.findings if f.rule == rule]
+    return report, found
+
+
+def _functions(found):
+    return {f.function.rsplit(".", 1)[-1] if "." in f.function
+            else f.function for f in found}
+
+
+class TestAF001CallerMutation:
+    def test_positives_negatives_and_noqa(self):
+        report, found = _findings("af_caller_mutation.py",
+                                  "flow-caller-mutation")
+        assert _functions(found) == {"forwards", "deep", "keyword_forward"}
+        # sink() mutates *directly* — that is RPR003's finding, not AF001's.
+        assert all(f.function != "af_caller_mutation.sink"
+                   for f in report.findings)
+        assert report.suppressed_noqa == 1  # forwards_noqa
+
+    def test_chain_is_named_in_the_message(self):
+        _, found = _findings("af_caller_mutation.py",
+                             "flow-caller-mutation")
+        deep = [f for f in found if f.function.endswith(".deep")][0]
+        assert "forwards() -> sink()" in deep.message
+
+
+class TestAF002OperandOverlap:
+    def test_positives_negatives_and_noqa(self):
+        report, found = _findings("af_operand_overlap.py",
+                                  "inplace-operand-overlap")
+        assert _functions(found) == {"overlap"}
+        assert "both" not in _functions(found)  # disjoint/same_but_harmless silent
+        overlap = found[0]
+        assert "'values'" in overlap.message
+        assert "'dst'" in overlap.message
+
+
+class TestCC001AwaitSpanningRmw:
+    def test_positives(self):
+        _, found = _findings("cc_rmw.py", "await-spanning-rmw")
+        assert _functions(found) == {"racy", "augmented", "loop_carried"}
+
+    def test_negatives_lock_early_return_refresh(self):
+        _, found = _findings("cc_rmw.py", "await-spanning-rmw")
+        silent = {"guarded", "early_return", "refreshed", "racy_noqa"}
+        assert not (_functions(found) & silent)
+
+    def test_noqa_suppresses(self):
+        report, _ = _findings("cc_rmw.py")
+        assert report.suppressed_noqa == 1
+
+
+class TestCC002UnawaitedCoroutine:
+    def test_positives_and_negatives(self):
+        _, found = _findings("cc_tasks.py", "unawaited-coroutine")
+        assert _functions(found) == {"fire_and_forget", "forgot_await"}
+
+
+class TestCC003UntrackedTask:
+    def test_positives_and_negatives(self):
+        _, found = _findings("cc_tasks.py", "untracked-task")
+        assert _functions(found) == {"spawner", "begin"}
+
+    def test_noqa_suppresses_both_rules(self):
+        report, _ = _findings("cc_tasks.py")
+        assert report.suppressed_noqa == 2  # coro_noqa + begin_noqa
+
+
+class TestCC004ExecutorCapture:
+    def test_positives_negatives_and_noqa(self):
+        report, found = _findings("cc_executor.py", "executor-capture")
+        assert _functions(found) == {"submits_lambda", "submits_nested"}
+        assert report.suppressed_noqa == 1
+
+
+class TestEVRegistryRules:
+    def test_ev001_raw_reads(self):
+        _, found = _findings("ev_env.py", "env-read-outside-registry")
+        assert _functions(found) == {"ev_env", "reads_raw",
+                                     "reads_subscript"}
+
+    def test_ev002_undeclared_names(self):
+        _, found = _findings("ev_env.py", "undeclared-env-var")
+        names = {f.message.split("'")[1] for f in found}
+        assert names == {"REPRO_FIXTURE_DEBUG", "REPRO_FIXTURE_MISSING"}
+
+    def test_noqa_suppresses(self):
+        report, _ = _findings("ev_env.py")
+        assert report.suppressed_noqa == 1
