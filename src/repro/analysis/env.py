@@ -172,6 +172,13 @@ PACKED = declare(
     "block-packed kernels; differential-triage aid).",
     "plan")
 
+RNS = declare(
+    "REPRO_RNS", "on", "killswitch",
+    "Set to 0 to remove the residue-number-system backend from every "
+    "auto selection (explicit backend=\"rns\" still runs; "
+    "differential-triage aid).",
+    "plan")
+
 SERVE_QUEUE = declare(
     "REPRO_SERVE_QUEUE", "256", "int",
     "Admission-queue capacity (depth bound K of the serve layer).",

@@ -1,19 +1,24 @@
-"""``repro bench-kernels``: limb-vs-packed kernel timings + hotspots.
+"""``repro bench-kernels``: per-backend kernel timings + hotspots.
 
-Measures the mpn dispatchers — never concrete kernels — with both
-backends pinned explicitly, so what is timed is exactly what a lowered
-``backend="library"`` or ``backend="packed"`` plan executes:
+Measures the mpn dispatchers — never concrete kernels — with every
+backend pinned explicitly, so what is timed is exactly what a lowered
+``backend="library"``/``"packed"``/``"rns"`` plan executes:
 
-* ``before`` = the limb backend (per-limb Python loops, the seed
-  implementation's only path);
-* ``after`` = the block-packed backend (:mod:`repro.mpn.packed`).
+* ``limb`` — the per-limb Python ladder (the seed implementation's
+  only path, and the "before" baseline of every speedup column);
+* ``packed`` — the block-packed backend (:mod:`repro.mpn.packed`);
+* ``rns`` — the residue-number-system backend (:mod:`repro.mpn.rns`):
+  carry-free channel mul for mul/sqr, dual-base RNS Montgomery for
+  powmod.
 
 Timings are best-of-N ``perf_counter_ns`` (the same discipline as
-:mod:`repro.mpn.tune`); every measured point also asserts the two
-backends return bit-identical limb lists, so a benchmark run doubles as
-a coarse differential test.  A cProfile pass over the largest measured
-multiply records where the interpreter time actually goes, which is the
-evidence the packed backend exists to change.
+:mod:`repro.mpn.tune`).  Every measured point asserts that *all*
+available backends return bit-identical results **and** that they
+match a Python-bigint ground-truth oracle — not just the backends the
+tuned plan happens to select — so a mistuned crossover can never hide
+an incorrect backend, and a benchmark run doubles as a differential
+test.  A cProfile pass over the largest measured multiply records
+where the interpreter time actually goes.
 """
 
 from __future__ import annotations
@@ -25,9 +30,10 @@ import os
 import pstats
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.mpn import nat
+from repro.mpn import powmod as mpn_powmod
 from repro.mpn.div import divmod_nat
 from repro.mpn.mul import mul, sqr
 from repro.mpn.nat import Nat
@@ -35,7 +41,10 @@ from repro.mpn.packed import PACK_LIMBS
 from repro.mpn.tune import _random_operand, tuned_policy
 
 #: Bump when the JSON layout changes meaning.
-BENCH_SCHEMA_VERSION = 1
+#: v2: per-backend ``ns``/``speedup`` maps replaced the limb/packed
+#: pair columns; powmod joined the op set; every point checks all
+#: available backends against a bigint oracle.
+BENCH_SCHEMA_VERSION = 2
 
 #: Figure-11-style bit-width ladder (the paper sweeps multiply sizes in
 #: this range; 64k bits is the headline point).
@@ -44,10 +53,38 @@ FULL_LADDER = (1024, 4096, 16384, 65536)
 #: Reduced ladder for CI smoke runs (--quick).
 QUICK_LADDER = (1024, 4096, 16384)
 
+#: Modulus ladder for powmod (its cost grows cubically, so the mul
+#: ladder's top sizes would not time responsively in pure Python); the
+#: exponent is fixed at 64 bits — the repeated-squaring loop length,
+#: not the modulus arithmetic, scales with it.
+POWMOD_FULL_LADDER = (1024, 4096)
+POWMOD_QUICK_LADDER = (1024, 2048)
+POWMOD_EXPONENT_LIMBS = 2
+
+#: Backends each op can execute (always measured, always checked).
+OP_BACKENDS = {
+    "mul": ("limb", "packed", "rns"),
+    "sqr": ("limb", "packed", "rns"),
+    "div": ("limb", "packed"),
+    "powmod": ("limb", "rns"),
+}
+
 #: Minimum packed/limb ratio --check tolerates at the largest measured
-#: size (generous to absorb CI noise; a real regression lands far
-#: below it).
+#: mul/sqr/div size (generous to absorb CI noise; a real regression
+#: lands far below it).
 CHECK_MIN_SPEEDUP = 0.9
+
+#: Minimum rns/limb powmod ratio --check tolerates at the largest
+#: measured modulus (the dual-base pipeline wins ~2-7x on measured
+#: hosts; 1.2 is the noise-tolerant floor).
+CHECK_RNS_POWMOD_MIN_SPEEDUP = 1.2
+
+#: Maximum rns-vs-packed slowdown --check tolerates for serial mul/sqr
+#: at the top size.  The rns mul exists for *batch* fan-out, not serial
+#: wins — measured hosts put it 10-20x behind packed serially — so the
+#: gate is a broken-kernel canary against the packed baseline, not a
+#: speedup claim.
+CHECK_RNS_MUL_MAX_RATIO = 48.0
 
 
 def _best_ns(fn: Callable[[], object], repeats: int) -> int:
@@ -68,29 +105,87 @@ def _operands(op: str, bits: int, seed: int):
         # 2n-by-n: the shape Figure 11's division rows use.
         return (_random_operand(2 * limbs, seed),
                 _random_operand(limbs, seed + 7))
+    if op == "powmod":
+        # (base, odd modulus); the 64-bit exponent is derived inside
+        # _runners so every backend exponentiates identically.
+        modulus = _random_operand(limbs, seed + 7)
+        modulus[0] |= 1
+        return (_random_operand(limbs, seed), modulus)
     return (_random_operand(limbs, seed),
             _random_operand(limbs, seed + 7))
 
 
-def _runners(op: str, a: Nat, b: Nat, policy):
-    """(limb thunk, packed thunk) for one measured point.
+def _runners(op: str, a: Nat, b: Nat, policy,
+             seed: int) -> Dict[str, Callable[[], object]]:
+    """backend -> thunk for one measured point.
 
-    Both go through the public dispatchers with the backend pinned, so
+    All go through the public dispatchers with the backend pinned, so
     RPR012 dispatch discipline holds and the timings match what plans
     execute.
     """
     if op == "mul":
-        return (lambda: mul(a, b, policy, backend="limb"),
-                lambda: mul(a, b, policy, backend="packed"))
+        return {backend: (lambda bk=backend: mul(a, b, policy,
+                                                 backend=bk))
+                for backend in OP_BACKENDS[op]}
     if op == "sqr":
-        return (lambda: sqr(a, policy, backend="limb"),
-                lambda: sqr(a, policy, backend="packed"))
+        return {backend: (lambda bk=backend: sqr(a, policy,
+                                                 backend=bk))
+                for backend in OP_BACKENDS[op]}
     if op == "div":
         def limb_mul(x: Nat, y: Nat) -> Nat:
             return mul(x, y, policy, backend="limb")
-        return (lambda: divmod_nat(a, b, limb_mul, backend="limb"),
-                lambda: divmod_nat(a, b, backend="packed"))
+        return {"limb": lambda: divmod_nat(a, b, limb_mul,
+                                           backend="limb"),
+                "packed": lambda: divmod_nat(a, b, backend="packed")}
+    if op == "powmod":
+        exponent = _random_operand(POWMOD_EXPONENT_LIMBS, seed + 13)
+        return {backend: (lambda bk=backend: mpn_powmod(a, exponent, b,
+                                                        backend=bk))
+                for backend in OP_BACKENDS[op]}
     raise ValueError("bench-kernels: unknown op %r" % (op,))
+
+
+def _as_ints(op: str, result) -> Tuple[int, ...]:
+    """A backend result as comparable Python ints."""
+    if op == "div":
+        return (nat.nat_to_int(result[0]), nat.nat_to_int(result[1]))
+    return (nat.nat_to_int(result),)
+
+
+def _oracle(op: str, a: Nat, b: Nat, seed: int) -> Tuple[int, ...]:
+    """Ground truth from Python bigints (independent of every backend)."""
+    x, y = nat.nat_to_int(a), nat.nat_to_int(b)
+    if op == "mul":
+        return (x * y,)
+    if op == "sqr":
+        return (x * x,)
+    if op == "div":
+        quotient, remainder = divmod(x, y)
+        return (quotient, remainder)
+    if op == "powmod":
+        exponent = nat.nat_to_int(
+            _random_operand(POWMOD_EXPONENT_LIMBS, seed + 13))
+        return (pow(x, exponent, y),)
+    raise ValueError("bench-kernels: unknown op %r" % (op,))
+
+
+def check_point(op: str, bits: int, a: Nat, b: Nat,
+                runners: Dict[str, Callable[[], object]],
+                seed: int) -> None:
+    """Assert every available backend agrees with the bigint oracle.
+
+    This runs at *every* measured point, for *all* backends the op can
+    execute — not just the two the tuned plan would pick — so a
+    mistuned crossover (or a disabled backend) can never mask a
+    backend that computes the wrong answer.
+    """
+    truth = _oracle(op, a, b, seed)
+    for backend, thunk in runners.items():
+        got = _as_ints(op, thunk())
+        if got != truth:
+            raise AssertionError(
+                "bench-kernels: %s at %d bits: the %s backend "
+                "disagrees with the bigint oracle" % (op, bits, backend))
 
 
 def _hotspots(thunk: Callable[[], object], top: int = 8) -> List[Dict]:
@@ -113,38 +208,44 @@ def _hotspots(thunk: Callable[[], object], top: int = 8) -> List[Dict]:
     return rows
 
 
+def _ladder(op: str, quick: bool):
+    if op == "powmod":
+        return POWMOD_QUICK_LADDER if quick else POWMOD_FULL_LADDER
+    return QUICK_LADDER if quick else FULL_LADDER
+
+
 def bench_kernels(quick: bool = False, repeats: int = 5,
                   seed: int = 2022, profile: bool = True) -> Dict:
-    """Measure every (op, bits) point and return the report dict."""
-    ladder = QUICK_LADDER if quick else FULL_LADDER
+    """Measure every (op, bits, backend) point and return the report."""
     policy = tuned_policy()
     entries: List[Dict] = []
-    for op in ("mul", "sqr", "div"):
-        for bits in ladder:
+    for op in ("mul", "sqr", "div", "powmod"):
+        for bits in _ladder(op, quick):
             a, b = _operands(op, bits, seed)
-            limb_run, packed_run = _runners(op, a, b, policy)
-            if limb_run() != packed_run():
-                raise AssertionError(
-                    "bench-kernels: %s at %d bits disagrees between "
-                    "limb and packed backends" % (op, bits))
-            limb_ns = _best_ns(limb_run, repeats)
-            packed_ns = _best_ns(packed_run, repeats)
+            runners = _runners(op, a, b, policy, seed)
+            check_point(op, bits, a, b, runners, seed)
+            timings = {backend: _best_ns(thunk, repeats)
+                       for backend, thunk in runners.items()}
+            limb_ns = timings["limb"]
             entries.append({
                 "op": op,
                 "bits": bits,
-                "before_limb_ns": limb_ns,
-                "after_packed_ns": packed_ns,
-                "speedup": round(limb_ns / max(1, packed_ns), 3),
+                "ns": timings,
+                "speedup": {backend: round(limb_ns / max(1, t), 3)
+                            for backend, t in timings.items()
+                            if backend != "limb"},
             })
 
     hotspots: Dict[str, List[Dict]] = {}
     if profile:
-        top_bits = ladder[-1]
+        top_bits = _ladder("mul", quick)[-1]
         a, b = _operands("mul", top_bits, seed)
-        limb_run, packed_run = _runners("mul", a, b, policy)
+        runners = _runners("mul", a, b, policy, seed)
         hotspots = {
-            "limb_mul_%d_bits" % top_bits: _hotspots(limb_run),
-            "packed_mul_%d_bits" % top_bits: _hotspots(packed_run),
+            "limb_mul_%d_bits" % top_bits: _hotspots(runners["limb"]),
+            "packed_mul_%d_bits" % top_bits: _hotspots(
+                runners["packed"]),
+            "rns_mul_%d_bits" % top_bits: _hotspots(runners["rns"]),
         }
 
     return {
@@ -162,12 +263,18 @@ def bench_kernels(quick: bool = False, repeats: int = 5,
 
 
 def check_report(report: Dict) -> List[str]:
-    """Regression check: packed must not lose to limb at the top size.
+    """Regression gates over the top measured size per op.
 
-    Returns human-readable failures (empty = pass).  Applied at the
-    largest measured size per op with the generous
-    :data:`CHECK_MIN_SPEEDUP` tolerance — CI noise survives, a real
-    packed regression does not.
+    * packed must not lose to limb (mul/sqr/div,
+      :data:`CHECK_MIN_SPEEDUP`);
+    * rns powmod must beat limb Montgomery
+      (:data:`CHECK_RNS_POWMOD_MIN_SPEEDUP`);
+    * serial rns mul/sqr must stay within
+      :data:`CHECK_RNS_MUL_MAX_RATIO` of the packed baseline (a
+      broken-kernel canary — the rns mul wins on batches, not serially).
+
+    Returns human-readable failures (empty = pass), tolerances chosen
+    so CI noise survives but a real regression does not.
     """
     failures: List[str] = []
     top: Dict[str, Dict] = {}
@@ -176,12 +283,29 @@ def check_report(report: Dict) -> List[str]:
         if current is None or entry["bits"] > current["bits"]:
             top[entry["op"]] = entry
     for op, entry in sorted(top.items()):
-        if entry["speedup"] < CHECK_MIN_SPEEDUP:
+        speedup = entry["speedup"]
+        if "packed" in speedup and speedup["packed"] < CHECK_MIN_SPEEDUP:
             failures.append(
                 "%s at %d bits: packed is %.2fx the limb backend "
                 "(< %.2fx tolerance)"
-                % (op, entry["bits"], entry["speedup"],
+                % (op, entry["bits"], speedup["packed"],
                    CHECK_MIN_SPEEDUP))
+        if op == "powmod" and "rns" in speedup \
+                and speedup["rns"] < CHECK_RNS_POWMOD_MIN_SPEEDUP:
+            failures.append(
+                "powmod at %d bits: rns is %.2fx the limb backend "
+                "(< %.2fx tolerance)"
+                % (entry["bits"], speedup["rns"],
+                   CHECK_RNS_POWMOD_MIN_SPEEDUP))
+        if op in ("mul", "sqr") and "rns" in entry["ns"] \
+                and "packed" in entry["ns"]:
+            ratio = entry["ns"]["rns"] / max(1, entry["ns"]["packed"])
+            if ratio > CHECK_RNS_MUL_MAX_RATIO:
+                failures.append(
+                    "%s at %d bits: serial rns is %.1fx slower than "
+                    "packed (> %.1fx canary bound)"
+                    % (op, entry["bits"], ratio,
+                       CHECK_RNS_MUL_MAX_RATIO))
     return failures
 
 
@@ -190,15 +314,17 @@ def render_report(report: Dict) -> str:
     lines = ["kernel benchmarks (best of %d, pack k=%d, policy=%s):"
              % (report["repeats"], report["pack_limbs"],
                 report["policy"]),
-             "  %-4s %8s %14s %14s %9s"
-             % ("op", "bits", "limb (before)", "packed (after)",
-                "speedup")]
+             "  %-6s %8s  %s" % ("op", "bits",
+                                 "per-backend ms (speedup vs limb)")]
     for entry in report["entries"]:
-        lines.append("  %-4s %8d %12.3f ms %12.3f ms %8.2fx"
-                     % (entry["op"], entry["bits"],
-                        entry["before_limb_ns"] / 1e6,
-                        entry["after_packed_ns"] / 1e6,
-                        entry["speedup"]))
+        cells = ["limb=%.3f" % (entry["ns"]["limb"] / 1e6)]
+        for backend in ("packed", "rns"):
+            if backend in entry["ns"]:
+                cells.append("%s=%.3f (%.2fx)"
+                             % (backend, entry["ns"][backend] / 1e6,
+                                entry["speedup"][backend]))
+        lines.append("  %-6s %8d  %s" % (entry["op"], entry["bits"],
+                                         "  ".join(cells)))
     for label, rows in report.get("hotspots", {}).items():
         lines.append("  hotspots: %s" % label)
         for row in rows[:5]:

@@ -182,6 +182,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="skip the division/Barrett crossovers")
     tune_parser.add_argument("--no-packed", action="store_true",
                              help="skip the packed-backend crossovers")
+    tune_parser.add_argument("--no-rns", action="store_true",
+                             help="skip the rns-backend crossovers")
     tune_parser.set_defaults(handler=_cmd_tune)
 
     cache_parser = commands.add_parser(
@@ -221,7 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="pi_digits: decimal digits requested")
     plan_parser.add_argument("--backend",
                              choices=["auto", "library", "device",
-                                      "packed"],
+                                      "packed", "rns"],
                              default="auto",
                              help="force the execution backend")
     plan_parser.add_argument("--verify", action="store_true",
@@ -310,14 +312,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_kernels = commands.add_parser(
         "bench-kernels",
-        help="time the limb vs block-packed mpn backends and record "
-             "before/after numbers")
+        help="time the limb vs block-packed vs rns mpn backends and "
+             "record per-backend numbers")
     bench_kernels.add_argument("--quick", action="store_true",
                                help="reduced ladder for CI smoke runs")
     bench_kernels.add_argument("--check", action="store_true",
                                help="exit 1 if packed regresses below "
-                                    "0.9x the limb backend at the "
-                                    "largest measured size")
+                                    "0.9x limb, rns powmod below 1.2x "
+                                    "limb, or serial rns mul past the "
+                                    "packed-baseline canary bound, at "
+                                    "the largest measured size")
     bench_kernels.add_argument("--repeats", type=int, default=5,
                                help="best-of-N timing repetitions")
     bench_kernels.add_argument("--seed", type=int, default=2022)
@@ -352,7 +356,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.mpn.tune import save_thresholds, tune
     result = tune(max_limbs=args.max_limbs, repeats=args.repeats,
                   measure_division=not args.no_division,
-                  measure_packed=not args.no_packed)
+                  measure_packed=not args.no_packed,
+                  measure_rns=not args.no_rns)
     print(result.report())
     print("tuned policy:", result.policy)
     if not args.dry_run:
@@ -618,6 +623,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 
 def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     from repro.bench import bench_kernels, write_bench
+    from repro.bench import kernels as _ck
     from repro.bench.kernels import check_report, render_report
 
     report = bench_kernels(quick=args.quick, repeats=args.repeats,
@@ -633,8 +639,12 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
             print("check: %s" % failure, file=sys.stderr)
         if failures:
             return 1
-        print("check: packed >= %.1fx limb at the largest size for "
-              "every op" % 0.9, file=sys.stderr)
+        print("check: every backend matches the bigint oracle at every "
+              "point; packed >= %.1fx limb, rns powmod >= %.1fx limb, "
+              "serial rns mul within the packed canary bound at the "
+              "largest sizes" % (_ck.CHECK_MIN_SPEEDUP,
+                                 _ck.CHECK_RNS_POWMOD_MIN_SPEEDUP),
+              file=sys.stderr)
     return 0
 
 

@@ -110,7 +110,8 @@ class CambriconP:
         return product, report
 
     def multiply_batch(self, pairs: list[tuple[Nat, Nat]],
-                       executor=None) -> tuple[list[Nat], ExecutionReport]:
+                       executor=None, backend: str = "simulate"
+                       ) -> tuple[list[Nat], ExecutionReport]:
         """Batch-processing multiplications (the CGBN comparison mode).
 
         Independent multiplications share the PE array back to back:
@@ -124,7 +125,35 @@ class CambriconP:
         products and the combined report are identical to the serial
         path because each per-pair simulation is deterministic and the
         gather preserves submission order.
+
+        ``backend`` picks how products are computed:
+
+        * ``"simulate"`` (default) — the per-pass PE simulation above;
+        * ``"rns"`` — the carry-free residue-number-system batch
+          kernel (:mod:`repro.mpn.rns`): products fan out across the
+          executor with no carry-chain serialization, while the report
+          still prices the batch on the device model from the pass
+          schedules.  The gather carries are never materialized on
+          this path, so ``max_gather_carry`` reports 0;
+        * ``"auto"`` — rns when the tuned
+          :func:`repro.plan.select.batch_mul_backend` crossover picks
+          it for this batch, the PE simulation otherwise.
+
+        Products are bit-identical across all three (the rns pipeline
+        is exact), and across every worker count within each.
         """
+        if backend not in ("simulate", "rns", "auto"):
+            raise ValueError("multiply_batch backend must be simulate, "
+                             "rns, or auto (got %r)" % (backend,))
+        if backend == "auto":
+            from repro.plan import select as _select
+            lengths = [min(nat.limb_length(a), nat.limb_length(b))
+                       for a, b in pairs]
+            chosen = _select.batch_mul_backend(
+                min(lengths) if lengths else 0, len(pairs))
+            backend = "rns" if chosen == "rns" else "simulate"
+        if backend == "rns" and pairs:
+            return self._multiply_batch_rns(pairs, executor)
         products: list[Nat] = []
         total_passes = 0
         total_traffic = TrafficReport(0, 0, 0)
@@ -162,6 +191,58 @@ class CambriconP:
             num_waves=waves,
             traffic=total_traffic,
             max_gather_carry=max_carry,
+        )
+        return products, report
+
+    def _multiply_batch_rns(self, pairs: list[tuple[Nat, Nat]],
+                            executor) -> tuple[list[Nat], ExecutionReport]:
+        """Batch products through the carry-free rns kernel.
+
+        Products come from :func:`repro.mpn.rns.mul_batch_rns` —
+        exact, order-preserving, and embarrassingly parallel across
+        the executor's workers because residue channels never
+        exchange carries.  The report still describes the *device*
+        executing the batch: pass counts and traffic derive from the
+        same controller schedules the simulation would run, so the
+        modeled cycles match the simulate backend; only
+        ``max_gather_carry`` differs (0 — no gather is materialized).
+        """
+        from repro.mpn.rns import mul_batch_rns
+        products = mul_batch_rns(pairs, executor=executor)  # repro: noqa=direct-dispatch -- the accelerator batch entry point is a sanctioned rns route (reachability contract in repro/mpn/rns.py)
+        total_passes = 0
+        total_traffic = TrafficReport(0, 0, 0)
+        for a, b in pairs:
+            if nat.is_zero(a) or nat.is_zero(b):
+                continue
+            x_limbs = to_limbs(a, self.config.limb_bits)
+            y_limbs = to_limbs(b, self.config.limb_bits)
+            schedule = self.controller.plan_multiply(len(x_limbs),
+                                                     len(y_limbs))
+            total_passes += schedule.num_passes
+            traffic = self.memory.multiply_traffic(schedule)
+            total_traffic = TrafficReport(
+                total_traffic.pattern_read_bits
+                + traffic.pattern_read_bits,
+                total_traffic.index_read_bits
+                + traffic.index_read_bits,
+                total_traffic.output_write_bits
+                + traffic.output_write_bits)
+        if not total_passes:
+            return products, self._empty_report("multiply_batch")
+        waves = -(-total_passes // self.config.num_pes)
+        compute = waves * self.model.pass_occupancy_cycles \
+            + self.model.pass_latency_cycles
+        streaming = self.memory.streaming_cycles(
+            total_traffic, self.config.frequency_hz)
+        cycles = max(compute, streaming)
+        report = ExecutionReport(
+            operation="multiply_batch",
+            cycles=cycles,
+            seconds=self.model.seconds(cycles),
+            num_passes=total_passes,
+            num_waves=waves,
+            traffic=total_traffic,
+            max_gather_carry=0,
         )
         return products, report
 

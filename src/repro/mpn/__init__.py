@@ -153,9 +153,28 @@ def iroot(a: Nat, k: int) -> Nat:
         return _sqrt.iroot(a, k, _unprofiled_mul)
 
 
-def powmod(base: Nat, exponent: Nat, modulus: Nat) -> Nat:
-    """Profiled modular exponentiation."""
+def powmod(base: Nat, exponent: Nat, modulus: Nat,
+           backend: str = "auto") -> Nat:
+    """Profiled modular exponentiation.
+
+    ``backend="auto"`` consults the tuned rns-vs-limb crossover
+    (:func:`repro.plan.select.powmod_backend`): at and above the
+    ``rns_powmod_limbs`` modulus floor the dual-base RNS Montgomery
+    pipeline runs, below it (or under ``REPRO_RNS=0``) the limb CIOS
+    kernel does.  ``"rns"``/``"limb"`` pin the choice explicitly.  Both
+    kernels produce the unique canonical residue, bit-identically.
+    """
     with kernel("powmod", bit_length(modulus), bit_length(exponent)):
+        if backend == "auto":
+            from repro.plan import select as _select
+            mod_limbs = -(-max(bit_length(modulus), 1) // LIMB_BITS)
+            backend = _select.powmod_backend(mod_limbs)
+        if backend == "rns":
+            from repro.mpn.rns import powmod_rns
+            return powmod_rns(base, exponent, modulus)
+        if backend != "limb":
+            raise MpnError("unknown powmod backend %r (expected auto, "
+                           "limb, or rns)" % (backend,))
         return _montgomery.powmod(base, exponent, modulus, _unprofiled_mul)
 
 

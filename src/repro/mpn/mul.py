@@ -32,7 +32,7 @@ from repro.mpn.nat import MpnError, Nat
 #: crossover; ``limb`` forces the per-limb algorithm ladder (what
 #: explicit-policy callers and differential tests exercise); ``packed``
 #: forces the block-packed kernels of :mod:`repro.mpn.packed`.
-MUL_BACKENDS = ("auto", "limb", "packed")
+MUL_BACKENDS = ("auto", "limb", "packed", "rns")
 
 
 @dataclass(frozen=True)
@@ -122,8 +122,15 @@ def mul(a: Nat, b: Nat, policy: MulPolicy = GMP_POLICY,
     if not a or not b:
         return []
     min_limbs = min(len(a), len(b))
-    if _resolve_backend(backend, min_limbs) == "packed":
+    resolved = _resolve_backend(backend, min_limbs)
+    if resolved == "packed":
         return mul_packed(a, b)
+    if resolved == "rns":
+        # Explicit-only for single products (auto keeps packed/limb:
+        # the carry-free channels pay off on *batches*, which route
+        # through select.batch_mul_backend).
+        from repro.mpn.rns import mul_rns
+        return mul_rns(a, b)
     algorithm = policy.algorithm_for(min_limbs)
 
     def recurse(x: Nat, y: Nat) -> Nat:
@@ -147,8 +154,12 @@ def sqr(a: Nat, policy: MulPolicy = GMP_POLICY,
     """Square of a natural; uses dedicated squaring paths where they exist."""
     if not a:
         return []
-    if _resolve_backend(backend, len(a)) == "packed":
+    resolved = _resolve_backend(backend, len(a))
+    if resolved == "packed":
         return sqr_packed(a)
+    if resolved == "rns":
+        from repro.mpn.rns import sqr_rns
+        return sqr_rns(a)
     algorithm = policy.algorithm_for(len(a))
 
     def recurse_sqr(x: Nat) -> Nat:

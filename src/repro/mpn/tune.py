@@ -136,6 +136,13 @@ class Thresholds:
     #: Divisor limbs where block Algorithm D beats the limb division
     #: family; 0 disables the packed division path.
     packed_div_limbs: int = 4
+    #: Operand limbs where the carry-free RNS batch path
+    #: (:mod:`repro.mpn.rns`) takes over *batched* multiplies; 0
+    #: disables the rns batch route.
+    rns_mul_limbs: int = 4
+    #: Modulus limbs where the dual-base RNS Montgomery exponentiation
+    #: beats the limb CIOS kernel; 0 disables the rns powmod path.
+    rns_powmod_limbs: int = 5
     repeats: int = DEFAULT_REPEATS
     max_limbs: int = 0
     version: int = THRESHOLDS_VERSION
@@ -184,6 +191,9 @@ class Thresholds:
         if self.packed_mul_limbs < 0 or self.packed_div_limbs < 0:
             raise ValueError("packed thresholds must be >= 0 "
                              "(0 disables the packed backend)")
+        if self.rns_mul_limbs < 0 or self.rns_powmod_limbs < 0:
+            raise ValueError("rns thresholds must be >= 0 "
+                             "(0 disables the rns backend)")
 
 
 def thresholds_path() -> Path:
@@ -396,10 +406,71 @@ def find_packed_div_crossover(max_limbs: int, seed: int = 1,
     return low
 
 
+def find_rns_mul_crossover(max_limbs: int, seed: int = 1,
+                           repeats: int = DEFAULT_REPEATS) -> int:
+    """Operand limbs where one rns channel pass beats the limb ladder.
+
+    This is the *per-item* floor of the batch route: below it even a
+    perfectly parallel fan-out starts from a slower serial kernel, so
+    ``batch_mul_backend`` keeps the packed/limb answer.  Contexts are
+    warmed first — a batch reuses one channel set across items exactly
+    as a reduction loop amortizes a Barrett reciprocal.
+    """
+    from repro.mpn.rns import context_for_bits, mul_rns
+
+    def limb_side(a: Nat, b: Nat) -> Nat:
+        return mul(a, b, GMP_POLICY, backend="limb")
+
+    context_for_bits(2 * max(8, max_limbs) * nat.LIMB_BITS)
+    return find_crossover(limb_side, mul_rns, 2,
+                          max(8, max_limbs), seed, repeats)
+
+
+def find_rns_powmod_crossover(max_limbs: int, seed: int = 1,
+                              repeats: int = DEFAULT_REPEATS) -> int:
+    """Modulus limbs where RNS Montgomery beats the limb CIOS kernel.
+
+    Engines are warmed before timing (the repeated-exponentiation
+    regime — one RSA key, many requests — amortizes the channel-set
+    precompute, the same convention the Barrett bisection uses).
+    """
+    from repro.mpn.montgomery import powmod as limb_powmod
+    from repro.mpn.rns import _engine_for, powmod_rns
+
+    def wins(limbs: int) -> bool:
+        modulus = _random_operand(limbs, seed + 3)
+        modulus[0] |= 1
+        base = _random_operand(limbs, seed)
+        exponent = _random_operand(limbs, seed + 7)
+        _engine_for(nat.nat_to_int(modulus))
+        rns_ns = _time_once(
+            lambda b, _: powmod_rns(b, exponent, modulus),
+            base, modulus, repeats)
+        limb_ns = _time_once(
+            lambda b, _: limb_powmod(b, exponent, modulus),
+            base, modulus, repeats)
+        return rns_ns < limb_ns
+
+    # Exponentiation timings grow cubically; cap the search range so a
+    # tune run stays responsive (rns wins well inside it on every
+    # measured host).
+    low, high = 1, min(8, max(2, max_limbs))
+    if not wins(high):
+        return high
+    while low < high:
+        mid = (low + high) // 2
+        if wins(mid):
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
 def tune(max_limbs: int = 512, seed: int = 1,
          repeats: int = DEFAULT_REPEATS,
          measure_division: bool = True,
-         measure_packed: bool = True) -> TuneResult:
+         measure_packed: bool = True,
+         measure_rns: bool = True) -> TuneResult:
     """Measure the crossovers this host actually exhibits.
 
     Multiplication: schoolbook/Karatsuba and Karatsuba/Toom-3 are
@@ -468,6 +539,17 @@ def tune(max_limbs: int = 512, seed: int = 1,
         measurements.append(("limb->packed mul", packed_mul_limbs))
         measurements.append(("limb->packed div", packed_div_limbs))
 
+    rns_mul_limbs = default_thresholds().rns_mul_limbs
+    rns_powmod_limbs = default_thresholds().rns_powmod_limbs
+    if measure_rns:
+        rns_mul_limbs = find_rns_mul_crossover(
+            min(64, max(8, max_limbs)), seed, repeats)
+        rns_powmod_limbs = find_rns_powmod_crossover(
+            min(8, max(2, max_limbs)), seed, repeats)
+        measurements.append(("limb->rns batch mul", rns_mul_limbs))
+        measurements.append(("montgomery->rns powmod",
+                             rns_powmod_limbs))
+
     thresholds = Thresholds(
         karatsuba_limbs=karatsuba_limbs,
         toom3_limbs=toom3_limbs,
@@ -478,6 +560,8 @@ def tune(max_limbs: int = 512, seed: int = 1,
         barrett_limbs=barrett_limbs,
         packed_mul_limbs=packed_mul_limbs,
         packed_div_limbs=packed_div_limbs,
+        rns_mul_limbs=rns_mul_limbs,
+        rns_powmod_limbs=rns_powmod_limbs,
         repeats=repeats,
         max_limbs=max_limbs,
     )

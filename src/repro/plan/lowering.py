@@ -30,7 +30,9 @@ from repro.plan.spec import OpSpec, PlanError
 #: plan cache file and every Plan memo key.
 #: v2: packed backend (block-packed mpn kernels) joins resolution; the
 #: thresholds fingerprint grew the packed crossovers.
-PLAN_SCHEMA_VERSION = 2
+#: v3: rns backend (residue-number-system mpn kernels) joins
+#: resolution for mul/powmod; the fingerprint grew the rns crossovers.
+PLAN_SCHEMA_VERSION = 3
 
 #: Host-side cost of answering a pure model query (cycles at device
 #: frequency); the query itself never touches the accelerator.
@@ -62,7 +64,7 @@ class Plan:
     """The lowered form of one operation request."""
 
     spec: OpSpec
-    backend: str           # resolved: "library" | "device" | "packed"
+    backend: str    # resolved: "library" | "device" | "packed" | "rns"
     algorithm: str
     steps: Tuple[PlanStep, ...]
     cost_cycles: float
@@ -175,10 +177,11 @@ def _tuning_for(thresholds) -> Tuple[Tuple[int, ...], str]:
     if hasattr(thresholds, "barrett_limbs"):       # Thresholds record
         return select.fingerprint(thresholds), "tuned"
     # A bare MulPolicy (e.g. the MPApca hardware policy): no division,
-    # Barrett, or packed crossovers; version slot 0 marks it as ad hoc.
+    # Barrett, packed, or rns crossovers; version slot 0 marks it as
+    # ad hoc.
     return ((0, thresholds.karatsuba_limbs, thresholds.toom3_limbs,
              thresholds.toom4_limbs, thresholds.toom6_limbs,
-             thresholds.ssa_limbs, 0, 0, 0, 0), thresholds.name)
+             thresholds.ssa_limbs, 0, 0, 0, 0, 0, 0), thresholds.name)
 
 
 def lower(spec: OpSpec, thresholds=None, use_cache: bool = True) -> Plan:
@@ -206,6 +209,9 @@ def lower(spec: OpSpec, thresholds=None, use_cache: bool = True) -> Plan:
 #: Ops the block-packed backend can execute.
 _PACKED_OPS = ("mul", "div", "mod")
 
+#: Ops the residue-number-system backend can execute.
+_RNS_OPS = ("mul", "powmod")
+
 
 def _resolve_backend(spec: OpSpec, thresholds) -> str:
     from repro.mpn.nat import LIMB_BITS
@@ -214,6 +220,9 @@ def _resolve_backend(spec: OpSpec, thresholds) -> str:
     if spec.backend == "packed" and spec.op not in _PACKED_OPS:
         raise PlanError("backend=packed supports only %s; %r lowers to "
                         "the library" % ("/".join(_PACKED_OPS), spec.op))
+    if spec.backend == "rns" and spec.op not in _RNS_OPS:
+        raise PlanError("backend=rns supports only %s; %r lowers to "
+                        "the library" % ("/".join(_RNS_OPS), spec.op))
     if spec.op == "mul":
         fits = max(spec.bits_a, spec.bits_b) <= mpapca.MONOLITHIC_MAX_BITS
         if spec.backend == "device" and not fits:
@@ -239,6 +248,13 @@ def _resolve_backend(spec: OpSpec, thresholds) -> str:
             divisor_limbs = -(-max(spec.bits_b, 1) // LIMB_BITS)
             if _select.div_backend(divisor_limbs, thresholds) == "packed":
                 return "packed"
+            return "library"
+        return spec.backend
+    if spec.op == "powmod":
+        if spec.backend == "auto":
+            mod_limbs = -(-max(spec.bits_a, 1) // LIMB_BITS)
+            if _select.powmod_backend(mod_limbs, thresholds) == "rns":
+                return "rns"
             return "library"
         return spec.backend
     return "library"
@@ -272,6 +288,14 @@ def _lower_uncached(spec: OpSpec, thresholds, tuning: Tuple[int, ...],
             steps = [PlanStep("kernel", name, "%d blocks" % blocks)
                      for name, blocks in select.packed_chain(min_limbs)]
             algorithm = steps[0].algorithm
+        elif backend == "rns":
+            from repro.mpn.rns import MODULUS_BITS
+            product_bits = max(spec.bits_a, 1) + max(spec.bits_b, 1)
+            channels = max(2, -(-product_bits // MODULUS_BITS) + 1)
+            algorithm = "rns-crt"
+            steps = [PlanStep("kernel", "rns-crt",
+                              "%d carry-free %d-bit channels + CRT "
+                              "gather" % (channels, MODULUS_BITS))]
         else:
             min_limbs = -(-min(max(spec.bits_a, 1),
                                max(spec.bits_b, 1)) // LIMB_BITS)
@@ -300,13 +324,23 @@ def _lower_uncached(spec: OpSpec, thresholds, tuning: Tuple[int, ...],
                           "precision-doubling Newton")]
         cost = mpapca.sqrt_cycles(spec.bits_a)
     elif op == "powmod":
-        odd = bool(spec.detail_value("mod_odd", 1))
-        algorithm = "montgomery" if odd else "binary-division"
-        note = "odd modulus: Montgomery domain" if odd \
-            else "even modulus: square-and-multiply over division"
-        mod_limbs = -(-max(spec.bits_a, 1) // LIMB_BITS)
-        steps = [PlanStep("kernel", algorithm, note)]
-        steps.extend(_mul_kernel_steps(mod_limbs, policy))
+        if backend == "rns":
+            from repro.mpn.rns import MODULUS_BITS
+            channels = max(2, -(-(max(spec.bits_a, 1) + 2)
+                                // MODULUS_BITS) + 1)
+            algorithm = "rns-montgomery"
+            steps = [PlanStep("kernel", "rns-montgomery",
+                              "dual-base residue Montgomery (2x%d "
+                              "channels), exact CRT base extension"
+                              % channels)]
+        else:
+            odd = bool(spec.detail_value("mod_odd", 1))
+            algorithm = "montgomery" if odd else "binary-division"
+            note = "odd modulus: Montgomery domain" if odd \
+                else "even modulus: square-and-multiply over division"
+            mod_limbs = -(-max(spec.bits_a, 1) // LIMB_BITS)
+            steps = [PlanStep("kernel", algorithm, note)]
+            steps.extend(_mul_kernel_steps(mod_limbs, policy))
         cost = mpapca.powmod_cycles(spec.bits_a, max(spec.bits_b, 1))
     elif op in ("add", "sub"):
         algorithm = "carry-parallel"

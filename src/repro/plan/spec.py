@@ -29,9 +29,12 @@ PLAN_OPS = (
 #: Requested execution backends.  ``auto`` resolves during lowering:
 #: device when the operation fits the monolithic hardware multiplier,
 #: otherwise packed (the block-packed kernels of
-#: :mod:`repro.mpn.packed`) or library by the tuned packed crossover.
-#: ``packed`` may be requested explicitly for mul/div/mod.
-BACKENDS = ("auto", "library", "device", "packed")
+#: :mod:`repro.mpn.packed`) or library by the tuned packed crossover;
+#: powmod resolves to rns (the residue-number-system kernels of
+#: :mod:`repro.mpn.rns`) at the tuned ``rns_powmod_limbs`` crossover.
+#: ``packed`` may be requested explicitly for mul/div/mod, ``rns`` for
+#: mul/powmod.
+BACKENDS = ("auto", "library", "device", "packed", "rns")
 
 
 class PlanError(ValueError):

@@ -8,7 +8,12 @@ verifies every successful answer bit-for-bit against the in-process
 oracle (:func:`repro.serve.jobs.evaluate`), and reports honest
 latency/throughput numbers — exact sorted-sample percentiles, not the
 server's interpolated histogram — plus the machine context (CPU
-count, worker count) the numbers were measured under.
+count, worker count) the numbers were measured under.  The report also
+tallies, per op, which backend (library/device/packed/rns) the plan
+lowering resolved for each verified job — the same
+:func:`~repro.plan.execute.plan_for_job` the server's admission path
+runs — so a serve benchmark records the rns-vs-packed-vs-limb split of
+its workload.
 
 ``repro bench-serve`` wires this to ``results/BENCH_serve.json``.
 """
@@ -124,6 +129,23 @@ def expected_result(payload: Dict[str, Any]) -> Dict[str, Any]:
     return evaluate((payload["op"], params))
 
 
+def plan_backend(payload: Dict[str, Any]) -> str:
+    """The backend the plan lowering resolves for one job payload.
+
+    Mirrors the server's admission path (same ``plan_for_job``), so the
+    tally reflects what the server actually executed; ops without a
+    lowered backend report ``"-"``.
+    """
+    from repro.plan import PlanError
+    from repro.plan.execute import plan_for_job
+    try:
+        params = validate_params(payload["op"], payload["params"])
+        plan = plan_for_job(payload["op"], params)
+    except (PlanError, ValueError):
+        return "-"
+    return getattr(plan, "backend", None) or "-"
+
+
 # -- load generation ----------------------------------------------------------
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -181,6 +203,7 @@ def run_load(host: str, port: int, requests: int = 200,
     ok = shed = invalid = deadline = errors = wrong = 0
     ok_latencies: List[float] = []
     per_op: Dict[str, int] = {op: 0 for op in JOB_OPS}
+    backends: Dict[str, Dict[str, int]] = {}
     failures: List[Dict[str, Any]] = []
     for payload, outcome in zip(payloads, results):
         if outcome is None:
@@ -191,6 +214,9 @@ def run_load(host: str, port: int, requests: int = 200,
             ok += 1
             ok_latencies.append(elapsed_ms)
             per_op[payload["op"]] += 1
+            resolved = plan_backend(payload)
+            op_tally = backends.setdefault(payload["op"], {})
+            op_tally[resolved] = op_tally.get(resolved, 0) + 1
             if verify:
                 expected = expected_result(payload)
                 if body.get("result") != expected:
@@ -231,6 +257,7 @@ def run_load(host: str, port: int, requests: int = 200,
             "max": round(ok_latencies[-1], 3) if ok_latencies else 0.0,
         },
         "per_op_ok": per_op,
+        "plan_backends": backends,
         "cpus": available_cpus(),
         "failures": failures,
     }

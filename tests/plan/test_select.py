@@ -68,7 +68,9 @@ class TestFingerprint:
                       thresholds.toom6_limbs, thresholds.ssa_limbs,
                       thresholds.bz_limbs, thresholds.barrett_limbs,
                       thresholds.packed_mul_limbs,
-                      thresholds.packed_div_limbs)
+                      thresholds.packed_div_limbs,
+                      thresholds.rns_mul_limbs,
+                      thresholds.rns_powmod_limbs)
 
     def test_thresholds_method_delegates(self):
         thresholds = select.active()
