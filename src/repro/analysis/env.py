@@ -217,6 +217,31 @@ SERVE_MAX_DIGITS = declare(
     "Request ceiling for ``pi_digits`` jobs.",
     "serve")
 
+SHARDS = declare(
+    "REPRO_SHARDS", "0 (single process)", "int",
+    "Default shard count for ``repro serve``: 0/unset runs the single "
+    "asyncio process, N boots the plan-aware router in front of N "
+    "supervised shard workers.",
+    "shard")
+
+SHARD_CACHE = declare(
+    "REPRO_SHARD_CACHE", "on", "killswitch",
+    "Set to 0 to disable the router's cross-shard result cache "
+    "(memo-key-salted; differential-triage aid).",
+    "shard")
+
+SHARD_DRAIN_S = declare(
+    "REPRO_SHARD_DRAIN_S", "20", "float",
+    "Bounded deadline (seconds) for the router's graceful SIGTERM "
+    "drain of its shard workers; stragglers are killed past it.",
+    "shard")
+
+SHARD_RESTARTS = declare(
+    "REPRO_SHARD_RESTARTS", "5", "int",
+    "Maximum supervisor restarts per crashed shard worker before it "
+    "is left dead (the router routes around it).",
+    "shard")
+
 TRACE = declare(
     "REPRO_TRACE", "off", "flag",
     "Collect per-request span traces in the serve layer (exposed at "

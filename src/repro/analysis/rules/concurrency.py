@@ -75,7 +75,9 @@ class BlockingCallInAsync(Rule):
                  "loop.run_in_executor instead.")
 
     def applies(self, ctx: FileContext) -> bool:
-        return "serve" in ctx.parts
+        # Both event-loop subsystems: the single-process server and
+        # the shard router/supervisor in front of it.
+        return "serve" in ctx.parts or "shard" in ctx.parts
 
     def check(self, ctx: FileContext) -> List[RuleViolation]:
         found: List[RuleViolation] = []

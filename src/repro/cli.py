@@ -292,6 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: $REPRO_SERVE_BATCH_MS or 5)")
     serve.add_argument("--workers", type=int, default=None,
                        help="executor workers (default: $REPRO_WORKERS)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="shard worker processes behind the "
+                            "plan-aware router; 0 = single process "
+                            "(default: $REPRO_SHARDS)")
     serve.set_defaults(handler=_cmd_serve)
 
     bench_serve = commands.add_parser(
@@ -304,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--requests", type=int, default=200)
     bench_serve.add_argument("--concurrency", type=int, default=8)
     bench_serve.add_argument("--seed", type=int, default=2022)
+    bench_serve.add_argument("--shards", type=int, default=0,
+                             help="also measure a sharded fleet of N "
+                                  "workers against the single-shard "
+                                  "baseline (self-hosted only)")
     bench_serve.add_argument("--no-verify", action="store_true",
                              help="skip bit-identical verification")
     bench_serve.add_argument("--output",
@@ -584,11 +592,19 @@ def _verify_stream_selftest() -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.analysis import env as _env
     from repro.serve.server import ServeConfig, run_server
 
     def announce(line: str) -> None:
         print(line, flush=True)
 
+    shards = args.shards if args.shards is not None \
+        else _env.int_value(_env.SHARDS, 0, minimum=0)
+    if shards > 0:
+        from repro.shard import RouterConfig, run_router
+        router_config = RouterConfig.from_env(
+            host=args.host, port=args.port, shards=shards)
+        return run_router(router_config, announce=announce)
     config = ServeConfig.from_env(
         host=args.host, port=args.port, queue_capacity=args.queue,
         max_batch=args.max_batch, batch_ms=args.batch_ms,
@@ -615,10 +631,100 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             return 1
         return 0
 
+    if args.shards > 0:
+        if args.port is not None:
+            print("bench-serve: --shards self-hosts its own fleet; "
+                  "drop --port", file=sys.stderr)
+            return 2
+        return _bench_serve_sharded(args)
     if args.port is not None:
         return drive(args.host, args.port)
     with ServerThread() as hosted:
         return drive(hosted.host, hosted.port)
+
+
+#: Sharded-throughput acceptance bar (asserted only on >= 2 CPUs).
+BENCH_SHARD_TARGET = 1.5
+
+
+def _bench_serve_sharded(args: argparse.Namespace) -> int:
+    """Throughput-vs-shards: a single-shard baseline, then a routed
+    fleet of ``--shards`` workers, same seeded workload.
+
+    On a multi-core runner the sharded run must reach
+    ``BENCH_SHARD_TARGET`` times the baseline throughput; on one CPU
+    the shards time-slice one core, so the speedup is *recorded but
+    not asserted* (the BENCH_parallel honesty convention) with an
+    explicit ``skip_reason``.
+    """
+    import json
+
+    from repro.parallel import available_cpus
+    from repro.serve.client import run_load, write_bench
+    from repro.serve.server import ServerThread
+    from repro.shard import RouterConfig, RouterThread
+    from repro.shard.cache import ShardResultCache
+
+    with ServerThread() as hosted:
+        baseline = run_load(hosted.host, hosted.port,
+                            requests=args.requests,
+                            concurrency=args.concurrency,
+                            seed=args.seed,
+                            verify=not args.no_verify)
+    router_config = RouterConfig.from_env(host="127.0.0.1", port=0,
+                                          shards=args.shards)
+    # A cold in-memory cache: disk-warmed answers must never flatter
+    # the sharded numbers.
+    with RouterThread(router_config,
+                      cache=ShardResultCache(persist=False)) as fleet:
+        report = run_load(fleet.host, fleet.port,
+                          requests=args.requests,
+                          concurrency=args.concurrency,
+                          seed=args.seed, verify=not args.no_verify)
+        router_stats = fleet.router.statz()
+
+    cpus = available_cpus()
+    asserted = cpus >= 2
+    baseline_rps = baseline["throughput_rps"]
+    speedup = (report["throughput_rps"] / baseline_rps
+               if baseline_rps > 0 else 0.0)
+    report["self_hosted"] = True
+    report["shards"] = args.shards
+    report["per_shard_rps"] = round(
+        report["throughput_rps"] / args.shards, 2)
+    report["router"] = {
+        "routed": router_stats["routed"],
+        "shed": router_stats["shed"],
+        "restarts": router_stats["restarts"],
+        "cache": router_stats["cache"],
+    }
+    report["baseline_single"] = {
+        "throughput_rps": baseline_rps,
+        "ok": baseline["ok"],
+        "shed": baseline["shed"],
+        "wrong_answers": baseline["wrong_answers"],
+        "errors": baseline["errors"],
+        "wall_s": baseline["wall_s"],
+    }
+    report["scaling"] = {
+        "speedup": round(speedup, 3),
+        "target": BENCH_SHARD_TARGET,
+        "asserted": asserted,
+        "skip_reason": None if asserted else
+        "speedup gate requires >= 2 CPUs; measured on %d" % cpus,
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.output:
+        write_bench(report, args.output)
+        print("wrote %s" % args.output, file=sys.stderr)
+    failed = bool(report["wrong_answers"] or report["errors"]
+                  or baseline["wrong_answers"] or baseline["errors"])
+    if asserted and speedup < BENCH_SHARD_TARGET:
+        print("bench-serve: sharded speedup %.2fx below the %.1fx "
+              "target on %d CPUs" % (speedup, BENCH_SHARD_TARGET,
+                                     cpus), file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 def _cmd_bench_kernels(args: argparse.Namespace) -> int:

@@ -16,13 +16,18 @@ The serving pipeline, front to back:
 * :mod:`repro.serve.client` — load-generating, verifying client
   (``repro bench-serve``).
 
+:mod:`repro.shard` scales this pipeline across OS processes: a
+plan-aware router in front of N supervised shard workers, each one a
+:class:`~repro.serve.server.ReproServer` (``repro serve --shards N``).
+
 See ``docs/SERVING.md`` for the protocol and capacity knobs.
 """
 
 from repro.serve.batcher import DynamicBatcher
 from repro.serve.jobs import JOB_OPS, Job, JobError, evaluate, make_job
 from repro.serve.metrics import (Counter, Gauge, Histogram,
-                                 MetricsRegistry, parse_exposition)
+                                 MetricsRegistry, merge_snapshots,
+                                 parse_exposition, render_snapshot)
 from repro.serve.queue import (SHED_QUEUE_FULL, SHED_SHUTTING_DOWN,
                                SHED_WAIT_EXCEEDED, AdmissionQueue)
 from repro.serve.server import ReproServer, ServeConfig, run_server
@@ -47,7 +52,9 @@ __all__ = [
     "Tracer",
     "evaluate",
     "make_job",
+    "merge_snapshots",
     "parse_exposition",
+    "render_snapshot",
     "run_server",
     "trace_enabled",
 ]

@@ -90,6 +90,14 @@ class ServeClient:
             raise RuntimeError("GET /healthz returned %d" % status)
         return body.decode("utf-8").strip()
 
+    def statz(self) -> Dict[str, Any]:
+        """The live service-stats endpoint (shard EWMA rate and queue
+        state; routers answer their fleet view)."""
+        status, body = self.raw("GET", "/statz")
+        if status != 200:
+            raise RuntimeError("GET /statz returned %d" % status)
+        return json.loads(body.decode("utf-8"))
+
 
 # -- job generation -----------------------------------------------------------
 

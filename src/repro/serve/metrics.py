@@ -12,11 +12,21 @@ Rendered exposition is Prometheus-style text: ``name{label="v"} value``
 lines, histogram ``_bucket``/``_count``/``_sum`` series plus
 convenience ``quantile`` summary lines (p50/p90/p99 interpolated from
 the log buckets).
+
+For the sharded topology the registry also has a *wire form*:
+:meth:`MetricsRegistry.snapshot` exports every series as a JSON-able
+dict (the shard ``/metrics.json`` payload), :func:`merge_snapshots`
+folds any number of such snapshots into one — counters and histogram
+buckets add element-wise (never by percentile), gauges add except
+high-water marks (any name containing ``max``), which take the max —
+and :func:`render_snapshot` turns a snapshot back into the text
+exposition.  ``render()`` itself goes through the same pair, so the
+single-process and merged scrapes can never drift in format.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 #: Latency histogram boundaries (milliseconds, log-spaced).
 LATENCY_BOUNDS_MS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
@@ -175,36 +185,144 @@ class MetricsRegistry:
 
     def render(self) -> str:
         """Prometheus-style text exposition of every metric."""
-        lines: List[str] = []
-        full = "%s_%s" % (self.prefix, "%s")
-        for (name, key), metric in sorted(self._counters.items()):
-            lines.append("%s%s %d" % (full % name,
-                                      _render_labels(key), metric.value))
-        for (name, key), metric in sorted(self._gauges.items()):
-            lines.append("%s%s %g" % (full % name,
-                                      _render_labels(key), metric.value))
-        for (name, key), metric in sorted(self._histograms.items()):
-            cumulative = 0
-            for bound, count in zip(metric.bounds, metric.counts):
-                cumulative += count
-                lines.append("%s_bucket%s %d" % (
-                    full % name,
-                    _render_labels(key, 'le="%g"' % bound), cumulative))
+        return render_snapshot(self.snapshot(), self.prefix)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able export of every series (the shard wire form).
+
+        The inverse direction is :func:`render_snapshot`; snapshots
+        from many registries fold with :func:`merge_snapshots`.
+        """
+        return {
+            "counters": [[name, [list(pair) for pair in key],
+                          metric.value]
+                         for (name, key), metric
+                         in sorted(self._counters.items())],
+            "gauges": [[name, [list(pair) for pair in key],
+                        metric.value]
+                       for (name, key), metric
+                       in sorted(self._gauges.items())],
+            "histograms": [[name, [list(pair) for pair in key],
+                            list(metric.bounds), list(metric.counts),
+                            metric.count, metric.total]
+                           for (name, key), metric
+                           in sorted(self._histograms.items())],
+        }
+
+
+# -- snapshot algebra (the sharded aggregation path) --------------------------
+
+def _snapshot_key(name: str, labels: Iterable[Iterable[str]]) -> Tuple:
+    return (str(name), tuple((str(k), str(v)) for k, v in labels))
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]
+                    ) -> Dict[str, Any]:
+    """Fold registry snapshots into one — the *only* aggregation rule.
+
+    Pure (inputs untouched, no registry involved) so the router's
+    ``/metrics`` merge is unit-testable arithmetic:
+
+    * counters with equal (name, labels) add;
+    * gauges add, except high-water marks — any name containing
+      ``max`` — which take the maximum across shards;
+    * histograms merge **bucket-wise**: per-bucket counts, the total
+      count, and the value sum add element-wise.  Percentiles are
+      interpolated only after the merge (averaging per-shard p50s
+      would be statistically meaningless); merging histograms of the
+      same name with different bounds raises ``ValueError``.
+    """
+    counters: Dict[Tuple, int] = {}
+    gauges: Dict[Tuple, float] = {}
+    histograms: Dict[Tuple, List[Any]] = {}
+    for snapshot in snapshots:
+        for name, labels, value in snapshot.get("counters", ()):
+            key = _snapshot_key(name, labels)
+            counters[key] = counters.get(key, 0) + int(value)
+        for name, labels, value in snapshot.get("gauges", ()):
+            key = _snapshot_key(name, labels)
+            if "max" in str(name):
+                gauges[key] = max(gauges.get(key, float(value)),
+                                  float(value))
+            else:
+                gauges[key] = gauges.get(key, 0.0) + float(value)
+        for name, labels, bounds, counts, count, total \
+                in snapshot.get("histograms", ()):
+            key = _snapshot_key(name, labels)
+            seen = histograms.get(key)
+            if seen is None:
+                histograms[key] = [list(bounds), list(counts),
+                                   int(count), float(total)]
+                continue
+            if seen[0] != list(bounds):
+                raise ValueError(
+                    "histogram %r merged with mismatched bounds "
+                    "(%r vs %r)" % (name, seen[0], list(bounds)))
+            if len(seen[1]) != len(counts):
+                raise ValueError(
+                    "histogram %r merged with %d vs %d buckets"
+                    % (name, len(seen[1]), len(counts)))
+            seen[1] = [a + int(b) for a, b in zip(seen[1], counts)]
+            seen[2] += int(count)
+            seen[3] += float(total)
+    return {
+        "counters": [[name, [list(pair) for pair in labels], value]
+                     for (name, labels), value
+                     in sorted(counters.items())],
+        "gauges": [[name, [list(pair) for pair in labels], value]
+                   for (name, labels), value in sorted(gauges.items())],
+        "histograms": [[name, [list(pair) for pair in labels],
+                        parts[0], parts[1], parts[2], parts[3]]
+                       for (name, labels), parts
+                       in sorted(histograms.items())],
+    }
+
+
+def render_snapshot(snapshot: Dict[str, Any],
+                    prefix: str = "repro_serve") -> str:
+    """Text exposition of one snapshot (merged or single-registry).
+
+    This is the one formatting path: :meth:`MetricsRegistry.render`
+    delegates here, so shard scrapes and the router's merged scrape
+    are byte-compatible in shape.
+    """
+    lines: List[str] = []
+    full = "%s_%s" % (prefix, "%s")
+    for name, labels, value in snapshot.get("counters", ()):
+        key = _snapshot_key(name, labels)[1]
+        lines.append("%s%s %d" % (full % name, _render_labels(key),
+                                  int(value)))
+    for name, labels, value in snapshot.get("gauges", ()):
+        key = _snapshot_key(name, labels)[1]
+        lines.append("%s%s %g" % (full % name, _render_labels(key),
+                                  float(value)))
+    for name, labels, bounds, counts, count, total \
+            in snapshot.get("histograms", ()):
+        key = _snapshot_key(name, labels)[1]
+        metric = Histogram(bounds)
+        metric.counts = [int(c) for c in counts]
+        metric.count = int(count)
+        metric.total = float(total)
+        cumulative = 0
+        for bound, bucket in zip(metric.bounds, metric.counts):
+            cumulative += bucket
             lines.append("%s_bucket%s %d" % (
-                full % name, _render_labels(key, 'le="+Inf"'),
-                metric.count))
-            lines.append("%s_count%s %d" % (full % name,
-                                            _render_labels(key),
-                                            metric.count))
-            lines.append("%s_sum%s %g" % (full % name,
-                                          _render_labels(key),
-                                          metric.total))
-            for quantile in (0.5, 0.9, 0.99):
-                lines.append("%s%s %g" % (
-                    full % name,
-                    _render_labels(key, 'quantile="%g"' % quantile),
-                    metric.percentile(quantile)))
-        return "\n".join(lines) + "\n"
+                full % name,
+                _render_labels(key, 'le="%g"' % bound), cumulative))
+        lines.append("%s_bucket%s %d" % (
+            full % name, _render_labels(key, 'le="+Inf"'),
+            metric.count))
+        lines.append("%s_count%s %d" % (full % name,
+                                        _render_labels(key),
+                                        metric.count))
+        lines.append("%s_sum%s %g" % (full % name, _render_labels(key),
+                                      metric.total))
+        for quantile in (0.5, 0.9, 0.99):
+            lines.append("%s%s %g" % (
+                full % name,
+                _render_labels(key, 'quantile="%g"' % quantile),
+                metric.percentile(quantile)))
+    return "\n".join(lines) + "\n"
 
 
 def parse_exposition(text: str) -> Dict[str, float]:

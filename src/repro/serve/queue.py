@@ -100,6 +100,13 @@ class AdmissionQueue:
         return (self.pending_cycles + extra_cycles) \
             / self._rate_cycles_per_ms
 
+    @property
+    def service_rate_cycles_per_ms(self) -> Optional[float]:
+        """The observed-service-rate EWMA (``None`` before the first
+        completed batch) — exported at ``/statz`` so a fleet router can
+        aggregate per-shard rates into one admission bound."""
+        return self._rate_cycles_per_ms
+
     def observe_service(self, cycles: float, wall_ms: float) -> None:
         """Feed one completed batch into the service-rate EWMA."""
         if wall_ms <= 0.0 or cycles <= 0.0:

@@ -93,6 +93,73 @@ class _BadRequest(Exception):
     """Malformed transport-level request (connection is answered 400)."""
 
 
+# -- transport helpers (shared with the shard router) -------------------------
+
+async def read_http_request(reader: asyncio.StreamReader,
+                            max_body_bytes: int = _MAX_BODY_BYTES
+                            ) -> _HttpRequest:
+    """Parse one ``Connection: close`` HTTP/1.1 request.
+
+    Raises :class:`_BadRequest` on malformed transport; module-level so
+    :mod:`repro.shard.router` speaks byte-identical framing."""
+    request_line = (await reader.readline()).decode(
+        "latin-1", "replace").strip()
+    if not request_line:
+        raise _BadRequest("empty request")
+    parts = request_line.split()
+    if len(parts) < 2:
+        raise _BadRequest("malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    for _ in range(_MAX_HEADER_LINES):
+        line = (await reader.readline()).decode("latin-1", "replace")
+        if line in ("\r\n", "\n", ""):
+            break
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise _BadRequest("too many headers")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise _BadRequest("bad content-length") from None
+        if size < 0 or size > max_body_bytes:
+            raise _BadRequest("body too large")
+        body = await reader.readexactly(size)
+    return _HttpRequest(method, path, body, headers)
+
+
+async def respond_json(writer: asyncio.StreamWriter, status: int,
+                       body: Dict[str, Any]) -> None:
+    data = json.dumps(body).encode("utf-8")
+    await respond_raw(writer, status, data, "application/json")
+
+
+async def respond_text(writer: asyncio.StreamWriter, status: int,
+                       text: str) -> None:
+    await respond_raw(writer, status, text.encode("utf-8"),
+                      "text/plain; charset=utf-8")
+
+
+async def respond_raw(writer: asyncio.StreamWriter, status: int,
+                      data: bytes, content_type: str) -> None:
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+              500: "Internal Server Error",
+              502: "Bad Gateway",
+              503: "Service Unavailable",
+              504: "Gateway Timeout"}.get(status, "OK")
+    head = ("HTTP/1.1 %d %s\r\n"
+            "Content-Type: %s\r\n"
+            "Content-Length: %d\r\n"
+            "Connection: close\r\n\r\n"
+            % (status, reason, content_type, len(data)))
+    writer.write(head.encode("latin-1") + data)
+    await writer.drain()
+
+
 class ReproServer:
     """The serve subsystem wired together: queue → batcher → HTTP."""
 
@@ -229,40 +296,23 @@ class ReproServer:
 
     async def _read_request(self,
                             reader: asyncio.StreamReader) -> _HttpRequest:
-        request_line = (await reader.readline()).decode(
-            "latin-1", "replace").strip()
-        if not request_line:
-            raise _BadRequest("empty request")
-        parts = request_line.split()
-        if len(parts) < 2:
-            raise _BadRequest("malformed request line")
-        method, path = parts[0].upper(), parts[1]
-        headers: Dict[str, str] = {}
-        for _ in range(_MAX_HEADER_LINES):
-            line = (await reader.readline()).decode(
-                "latin-1", "replace")
-            if line in ("\r\n", "\n", ""):
-                break
-            name, _, value = line.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        else:
-            raise _BadRequest("too many headers")
-        body = b""
-        length = headers.get("content-length")
-        if length is not None:
-            try:
-                size = int(length)
-            except ValueError:
-                raise _BadRequest("bad content-length") from None
-            if size < 0 or size > self.config.max_body_bytes:
-                raise _BadRequest("body too large")
-            body = await reader.readexactly(size)
-        return _HttpRequest(method, path, body, headers)
+        return await read_http_request(reader,
+                                       self.config.max_body_bytes)
 
     async def _route(self, request: _HttpRequest,
                      writer: asyncio.StreamWriter) -> None:
         if request.method == "GET" and request.path == "/metrics":
             await self._respond_text(writer, 200, self.registry.render())
+            return
+        if request.method == "GET" and request.path == "/metrics.json":
+            # The shard wire form: the router scrapes this and folds
+            # snapshots with metrics.merge_snapshots.
+            await self._respond_json(
+                writer, 200, {"ok": True,
+                              "snapshot": self.registry.snapshot()})
+            return
+        if request.method == "GET" and request.path == "/statz":
+            await self._respond_json(writer, 200, self.statz())
             return
         if request.method == "GET" and request.path == "/healthz":
             await self._respond_text(
@@ -353,33 +403,36 @@ class ReproServer:
             return {"ok": False, "id": job.job_id, "op": job.op,
                     "error": "rejected:deadline"}
 
+    # -- introspection --------------------------------------------------------
+
+    def statz(self) -> Dict[str, Any]:
+        """One shard's live service stats (the ``/statz`` payload).
+
+        The router polls this to aggregate fleet admission state: the
+        queue's observed-service-rate EWMA, its pending backlog, and
+        the drain flag that marks the shard degraded."""
+        return {
+            "ok": True,
+            "draining": self._draining,
+            "queue_depth": self.queue.depth,
+            "pending_cycles": self.queue.pending_cycles,
+            "rate_cycles_per_ms":
+                self.queue.service_rate_cycles_per_ms,
+            "submitted": self.queue.submitted,
+            "shed": self.queue.shed,
+            "jobs_completed": self.batcher.jobs_completed,
+            "batches_dispatched": self.batcher.batches_dispatched,
+        }
+
     # -- responses ------------------------------------------------------------
 
     async def _respond_json(self, writer: asyncio.StreamWriter,
                             status: int, body: Dict[str, Any]) -> None:
-        data = json.dumps(body).encode("utf-8")
-        await self._respond_raw(writer, status, data,
-                                "application/json")
+        await respond_json(writer, status, body)
 
     async def _respond_text(self, writer: asyncio.StreamWriter,
                             status: int, text: str) -> None:
-        await self._respond_raw(writer, status, text.encode("utf-8"),
-                                "text/plain; charset=utf-8")
-
-    async def _respond_raw(self, writer: asyncio.StreamWriter,
-                           status: int, data: bytes,
-                           content_type: str) -> None:
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  500: "Internal Server Error",
-                  503: "Service Unavailable",
-                  504: "Gateway Timeout"}.get(status, "OK")
-        head = ("HTTP/1.1 %d %s\r\n"
-                "Content-Type: %s\r\n"
-                "Content-Length: %d\r\n"
-                "Connection: close\r\n\r\n"
-                % (status, reason, content_type, len(data)))
-        writer.write(head.encode("latin-1") + data)
-        await writer.drain()
+        await respond_text(writer, status, text)
 
     async def _try_respond_error(self, writer: asyncio.StreamWriter,
                                  error: Exception) -> None:

@@ -1,0 +1,705 @@
+"""Plan-aware front-door router: ``repro serve --shards N``.
+
+The router is the one address clients see.  It speaks the exact
+HTTP/JSON job protocol of :mod:`repro.serve.server` (same parser, same
+``Connection: close`` framing — the transport helpers are imported,
+not reimplemented) and scales it across N supervised shard worker
+processes:
+
+* **plan-aware routing** — jobs are validated and lowered at the front
+  door (the same :func:`~repro.serve.jobs.make_job` the single-process
+  server runs), then placed by *rendezvous hashing* of the plan's
+  ``compat_key`` (op + lowered backend): every shard gets a
+  deterministic weight ``sha1(key | shard-index)`` and the highest
+  weight wins.  Jobs sharing a compat key therefore land on the same
+  shard, where the shard's dynamic batcher can coalesce them —
+  sharding preserves the batching win instead of scattering compatible
+  work.  When the winner is ``_SPILL_MARGIN`` requests deeper than the
+  runner-up, the job spills to the runner-up (bounded-load tiebreak);
+  a dead shard simply drops out of the candidate set and its keys
+  redistribute with no table to rebuild.
+* **fleet admission control** — per-shard observed-service-rate EWMAs
+  (scraped from ``/statz``) sum into one fleet rate; the router's own
+  count of admitted-but-unanswered cycles is the fleet backlog.  When
+  ``backlog / fleet-rate`` exceeds the max-wait bound the router sheds
+  at its own front door (``rejected:overloaded``), so clients get the
+  same explicit backpressure contract the single process gives.
+* **cross-shard result cache** — idempotent jobs answer from a
+  memo-key-salted shared cache (:mod:`repro.shard.cache`) without
+  touching any shard.
+* **one observability plane** — ``/metrics`` merges every shard's
+  snapshot through :func:`repro.serve.metrics.merge_snapshots`
+  (counters sum, histograms merge bucket-wise) and appends the
+  router's own series under the ``repro_router`` prefix; ``/healthz``
+  aggregates shard states; ``/traces`` concatenates shard traces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import signal
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analysis import env as _env
+from repro.serve.jobs import Job, JobError, make_job
+from repro.serve.metrics import (MetricsRegistry, merge_snapshots,
+                                 render_snapshot)
+from repro.serve.queue import (SHED_QUEUE_FULL, SHED_SHUTTING_DOWN,
+                               SHED_WAIT_EXCEEDED)
+from repro.serve.server import (_BadRequest, _HttpRequest,
+                                read_http_request, respond_json,
+                                respond_raw, respond_text)
+from repro.shard.cache import ShardResultCache
+from repro.shard.supervisor import ShardHandle, ShardSupervisor
+
+#: Shed reason when every shard is dead or restarting.
+SHED_NO_LIVE_SHARDS = "no-live-shards"
+
+#: Rendezvous tiebreak: spill to the runner-up shard once the winner
+#: is this many routed-but-unanswered requests deeper.
+_SPILL_MARGIN = 4
+
+#: How often the router refreshes per-shard ``/statz`` stats.
+_POLL_INTERVAL_S = 0.5
+
+#: Ceiling on one proxied shard exchange (connect + compute + answer).
+_PROXY_TIMEOUT_S = 300.0
+
+
+@dataclass
+class RouterConfig:
+    """Router configuration; env defaults, CLI overrides."""
+
+    host: str = "127.0.0.1"
+    port: int = 8421
+    shards: int = 2
+    #: Fleet depth bound is ``per_shard_depth * live shards``.
+    per_shard_depth: int = 256
+    max_wait_ms: float = 10_000.0
+    drain_s: float = 20.0
+    max_restarts: int = 5
+    proxy_timeout_s: float = _PROXY_TIMEOUT_S
+    poll_interval_s: float = _POLL_INTERVAL_S
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "RouterConfig":
+        config = cls(
+            shards=_env.int_value(_env.SHARDS, 2, minimum=1),
+            per_shard_depth=_env.int_value(_env.SERVE_QUEUE, 256,
+                                           minimum=1),
+            max_wait_ms=_env.float_value(_env.SERVE_MAX_WAIT_MS,
+                                         10_000.0, minimum=1.0),
+            drain_s=_env.float_value(_env.SHARD_DRAIN_S, 20.0,
+                                     minimum=0.1),
+            max_restarts=_env.int_value(_env.SHARD_RESTARTS, 5,
+                                        minimum=0),
+        )
+        for name, value in overrides.items():
+            if value is not None:
+                setattr(config, name, value)
+        return config
+
+
+def rendezvous_weight(compat_key: str, shard_index: int) -> int:
+    """Deterministic highest-random-weight score for one (key, shard).
+
+    The first 8 digest bytes of ``sha1("key|index")`` as an integer:
+    every (key, shard) pair scores independently, so removing a shard
+    reassigns only the keys it owned — the property that makes crash
+    recovery routing-table-free.
+    """
+    digest = hashlib.sha1(
+        ("%s|%d" % (compat_key, shard_index)).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rank_shards(compat_key: str,
+                live: List[ShardHandle]) -> List[ShardHandle]:
+    """Live shards by descending rendezvous weight for one key."""
+    return sorted(live,
+                  key=lambda handle: rendezvous_weight(compat_key,
+                                                       handle.index),
+                  reverse=True)
+
+
+class ShardRouter:
+    """The sharded front door: route, admit, proxy, aggregate."""
+
+    def __init__(self, config: Optional[RouterConfig] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 cache: Optional[ShardResultCache] = None,
+                 announce=None) -> None:
+        self.config = config if config is not None \
+            else RouterConfig.from_env()
+        self.registry = registry if registry is not None \
+            else MetricsRegistry(prefix="repro_router")
+        self.cache = cache if cache is not None else ShardResultCache()
+        self.announce = announce
+        self.supervisor = ShardSupervisor(
+            self.config.shards, registry=self.registry,
+            max_restarts=self.config.max_restarts, announce=announce)
+        self.host = self.config.host
+        self.port = self.config.port
+        self.routed = 0
+        self.shed = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._poll_task: Optional[asyncio.Task] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._draining = False
+        self._shutdown_task: Optional[asyncio.Task] = None
+        self._terminated = asyncio.Event()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Warm the cache, boot the fleet, bind the front door."""
+        self.cache.load()
+        await self.supervisor.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._poll_task = asyncio.ensure_future(self._poll_loop())
+        self._poll_task.add_done_callback(self._on_poll_done)
+        return self.host, self.port
+
+    def trigger_shutdown(self) -> None:
+        """Begin the graceful fleet drain (signal-handler entry)."""
+        if self._shutdown_task is None:
+            self._shutdown_task = asyncio.ensure_future(self.shutdown())
+            self._shutdown_task.add_done_callback(self._on_shutdown_done)
+
+    def _on_shutdown_done(self, task: "asyncio.Task") -> None:
+        """Observe the drain: a mid-shutdown crash must not leave
+        ``wait_terminated()`` callers hanging."""
+        if task.cancelled():
+            return
+        if task.exception() is not None:
+            self.registry.counter("shutdown_error_total").inc()
+            self._terminated.set()
+
+    def _on_poll_done(self, task: "asyncio.Task") -> None:
+        if task.cancelled():
+            return
+        if task.exception() is not None:
+            self.registry.counter("poll_error_total").inc()
+
+    async def shutdown(self) -> None:
+        """Drain router-first, then shards, each step bounded.
+
+        Order matters: the listener closes (no new admissions), then
+        every proxied in-flight response completes, and only then do
+        the shards get SIGTERM — so a drain never turns healthy
+        in-flight work into connection errors.
+        """
+        if self._draining:
+            await self._terminated.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            await asyncio.gather(*tuple(self._connections),
+                                 return_exceptions=True)
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            await asyncio.gather(self._poll_task,
+                                 return_exceptions=True)
+        await self.supervisor.drain(self.config.drain_s)
+        self.cache.save()
+        self._terminated.set()
+
+    async def wait_terminated(self) -> None:
+        await self._terminated.wait()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- shard stats polling --------------------------------------------------
+
+    async def _poll_loop(self) -> None:
+        """Refresh per-shard ``/statz`` (EWMA rates, queue depths)."""
+        while not self._draining:
+            for handle in self.supervisor.live():
+                try:
+                    status, body = await self._shard_request(
+                        handle, "GET", "/statz", timeout=5.0)
+                    if status == 200:
+                        handle.stats = json.loads(
+                            body.decode("utf-8"))
+                except (OSError, asyncio.TimeoutError,
+                        asyncio.IncompleteReadError,
+                        json.JSONDecodeError, UnicodeDecodeError):
+                    # A restarting shard misses one poll; its stale
+                    # stats age out on the next successful scrape.
+                    self.registry.counter("poll_miss_total").inc()
+            await asyncio.sleep(self.config.poll_interval_s)
+
+    # -- fleet admission ------------------------------------------------------
+
+    def fleet_rate_cycles_per_ms(self) -> Optional[float]:
+        """Sum of live shards' observed-service-rate EWMAs.
+
+        ``None`` until any shard has completed a batch (admission then
+        falls back to the fleet depth bound alone) — the same warm-up
+        contract as one shard's queue.
+        """
+        rates = [handle.stats.get("rate_cycles_per_ms")
+                 for handle in self.supervisor.live()]
+        rates = [rate for rate in rates if rate]
+        if not rates:
+            return None
+        return float(sum(rates))
+
+    def fleet_inflight(self) -> int:
+        return sum(handle.inflight for handle in self.supervisor.handles)
+
+    def fleet_inflight_cycles(self) -> float:
+        return sum(handle.inflight_cycles
+                   for handle in self.supervisor.handles)
+
+    def admission_reason(self, job: Job,
+                         live: List[ShardHandle]) -> Optional[str]:
+        """Shed reason for a job arriving now (``None`` = admit)."""
+        if self._draining:
+            return SHED_SHUTTING_DOWN
+        if not live:
+            return SHED_NO_LIVE_SHARDS
+        if self.fleet_inflight() >= \
+                self.config.per_shard_depth * len(live):
+            return SHED_QUEUE_FULL
+        rate = self.fleet_rate_cycles_per_ms()
+        if rate is not None and rate > 0.0:
+            estimate = (self.fleet_inflight_cycles()
+                        + job.cost_cycles) / rate
+            if estimate > self.config.max_wait_ms:
+                return SHED_WAIT_EXCEEDED
+        return None
+
+    # -- routing --------------------------------------------------------------
+
+    def pick_shard(self, job: Job,
+                   live: List[ShardHandle]) -> ShardHandle:
+        """Rendezvous winner for the job's compat key, with a bounded
+        queue-depth spill to the runner-up."""
+        key = "%s/%s" % job.compat_key()
+        ranked = rank_shards(key, live)
+        winner = ranked[0]
+        if len(ranked) > 1:
+            runner_up = ranked[1]
+            if winner.inflight >= runner_up.inflight + _SPILL_MARGIN:
+                self.registry.counter("route_spill_total").inc()
+                return runner_up
+        return winner
+
+    # -- shard HTTP client ----------------------------------------------------
+
+    async def _shard_request(self, handle: ShardHandle, method: str,
+                             path: str, body: bytes = b"",
+                             timeout: Optional[float] = None
+                             ) -> Tuple[int, bytes]:
+        """One ``Connection: close`` exchange with a shard."""
+        return await asyncio.wait_for(
+            self._shard_exchange(handle, method, path, body),
+            timeout if timeout is not None
+            else self.config.proxy_timeout_s)
+
+    async def _shard_exchange(self, handle: ShardHandle, method: str,
+                              path: str, body: bytes
+                              ) -> Tuple[int, bytes]:
+        reader, writer = await asyncio.open_connection(
+            handle.host, handle.port)
+        try:
+            head = ("%s %s HTTP/1.1\r\n"
+                    "Host: %s:%d\r\n"
+                    "Connection: close\r\n"
+                    % (method, path, handle.host, handle.port))
+            if body:
+                head += ("Content-Type: application/json\r\n"
+                         "Content-Length: %d\r\n" % len(body))
+            writer.write(head.encode("latin-1") + b"\r\n" + body)
+            await writer.drain()
+            return await self._read_response(reader)
+        finally:
+            writer.close()
+
+    @staticmethod
+    async def _read_response(reader: asyncio.StreamReader
+                             ) -> Tuple[int, bytes]:
+        status_line = (await reader.readline()).decode(
+            "latin-1", "replace")
+        parts = status_line.split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise asyncio.IncompleteReadError(
+                status_line.encode("latin-1"), None)
+        status = int(parts[1])
+        length = None
+        while True:
+            line = (await reader.readline()).decode("latin-1",
+                                                    "replace")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if length is not None:
+            payload = await reader.readexactly(length)
+        else:
+            payload = await reader.read()
+        return status, payload
+
+    # -- connection handling --------------------------------------------------
+
+    def _on_connection(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.ensure_future(self._handle(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await read_http_request(reader)
+            except _BadRequest as error:
+                await respond_json(
+                    writer, 400, {"ok": False, "error": "invalid:http",
+                                  "message": str(error)})
+                return
+            except (asyncio.IncompleteReadError, ConnectionError,
+                    asyncio.LimitOverrunError):
+                return
+            await self._route(request, writer)
+        except Exception as error:
+            self.registry.counter("internal_error_total").inc()
+            try:
+                await respond_json(
+                    writer, 500, {"ok": False,
+                                  "error": "error:internal",
+                                  "message": str(error)})
+            except Exception:
+                self.registry.counter(
+                    "connection_close_error_total").inc()
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                self.registry.counter(
+                    "connection_close_error_total").inc()
+
+    async def _route(self, request: _HttpRequest,
+                     writer: asyncio.StreamWriter) -> None:
+        if request.method == "GET" and request.path == "/metrics":
+            await respond_text(writer, 200,
+                               await self._merged_metrics())
+            return
+        if request.method == "GET" and request.path == "/metrics.json":
+            await respond_json(
+                writer, 200, {"ok": True,
+                              "snapshot": await
+                              self._merged_snapshot(),
+                              "router": self.registry.snapshot()})
+            return
+        if request.method == "GET" and request.path == "/statz":
+            await respond_json(writer, 200, self.statz())
+            return
+        if request.method == "GET" and request.path == "/healthz":
+            await respond_text(writer, 200, self.health_text())
+            return
+        if request.method == "GET" and request.path == "/traces":
+            await self._merged_traces(writer)
+            return
+        if request.method == "POST" and request.path in ("/", "/v1/job"):
+            await self._handle_job(request, writer)
+            return
+        await respond_json(
+            writer, 404, {"ok": False, "error": "invalid:route",
+                          "message": "%s %s not found"
+                          % (request.method, request.path)})
+
+    # -- the job path ---------------------------------------------------------
+
+    async def _handle_job(self, request: _HttpRequest,
+                          writer: asyncio.StreamWriter) -> None:
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self.registry.counter("invalid_total").inc()
+            await respond_json(
+                writer, 400, {"ok": False, "error": "invalid:bad-json",
+                              "message": "body is not valid JSON"})
+            return
+        try:
+            job = make_job(payload)
+        except JobError as error:
+            self.registry.counter("invalid_total").inc()
+            await respond_json(
+                writer, 400, {"ok": False, "error": error.code,
+                              "message": error.message})
+            return
+        self.registry.counter("requests_total", op=job.op).inc()
+        cached = self.cache.get(job)
+        if cached is not None:
+            self.registry.counter("cache_hits_total").inc()
+            await respond_json(
+                writer, 200, {"ok": True, "id": job.job_id,
+                              "op": job.op, "result": cached,
+                              "batch_size": 1, "cached": True,
+                              "queue_ms": 0.0})
+            return
+        live = self.supervisor.live()
+        reason = self.admission_reason(job, live)
+        if reason is not None:
+            self.shed += 1
+            self.registry.counter("shed_total", reason=reason).inc()
+            await respond_json(
+                writer, 503, {"ok": False, "id": job.job_id,
+                              "op": job.op,
+                              "error": "rejected:overloaded",
+                              "reason": reason,
+                              "queue_depth": self.fleet_inflight()})
+            return
+        handle = self.pick_shard(job, live)
+        await self._proxy_job(job, handle, request.body, writer)
+
+    async def _proxy_job(self, job: Job, handle: ShardHandle,
+                         body: bytes,
+                         writer: asyncio.StreamWriter) -> None:
+        """Forward one admitted job and relay the shard's exact answer.
+
+        A dead shard surfaces here as an immediate socket error (the
+        OS refuses the connect or resets mid-read), so in-flight jobs
+        on a crashed shard *fail fast* with ``error:internal`` — the
+        client retries or reports; nothing ever hangs on a corpse.
+        """
+        handle.inflight += 1
+        handle.inflight_cycles += job.cost_cycles
+        generation = handle.generation
+        try:
+            status, answer = await self._shard_request(
+                handle, "POST", "/v1/job", body)
+        except (OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError):
+            self.registry.counter("proxy_error_total",
+                                  shard=str(handle.index)).inc()
+            await respond_json(
+                writer, 502, {"ok": False, "id": job.job_id,
+                              "op": job.op, "error": "error:internal",
+                              "message": "shard %d connection failed"
+                              % handle.index})
+            return
+        finally:
+            if handle.generation == generation:
+                handle.inflight = max(0, handle.inflight - 1)
+                handle.inflight_cycles = max(
+                    0.0, handle.inflight_cycles - job.cost_cycles)
+        self.routed += 1
+        handle.served += 1
+        self.registry.counter("routed_total",
+                              shard=str(handle.index)).inc()
+        if status == 200:
+            self.registry.counter("cache_misses_total").inc()
+            try:
+                decoded = json.loads(answer.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = None
+            if decoded is not None and decoded.get("ok") \
+                    and "result" in decoded:
+                self.cache.put(job, decoded["result"])
+        await respond_raw(writer, status, answer, "application/json")
+
+    # -- aggregation ----------------------------------------------------------
+
+    async def _scrape_snapshots(self) -> List[Dict[str, Any]]:
+        """Every live shard's metrics snapshot (failures skipped)."""
+        live = self.supervisor.live()
+        results = await asyncio.gather(
+            *[self._shard_request(handle, "GET", "/metrics.json",
+                                  timeout=10.0) for handle in live],
+            return_exceptions=True)
+        snapshots: List[Dict[str, Any]] = []
+        for outcome in results:
+            if isinstance(outcome, BaseException):
+                self.registry.counter("scrape_error_total").inc()
+                continue
+            status, body = outcome
+            if status != 200:
+                continue
+            try:
+                decoded = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue
+            snapshot = decoded.get("snapshot")
+            if isinstance(snapshot, dict):
+                snapshots.append(snapshot)
+        return snapshots
+
+    async def _merged_snapshot(self) -> Dict[str, Any]:
+        return merge_snapshots(await self._scrape_snapshots())
+
+    async def _merged_metrics(self) -> str:
+        """The fleet scrape: merged shard series + router series."""
+        merged = render_snapshot(await self._merged_snapshot(),
+                                 prefix="repro_serve")
+        own = self.registry.render()
+        return merged + own
+
+    async def _merged_traces(self,
+                             writer: asyncio.StreamWriter) -> None:
+        live = self.supervisor.live()
+        results = await asyncio.gather(
+            *[self._shard_request(handle, "GET", "/traces",
+                                  timeout=10.0) for handle in live],
+            return_exceptions=True)
+        traces: List[Any] = []
+        any_enabled = False
+        for outcome in results:
+            if isinstance(outcome, BaseException):
+                continue
+            status, body = outcome
+            if status != 200:
+                continue
+            any_enabled = True
+            try:
+                decoded = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue
+            traces.extend(decoded.get("traces", ()))
+        if not any_enabled:
+            await respond_json(
+                writer, 404, {"ok": False,
+                              "error": "invalid:tracing-disabled"})
+            return
+        await respond_json(writer, 200, {"ok": True, "traces": traces})
+
+    # -- introspection --------------------------------------------------------
+
+    def health_text(self) -> str:
+        """Aggregate health: first line ``ok``/``degraded``/
+        ``draining``, then one line per shard."""
+        if self._draining:
+            first = "draining"
+        elif self.supervisor.degraded():
+            first = "degraded"
+        else:
+            first = "ok"
+        lines = [first]
+        for handle in self.supervisor.handles:
+            lines.append("shard %d: %s" % (handle.index, handle.state))
+        return "\n".join(lines) + "\n"
+
+    def statz(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "role": "router",
+            "draining": self._draining,
+            "shards": [handle.describe()
+                       for handle in self.supervisor.handles],
+            "fleet_rate_cycles_per_ms":
+                self.fleet_rate_cycles_per_ms(),
+            "inflight": self.fleet_inflight(),
+            "inflight_cycles": self.fleet_inflight_cycles(),
+            "routed": self.routed,
+            "shed": self.shed,
+            "restarts": self.supervisor.restarts_total,
+            "cache": {"entries": len(self.cache),
+                      "hits": self.cache.hits,
+                      "misses": self.cache.misses,
+                      "enabled": self.cache.enabled},
+        }
+
+
+class RouterThread:
+    """A :class:`ShardRouter` on a background thread's event loop.
+
+    The sharded twin of :class:`repro.serve.server.ServerThread`, for
+    in-process tests and the benchmark harness: ``start()`` blocks
+    until the fleet is up and the front door bound.
+    """
+
+    def __init__(self, config: Optional[RouterConfig] = None,
+                 cache: Optional[ShardResultCache] = None) -> None:
+        import threading
+        self.config = config
+        self._cache = cache
+        self.router: Optional[ShardRouter] = None
+        self.host = ""
+        self.port = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:
+            self._error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.router = ShardRouter(self.config, cache=self._cache)
+        self.host, self.port = await self.router.start()
+        self._ready.set()
+        await self.router.wait_terminated()
+
+    def start(self, timeout: float = 120.0) -> Tuple[str, int]:
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("router thread did not come up")
+        if self._error is not None:
+            raise RuntimeError("router thread failed: %r" % self._error)
+        return self.host, self.port
+
+    def stop(self, timeout: float = 120.0) -> None:
+        if self._loop is not None and self.router is not None \
+                and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(
+                self.router.trigger_shutdown)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("router thread did not drain")
+
+    def __enter__(self) -> "RouterThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def run_router(config: Optional[RouterConfig] = None,
+               announce=None) -> int:
+    """Blocking entry point for ``repro serve --shards N``."""
+    return asyncio.run(_router_main(config, announce))
+
+
+async def _router_main(config: Optional[RouterConfig],
+                       announce) -> int:
+    router = ShardRouter(config, announce=announce)
+    host, port = await router.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, router.trigger_shutdown)
+        except (NotImplementedError, RuntimeError):
+            break
+    if announce is not None:
+        announce("repro-router listening on %s:%d" % (host, port))
+        announce("  shards=%d depth=%d max_wait_ms=%g drain_s=%g"
+                 % (router.config.shards,
+                    router.config.per_shard_depth,
+                    router.config.max_wait_ms, router.config.drain_s))
+    await router.wait_terminated()
+    if announce is not None:
+        announce("repro-router drained: %d routed, %d shed, "
+                 "%d restarts"
+                 % (router.routed, router.shed,
+                    router.supervisor.restarts_total))
+    return 0

@@ -1,0 +1,159 @@
+"""Unit tests for the pure snapshot algebra (the sharded scrape path).
+
+``merge_snapshots`` is what makes one fleet-wide ``/metrics`` scrape
+honest: counters and histogram buckets must add element-wise, gauges
+must respect high-water-mark semantics, and percentiles must be
+interpolated only *after* the merge — averaging per-shard p50s is the
+classic aggregation bug this module exists to prevent.
+"""
+
+import pytest
+
+from repro.serve.metrics import (Histogram, MetricsRegistry,
+                                 merge_snapshots, parse_exposition,
+                                 render_snapshot)
+
+
+def _snap(build):
+    registry = MetricsRegistry()
+    build(registry)
+    return registry.snapshot()
+
+
+class TestCounterMerge:
+    def test_equal_keys_sum(self):
+        a = _snap(lambda r: r.counter("requests_total", op="mul").inc(3))
+        b = _snap(lambda r: r.counter("requests_total", op="mul").inc(5))
+        merged = merge_snapshots([a, b])
+        assert merged["counters"] == [
+            ["requests_total", [["op", "mul"]], 8]]
+
+    def test_disjoint_labels_stay_separate(self):
+        a = _snap(lambda r: r.counter("requests_total", op="mul").inc(2))
+        b = _snap(lambda r: r.counter("requests_total", op="div").inc(7))
+        merged = merge_snapshots([a, b])
+        values = {tuple(labels[0]): value
+                  for _, labels, value in merged["counters"]}
+        assert values == {("op", "div"): 7, ("op", "mul"): 2}
+
+    def test_empty_merge_is_empty(self):
+        merged = merge_snapshots([])
+        assert merged == {"counters": [], "gauges": [],
+                          "histograms": []}
+
+
+class TestGaugeMerge:
+    def test_plain_gauges_sum(self):
+        a = _snap(lambda r: r.gauge("queue_depth").set(4))
+        b = _snap(lambda r: r.gauge("queue_depth").set(9))
+        merged = merge_snapshots([a, b])
+        assert merged["gauges"] == [["queue_depth", [], 13.0]]
+
+    def test_high_water_marks_take_max_not_sum(self):
+        # Summing per-shard max depths would fabricate a depth no
+        # process ever reached.
+        a = _snap(lambda r: r.gauge("queue_max_depth").set_max(12))
+        b = _snap(lambda r: r.gauge("queue_max_depth").set_max(30))
+        merged = merge_snapshots([a, b])
+        assert merged["gauges"] == [["queue_max_depth", [], 30.0]]
+
+
+class TestHistogramMerge:
+    def test_buckets_add_element_wise(self):
+        bounds = (1.0, 10.0, 100.0)
+
+        def build_a(r):
+            h = r.histogram("latency_ms", bounds=bounds)
+            h.observe(0.5)
+            h.observe(50.0)
+
+        def build_b(r):
+            h = r.histogram("latency_ms", bounds=bounds)
+            h.observe(5.0)
+            h.observe(500.0)
+
+        merged = merge_snapshots([_snap(build_a), _snap(build_b)])
+        [[name, labels, got_bounds, counts, count, total]] = \
+            merged["histograms"]
+        assert name == "latency_ms"
+        assert got_bounds == [1.0, 10.0, 100.0]
+        assert counts == [1, 1, 1, 1]
+        assert count == 4
+        assert total == pytest.approx(555.5)
+
+    def test_percentiles_come_from_merged_buckets(self):
+        # Shard A saw only fast requests, shard B only slow ones; the
+        # fleet p50 must fall between them, which no average of the
+        # two per-shard p50s computed first could guarantee in general.
+        bounds = (1.0, 10.0, 100.0, 1000.0)
+
+        def fast(r):
+            h = r.histogram("latency_ms", bounds=bounds)
+            for _ in range(100):
+                h.observe(0.5)
+
+        def slow(r):
+            h = r.histogram("latency_ms", bounds=bounds)
+            for _ in range(100):
+                h.observe(500.0)
+
+        merged = merge_snapshots([_snap(fast), _snap(slow)])
+        [[_, _, got_bounds, counts, count, total]] = \
+            merged["histograms"]
+        rebuilt = Histogram(got_bounds)
+        rebuilt.counts = counts
+        rebuilt.count = count
+        rebuilt.total = total
+        assert rebuilt.percentile(0.25) <= 1.0
+        assert rebuilt.percentile(0.99) > 100.0
+
+    def test_mismatched_bounds_raise(self):
+        a = _snap(lambda r: r.histogram("h", bounds=(1.0, 2.0))
+                  .observe(1.5))
+        b = _snap(lambda r: r.histogram("h", bounds=(1.0, 4.0))
+                  .observe(1.5))
+        with pytest.raises(ValueError, match="mismatched bounds"):
+            merge_snapshots([a, b])
+
+    def test_mismatched_bucket_counts_raise(self):
+        a = _snap(lambda r: r.histogram("h", bounds=(1.0, 2.0))
+                  .observe(1.5))
+        b = _snap(lambda r: r.histogram("h", bounds=(1.0, 2.0))
+                  .observe(1.5))
+        b["histograms"][0][3] = [0, 1]  # corrupt: drop a bucket slot
+        with pytest.raises(ValueError, match="buckets"):
+            merge_snapshots([a, b])
+
+
+class TestRenderPath:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", op="mul").inc(4)
+        registry.gauge("queue_depth").set(2)
+        h = registry.histogram("latency_ms")
+        for value in (0.3, 4.0, 40.0, 400.0):
+            h.observe(value)
+        return registry
+
+    def test_render_goes_through_snapshot_path(self):
+        # One formatting path: the registry's own render must equal
+        # rendering its snapshot, so shard and merged scrapes can
+        # never drift in format.
+        registry = self._populated()
+        assert registry.render() == render_snapshot(
+            registry.snapshot(), registry.prefix)
+
+    def test_merge_of_one_round_trips(self):
+        registry = self._populated()
+        merged = merge_snapshots([registry.snapshot()])
+        assert parse_exposition(render_snapshot(merged)) == \
+            parse_exposition(registry.render())
+
+    def test_merged_render_doubles_counts(self):
+        registry = self._populated()
+        snapshot = registry.snapshot()
+        merged = merge_snapshots([snapshot, snapshot])
+        values = parse_exposition(render_snapshot(merged))
+        assert values['repro_serve_requests_total{op="mul"}'] == 8
+        assert values["repro_serve_latency_ms_count"] == 8
+        assert values["repro_serve_queue_depth"] == 4

@@ -1,0 +1,219 @@
+"""Unit tests for the router's pure decision logic.
+
+No sockets, no subprocesses: rendezvous placement, the bounded-load
+spill, fleet admission arithmetic, and the memo-key salting of the
+cross-shard result cache are all plain functions over plain state.
+"""
+
+import pytest
+
+from repro.serve.jobs import make_job
+from repro.shard.cache import ShardResultCache
+from repro.shard.router import (RouterConfig, ShardRouter, rank_shards,
+                                rendezvous_weight)
+from repro.shard.supervisor import (STATE_DEAD, STATE_UP, ShardHandle,
+                                    ShardSupervisor)
+
+
+def _fleet(router, states):
+    """Pin the router's supervisor handles to the given states."""
+    supervisor = router.supervisor
+    supervisor.handles = [ShardHandle(i, host="127.0.0.1",
+                                      port=9000 + i, state=state)
+                          for i, state in enumerate(states)]
+    return supervisor.handles
+
+
+@pytest.fixture()
+def router():
+    config = RouterConfig(port=0, shards=2, per_shard_depth=4,
+                          max_wait_ms=1000.0)
+    return ShardRouter(config,
+                       cache=ShardResultCache(enabled=False))
+
+
+class TestRendezvous:
+    def test_weight_is_deterministic(self):
+        assert rendezvous_weight("mul/device", 3) == \
+            rendezvous_weight("mul/device", 3)
+        assert rendezvous_weight("mul/device", 3) != \
+            rendezvous_weight("mul/device", 4)
+        assert rendezvous_weight("mul/device", 3) != \
+            rendezvous_weight("div/library", 3)
+
+    def test_same_key_same_winner(self):
+        live = [ShardHandle(i, state=STATE_UP) for i in range(4)]
+        first = rank_shards("powmod/rns", live)[0]
+        for _ in range(5):
+            assert rank_shards("powmod/rns", live)[0] is first
+
+    def test_keys_spread_across_shards(self):
+        live = [ShardHandle(i, state=STATE_UP) for i in range(4)]
+        winners = {rank_shards("key-%d" % n, live)[0].index
+                   for n in range(64)}
+        assert len(winners) == 4
+
+    def test_dead_shard_redistributes_without_reshuffling(self):
+        # The HRW property: removing a shard reassigns only the keys
+        # it owned; every other key keeps its winner.
+        live = [ShardHandle(i, state=STATE_UP) for i in range(4)]
+        keys = ["key-%d" % n for n in range(64)]
+        before = {key: rank_shards(key, live)[0].index for key in keys}
+        victim = 2
+        survivors = [h for h in live if h.index != victim]
+        for key in keys:
+            after = rank_shards(key, survivors)[0].index
+            if before[key] != victim:
+                assert after == before[key]
+            else:
+                assert after != victim
+
+
+class TestPickShard:
+    def test_idle_fleet_routes_to_rendezvous_winner(self, router):
+        live = _fleet(router, [STATE_UP, STATE_UP, STATE_UP])
+        job = make_job({"op": "pi_digits", "params": {"digits": 30}})
+        key = "%s/%s" % job.compat_key()
+        expected = rank_shards(key, live)[0]
+        assert router.pick_shard(job, live) is expected
+
+    def test_deep_winner_spills_to_runner_up(self, router):
+        live = _fleet(router, [STATE_UP, STATE_UP, STATE_UP])
+        job = make_job({"op": "pi_digits", "params": {"digits": 30}})
+        key = "%s/%s" % job.compat_key()
+        ranked = rank_shards(key, live)
+        ranked[0].inflight = 10       # well past the spill margin
+        assert router.pick_shard(job, live) is ranked[1]
+
+    def test_small_imbalance_stays_on_winner(self, router):
+        # Sticky placement preserves batching; only a real queue-depth
+        # gap justifies scattering a compat key.
+        live = _fleet(router, [STATE_UP, STATE_UP, STATE_UP])
+        job = make_job({"op": "pi_digits", "params": {"digits": 30}})
+        key = "%s/%s" % job.compat_key()
+        ranked = rank_shards(key, live)
+        ranked[0].inflight = ranked[1].inflight + 1
+        assert router.pick_shard(job, live) is ranked[0]
+
+
+class TestAdmission:
+    def _job(self):
+        return make_job({"op": "model_cycles",
+                         "params": {"op": "mul", "bits_a": 4096,
+                                    "bits_b": 4096}})
+
+    def test_admits_when_idle(self, router):
+        live = _fleet(router, [STATE_UP, STATE_UP])
+        assert router.admission_reason(self._job(), live) is None
+
+    def test_draining_sheds(self, router):
+        live = _fleet(router, [STATE_UP, STATE_UP])
+        router._draining = True
+        assert router.admission_reason(self._job(), live) == \
+            "shutting-down"
+
+    def test_no_live_shards_sheds(self, router):
+        _fleet(router, [STATE_DEAD, STATE_DEAD])
+        assert router.admission_reason(self._job(), []) == \
+            "no-live-shards"
+
+    def test_fleet_depth_bound_scales_with_live_shards(self, router):
+        live = _fleet(router, [STATE_UP, STATE_UP])
+        for handle in live:
+            handle.inflight = router.config.per_shard_depth
+        assert router.admission_reason(self._job(), live) == \
+            "queue-full"
+        live[0].inflight = 0
+        assert router.admission_reason(self._job(), live) is None
+
+    def test_fleet_wait_bound_uses_summed_ewma_rates(self, router):
+        live = _fleet(router, [STATE_UP, STATE_UP])
+        job = self._job()
+        # Each shard retires 1 modeled cycle/ms; backlog of 3000 job
+        # costs against a 2/ms fleet rate and a 1000 ms bound sheds.
+        for handle in live:
+            handle.stats = {"rate_cycles_per_ms": 1.0}
+        live[0].inflight_cycles = 3000.0 * router.config.max_wait_ms
+        assert router.admission_reason(job, live) == "wait-exceeded"
+        # Doubling the fleet rate via a third shard re-admits the job
+        # only if it brings the estimate under the bound; clearing the
+        # backlog certainly does.
+        live[0].inflight_cycles = 0.0
+        assert router.admission_reason(job, live) is None
+
+    def test_unwarmed_fleet_falls_back_to_depth_bound(self, router):
+        live = _fleet(router, [STATE_UP, STATE_UP])
+        live[0].inflight_cycles = 1e18   # huge backlog, no rate yet
+        assert router.fleet_rate_cycles_per_ms() is None
+        assert router.admission_reason(self._job(), live) is None
+
+
+class TestShardCache:
+    def _cache(self):
+        return ShardResultCache(enabled=True, persist=False)
+
+    def test_idempotent_job_round_trips(self):
+        cache = self._cache()
+        job = make_job({"op": "pi_digits", "params": {"digits": 25}})
+        assert cache.get(job) is None
+        cache.put(job, {"digits": "3.14", "terms": 2,
+                        "precision_bits": 128})
+        again = make_job({"op": "pi_digits", "params": {"digits": 25}})
+        assert cache.get(again) == {"digits": "3.14", "terms": 2,
+                                    "precision_bits": 128}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_non_idempotent_ops_never_cache(self):
+        cache = self._cache()
+        job = make_job({"op": "mul", "params": {"a": 3, "b": 5}})
+        assert job.cache_key() is None
+        cache.put(job, {"product": "0xf"})
+        assert cache.get(job) is None
+        assert len(cache) == 0
+
+    def test_memo_key_salts_the_cache(self):
+        # A retune changes Plan.memo_key, which must invalidate every
+        # cached answer computed under the old plan.
+        cache = self._cache()
+        job = make_job({"op": "pi_digits", "params": {"digits": 25}})
+        cache.put(job, {"digits": "old"})
+
+        class _RetunedPlan:
+            memo_key = tuple(job.plan.memo_key) + ("retuned",)
+
+        stale = make_job({"op": "pi_digits", "params": {"digits": 25}})
+        stale.plan = _RetunedPlan()
+        assert cache.get(stale) is None
+
+    def test_killswitch_disables_everything(self):
+        cache = ShardResultCache(enabled=False)
+        job = make_job({"op": "pi_digits", "params": {"digits": 25}})
+        cache.put(job, {"digits": "3.14"})
+        assert cache.get(job) is None
+        assert cache.load() == 0
+
+
+class TestSupervisorQueries:
+    def test_degraded_and_live_views(self):
+        supervisor = ShardSupervisor(3)
+        assert supervisor.degraded()          # all still starting
+        for handle in supervisor.handles:
+            handle.state = STATE_UP
+        assert not supervisor.degraded()
+        assert len(supervisor.live()) == 3
+        supervisor.handles[1].state = STATE_DEAD
+        assert supervisor.degraded()
+        assert [h.index for h in supervisor.live()] == [0, 2]
+
+    def test_health_text_aggregates(self, router):
+        _fleet(router, [STATE_UP, STATE_UP])
+        text = router.health_text()
+        assert text.splitlines()[0] == "ok"
+        _fleet(router, [STATE_UP, STATE_DEAD])
+        assert router.health_text().splitlines()[0] == "degraded"
+        router._draining = True
+        assert router.health_text().splitlines()[0] == "draining"
+
+    def test_shard_count_floor(self):
+        with pytest.raises(ValueError):
+            ShardSupervisor(0)

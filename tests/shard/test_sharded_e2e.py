@@ -1,0 +1,143 @@
+"""End-to-end acceptance for the sharded topology.
+
+A real router in front of two real shard worker processes: responses
+must be bit-identical to the oracle across every op, the merged
+``/metrics`` scrape must carry both shard and router series, the
+health aggregate must reflect fleet state, and the cross-shard cache
+must answer repeats without touching a shard.
+
+One fleet boots per module (two OS processes per fixture are too
+expensive to respawn per test); tests only read or add load, never
+break the fleet — crash recovery has its own module.
+"""
+
+import json
+
+import pytest
+
+from repro.serve.client import ServeClient, run_load
+from repro.serve.jobs import evaluate, validate_params
+from repro.shard.cache import ShardResultCache
+from repro.shard.router import RouterConfig, RouterThread
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    config = RouterConfig(port=0, shards=2, per_shard_depth=64,
+                          max_wait_ms=120_000.0, drain_s=30.0)
+    with RouterThread(config,
+                      cache=ShardResultCache(persist=False)) as fleet:
+        yield fleet
+
+
+class TestShardedEndToEnd:
+    def test_all_five_ops_bit_identical(self, fleet):
+        client = ServeClient(fleet.host, fleet.port)
+        cases = [
+            {"op": "mul", "params": {"a": hex(3 ** 300),
+                                     "b": hex(7 ** 250)}},
+            {"op": "div", "params": {"a": hex(10 ** 100 + 7),
+                                     "b": "9973"}},
+            {"op": "powmod", "params": {"base": "0xabcdef",
+                                        "exp": "65537",
+                                        "mod": hex((1 << 255) - 19)}},
+            {"op": "pi_digits", "params": {"digits": 40}},
+            {"op": "model_cycles", "params": {"op": "powmod",
+                                              "bits_a": 2048,
+                                              "bits_b": 2048}},
+        ]
+        for payload in cases:
+            status, body = client.request(payload)
+            assert status == 200, body
+            assert body["ok"]
+            expected = evaluate((payload["op"], validate_params(
+                payload["op"], payload["params"])))
+            assert body["result"] == expected
+
+    def test_mixed_load_zero_wrong_answers(self, fleet):
+        report = run_load(fleet.host, fleet.port, requests=48,
+                          concurrency=12, seed=13, verify=True)
+        assert report["wrong_answers"] == 0
+        assert report["errors"] == 0
+        assert report["ok"] > 0
+        assert report["ok"] + report["shed"] + \
+            report["deadline"] == 48
+
+    def test_invalid_requests_rejected_at_the_front_door(self, fleet):
+        # Validation runs in the router; a malformed job must never
+        # consume a shard round trip.
+        client = ServeClient(fleet.host, fleet.port)
+        status, body = client.request({"op": "div",
+                                       "params": {"a": 5, "b": 0}})
+        assert status == 400
+        assert body["error"] == "invalid:zero-divisor"
+        status, raw = client.raw("POST", "/v1/job", b"{not json")
+        assert status == 400
+        assert json.loads(raw)["error"] == "invalid:bad-json"
+        status, _ = client.raw("GET", "/nowhere")
+        assert status == 404
+
+    def test_merged_metrics_carry_both_planes(self, fleet):
+        client = ServeClient(fleet.host, fleet.port)
+        # Drive one uncacheable job so at least one shard has series.
+        status, body = client.request(
+            {"op": "mul", "params": {"a": 7, "b": 9}})
+        assert status == 200 and body["ok"]
+        values = client.metrics_values()
+        shard_series = [k for k in values
+                        if k.startswith("repro_serve_")]
+        router_series = [k for k in values
+                         if k.startswith("repro_router_")]
+        assert shard_series, "merged scrape lost the shard series"
+        assert router_series, "merged scrape lost the router series"
+        assert any(k.startswith("repro_serve_requests_total")
+                   for k in values)
+        assert any(k.startswith("repro_router_routed_total")
+                   for k in values)
+
+    def test_statz_reports_fleet_view(self, fleet):
+        client = ServeClient(fleet.host, fleet.port)
+        stats = client.statz()
+        assert stats["ok"] and stats["role"] == "router"
+        assert len(stats["shards"]) == 2
+        assert all(shard["state"] == "up"
+                   for shard in stats["shards"])
+        assert all(shard["pid"] for shard in stats["shards"])
+        assert stats["restarts"] == 0
+
+    def test_healthz_aggregate_is_ok_with_per_shard_lines(self, fleet):
+        client = ServeClient(fleet.host, fleet.port)
+        lines = client.health().splitlines()
+        assert lines[0] == "ok"
+        assert lines[1:] == ["shard 0: up", "shard 1: up"]
+
+    def test_cross_shard_cache_answers_repeats(self, fleet):
+        client = ServeClient(fleet.host, fleet.port)
+        payload = {"op": "pi_digits", "params": {"digits": 33}}
+        status, first = client.request(payload)
+        assert status == 200 and first["ok"]
+        before = client.statz()["cache"]["hits"]
+        status, second = client.request(payload)
+        assert status == 200 and second["ok"]
+        assert second["result"] == first["result"]
+        assert second["cached"] is True
+        assert client.statz()["cache"]["hits"] == before + 1
+
+    def test_compatible_jobs_land_on_one_shard(self, fleet):
+        # Plan-aware routing: jobs sharing a compat key must not
+        # scatter (scattering would forfeit shard-side batching).
+        client = ServeClient(fleet.host, fleet.port)
+        before = {shard["index"]: shard["served"]
+                  for shard in client.statz()["shards"]}
+        for exponent in range(40, 56):
+            status, body = client.request(
+                {"op": "mul", "params": {"a": hex(3 ** exponent),
+                                         "b": hex(5 ** exponent)}})
+            assert status == 200 and body["ok"]
+        after = {shard["index"]: shard["served"]
+                 for shard in client.statz()["shards"]}
+        gains = [after[i] - before[i] for i in sorted(after)]
+        assert sum(gains) == 16
+        # All sixteen share one compat key -> exactly one shard gains
+        # (the idle fleet never crosses the spill margin).
+        assert sorted(gains) == [0, 16]
