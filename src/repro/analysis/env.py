@@ -179,6 +179,14 @@ RNS = declare(
     "differential-triage aid).",
     "plan")
 
+CODEGEN = declare(
+    "REPRO_CODEGEN", "on", "killswitch",
+    "Set to 0 to disable plan-guided kernel specialization (auto "
+    "selection never resolves to the compiled straight-line kernels; "
+    "explicit backend=\"specialized\" falls back to the generic "
+    "recursion; differential-triage aid).",
+    "plan")
+
 SERVE_QUEUE = declare(
     "REPRO_SERVE_QUEUE", "256", "int",
     "Admission-queue capacity (depth bound K of the serve layer).",

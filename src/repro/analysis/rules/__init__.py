@@ -27,6 +27,8 @@ RPR010 broad-except              no silent exception swallowing
 RPR011 blocking-call-in-async    the serve event loop never blocks
 RPR012 direct-dispatch           work reaches kernels/ISA streams only
                                  through the repro.plan lowering
+RPR013 schedule-bypass           inside mpn/plan, recursion internals
+                                 run only under the committed schedule
 ====== ========================= =========================================
 """
 
@@ -36,7 +38,7 @@ from repro.analysis.rules.base import FileContext, Rule, RuleViolation
 from repro.analysis.rules.concurrency import BlockingCallInAsync
 from repro.analysis.rules.determinism import (FloatInCycleModel,
                                               Nondeterminism)
-from repro.analysis.rules.dispatch import DirectDispatch
+from repro.analysis.rules.dispatch import DirectDispatch, ScheduleBypass
 from repro.analysis.rules.kernel import (BigintInKernel, CallerAliasing,
                                          UnnormalizedReturn)
 from repro.analysis.rules.library import (BareAssertInLibrary, BroadExcept,
@@ -57,6 +59,7 @@ ALL_RULES = (
     BroadExcept(),
     BlockingCallInAsync(),
     DirectDispatch(),
+    ScheduleBypass(),
 )
 
 RULES_BY_NAME = {rule.name: rule for rule in ALL_RULES}

@@ -40,6 +40,26 @@ KERNEL_ENTRYPOINTS = frozenset({
 })
 
 
+#: Recursion internals of the mul/div descent.  Since the schedule
+#: refactor the recursion structure is committed once
+#: (:mod:`repro.plan.schedule`) and walked/compiled from there; any
+#: other call site re-decides algorithm structure ad hoc, invisibly to
+#: the committed schedule, PV-SCHED verification, and codegen.
+RECURSION_INTERNALS = frozenset({
+    "mul_karatsuba", "sqr_karatsuba", "mul_toom", "mul_ssa",
+    "divmod_newton", "divmod_bz",
+})
+
+#: The sanctioned homes of recursion-internal calls: each internal's
+#: defining module, the schedule-walking dispatchers (``mul.py``,
+#: ``div.py``), and the host-timing harness (``tune.py``), which races
+#: the internals against each other to find crossovers.
+_SCHEDULE_LAYER_FILES = frozenset({
+    "mul.py", "div.py", "tune.py",
+    "karatsuba.py", "toom.py", "ssa.py", "burnikel_ziegler.py",
+})
+
+
 class DirectDispatch(Rule):
     """RPR012: no direct kernel calls or ISA stream construction
     outside the plan/mpn internals."""
@@ -74,4 +94,43 @@ class DirectDispatch(Rule):
                     node, "hand-built ISA Instruction; device streams "
                     "come from repro.plan.streams.instructions_for "
                     "(or BatchingDriver.submit_plan)"))
+        return found
+
+
+class ScheduleBypass(Rule):
+    """RPR013: inside mpn/plan, recursion internals are reached only
+    through the committed schedule layer."""
+
+    name = "schedule-bypass"
+    code = "RPR013"
+    rationale = ("The recursion structure is committed once per "
+                 "(op, limbs) as a Schedule (repro.plan.schedule) and "
+                 "then walked by the dispatchers or compiled by "
+                 "codegen; calling a recursion internal "
+                 "(mul_karatsuba, mul_toom, divmod_newton, ...) from "
+                 "anywhere else re-decides the descent ad hoc, "
+                 "invisible to the schedule, PV-SCHED verification, "
+                 "and the specialized kernels.")
+
+    def applies(self, ctx: FileContext) -> bool:
+        # RPR012 already polices everything above mpn/plan; this rule
+        # covers the inside, minus the schedule layer itself (the
+        # walking dispatchers, the internals' own defining modules,
+        # and the tuner that times them against each other).
+        if not (ctx.in_mpn or "plan" in ctx.parts):
+            return False
+        return ctx.filename not in _SCHEDULE_LAYER_FILES
+
+    def check(self, ctx: FileContext) -> List[RuleViolation]:
+        found: List[RuleViolation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in RECURSION_INTERNALS:
+                found.append(self.violation(
+                    node, "direct call to recursion internal %s() "
+                    "bypasses the committed schedule; derive a "
+                    "Schedule (repro.plan.schedule) and walk it via "
+                    "the mpn dispatchers or codegen instead" % name))
         return found

@@ -184,12 +184,20 @@ def build_parser() -> argparse.ArgumentParser:
                              help="skip the packed-backend crossovers")
     tune_parser.add_argument("--no-rns", action="store_true",
                              help="skip the rns-backend crossovers")
+    tune_parser.add_argument("--no-codegen", action="store_true",
+                             help="skip the generic-vs-specialized "
+                                  "crossover (keeps the default)")
     tune_parser.set_defaults(handler=_cmd_tune)
 
     cache_parser = commands.add_parser(
         "cache", help="inspect or clear the persistent caches")
     cache_parser.add_argument("--clear", action="store_true",
                               help="delete every on-disk cache file")
+    cache_parser.add_argument("--codegen", action="store_true",
+                              help="operate on the specialized-kernel "
+                                   "store only: print compile/reject "
+                                   "stats, or with --clear drop every "
+                                   "resident and persisted kernel")
     cache_parser.set_defaults(handler=_cmd_cache)
 
     report = commands.add_parser(
@@ -223,7 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="pi_digits: decimal digits requested")
     plan_parser.add_argument("--backend",
                              choices=["auto", "library", "device",
-                                      "packed", "rns"],
+                                      "packed", "rns", "specialized"],
                              default="auto",
                              help="force the execution backend")
     plan_parser.add_argument("--verify", action="store_true",
@@ -320,16 +328,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_kernels = commands.add_parser(
         "bench-kernels",
-        help="time the limb vs block-packed vs rns mpn backends and "
-             "record per-backend numbers")
+        help="time the limb vs block-packed vs rns vs specialized mpn "
+             "backends and record per-backend numbers")
     bench_kernels.add_argument("--quick", action="store_true",
                                help="reduced ladder for CI smoke runs")
     bench_kernels.add_argument("--check", action="store_true",
                                help="exit 1 if packed regresses below "
-                                    "0.9x limb, rns powmod below 1.2x "
-                                    "limb, or serial rns mul past the "
-                                    "packed-baseline canary bound, at "
-                                    "the largest measured size")
+                                    "0.9x limb, specialized mul below "
+                                    "1.15x the generic limb path, rns "
+                                    "powmod below 1.2x limb, or serial "
+                                    "rns mul past the packed-baseline "
+                                    "canary bound, at the largest "
+                                    "measured size")
     bench_kernels.add_argument("--repeats", type=int, default=5,
                                help="best-of-N timing repetitions")
     bench_kernels.add_argument("--seed", type=int, default=2022)
@@ -365,7 +375,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     result = tune(max_limbs=args.max_limbs, repeats=args.repeats,
                   measure_division=not args.no_division,
                   measure_packed=not args.no_packed,
-                  measure_rns=not args.no_rns)
+                  measure_rns=not args.no_rns,
+                  measure_codegen=not args.no_codegen)
     print(result.report())
     print("tuned policy:", result.policy)
     if not args.dry_run:
@@ -378,6 +389,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.parallel import cache_root, clear_disk_caches
     root = cache_root()
+    if args.codegen:
+        from repro.plan import codegen
+        if args.clear:
+            removed = codegen.clear()
+            print("cleared %d specialized kernel(s)" % removed)
+            return 0
+        for key, value in sorted(codegen.stats().items()):
+            print("  %-18s %s" % (key, value))
+        return 0
     if args.clear:
         removed = clear_disk_caches()
         print("cleared %d cache file(s) under %s" % (len(removed), root))
@@ -425,6 +445,31 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print("plan: %s" % error, file=sys.stderr)
         return 2
     print(plan.describe())
+    if args.op in ("mul", "div", "mod"):
+        from repro.mpn.nat import LIMB_BITS
+        from repro.plan import codegen
+        from repro.plan.schedule import derive_schedule
+        if args.op == "mul":
+            sched_op = "mul"
+            limbs = max(1, -(-min(bits_a, bits_b) // LIMB_BITS))
+        else:
+            sched_op = "div"
+            limbs = max(1, -(-bits_b // LIMB_BITS))
+        schedule = derive_schedule(sched_op, limbs)
+        print("schedule:")
+        print(schedule.render("  "))
+        status = codegen.specialization_status(sched_op, limbs)
+        if not status["enabled"]:
+            print("specialization: disabled (REPRO_CODEGEN=0)")
+        elif status["compiled"]:
+            print("specialization: hit (compiled, sha %s)"
+                  % (status["sha256"] or "-"))
+        elif status["persisted"]:
+            print("specialization: hit (persisted source, sha %s)"
+                  % status["sha256"])
+        else:
+            print("specialization: miss (no persisted kernel; "
+                  "compiled on first specialized run)")
     if args.verify:
         violations = verify_plan(plan)
         for violation in violations:
@@ -746,10 +791,12 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
         if failures:
             return 1
         print("check: every backend matches the bigint oracle at every "
-              "point; packed >= %.1fx limb, rns powmod >= %.1fx limb, "
-              "serial rns mul within the packed canary bound at the "
-              "largest sizes" % (_ck.CHECK_MIN_SPEEDUP,
-                                 _ck.CHECK_RNS_POWMOD_MIN_SPEEDUP),
+              "point; packed >= %.1fx limb, specialized mul >= %.2fx "
+              "limb, rns powmod >= %.1fx limb, serial rns mul within "
+              "the packed canary bound at the largest sizes"
+              % (_ck.CHECK_MIN_SPEEDUP,
+                 _ck.CHECK_SPECIALIZED_MIN_SPEEDUP,
+                 _ck.CHECK_RNS_POWMOD_MIN_SPEEDUP),
               file=sys.stderr)
     return 0
 

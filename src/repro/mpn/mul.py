@@ -17,6 +17,7 @@ on (schoolbook < Karatsuba < Toom-3 < Toom-4 < Toom-6 < SSA).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.mpn import nat
 from repro.plan import select as _select
@@ -31,8 +32,11 @@ from repro.mpn.nat import MpnError, Nat
 #: :func:`repro.plan.select.mul_backend` against the tuned packed
 #: crossover; ``limb`` forces the per-limb algorithm ladder (what
 #: explicit-policy callers and differential tests exercise); ``packed``
-#: forces the block-packed kernels of :mod:`repro.mpn.packed`.
-MUL_BACKENDS = ("auto", "limb", "packed", "rns")
+#: forces the block-packed kernels of :mod:`repro.mpn.packed`;
+#: ``specialized`` runs the compiled straight-line kernel of
+#: :mod:`repro.plan.codegen` (host-tuned schedule; falls back to the
+#: generic ``auto`` path under ``REPRO_CODEGEN=0``).
+MUL_BACKENDS = ("auto", "limb", "packed", "rns", "specialized")
 
 
 @dataclass(frozen=True)
@@ -107,37 +111,38 @@ def _resolve_backend(backend: str, min_limbs: int) -> str:
     return backend
 
 
-def mul(a: Nat, b: Nat, policy: MulPolicy = GMP_POLICY,
-        backend: str = "auto") -> Nat:
-    """Product of two naturals under the given selection policy.
+# -- committed schedules ------------------------------------------------------
+#
+# The recursion structure is decided ONCE per (op, nominal size,
+# policy) — a Schedule tree from repro.plan.schedule — and the
+# dispatcher below *walks* it instead of re-querying thresholds at
+# every level of every call.  Each node carries the floor its algorithm
+# was selected at, so undersized operands (Karatsuba/Toom cross terms
+# shrink unpredictably) descend to deeper levels exactly as per-call
+# dispatch would have sent them.
 
-    ``backend="auto"`` consults the tuned packed-vs-limb crossover and
-    routes whole operands to :func:`repro.mpn.packed.mul_packed` when
-    the block-packed kernels win; the block multiplier carries its own
-    schoolbook/Karatsuba ladder at block granularity, so the limb
-    ladder below only runs for the limb backend.  Once resolved, the
-    backend is pinned for the recursion — an explicit ``backend="limb"``
-    caller gets pure limb kernels all the way down.
-    """
+@lru_cache(maxsize=512)
+def _limb_schedule(op: str, min_limbs: int, policy: MulPolicy):
+    """The committed pure-limb recursion schedule for one request."""
+    from repro.plan.schedule import derive_schedule
+    return derive_schedule(op, min_limbs, policy, backend="limb")
+
+
+def _walk_mul(node, a: Nat, b: Nat) -> Nat:
+    """Run one mul schedule level (descending past undersized floors)."""
     if not a or not b:
         return []
     min_limbs = min(len(a), len(b))
-    resolved = _resolve_backend(backend, min_limbs)
-    if resolved == "packed":
-        return mul_packed(a, b)
-    if resolved == "rns":
-        # Explicit-only for single products (auto keeps packed/limb:
-        # the carry-free channels pay off on *batches*, which route
-        # through select.batch_mul_backend).
-        from repro.mpn.rns import mul_rns
-        return mul_rns(a, b)
-    algorithm = policy.algorithm_for(min_limbs)
-
-    def recurse(x: Nat, y: Nat) -> Nat:
-        return mul(x, y, policy, "limb")
-
+    while node.child is not None and min_limbs < node.floor:
+        node = node.child
+    algorithm = node.algorithm
     if algorithm == "basecase":
         return mul_schoolbook(a, b)
+    child = node.child
+
+    def recurse(x: Nat, y: Nat) -> Nat:
+        return _walk_mul(child, x, y)
+
     if algorithm == "karatsuba":
         return mul_karatsuba(a, b, recurse)
     if algorithm == "toom3":
@@ -149,30 +154,81 @@ def mul(a: Nat, b: Nat, policy: MulPolicy = GMP_POLICY,
     return mul_ssa(a, b, recurse)
 
 
+def _walk_sqr(node, a: Nat) -> Nat:
+    """Run one sqr schedule level; Toom/SSA levels square via the
+    general product of equal operands (same asymptotic class — GMP's
+    dedicated Toom squaring saves only a constant factor)."""
+    if not a:
+        return []
+    while node.child is not None and len(a) < node.floor:
+        node = node.child
+    if node.algorithm == "basecase":
+        return sqr_schoolbook(a)
+    if node.algorithm == "karatsuba":
+        child = node.child
+        return sqr_karatsuba(a, lambda x: _walk_sqr(child, x))
+    return _walk_mul(node, a, a)
+
+
+def _specialized_kernel(op: str, min_limbs: int):
+    """The compiled kernel for this request, or None (killswitch/off)."""
+    from repro.plan import codegen
+    return codegen.kernel_for(op, min_limbs)
+
+
+def mul(a: Nat, b: Nat, policy: MulPolicy = GMP_POLICY,
+        backend: str = "auto") -> Nat:
+    """Product of two naturals under the given selection policy.
+
+    ``backend="auto"`` consults the tuned packed-vs-limb crossover and
+    routes whole operands to :func:`repro.mpn.packed.mul_packed` when
+    the block-packed kernels win; the block multiplier carries its own
+    schoolbook/Karatsuba ladder at block granularity, so the limb
+    ladder below only runs for the limb backend.  The limb ladder is a
+    *committed schedule*: the full recursion structure is derived once
+    per (size, policy) and walked without further threshold lookups.
+    ``backend="specialized"`` runs the compiled straight-line kernel
+    for the host-tuned schedule (``policy`` does not apply, exactly as
+    it does not apply to the packed backend); when specialization is
+    disabled it falls back to the generic ``auto`` path.
+    """
+    if not a or not b:
+        return []
+    min_limbs = min(len(a), len(b))
+    resolved = _resolve_backend(backend, min_limbs)
+    if resolved == "specialized":
+        kernel = _specialized_kernel("mul", min_limbs)
+        if kernel is not None:
+            return kernel(a, b)
+        resolved = _resolve_backend("auto", min_limbs)
+    if resolved == "packed":
+        return mul_packed(a, b)
+    if resolved == "rns":
+        # Explicit-only for single products (auto keeps packed/limb:
+        # the carry-free channels pay off on *batches*, which route
+        # through select.batch_mul_backend).
+        from repro.mpn.rns import mul_rns
+        return mul_rns(a, b)
+    return _walk_mul(_limb_schedule("mul", min_limbs, policy), a, b)
+
+
 def sqr(a: Nat, policy: MulPolicy = GMP_POLICY,
         backend: str = "auto") -> Nat:
     """Square of a natural; uses dedicated squaring paths where they exist."""
     if not a:
         return []
     resolved = _resolve_backend(backend, len(a))
+    if resolved == "specialized":
+        kernel = _specialized_kernel("sqr", len(a))
+        if kernel is not None:
+            return kernel(a)
+        resolved = _resolve_backend("auto", len(a))
     if resolved == "packed":
         return sqr_packed(a)
     if resolved == "rns":
         from repro.mpn.rns import sqr_rns
         return sqr_rns(a)
-    algorithm = policy.algorithm_for(len(a))
-
-    def recurse_sqr(x: Nat) -> Nat:
-        return sqr(x, policy, "limb")
-
-    if algorithm == "basecase":
-        return sqr_schoolbook(a)
-    if algorithm == "karatsuba":
-        return sqr_karatsuba(a, recurse_sqr)
-    # Toom/SSA squaring falls back to the general product of equal operands;
-    # the asymptotic class is unchanged (GMP's Toom squaring saves only a
-    # constant factor).
-    return mul(a, a, policy, "limb")
+    return _walk_sqr(_limb_schedule("sqr", len(a), policy), a)
 
 
 def mul_int(a: Nat, b: Nat, policy: MulPolicy = GMP_POLICY,

@@ -10,6 +10,10 @@ One request, one lowering, one answer::
   mpn kernels call in, so dispatch and planning cannot drift);
 * :mod:`repro.plan.lowering` — :func:`lower` and :class:`Plan`, with a
   version-salted plan cache on the shared memo-cache machinery;
+* :mod:`repro.plan.schedule` — :class:`Schedule`, the reified
+  recursion structure the kernels commit to once per request shape;
+* :mod:`repro.plan.codegen` — compiled straight-line specializations
+  of hot schedules (the ``specialized`` backend);
 * :mod:`repro.plan.streams` — device ISA-stream construction;
 * :mod:`repro.plan.execute` — run a plan on concrete operands.
 
@@ -35,6 +39,9 @@ _LAZY = {
     "run_plan": ("repro.plan.execute", "run"),
     "plan_for_job": "repro.plan.execute",
     "model_query": "repro.plan.execute",
+    "Schedule": "repro.plan.schedule",
+    "derive_schedule": "repro.plan.schedule",
+    "validate_schedule": "repro.plan.schedule",
 }
 
 __all__ = ["BACKENDS", "OpSpec", "PLAN_OPS", "PlanError",

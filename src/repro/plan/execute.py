@@ -22,10 +22,13 @@ def _plan_backend(plan) -> str:
     """The mpn-dispatcher backend a plan's kernels must run on.
 
     A ``library`` plan priced the limb ladder, a ``packed`` plan the
-    block kernels; execution pins the matching backend so what runs is
+    block kernels, a ``specialized`` plan the compiled straight-line
+    kernels; execution pins the matching backend so what runs is
     exactly what the plan's memo key describes.
     """
-    return "packed" if plan.backend == "packed" else "limb"
+    if plan.backend in ("packed", "specialized"):
+        return plan.backend
+    return "limb"
 
 
 def _plan_mul_fn(plan):

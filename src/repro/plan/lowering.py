@@ -32,7 +32,10 @@ from repro.plan.spec import OpSpec, PlanError
 #: thresholds fingerprint grew the packed crossovers.
 #: v3: rns backend (residue-number-system mpn kernels) joins
 #: resolution for mul/powmod; the fingerprint grew the rns crossovers.
-PLAN_SCHEMA_VERSION = 3
+#: v4: specialized backend (compiled straight-line kernels of
+#: :mod:`repro.plan.codegen`) joins resolution for mul/div/mod; the
+#: fingerprint grew the specialize crossover.
+PLAN_SCHEMA_VERSION = 4
 
 #: Host-side cost of answering a pure model query (cycles at device
 #: frequency); the query itself never touches the accelerator.
@@ -64,7 +67,7 @@ class Plan:
     """The lowered form of one operation request."""
 
     spec: OpSpec
-    backend: str    # resolved: "library" | "device" | "packed" | "rns"
+    backend: str    # resolved: library | device | packed | rns | specialized
     algorithm: str
     steps: Tuple[PlanStep, ...]
     cost_cycles: float
@@ -177,11 +180,11 @@ def _tuning_for(thresholds) -> Tuple[Tuple[int, ...], str]:
     if hasattr(thresholds, "barrett_limbs"):       # Thresholds record
         return select.fingerprint(thresholds), "tuned"
     # A bare MulPolicy (e.g. the MPApca hardware policy): no division,
-    # Barrett, packed, or rns crossovers; version slot 0 marks it as
-    # ad hoc.
+    # Barrett, packed, rns, or specialize crossovers; version slot 0
+    # marks it as ad hoc.
     return ((0, thresholds.karatsuba_limbs, thresholds.toom3_limbs,
              thresholds.toom4_limbs, thresholds.toom6_limbs,
-             thresholds.ssa_limbs, 0, 0, 0, 0, 0, 0), thresholds.name)
+             thresholds.ssa_limbs, 0, 0, 0, 0, 0, 0, 0), thresholds.name)
 
 
 def lower(spec: OpSpec, thresholds=None, use_cache: bool = True) -> Plan:
@@ -212,6 +215,9 @@ _PACKED_OPS = ("mul", "div", "mod")
 #: Ops the residue-number-system backend can execute.
 _RNS_OPS = ("mul", "powmod")
 
+#: Ops the compiled-specialization backend can execute.
+_SPECIALIZED_OPS = ("mul", "div", "mod")
+
 
 def _resolve_backend(spec: OpSpec, thresholds) -> str:
     from repro.mpn.nat import LIMB_BITS
@@ -223,6 +229,11 @@ def _resolve_backend(spec: OpSpec, thresholds) -> str:
     if spec.backend == "rns" and spec.op not in _RNS_OPS:
         raise PlanError("backend=rns supports only %s; %r lowers to "
                         "the library" % ("/".join(_RNS_OPS), spec.op))
+    if spec.backend == "specialized" \
+            and spec.op not in _SPECIALIZED_OPS:
+        raise PlanError("backend=specialized supports only %s; %r "
+                        "lowers to the library"
+                        % ("/".join(_SPECIALIZED_OPS), spec.op))
     if spec.op == "mul":
         fits = max(spec.bits_a, spec.bits_b) <= mpapca.MONOLITHIC_MAX_BITS
         if spec.backend == "device" and not fits:
@@ -236,6 +247,8 @@ def _resolve_backend(spec: OpSpec, thresholds) -> str:
                 return "device"
             min_limbs = -(-min(max(spec.bits_a, 1),
                                max(spec.bits_b, 1)) // LIMB_BITS)
+            if _select.specialize("mul", min_limbs, thresholds):
+                return "specialized"
             if _select.mul_backend(min_limbs, thresholds) == "packed":
                 return "packed"
             return "library"
@@ -246,6 +259,8 @@ def _resolve_backend(spec: OpSpec, thresholds) -> str:
     if spec.op in ("div", "mod"):
         if spec.backend == "auto":
             divisor_limbs = -(-max(spec.bits_b, 1) // LIMB_BITS)
+            if _select.specialize("div", divisor_limbs, thresholds):
+                return "specialized"
             if _select.div_backend(divisor_limbs, thresholds) == "packed":
                 return "packed"
             return "library"
@@ -296,6 +311,17 @@ def _lower_uncached(spec: OpSpec, thresholds, tuning: Tuple[int, ...],
             steps = [PlanStep("kernel", "rns-crt",
                               "%d carry-free %d-bit channels + CRT "
                               "gather" % (channels, MODULUS_BITS))]
+        elif backend == "specialized":
+            from repro.plan.schedule import derive_schedule
+            min_limbs = -(-min(max(spec.bits_a, 1),
+                               max(spec.bits_b, 1)) // LIMB_BITS)
+            schedule = derive_schedule("mul", min_limbs, thresholds)
+            algorithm = "specialized-" + schedule.algorithm
+            steps = [PlanStep("kernel",
+                              "specialized-" + node.algorithm,
+                              "%d limbs, compiled straight-line"
+                              % node.limbs)
+                     for node in schedule.levels()]
         else:
             min_limbs = -(-min(max(spec.bits_a, 1),
                                max(spec.bits_b, 1)) // LIMB_BITS)
@@ -307,6 +333,20 @@ def _lower_uncached(spec: OpSpec, thresholds, tuning: Tuple[int, ...],
             algorithm = "packed-schoolbook"
             steps = [PlanStep("kernel", "packed-schoolbook",
                               "block Knuth Algorithm D")]
+        elif backend == "specialized":
+            from repro.plan.schedule import derive_schedule
+            divisor_limbs = -(-max(spec.bits_b, 1) // LIMB_BITS)
+            schedule = derive_schedule("div", divisor_limbs, thresholds)
+            algorithm = "specialized-" + schedule.algorithm
+            steps = [PlanStep("kernel", algorithm,
+                              "%d divisor limbs, compiled "
+                              "straight-line" % divisor_limbs)]
+            if schedule.sub is not None:
+                steps.extend(
+                    PlanStep("kernel",
+                             "specialized-" + node.algorithm,
+                             "%d limbs, reciprocal muls" % node.limbs)
+                    for node in schedule.sub.levels())
         else:
             algorithm = select.div_algorithm(spec.bits_b)
             if algorithm == "newton":

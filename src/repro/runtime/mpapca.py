@@ -279,6 +279,11 @@ class MPApca:
                                "runtime")
             product, _ = self.device.multiply(a, b)
             return product
+        if plan.backend in ("packed", "specialized"):
+            # Pin the plan's resolved backend so what runs is exactly
+            # what the plan priced (specialized falls back to the
+            # generic auto path under REPRO_CODEGEN=0).
+            return _raw_mul(a, b, plan.policy(), backend=plan.backend)
         return _raw_mul(a, b, plan.policy())
 
     def add(self, a: Nat, b: Nat) -> Nat:

@@ -191,8 +191,23 @@ class ReproServer:
 
     # -- lifecycle ------------------------------------------------------------
 
+    def warm_start_codegen(self) -> int:
+        """Pre-compile kernel specializations for the tuned hot keys.
+
+        Runs before the listener binds (shard workers boot the same
+        server, so every shard warms too): first requests must not pay
+        compile latency.  Counts ``codegen_compile_total``; a no-op
+        under ``REPRO_CODEGEN=0``.
+        """
+        from repro.plan import codegen
+        warmed = codegen.warm_start()
+        if warmed:
+            self.registry.counter("codegen_compile_total").inc(warmed)
+        return warmed
+
     async def start(self) -> Tuple[str, int]:
         """Bind the listener and start the batcher; returns (host, port)."""
+        self.warm_start_codegen()
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port)
         sockname = self._server.sockets[0].getsockname()

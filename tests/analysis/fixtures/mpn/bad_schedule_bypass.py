@@ -1,0 +1,16 @@
+"""Seeded schedule-bypass violations (linted, never imported).
+
+Lives under ``mpn/`` with a non-dispatcher filename — inside the
+kernels' package, where RPR012 is silent, the recursion internals are
+still reachable only through the committed schedule layer.
+"""
+
+from repro.mpn.karatsuba import mul_karatsuba
+from repro.mpn.schoolbook import mul_schoolbook
+from repro.mpn.toom import mul_toom
+
+
+def adhoc_descent(a, b):                           # RPR013 x2
+    if max(len(a), len(b)) > 64:
+        return mul_toom(a, b, 3, mul_schoolbook)
+    return mul_karatsuba(a, b, mul_schoolbook)

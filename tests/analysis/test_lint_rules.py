@@ -20,10 +20,10 @@ def rules_fired(source: str, path: str):
 
 
 class TestRuleCatalogue:
-    def test_twelve_rules_with_stable_codes(self):
-        assert len(ALL_RULES) == 12
+    def test_thirteen_rules_with_stable_codes(self):
+        assert len(ALL_RULES) == 13
         codes = [rule.code for rule in ALL_RULES]
-        assert codes == ["RPR%03d" % i for i in range(1, 13)]
+        assert codes == ["RPR%03d" % i for i in range(1, 14)]
         assert all(rule.rationale for rule in ALL_RULES)
 
     def test_rules_by_name_round_trips(self):
@@ -216,6 +216,34 @@ class TestEachRuleFires:
                "    return divmod_nat(a, b)\n")
         assert "direct-dispatch" not in rules_fired(src, SERVE)
 
+    def test_schedule_bypass_fires_inside_mpn(self):
+        src = ("def f(a, b):\n"
+               "    return mul_karatsuba(a, b, mul_schoolbook)\n")
+        # RPR012 is silent inside mpn; RPR013 takes over there.
+        assert "schedule-bypass" in rules_fired(src, KERNEL)
+        assert "schedule-bypass" in rules_fired(
+            src, "src/repro/plan/execute.py")
+        # ...but not in the schedule layer itself: the walking
+        # dispatchers, the internals' defining modules, the tuner.
+        for sanctioned in ("src/repro/mpn/mul.py",
+                           "src/repro/mpn/div.py",
+                           "src/repro/mpn/tune.py",
+                           "src/repro/mpn/karatsuba.py"):
+            assert "schedule-bypass" not in rules_fired(src, sanctioned)
+        # Outside mpn/plan it is RPR012's jurisdiction, not RPR013's.
+        assert "schedule-bypass" not in rules_fired(src, SERVE)
+
+    def test_schedule_bypass_covers_every_internal(self):
+        for name in ("mul_karatsuba", "sqr_karatsuba", "mul_toom",
+                     "mul_ssa", "divmod_newton", "divmod_bz"):
+            src = "def f(a, b):\n    return %s(a, b)\n" % name
+            assert "schedule-bypass" in rules_fired(src, KERNEL), name
+
+    def test_schedule_bypass_leaves_dispatchers_alone(self):
+        src = ("def f(a, b):\n"
+               "    return mul(a, b, backend='specialized')\n")
+        assert "schedule-bypass" not in rules_fired(src, KERNEL)
+
 
 class TestNoqa:
     def test_named_suppression(self):
@@ -278,7 +306,7 @@ class TestFixtureSweep:
     def test_every_rule_fires_on_the_fixture_tree(self):
         report = lint_paths([FIXTURES])
         codes = {v.code for v in report.violations}
-        assert codes == {"RPR%03d" % i for i in range(1, 13)}
+        assert codes == {"RPR%03d" % i for i in range(1, 14)}
 
     def test_clean_fixture_is_silent(self):
         report = lint_paths([FIXTURES / "clean"])

@@ -1,0 +1,222 @@
+"""Differential: specialized kernels vs generic recursion vs bigints.
+
+The compiled straight-line kernels (:mod:`repro.plan.codegen`) must be
+bit-identical to the generic schedule-walking dispatchers AND to a
+Python-bigint oracle — at every figure-11 ladder point, around every
+threshold crossover (where the unrolled recursion actually goes
+multi-level), under the killswitch, and across retunes (which must
+strand every persisted kernel via the memo key).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.mpn import nat
+from repro.mpn.div import divmod_nat
+from repro.mpn.mul import mul, sqr
+from repro.mpn.tune import _random_operand, tuned_policy
+from repro.plan import codegen, select
+from repro.plan.schedule import derive_schedule
+
+from tests.conftest import from_nat
+
+pytestmark = pytest.mark.differential
+
+#: The paper's figure-11 sweep sizes (bits) — the same ladder the
+#: kernel benchmark and serve warm start use.
+FIG11_LADDER = (1024, 4096, 16384, 65536)
+
+#: Forced-tiny thresholds: every mul regime activates at sizes a test
+#: can afford, and the packed/specialize crossovers are disabled so
+#: emitted kernels unroll the *limb* ladder multi-level.
+FORCED = dataclasses.replace(
+    select.active(), karatsuba_limbs=4, toom3_limbs=8, toom4_limbs=12,
+    toom6_limbs=18, ssa_limbs=26, packed_mul_limbs=0,
+    packed_div_limbs=0, specialize_limbs=2)
+
+
+@pytest.fixture(autouse=True)
+def isolated_codegen(tmp_path, monkeypatch):
+    """Route the codegen store to a temp dir; start with no residents."""
+    from repro.parallel import cache as cache_mod
+    monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path / "cache"))
+    cache_mod._REGISTRY.pop("codegen", None)
+    saved = dict(codegen._KERNELS)
+    codegen._KERNELS.clear()
+    yield
+    cache_mod._REGISTRY.pop("codegen", None)
+    codegen._KERNELS.clear()
+    codegen._KERNELS.update(saved)
+
+
+def compiled(op, limbs, thresholds):
+    """Emit + compile directly from the schedule (no cache layer)."""
+    schedule = derive_schedule(op, limbs, thresholds)
+    return codegen.compile_source(codegen.emit_source(schedule), "test")
+
+
+class TestFig11Ladder:
+    """Three-way bit-identity at every figure-11 sweep point."""
+
+    @pytest.mark.parametrize("bits", FIG11_LADDER)
+    def test_mul_three_way(self, bits):
+        limbs = bits // nat.LIMB_BITS
+        a = _random_operand(limbs, bits)
+        b = _random_operand(limbs, bits + 7)
+        policy = tuned_policy()
+        specialized = mul(a, b, policy, backend="specialized")
+        generic = mul(a, b, policy)
+        assert specialized == generic
+        assert from_nat(specialized) == from_nat(a) * from_nat(b)
+
+    @pytest.mark.parametrize("bits", FIG11_LADDER)
+    def test_sqr_three_way(self, bits):
+        limbs = bits // nat.LIMB_BITS
+        a = _random_operand(limbs, bits + 13)
+        policy = tuned_policy()
+        specialized = sqr(a, policy, backend="specialized")
+        generic = sqr(a, policy)
+        assert specialized == generic
+        assert from_nat(specialized) == from_nat(a) ** 2
+
+    @pytest.mark.parametrize("bits", FIG11_LADDER)
+    def test_div_three_way(self, bits):
+        limbs = bits // nat.LIMB_BITS
+        a = _random_operand(2 * limbs, bits)
+        b = _random_operand(limbs, bits + 7)
+        specialized = divmod_nat(a, b, backend="specialized")
+        generic = divmod_nat(a, b)
+        assert specialized == generic
+        quotient, remainder = divmod(from_nat(a), from_nat(b))
+        assert from_nat(specialized[0]) == quotient
+        assert from_nat(specialized[1]) == remainder
+
+
+class TestCrossoverNeighborhoods:
+    """Multi-level unrolled kernels around every forced crossover."""
+
+    CROSSOVERS = ("karatsuba_limbs", "toom3_limbs", "toom4_limbs",
+                  "toom6_limbs", "ssa_limbs")
+
+    @pytest.mark.parametrize("field", CROSSOVERS)
+    def test_mul_around_crossover(self, field):
+        pivot = getattr(FORCED, field)
+        kernels = {}
+        for limbs in (max(1, pivot - 1), pivot, pivot + 1):
+            kernel = kernels.get(limbs)
+            if kernel is None:
+                kernel = kernels[limbs] = compiled("mul", limbs, FORCED)
+            for seed in range(3):
+                a = _random_operand(limbs, seed)
+                b = _random_operand(limbs, seed + 101)
+                generic = mul(a, b, FORCED.policy(), backend="limb")
+                assert kernel(a, b) == generic
+                assert from_nat(generic) == from_nat(a) * from_nat(b)
+
+    @pytest.mark.parametrize("field", CROSSOVERS)
+    def test_sqr_around_crossover(self, field):
+        pivot = getattr(FORCED, field)
+        for limbs in (max(1, pivot - 1), pivot + 1):
+            kernel = compiled("sqr", limbs, FORCED)
+            a = _random_operand(limbs, limbs)
+            generic = sqr(a, FORCED.policy(), backend="limb")
+            assert kernel(a) == generic
+            assert from_nat(generic) == from_nat(a) ** 2
+
+    def test_unbalanced_and_empty_operands(self):
+        """Unrolled kernels stay exact far from their nominal width."""
+        kernel = compiled("mul", FORCED.ssa_limbs + 8, FORCED)
+        cases = [(0, 10), (10, 0), (1, 40), (40, 3), (3, 1)]
+        for la, lb in cases:
+            a = _random_operand(la, la + 1) if la else []
+            b = _random_operand(lb, lb + 2) if lb else []
+            assert from_nat(kernel(a, b)) == from_nat(a) * from_nat(b)
+
+    def test_div_newton_with_inlined_mul_chain(self):
+        limbs = 80
+        kernel = compiled("div", limbs, FORCED)
+        a = _random_operand(2 * limbs, 5)
+        b = _random_operand(limbs, 9)
+        quotient, remainder = kernel(a, b)
+        expect_q, expect_r = divmod(from_nat(a), from_nat(b))
+        assert from_nat(quotient) == expect_q
+        assert from_nat(remainder) == expect_r
+
+
+class TestKillswitch:
+    """REPRO_CODEGEN=0 removes specialization without changing answers."""
+
+    def test_kernel_for_returns_none(self, monkeypatch):
+        monkeypatch.setenv(codegen.CODEGEN_ENV, "0")
+        assert not codegen.enabled()
+        assert codegen.kernel_for("mul", 512) is None
+        assert codegen.warm_start() == 0
+
+    def test_dispatchers_fall_back_bit_identically(self, monkeypatch):
+        a = _random_operand(64, 1)
+        b = _random_operand(64, 2)
+        live = mul(a, b, tuned_policy(), backend="specialized")
+        monkeypatch.setenv(codegen.CODEGEN_ENV, "0")
+        killed = mul(a, b, tuned_policy(), backend="specialized")
+        assert killed == live
+        assert from_nat(killed) == from_nat(a) * from_nat(b)
+        dq, dr = divmod_nat(a, b, backend="specialized")
+        eq, er = divmod(from_nat(a), from_nat(b))
+        assert (from_nat(dq), from_nat(dr)) == (eq, er)
+
+    def test_auto_selection_stops_resolving_specialized(self, monkeypatch):
+        from repro.plan import OpSpec
+        from repro.plan.lowering import lower
+        from repro.runtime.mpapca import MONOLITHIC_MAX_BITS
+        spec = OpSpec.for_mul(MONOLITHIC_MAX_BITS + 1,
+                              MONOLITHIC_MAX_BITS + 1)
+        assert lower(spec, use_cache=False).backend == "specialized"
+        monkeypatch.setenv(codegen.CODEGEN_ENV, "0")
+        assert not select.specialize("mul", 1 << 20)
+        assert lower(spec, use_cache=False).backend != "specialized"
+
+
+class TestRetuneInvalidation:
+    """A retune strands every kernel persisted under the old tuning."""
+
+    def test_cache_key_embeds_the_fingerprint(self):
+        thresholds = select.active()
+        retuned = dataclasses.replace(thresholds, karatsuba_limbs=7)
+        key = codegen.cache_key("mul", 512, thresholds)
+        assert codegen.cache_key("mul", 512, retuned) != key
+        assert str(codegen.CODEGEN_SCHEMA_VERSION) in key
+
+    def test_retune_is_a_cache_miss_not_a_stale_hit(self):
+        thresholds = select.active()
+        assert codegen.kernel_for("mul", 256, thresholds) is not None
+        status = codegen.specialization_status("mul", 256, thresholds)
+        assert status["persisted"] and status["compiled"]
+        retuned = dataclasses.replace(thresholds, toom3_limbs=99)
+        stale = codegen.specialization_status("mul", 256, retuned)
+        assert not stale["persisted"] and not stale["compiled"]
+        # The retuned kernel compiles fresh, under its own key.
+        assert codegen.kernel_for("mul", 256, retuned) is not None
+        assert codegen.specialization_status(
+            "mul", 256, retuned)["persisted"]
+
+    def test_corrupted_persisted_source_is_rejected(self):
+        thresholds = select.active()
+        key = codegen.cache_key("mul", 128, thresholds)
+        cache = codegen.codegen_cache()
+        cache.put(key, {"source": "def kernel(a, b):\n    return []\n",
+                        "sha256": "not-the-hash"})
+        before = codegen.rejected_count()
+        kernel = codegen.kernel_for("mul", 128, thresholds)
+        assert codegen.rejected_count() == before + 1
+        a = _random_operand(128, 3)
+        b = _random_operand(128, 4)
+        assert from_nat(kernel(a, b)) == from_nat(a) * from_nat(b)
+
+    def test_clear_drops_residents_and_disk(self):
+        assert codegen.kernel_for("mul", 64) is not None
+        assert codegen.clear() > 0
+        assert codegen.stats()["resident_kernels"] == 0
+        assert codegen.stats()["persisted_entries"] == 0

@@ -58,11 +58,30 @@ class TestMulAcrossCrossovers:
         assert payload["product"] == a * b
 
     def test_auto_boundary_straddles_monolithic_limit(self):
+        import dataclasses
+
+        from repro.plan import select
+
+        # Pin the host-side crossovers off so the past-the-limit side
+        # resolves to the library backend regardless of host tuning.
+        host_free = dataclasses.replace(
+            select.active(), packed_mul_limbs=0, specialize_limbs=0)
         for bits in (MONOLITHIC_MAX_BITS, MONOLITHIC_MAX_BITS + 1):
-            plan = lower(OpSpec.for_mul(bits, 64))
+            plan = lower(OpSpec.for_mul(bits, 64), host_free,
+                         use_cache=False)
             expected = "device" if bits <= MONOLITHIC_MAX_BITS \
                 else "library"
             assert plan.backend == expected
+
+    def test_auto_past_limit_prefers_specialized(self):
+        import dataclasses
+
+        from repro.plan import select
+
+        tuned = dataclasses.replace(select.active(), specialize_limbs=2)
+        plan = lower(OpSpec.for_mul(MONOLITHIC_MAX_BITS + 1, 64),
+                     tuned, use_cache=False)
+        assert plan.backend == "specialized"
 
 
 class TestDivAcrossCrossovers:

@@ -166,8 +166,9 @@ class TestPlanKeys:
         big = make_job({"op": "mul",
                         "params": {"a": 1 << 40000, "b": 1 << 40000}})
         assert small.compat_key() == ("mul", "device")
-        # Over-monolithic muls now resolve to the block-packed backend.
-        assert big.compat_key() == ("mul", "packed")
+        # Over-monolithic muls now resolve to the compiled
+        # specialization of the committed schedule.
+        assert big.compat_key() == ("mul", "specialized")
 
     def test_cache_key_carries_plan_memo_key(self):
         job = make_job({"op": "model_cycles",

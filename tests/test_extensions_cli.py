@@ -110,6 +110,10 @@ class TestCliExtras:
         assert main(["info", "--selftest"]) == 0
         assert "selftest: all passed" in capsys.readouterr().out
 
-    def test_tune(self, capsys):
+    def test_tune(self, capsys, tmp_path, monkeypatch):
+        # Isolate the persisted output: without this, the test retunes
+        # the *host's* thresholds file on every suite run.
+        monkeypatch.setenv("REPRO_THRESHOLDS",
+                           str(tmp_path / "thresholds.json"))
         assert main(["tune", "--max-limbs", "96"]) == 0
         assert "schoolbook->karatsuba" in capsys.readouterr().out
