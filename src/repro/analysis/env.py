@@ -187,6 +187,20 @@ CODEGEN = declare(
     "recursion; differential-triage aid).",
     "plan")
 
+COST = declare(
+    "REPRO_COST", "on", "killswitch",
+    "Set to 0 to disable the learned ns cost model everywhere (plan "
+    "selection refinement, predicted-wait admission pricing, and "
+    "service-rate seeding all fall back to the analytic Plan.cost() "
+    "path, bit-identical to a build without the model).",
+    "cost")
+
+COST_DATASET = declare(
+    "REPRO_COST_DATASET", "results/COST_dataset.jsonl", "path",
+    "Where harvested and tuned (op, backend, limbs, ns) measurement "
+    "rows accumulate for ``repro cost fit``.",
+    "cost")
+
 SERVE_QUEUE = declare(
     "REPRO_SERVE_QUEUE", "256", "int",
     "Admission-queue capacity (depth bound K of the serve layer).",

@@ -51,7 +51,10 @@ from repro.mpn.tune import _random_operand, tuned_policy
 #: available backends against a bigint oracle.
 #: v3: the ``specialized`` backend (compiled schedule kernels) joined
 #: mul/sqr/div, measured and oracle-checked like the rest.
-BENCH_SCHEMA_VERSION = 3
+#: v4: ``predicted_ns``/``predicted_err`` columns compare each point
+#: against the learned cost model (:mod:`repro.cost`) when a fitted
+#: model is live; absent otherwise.
+BENCH_SCHEMA_VERSION = 4
 
 #: Figure-11-style bit-width ladder (the paper sweeps multiply sizes in
 #: this range; 64k bits is the headline point).
@@ -236,6 +239,29 @@ def _hotspots(thunk: Callable[[], object], top: int = 8) -> List[Dict]:
     return rows
 
 
+def _predicted_columns(op: str, bits: int, timings: Dict[str, int]
+                       ) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Learned-model predictions next to the measurements just taken.
+
+    Empty maps when no fitted model is live (``REPRO_COST=0``, nothing
+    fitted, or the thresholds changed since the fit) — the bench then
+    reports exactly its pre-model columns.  The relative errors feed
+    the CI ``cost`` job's drift gate.
+    """
+    from repro import cost
+    limbs = max(1, bits // nat.LIMB_BITS)
+    predicted_ns: Dict[str, float] = {}
+    predicted_err: Dict[str, float] = {}
+    for backend, measured in timings.items():
+        value = cost.predict_ns(op, backend, limbs)
+        if value is None or measured <= 0:
+            continue
+        predicted_ns[backend] = round(value, 1)
+        predicted_err[backend] = round(
+            abs(value - measured) / measured, 4)
+    return predicted_ns, predicted_err
+
+
 def _ladder(op: str, quick: bool):
     if op == "powmod":
         return POWMOD_QUICK_LADDER if quick else POWMOD_FULL_LADDER
@@ -255,14 +281,20 @@ def bench_kernels(quick: bool = False, repeats: int = 5,
             timings = {backend: _best_ns(thunk, repeats)
                        for backend, thunk in runners.items()}
             limb_ns = timings["limb"]
-            entries.append({
+            entry = {
                 "op": op,
                 "bits": bits,
                 "ns": timings,
                 "speedup": {backend: round(limb_ns / max(1, t), 3)
                             for backend, t in timings.items()
                             if backend != "limb"},
-            })
+            }
+            predicted_ns, predicted_err = _predicted_columns(
+                op, bits, timings)
+            if predicted_ns:
+                entry["predicted_ns"] = predicted_ns
+                entry["predicted_err"] = predicted_err
+            entries.append(entry)
 
     hotspots: Dict[str, List[Dict]] = {}
     if profile:

@@ -187,7 +187,39 @@ def build_parser() -> argparse.ArgumentParser:
     tune_parser.add_argument("--no-codegen", action="store_true",
                              help="skip the generic-vs-specialized "
                                   "crossover (keeps the default)")
+    tune_parser.add_argument("--no-dataset", action="store_true",
+                             help="discard the raw timing probes "
+                                  "instead of appending them to the "
+                                  "cost dataset")
     tune_parser.set_defaults(handler=_cmd_tune)
+
+    cost_parser = commands.add_parser(
+        "cost", help="learned wall-clock cost model: harvest "
+                     "measurements, fit, evaluate")
+    cost_parser.add_argument("action",
+                             choices=["harvest", "fit", "eval", "show"])
+    cost_parser.add_argument("--dataset", default=None,
+                             help="measurement dataset (default: "
+                                  "$REPRO_COST_DATASET or "
+                                  "results/COST_dataset.jsonl)")
+    cost_parser.add_argument("--bench", default=None,
+                             help="harvest: a BENCH_kernels.json to "
+                                  "fold into the dataset")
+    cost_parser.add_argument("--serve", default=None,
+                             help="harvest: a BENCH_serve.json "
+                                  "(end-to-end rows, excluded from "
+                                  "kernel fits)")
+    cost_parser.add_argument("--traces", default=None,
+                             help="harvest: a REPRO_TRACE span dump "
+                                  "(plan-stamped JSON lines)")
+    cost_parser.add_argument("--output", default=None,
+                             help="eval: also write the report JSON "
+                                  "here (results/BENCH_cost.json in CI)")
+    cost_parser.add_argument("--check", action="store_true",
+                             help="eval: exit non-zero unless the "
+                                  "fitted model beats the analytic "
+                                  "cost by the held-out error gate")
+    cost_parser.set_defaults(handler=_cmd_cost)
 
     cache_parser = commands.add_parser(
         "cache", help="inspect or clear the persistent caches")
@@ -379,10 +411,112 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                   measure_codegen=not args.no_codegen)
     print(result.report())
     print("tuned policy:", result.policy)
+    if not args.dry_run and not args.no_dataset and result.raw_points:
+        from repro.cost import dataset
+        written = dataset.append_rows(result.raw_points)
+        print("appended %d measurement row(s) to %s"
+              % (written, dataset.dataset_path()))
     if not args.dry_run:
         output = Path(args.output) if args.output else None
         target = save_thresholds(result.thresholds, output)
         print("thresholds persisted to %s" % target)
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.cost import dataset, model
+    from repro.plan import select
+
+    if args.action == "harvest":
+        sources = [(args.bench, dataset.harvest_bench_kernels),
+                   (args.serve, dataset.harvest_serve),
+                   (args.traces, dataset.harvest_trace)]
+        if not any(path for path, _ in sources):
+            print("cost harvest: pass at least one of --bench, "
+                  "--serve, --traces")
+            return 2
+        total = 0
+        for path, harvester in sources:
+            if not path:
+                continue
+            rows = harvester(path)
+            written = dataset.append_rows(rows, args.dataset)
+            print("harvested %d row(s) from %s" % (written, path))
+            total += written
+        print("dataset: %s (%d kernel row(s) total)"
+              % (dataset.dataset_path(args.dataset),
+                 len(dataset.load_rows(args.dataset))))
+        return 0 if total else 1
+
+    rows = dataset.load_rows(args.dataset)
+    fingerprint = select.fingerprint()
+
+    if args.action == "fit":
+        if not rows:
+            print("cost fit: no kernel rows in %s"
+                  % dataset.dataset_path(args.dataset))
+            return 1
+        fitted = model.fit(rows, fingerprint)
+        if fitted is None:
+            print("cost fit: no (op, backend) group has enough "
+                  "distinct sizes (need %d)" % model.MIN_GROUP_SIZES)
+            return 1
+        model.save(fitted)
+        print("fitted %d group(s) from %d row(s): %s"
+              % (len(fitted.groups), len(rows),
+                 ", ".join(sorted(fitted.groups))))
+        print("observed rate: %.6g cycles/ns; model digest %s"
+              % (fitted.rate_cycles_per_ns, fitted.digest()))
+        return 0
+
+    if args.action == "eval":
+        report = model.evaluate(rows, fingerprint)
+        if report is None:
+            print("cost eval: not enough rows to fit and hold out")
+            return 1
+        payload = {"schema": 1, "generated_by": "repro cost eval",
+                   "fingerprint": list(fingerprint)}
+        payload.update(report)
+        print("held-out rows: %d of %d"
+              % (report["rows_scored"], report["rows_holdout"]))
+        print("median |rel err|: model %.4f vs analytic %.4f "
+              "(%.2fx better; gate >= %.1fx: %s)"
+              % (report["model_median_rel_err"],
+                 report["analytic_median_rel_err"],
+                 report["error_ratio"], report["gate_ratio"],
+                 "PASS" if report["gate_ok"] else "FAIL"))
+        if args.output:
+            target = Path(args.output)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8")
+            print("wrote %s" % target)
+        if args.check and not report["gate_ok"]:
+            return 1
+        return 0
+
+    # show: the model state selection and admission actually see.
+    print("killswitch: REPRO_COST=%s (%s)"
+          % ("0" if not model.enabled() else "on",
+             "disabled" if not model.enabled() else "enabled"))
+    print("thresholds fingerprint: %s" % (tuple(fingerprint),))
+    active = model.active_model()
+    if active is None:
+        print("active model: none (analytic Plan.cost() everywhere)")
+        return 0
+    print("active model: %d group(s), digest %s"
+          % (len(active.groups), active.digest()))
+    print("observed rate: %.6g cycles/ns" % active.rate_cycles_per_ns)
+    for key in sorted(active.groups):
+        group = active.groups[key]
+        print("  %-18s ns ~= exp(%.3f) * limbs^%.3f  (n=%d, "
+              "limbs %d..%d)"
+              % (key, group["a"], group["b"], int(group["n"]),
+                 int(group["limbs_min"]), int(group["limbs_max"])))
     return 0
 
 

@@ -1,0 +1,144 @@
+"""``repro.cost`` — learned wall-clock pricing for plans and jobs.
+
+The package maps a plan fingerprint — (op, resolved backend, limb
+count) under the active tuned thresholds — to predicted nanoseconds,
+and feeds those predictions to every consumer of the analytic
+:meth:`Plan.cost`:
+
+* ``plan.select``/``plan.lowering`` — inside a guard band around each
+  tuned crossover, ``auto`` backend resolution asks the model which
+  side actually measures faster (:func:`refine_backend`);
+* serve admission — ``estimated_wait`` prices pending work from
+  predicted ns (:func:`predict_plan_ns`) and the queue's service rate
+  is seeded before the first batch completes
+  (:func:`seed_rate_cycles_per_ms`);
+* shard routing — the same seed rate stands in while per-shard EWMAs
+  are cold.
+
+Everything is behind the ``REPRO_COST`` killswitch: with ``REPRO_COST=0``
+— or simply no fitted model on disk — every function here returns its
+"absent" value (``None``/empty/analytic input) and the stack behaves
+bit-identically to the purely analytic build.
+
+The submodules split the work: :mod:`repro.cost.features` is the
+featurization contract, :mod:`repro.cost.dataset` the measurement
+store and harvesters, :mod:`repro.cost.model` the regression fitter
+and its fingerprint-salted persistence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.cost import model as _model
+from repro.cost.features import plan_backend_name, plan_features
+
+__all__ = [
+    "GUARD_BAND", "enabled", "invalidate", "plan_backend_name",
+    "plan_features", "predict_ns", "predict_plan_ns", "refine_backend",
+    "seed_rate_cycles_per_ms", "selection_salt",
+]
+
+#: Multiplicative half-width of the crossover guard band: auto
+#: resolution only second-guesses the analytic choice when the operand
+#: sits within this factor of a tuned crossover (where bisection noise
+#: makes the threshold least trustworthy).  Far from every crossover
+#: the tuned answer stands unconditionally.
+GUARD_BAND = 1.5
+
+enabled = _model.enabled
+
+
+def invalidate() -> None:
+    """Drop memoized model state (tests; after ``repro cost fit``)."""
+    _model.invalidate_active()
+
+
+def selection_salt() -> Tuple[str, ...]:
+    """Extra plan-cache key parts when the model can steer selection.
+
+    Empty — leaving cache keys byte-identical to the analytic build —
+    whenever the killswitch is off or no fitted model matches the
+    active thresholds; otherwise the model digest, so refitting (or
+    stranding a fit by retuning) can never serve a plan cached under a
+    different model's choices."""
+    model = _model.active_model()
+    if model is None:
+        return ()
+    return ("cost", model.digest())
+
+
+def predict_plan_ns(plan) -> Optional[float]:
+    """Predicted wall ns for one lowered plan, or ``None``.
+
+    ``None`` — the analytic path's signal — when the killswitch is
+    off, no fitted model matches the active thresholds, or the plan is
+    outside the fitted domain."""
+    model = _model.active_model()
+    if model is None:
+        return None
+    features = plan_features(plan)
+    if features is None:
+        return None
+    return model.predict_ns(*features)
+
+
+def predict_ns(op: str, backend: str, limbs: int) -> Optional[float]:
+    """Predicted wall ns for one raw (op, backend, limbs) key."""
+    model = _model.active_model()
+    if model is None:
+        return None
+    return model.predict_ns(op, backend, limbs)
+
+
+def seed_rate_cycles_per_ms() -> Optional[float]:
+    """A boot-time service-rate estimate (cycles/ms) for admission.
+
+    The fitted model's observed cycles-per-ns rate, *measured on this
+    host*, when a fit matches the active thresholds; ``None``
+    otherwise — a modelless (or killswitched) boot must stay cold and
+    fall back to the depth bound exactly like the analytic build, not
+    inherit a made-up rate the wait gate would shed against."""
+    model = _model.active_model()
+    if model is None:
+        return None
+    return model.rate_cycles_per_ns * 1e6
+
+
+def refine_backend(op: str, limbs: int, analytic: str,
+                   candidates: Sequence[str],
+                   crossovers: Sequence[int]) -> str:
+    """The measured-fastest backend near a crossover, else ``analytic``.
+
+    ``analytic`` is the tuned-threshold choice (a *plan*-vocabulary
+    backend name, e.g. ``"library"``); ``candidates`` the plan-level
+    alternatives ``auto`` was choosing among; ``crossovers`` the tuned
+    thresholds separating them.  The answer differs from ``analytic``
+    only when every one of these holds:
+
+    * the killswitch is on and a fitted model matches the thresholds,
+    * ``limbs`` sits within :data:`GUARD_BAND` of a live crossover,
+    * the model covers the analytic choice *and* the winner (an
+      unfitted group is never preferred and never demoted), and
+    * a candidate's predicted ns strictly beats the analytic choice's.
+    """
+    model = _model.active_model()
+    if model is None:
+        return analytic
+    in_band = any(
+        crossover and crossover / GUARD_BAND <= limbs
+        <= crossover * GUARD_BAND
+        for crossover in crossovers)
+    if not in_band:
+        return analytic
+    base_ns = model.predict_ns(op, analytic, limbs)
+    if base_ns is None:
+        return analytic
+    best, best_ns = analytic, base_ns
+    for candidate in candidates:
+        if candidate == analytic:
+            continue
+        predicted = model.predict_ns(op, candidate, limbs)
+        if predicted is not None and predicted < best_ns:
+            best, best_ns = candidate, predicted
+    return best

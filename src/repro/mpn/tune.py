@@ -86,19 +86,50 @@ def _time_once(fn: MulFn, a: Nat, b: Nat,
     return best
 
 
+def _record_pair(labels: Optional[Tuple[str, Optional[str],
+                                        Optional[str]]],
+                 limbs: int, slow_ns: int, fast_ns: int) -> None:
+    """Feed one bisection probe to the cost dataset recorder (no-op
+    outside a :func:`repro.cost.dataset.recording` block).
+
+    ``labels`` is ``(op, slow_backend, fast_backend)``; a ``None``
+    backend is unrecordable (e.g. a mixed dispatch arm).  When both
+    sides run the *same* backend — the intra-limb algorithm ladder —
+    the minimum is recorded once: it is the best known time for that
+    backend at this size, whichever algorithm the dispatch would pick.
+    """
+    if labels is None:
+        return
+    from repro.cost import dataset as _dataset
+    op, slow_backend, fast_backend = labels
+    if slow_backend is not None and slow_backend == fast_backend:
+        _dataset.record_point(op, slow_backend, limbs,
+                              min(slow_ns, fast_ns))
+        return
+    _dataset.record_point(op, slow_backend, limbs, slow_ns)
+    _dataset.record_point(op, fast_backend, limbs, fast_ns)
+
+
 def find_crossover(slow: MulFn, fast: MulFn, low_limbs: int,
                    high_limbs: int, seed: int = 1,
-                   repeats: int = DEFAULT_REPEATS) -> int:
+                   repeats: int = DEFAULT_REPEATS,
+                   labels: Optional[Tuple[str, Optional[str],
+                                          Optional[str]]] = None) -> int:
     """Smallest limb count where ``fast`` beats ``slow`` (bisection).
 
     Assumes a single crossover in [low, high]; returns ``high`` when
-    ``fast`` never wins in the range.
+    ``fast`` never wins in the range.  ``labels`` optionally names the
+    two sides — ``(op, slow_backend, fast_backend)`` — so every probe
+    doubles as a cost-dataset training point when a recorder is active
+    (see :func:`repro.cost.dataset.recording`).
     """
     def fast_wins(limbs: int) -> bool:
         a = _random_operand(limbs, seed)
         b = _random_operand(limbs, seed + 7)
-        return (_time_once(fast, a, b, repeats)
-                < _time_once(slow, a, b, repeats))
+        fast_ns = _time_once(fast, a, b, repeats)
+        slow_ns = _time_once(slow, a, b, repeats)
+        _record_pair(labels, limbs, slow_ns, fast_ns)
+        return fast_ns < slow_ns
 
     low, high = low_limbs, high_limbs
     if not fast_wins(high):
@@ -307,6 +338,10 @@ class TuneResult:
     policy: MulPolicy
     measurements: List[Tuple[str, int]]
     thresholds: Optional[Thresholds] = field(default=None)
+    #: Every (op, backend, limbs, ns) probe the bisections measured —
+    #: cost-dataset rows (see :mod:`repro.cost.dataset`), appended to
+    #: ``results/COST_dataset.jsonl`` by the ``repro tune`` CLI.
+    raw_points: List[dict] = field(default_factory=list)
 
     def report(self) -> str:
         lines = ["threshold tuning (this host):"]
@@ -332,12 +367,20 @@ def find_division_crossover(max_limbs: int, seed: int = 1,
         divisor = _random_operand(limbs, seed + 7)
         return _time_once(fn, dividend, divisor, repeats)
 
+    def recursive_wins(limbs: int) -> bool:
+        recursive_ns = timed(recursive, limbs)
+        schoolbook_ns = timed(schoolbook, limbs)
+        # Both arms are the limb backend; the probe records its best.
+        _record_pair(("div", "limb", "limb"), limbs, schoolbook_ns,
+                     recursive_ns)
+        return recursive_ns < schoolbook_ns
+
     low, high = 8, max(16, max_limbs)
-    if timed(recursive, high) >= timed(schoolbook, high):
+    if not recursive_wins(high):
         return high
     while low < high:
         mid = (low + high) // 2
-        if timed(recursive, mid) < timed(schoolbook, mid):
+        if recursive_wins(mid):
             high = mid
         else:
             low = mid + 1
@@ -384,7 +427,8 @@ def find_packed_mul_crossover(max_limbs: int, seed: int = 1,
         return mul(a, b, GMP_POLICY, backend="limb")
 
     return find_crossover(limb_side, mul_packed, 2,
-                          max(8, max_limbs), seed, repeats)
+                          max(8, max_limbs), seed, repeats,
+                          labels=("mul", "limb", "packed"))
 
 
 def find_packed_div_crossover(max_limbs: int, seed: int = 1,
@@ -401,12 +445,19 @@ def find_packed_div_crossover(max_limbs: int, seed: int = 1,
         divisor = _random_operand(limbs, seed + 7)
         return _time_once(fn, dividend, divisor, repeats)
 
+    def packed_wins(limbs: int) -> bool:
+        packed_ns = timed(packed_side, limbs)
+        limb_ns = timed(limb_side, limbs)
+        _record_pair(("div", "limb", "packed"), limbs, limb_ns,
+                     packed_ns)
+        return packed_ns < limb_ns
+
     low, high = 2, max(8, max_limbs)
-    if timed(packed_side, high) >= timed(limb_side, high):
+    if not packed_wins(high):
         return high
     while low < high:
         mid = (low + high) // 2
-        if timed(packed_side, mid) < timed(limb_side, mid):
+        if packed_wins(mid):
             high = mid
         else:
             low = mid + 1
@@ -430,7 +481,8 @@ def find_rns_mul_crossover(max_limbs: int, seed: int = 1,
 
     context_for_bits(2 * max(8, max_limbs) * nat.LIMB_BITS)
     return find_crossover(limb_side, mul_rns, 2,
-                          max(8, max_limbs), seed, repeats)
+                          max(8, max_limbs), seed, repeats,
+                          labels=("mul", "limb", "rns"))
 
 
 def find_rns_powmod_crossover(max_limbs: int, seed: int = 1,
@@ -456,6 +508,7 @@ def find_rns_powmod_crossover(max_limbs: int, seed: int = 1,
         limb_ns = _time_once(
             lambda b, _: limb_powmod(b, exponent, modulus),
             base, modulus, repeats)
+        _record_pair(("powmod", "limb", "rns"), limbs, limb_ns, rns_ns)
         return rns_ns < limb_ns
 
     # Exponentiation timings grow cubically; cap the search range so a
@@ -503,7 +556,10 @@ def find_specialize_crossover(thresholds: Thresholds,
     high = max(8, max_limbs)
     for limbs in (2, high // 2, high):
         codegen.kernel_for("mul", limbs, thresholds)
-    return find_crossover(generic, specialized, 2, high, seed, repeats)
+    # The generic arm mixes backends (whatever auto dispatch picks), so
+    # only the specialized side is a recordable training point.
+    return find_crossover(generic, specialized, 2, high, seed, repeats,
+                          labels=("mul", None, "specialized"))
 
 
 def tune(max_limbs: int = 512, seed: int = 1,
@@ -520,13 +576,31 @@ def tune(max_limbs: int = 512, seed: int = 1,
     scaled from the measured Toom-3 point with GMP's threshold ratios.
     Division: the Burnikel-Ziegler and Barrett crossovers are bisected
     the same way (skippable via ``measure_division`` for speed).
+
+    Every bisection probe is additionally collected in the result's
+    ``raw_points`` — timed (op, backend, limbs, ns) rows the learned
+    cost model trains on — so a tune run feeds the dataset for free.
     """
+    from repro.cost import dataset as _dataset
+    with _dataset.recording() as raw_points:
+        result = _tune_measured(max_limbs, seed, repeats,
+                                measure_division, measure_packed,
+                                measure_rns, measure_codegen)
+    result.raw_points = raw_points
+    return result
+
+
+def _tune_measured(max_limbs: int, seed: int, repeats: int,
+                   measure_division: bool, measure_packed: bool,
+                   measure_rns: bool,
+                   measure_codegen: bool) -> TuneResult:
     def karatsuba_once(a: Nat, b: Nat) -> Nat:
         return mul_karatsuba(a, b, mul_schoolbook)
 
     karatsuba_limbs = find_crossover(mul_schoolbook, karatsuba_once,
                                      4, min(128, max_limbs), seed,
-                                     repeats)
+                                     repeats,
+                                     labels=("mul", "limb", "limb"))
 
     tuned_so_far = MulPolicy("tuning", karatsuba_limbs, 10 ** 9,
                              10 ** 9, 10 ** 9, 10 ** 9)
@@ -541,7 +615,8 @@ def tune(max_limbs: int = 512, seed: int = 1,
 
     toom3_limbs = find_crossover(dispatch, toom3_once,
                                  karatsuba_limbs + 4, max_limbs, seed,
-                                 repeats)
+                                 repeats,
+                                 labels=("mul", "limb", "limb"))
     # Noisy hosts (or a small --max-limbs cap) can push both measured
     # crossovers to the top of their search range; keep the ladder
     # strictly ordered so the thresholds always validate.

@@ -200,8 +200,14 @@ def lower(spec: OpSpec, thresholds=None, use_cache: bool = True) -> Plan:
     tuning, policy_name = _tuning_for(thresholds)
     if not use_cache:
         return _lower_uncached(spec, thresholds, tuning, policy_name)
+    from repro import cost as _cost
     cache = plan_cache()
-    key = cache.key(spec.key(), tuning, policy_name)
+    # selection_salt() is () without a live cost model, keeping the key
+    # byte-identical to the analytic build; with one, the model digest
+    # keys the cache so refits/retunes can never serve a plan chosen
+    # under another model's predictions.
+    key = cache.key(spec.key(), tuning, policy_name,
+                    *_cost.selection_salt())
     payload = cache.lookup(
         key,
         lambda: _lower_uncached(spec, thresholds, tuning,
@@ -248,10 +254,13 @@ def _resolve_backend(spec: OpSpec, thresholds) -> str:
             min_limbs = -(-min(max(spec.bits_a, 1),
                                max(spec.bits_b, 1)) // LIMB_BITS)
             if _select.specialize("mul", min_limbs, thresholds):
-                return "specialized"
-            if _select.mul_backend(min_limbs, thresholds) == "packed":
-                return "packed"
-            return "library"
+                analytic = "specialized"
+            elif _select.mul_backend(min_limbs, thresholds) == "packed":
+                analytic = "packed"
+            else:
+                analytic = "library"
+            return _select.cost_refined("mul", min_limbs, analytic,
+                                        thresholds)
         return spec.backend
     if spec.backend == "device":
         raise PlanError("backend=device supports only mul streams; "
@@ -260,17 +269,22 @@ def _resolve_backend(spec: OpSpec, thresholds) -> str:
         if spec.backend == "auto":
             divisor_limbs = -(-max(spec.bits_b, 1) // LIMB_BITS)
             if _select.specialize("div", divisor_limbs, thresholds):
-                return "specialized"
-            if _select.div_backend(divisor_limbs, thresholds) == "packed":
-                return "packed"
-            return "library"
+                analytic = "specialized"
+            elif _select.div_backend(divisor_limbs,
+                                     thresholds) == "packed":
+                analytic = "packed"
+            else:
+                analytic = "library"
+            return _select.cost_refined(spec.op, divisor_limbs,
+                                        analytic, thresholds)
         return spec.backend
     if spec.op == "powmod":
         if spec.backend == "auto":
             mod_limbs = -(-max(spec.bits_a, 1) // LIMB_BITS)
-            if _select.powmod_backend(mod_limbs, thresholds) == "rns":
-                return "rns"
-            return "library"
+            analytic = "rns" if _select.powmod_backend(
+                mod_limbs, thresholds) == "rns" else "library"
+            return _select.cost_refined("powmod", mod_limbs, analytic,
+                                        thresholds)
         return spec.backend
     return "library"
 

@@ -193,6 +193,66 @@ def powmod_backend(mod_limbs: int, thresholds=None) -> str:
     return "limb"
 
 
+def _refinement_space(op: str, thresholds) -> Tuple[List[str],
+                                                    List[int]]:
+    """The ``auto`` alternatives and live crossovers for one op.
+
+    A backend is an alternative only when its path is actually
+    reachable: crossover tuned non-zero and kill switch on — the
+    learned refinement must never resurrect a backend the analytic
+    path could not have chosen."""
+    candidates = ["library"]
+    crossovers: List[int] = []
+    if op in ("mul", "sqr", "div", "mod"):
+        packed_attr = "packed_mul_limbs" if op in ("mul", "sqr") \
+            else "packed_div_limbs"
+        packed = getattr(thresholds, packed_attr, 0) \
+            if _packed_enabled() else 0
+        specialize_limbs = getattr(thresholds, "specialize_limbs", 0) \
+            if _codegen_enabled() else 0
+        if packed:
+            candidates.append("packed")
+            crossovers.append(packed)
+        if specialize_limbs:
+            candidates.append("specialized")
+            crossovers.append(specialize_limbs)
+    elif op == "powmod":
+        rns = getattr(thresholds, "rns_powmod_limbs", 0) \
+            if _rns_enabled() else 0
+        if rns:
+            candidates.append("rns")
+            crossovers.append(rns)
+    return candidates, crossovers
+
+
+def cost_refined(op: str, limbs: int, analytic: str,
+                 thresholds=None) -> str:
+    """Measured-ns second opinion on one ``auto`` backend choice.
+
+    ``analytic`` is the tuned-threshold answer; it stands unchanged
+    unless the learned cost model (:mod:`repro.cost`) is live for the
+    *active* thresholds, ``limbs`` sits in the guard band around a
+    tuned crossover, and the model predicts a reachable alternative
+    measurably faster.  With ``REPRO_COST=0`` or no fitted model this
+    is an identity function — the bit-identity the killswitch
+    promises.  Ad-hoc tunings (bare MulPolicy, tests pinning their own
+    thresholds) are never refined: the fitted model only speaks for
+    the tuning it was trained under.
+    """
+    if thresholds is None:
+        thresholds = active()
+    from repro import cost as _cost
+    if not _cost.enabled():
+        return analytic
+    if fingerprint(thresholds) != fingerprint():
+        return analytic
+    candidates, crossovers = _refinement_space(op, thresholds)
+    if len(candidates) < 2 or not crossovers:
+        return analytic
+    return _cost.refine_backend(op, limbs, analytic, candidates,
+                                crossovers)
+
+
 def packed_chain(min_limbs: int) -> List[Tuple[str, int]]:
     """Descent ``[(algorithm, blocks), ...]`` inside the packed backend.
 

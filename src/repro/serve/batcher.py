@@ -182,8 +182,15 @@ class DynamicBatcher:
                              status="error")
             return
         wall_ms = (time.monotonic() - started) * 1000.0
+        # The batch's predicted-ns price calibrates the ns wait path,
+        # but only when every member was priced (a partial sum would
+        # look like a model that underpredicts).
+        predicted_ns = None
+        if all(job.cost_ns is not None for job in live):
+            predicted_ns = sum(job.cost_ns for job in live)
         self.queue.observe_service(
-            sum(job.cost_cycles for job in live), wall_ms)
+            sum(job.cost_cycles for job in live), wall_ms,
+            predicted_ns=predicted_ns)
         for job, (payload, cached) in zip(live, outcomes):
             tracing.mark(job.trace, "execute_end")
             if job.trace is not None:

@@ -144,14 +144,29 @@ def plan_backend(payload: Dict[str, Any]) -> str:
     tally reflects what the server actually executed; ops without a
     lowered backend report ``"-"``.
     """
+    return plan_key(payload)[0]
+
+
+def plan_key(payload: Dict[str, Any]
+             ) -> Tuple[str, Optional[int]]:
+    """``(backend, canonical limbs)`` of one payload's lowered plan.
+
+    The limb count is the cost-model size feature
+    (:func:`repro.cost.features.plan_features`), ``None`` for jobs
+    outside the model's domain — those still tally a backend but never
+    join a latency aggregate.
+    """
+    from repro.cost.features import plan_features
     from repro.plan import PlanError
     from repro.plan.execute import plan_for_job
     try:
         params = validate_params(payload["op"], payload["params"])
         plan = plan_for_job(payload["op"], params)
     except (PlanError, ValueError):
-        return "-"
-    return getattr(plan, "backend", None) or "-"
+        return "-", None
+    backend = getattr(plan, "backend", None) or "-"
+    features = plan_features(plan)
+    return backend, features[2] if features is not None else None
 
 
 # -- load generation ----------------------------------------------------------
@@ -212,6 +227,7 @@ def run_load(host: str, port: int, requests: int = 200,
     ok_latencies: List[float] = []
     per_op: Dict[str, int] = {op: 0 for op in JOB_OPS}
     backends: Dict[str, Dict[str, int]] = {}
+    latency_groups: Dict[Tuple[str, str, int], List[float]] = {}
     failures: List[Dict[str, Any]] = []
     for payload, outcome in zip(payloads, results):
         if outcome is None:
@@ -222,9 +238,13 @@ def run_load(host: str, port: int, requests: int = 200,
             ok += 1
             ok_latencies.append(elapsed_ms)
             per_op[payload["op"]] += 1
-            resolved = plan_backend(payload)
+            resolved, limbs = plan_key(payload)
             op_tally = backends.setdefault(payload["op"], {})
             op_tally[resolved] = op_tally.get(resolved, 0) + 1
+            if limbs is not None:
+                latency_groups.setdefault(
+                    (payload["op"], resolved, limbs),
+                    []).append(elapsed_ms)
             if verify:
                 expected = expected_result(payload)
                 if body.get("result") != expected:
@@ -266,6 +286,17 @@ def run_load(host: str, port: int, requests: int = 200,
         },
         "per_op_ok": per_op,
         "plan_backends": backends,
+        # Per-(op, backend, limbs) end-to-end latency aggregates: the
+        # rows ``repro cost harvest --serve`` folds into the dataset
+        # (flagged end_to_end — calibration data, not kernel training).
+        "op_backend_latency": [
+            {"op": op, "backend": backend, "limbs": limbs,
+             "n": len(values),
+             "p50_ms": round(_percentile(sorted(values), 0.50), 3),
+             "p90_ms": round(_percentile(sorted(values), 0.90), 3)}
+            for (op, backend, limbs), values
+            in sorted(latency_groups.items())
+        ],
         "cpus": available_cpus(),
         "failures": failures,
     }

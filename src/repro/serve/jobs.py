@@ -83,6 +83,10 @@ class Job:
     deadline_ms: Optional[float] = None
     job_id: str = ""
     cost_cycles: float = 0.0
+    #: Predicted wall nanoseconds from the learned cost model; ``None``
+    #: when REPRO_COST=0, no fitted model is live, or the plan is
+    #: outside the fitted domain (the queue then prices by cycles).
+    cost_ns: Optional[float] = None
     created_at: float = field(default_factory=time.monotonic)
     deadline_at: Optional[float] = None
     seq: int = 0                     # assigned by the admission queue
@@ -158,9 +162,11 @@ def make_job(payload: Dict[str, Any]) -> Job:
     elif not isinstance(job_id, str) or len(job_id) > 128:
         raise JobError("invalid:id", "id must be a short string")
     plan = plan_for_job(op, params)
+    from repro import cost as _cost
     job = Job(op=op, params=params, priority=priority,
               deadline_ms=deadline_ms, job_id=job_id,
-              cost_cycles=plan.cost(), plan=plan)
+              cost_cycles=plan.cost(),
+              cost_ns=_cost.predict_plan_ns(plan), plan=plan)
     if deadline_ms is not None:
         job.deadline_at = job.created_at + deadline_ms / 1000.0
     return job

@@ -14,6 +14,17 @@ always gets an explicit answer instead of a silent drop:
   the estimate exceeds ``max_wait_ms`` the queue sheds rather than
   building latency (``wait-exceeded``).
 
+When the learned cost model (:mod:`repro.cost`) has priced every
+pending job in predicted wall nanoseconds (``Job.cost_ns``), the wait
+estimate uses that backlog directly — scaled by an EWMA calibration of
+predicted-vs-observed batch time — instead of the cycles/rate detour;
+one unpriced job in the queue falls the whole estimate back to cycles
+so the two backlogs never mix.  The service-rate EWMA itself can be
+*seeded* before the first batch completes (:meth:`seed_service_rate`,
+fed by the cost model at server boot) so the wait gate is live from
+the first request; the first real observation replaces the seed
+outright rather than blending with it.
+
 Ordering is priority-first (9 highest), FIFO within a priority.  The
 consumer side is a single batcher task on the asyncio loop; submit is
 synchronous (no awaits between check and append), so admission is
@@ -48,6 +59,11 @@ class AdmissionQueue:
         self.max_wait_ms = max_wait_ms
         self.closed = False
         self.pending_cycles = 0.0
+        #: Predicted-ns backlog of the jobs the cost model priced.
+        self.pending_ns = 0.0
+        #: Queued jobs *without* a ns price; any > 0 disables the ns
+        #: wait path (a mixed backlog would undercount the unpriced).
+        self._pending_unpriced = 0
         #: High-water mark of the depth, proving K-boundedness.
         self.max_depth = 0
         self.submitted = 0
@@ -56,6 +72,10 @@ class AdmissionQueue:
         self._seq = 0
         self._event = asyncio.Event()
         self._rate_cycles_per_ms: Optional[float] = None
+        self._rate_seeded = False
+        #: EWMA of observed wall ms per predicted ms (model
+        #: calibration); 1.0 = the model's ns are trusted as-is.
+        self._ns_calibration = 1.0
 
     # -- admission ------------------------------------------------------------
 
@@ -72,7 +92,8 @@ class AdmissionQueue:
             self.shed += 1
             return SHED_QUEUE_FULL
         if self.max_wait_ms is not None:
-            estimate = self.estimated_wait_ms(job.cost_cycles)
+            estimate = self.estimated_wait_ms(
+                job.cost_cycles, extra_ns=getattr(job, "cost_ns", None))
             if estimate is not None and estimate > self.max_wait_ms:
                 self.shed += 1
                 return SHED_WAIT_EXCEEDED
@@ -80,20 +101,33 @@ class AdmissionQueue:
         job.seq = self._seq
         self._items.append(job)
         self.pending_cycles += job.cost_cycles
+        cost_ns = getattr(job, "cost_ns", None)
+        if cost_ns is not None and cost_ns > 0.0:
+            self.pending_ns += cost_ns
+        else:
+            self._pending_unpriced += 1
         self.submitted += 1
         if len(self._items) > self.max_depth:
             self.max_depth = len(self._items)
         self._event.set()
         return None
 
-    def estimated_wait_ms(self,
-                          extra_cycles: float = 0.0) -> Optional[float]:
+    def estimated_wait_ms(self, extra_cycles: float = 0.0,
+                          extra_ns: Optional[float] = None
+                          ) -> Optional[float]:
         """Expected queueing delay for a job arriving now.
 
-        ``None`` until at least one batch has completed (no observed
-        service rate yet — admission then falls back to the depth
-        bound alone).
+        When the arriving job carries a predicted-ns price
+        (``extra_ns``) and every queued job was priced too, the
+        estimate is the calibrated ns backlog — no service rate
+        needed.  Otherwise the cycles/rate path answers, and returns
+        ``None`` until a rate exists (observed or seeded) — admission
+        then falls back to the depth bound alone.
         """
+        if extra_ns is not None and extra_ns > 0.0 \
+                and self._pending_unpriced == 0:
+            return (self.pending_ns + extra_ns) \
+                * self._ns_calibration / 1e6
         if self._rate_cycles_per_ms is None \
                 or self._rate_cycles_per_ms <= 0.0:
             return None
@@ -107,17 +141,44 @@ class AdmissionQueue:
         aggregate per-shard rates into one admission bound."""
         return self._rate_cycles_per_ms
 
-    def observe_service(self, cycles: float, wall_ms: float) -> None:
-        """Feed one completed batch into the service-rate EWMA."""
+    @property
+    def service_rate_seeded(self) -> bool:
+        """True while the rate is a boot-time seed, not an observation."""
+        return self._rate_seeded
+
+    def seed_service_rate(self, cycles_per_ms: float) -> None:
+        """Pre-load the service rate before any batch has completed.
+
+        Only takes effect while the queue is cold (no observed rate);
+        the first :meth:`observe_service` replaces the seed outright,
+        so a bad seed costs exactly one batch of estimation error."""
+        if cycles_per_ms <= 0.0 or self._rate_cycles_per_ms is not None:
+            return
+        self._rate_cycles_per_ms = cycles_per_ms
+        self._rate_seeded = True
+
+    def observe_service(self, cycles: float, wall_ms: float,
+                        predicted_ns: Optional[float] = None) -> None:
+        """Feed one completed batch into the service-rate EWMA.
+
+        ``predicted_ns`` — the cost model's price for the same batch,
+        when every member had one — additionally calibrates the
+        predicted-ns wait path against observed wall time."""
         if wall_ms <= 0.0 or cycles <= 0.0:
             return
         rate = cycles / wall_ms
-        if self._rate_cycles_per_ms is None:
+        if self._rate_cycles_per_ms is None or self._rate_seeded:
             self._rate_cycles_per_ms = rate
+            self._rate_seeded = False
         else:
             self._rate_cycles_per_ms = (
                 _RATE_ALPHA * rate
                 + (1.0 - _RATE_ALPHA) * self._rate_cycles_per_ms)
+        if predicted_ns is not None and predicted_ns > 0.0:
+            ratio = wall_ms / (predicted_ns / 1e6)
+            self._ns_calibration = (
+                _RATE_ALPHA * ratio
+                + (1.0 - _RATE_ALPHA) * self._ns_calibration)
 
     # -- consumption ----------------------------------------------------------
 
@@ -130,10 +191,18 @@ class AdmissionQueue:
                 best = index
         return best
 
-    def _pop_index(self, index: int) -> Job:
-        job = self._items.pop(index)
+    def _forget_pending(self, job: Job) -> None:
         self.pending_cycles = max(0.0,
                                   self.pending_cycles - job.cost_cycles)
+        cost_ns = getattr(job, "cost_ns", None)
+        if cost_ns is not None and cost_ns > 0.0:
+            self.pending_ns = max(0.0, self.pending_ns - cost_ns)
+        else:
+            self._pending_unpriced = max(0, self._pending_unpriced - 1)
+
+    def _pop_index(self, index: int) -> Job:
+        job = self._items.pop(index)
+        self._forget_pending(job)
         return job
 
     async def get(self, timeout: Optional[float] = None) -> Optional[Job]:
@@ -179,8 +248,7 @@ class AdmissionQueue:
         self._items = [job for index, job in enumerate(self._items)
                        if index not in chosen]
         for job in taken:
-            self.pending_cycles = max(
-                0.0, self.pending_cycles - job.cost_cycles)
+            self._forget_pending(job)
         taken.sort(key=lambda job: (-job.priority, job.seq))
         return taken
 
@@ -205,6 +273,8 @@ class AdmissionQueue:
         """
         taken, self._items = self._items, []
         self.pending_cycles = 0.0
+        self.pending_ns = 0.0
+        self._pending_unpriced = 0
         return taken
 
     def close(self) -> None:

@@ -205,9 +205,25 @@ class ReproServer:
             self.registry.counter("codegen_compile_total").inc(warmed)
         return warmed
 
+    def seed_service_rate(self) -> Optional[float]:
+        """Warm the admission queue's service-rate estimate at boot.
+
+        The estimated-wait shed gate is dead until the first batch
+        completes; seeding it from the learned cost model's observed
+        cycles-per-ns rate (or the analytic machine rate when no fit
+        is live) makes it answer from the first request.  A no-op
+        under ``REPRO_COST=0`` — the queue then boots cold exactly as
+        it always did."""
+        from repro import cost
+        seed = cost.seed_rate_cycles_per_ms()
+        if seed is not None:
+            self.queue.seed_service_rate(seed)
+        return seed
+
     async def start(self) -> Tuple[str, int]:
         """Bind the listener and start the batcher; returns (host, port)."""
         self.warm_start_codegen()
+        self.seed_service_rate()
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port)
         sockname = self._server.sockets[0].getsockname()
@@ -373,6 +389,7 @@ class ReproServer:
             return
         self.registry.counter("requests_total", op=job.op).inc()
         job.trace = self.tracer.begin(job.job_id, job.op)
+        tracing.annotate_plan(job.trace, job.plan, cost_ns=job.cost_ns)
         if self._draining:
             reason = "shutting-down"
         else:
@@ -433,6 +450,8 @@ class ReproServer:
             "pending_cycles": self.queue.pending_cycles,
             "rate_cycles_per_ms":
                 self.queue.service_rate_cycles_per_ms,
+            "rate_seeded": self.queue.service_rate_seeded,
+            "pending_ns": self.queue.pending_ns,
             "submitted": self.queue.submitted,
             "shed": self.queue.shed,
             "jobs_completed": self.batcher.jobs_completed,

@@ -90,6 +90,31 @@ def mark(trace: Optional[RequestTrace], name: str) -> None:
         trace.mark(name)
 
 
+def annotate_plan(trace: Optional[RequestTrace], plan,
+                  cost_ns: Optional[float] = None) -> None:
+    """Stamp a trace with its lowered plan's identity.
+
+    Records the resolved backend, the ``memo_key`` fingerprint, the
+    canonical limb-count feature, and the analytic/predicted prices —
+    everything :func:`repro.cost.dataset.harvest_trace` needs to join
+    a span dump into the training dataset without re-lowering the
+    request (which, after a retune, would not even reproduce the plan
+    the span actually measured).
+    """
+    if trace is None or plan is None:
+        return
+    from repro.cost.features import plan_features
+    features = plan_features(plan)
+    trace.annotate(
+        backend=plan.backend,
+        memo_key=list(plan.memo_key),
+        limbs=features[2] if features is not None else None,
+        cost_cycles=plan.cost(),
+    )
+    if cost_ns is not None:
+        trace.annotate(cost_ns=cost_ns)
+
+
 class Tracer:
     """Bounded collector of completed request traces."""
 

@@ -274,6 +274,16 @@ class ShardRouter:
                 self.config.per_shard_depth * len(live):
             return SHED_QUEUE_FULL
         rate = self.fleet_rate_cycles_per_ms()
+        if rate is None:
+            # Cold fleet (no shard has completed a batch and none
+            # seeded its own rate): stand in with the cost model's
+            # boot-time per-shard rate so the wait gate is live from
+            # the first request.  None under REPRO_COST=0 — the gate
+            # then waits for real observations exactly as before.
+            from repro import cost
+            seed = cost.seed_rate_cycles_per_ms()
+            if seed is not None:
+                rate = seed * len(live)
         if rate is not None and rate > 0.0:
             estimate = (self.fleet_inflight_cycles()
                         + job.cost_cycles) / rate

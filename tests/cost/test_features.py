@@ -1,0 +1,93 @@
+"""Featurization contract: one canonical (op, backend, limbs) key."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cost.features import (MODELED_BACKENDS, MODELED_OPS,
+                                 canonical_backend, canonical_op,
+                                 op_limbs, plan_backend_name,
+                                 plan_features)
+from repro.mpn.nat import LIMB_BITS
+from repro.plan import OpSpec
+from repro.plan.lowering import lower
+
+ops = st.sampled_from(MODELED_OPS + ("mod",))
+bit_counts = st.integers(min_value=1, max_value=1 << 20)
+
+
+class TestCanonicalNames:
+    def test_mod_pools_with_div(self):
+        assert canonical_op("mod") == "div"
+
+    def test_modeled_ops_pass_through(self):
+        for op in MODELED_OPS:
+            assert canonical_op(op) == op
+
+    def test_unmodeled_ops_are_none(self):
+        for op in ("pi_digits", "model_cycles", "add", ""):
+            assert canonical_op(op) is None
+
+    def test_library_maps_to_limb(self):
+        assert canonical_backend("library") == "limb"
+
+    def test_unknown_backends_are_none(self):
+        for backend in ("-", "auto", "", "gpu"):
+            assert canonical_backend(backend) is None
+
+    def test_plan_backend_name_inverts_canonical(self):
+        for backend in MODELED_BACKENDS:
+            assert canonical_backend(plan_backend_name(backend)) \
+                == backend
+
+
+class TestOpLimbs:
+    @given(ops, bit_counts, bit_counts)
+    def test_deterministic(self, op, bits_a, bits_b):
+        assert op_limbs(op, bits_a, bits_b) \
+            == op_limbs(op, bits_a, bits_b)
+
+    @given(ops, bit_counts, bit_counts)
+    def test_positive_when_modeled(self, op, bits_a, bits_b):
+        limbs = op_limbs(op, bits_a, bits_b)
+        assert isinstance(limbs, int) and limbs >= 1
+
+    @given(bit_counts, bit_counts)
+    def test_mul_uses_smaller_operand(self, bits_a, bits_b):
+        expected = -(-min(bits_a, bits_b) // LIMB_BITS)
+        assert op_limbs("mul", bits_a, bits_b) == expected
+
+    @given(bit_counts, bit_counts)
+    def test_div_and_mod_key_on_divisor(self, bits_a, bits_b):
+        expected = -(-bits_b // LIMB_BITS)
+        assert op_limbs("div", bits_a, bits_b) == expected
+        assert op_limbs("mod", bits_a, bits_b) == expected
+
+    @given(bit_counts, bit_counts)
+    def test_powmod_keys_on_modulus_width(self, bits_a, bits_b):
+        assert op_limbs("powmod", bits_a, bits_b) \
+            == -(-bits_a // LIMB_BITS)
+
+    def test_unmodeled_op_is_none(self):
+        assert op_limbs("pi_digits", 64, 64) is None
+
+    @given(ops, bit_counts, bit_counts, st.integers(1, 1 << 10))
+    def test_monotone_in_bits(self, op, bits_a, bits_b, extra):
+        small = op_limbs(op, bits_a, bits_b)
+        large = op_limbs(op, bits_a + extra, bits_b + extra)
+        assert large >= small
+
+
+class TestPlanFeatures:
+    def test_mul_plan_features_match_resolution(self):
+        plan = lower(OpSpec.for_mul(4096, 4096), use_cache=False)
+        features = plan_features(plan)
+        assert features is not None
+        op, backend, limbs = features
+        assert op == "mul"
+        assert backend == canonical_backend(plan.backend)
+        assert limbs == op_limbs("mul", 4096, 4096)
+
+    def test_features_deterministic_per_plan(self):
+        plan = lower(OpSpec.for_mul(1 << 15, 1 << 15),
+                     use_cache=False)
+        assert plan_features(plan) == plan_features(plan)

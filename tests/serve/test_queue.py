@@ -154,3 +154,92 @@ class TestOrdering:
             return job
 
         assert run(scenario()) is None
+
+
+class TestSeededRate:
+    def test_seed_only_while_cold(self):
+        queue = AdmissionQueue(capacity=10)
+        assert not queue.service_rate_seeded
+        queue.seed_service_rate(50.0)
+        assert queue.service_rate_seeded
+        assert queue.service_rate_cycles_per_ms == pytest.approx(50.0)
+        queue.seed_service_rate(999.0)  # second seed is a no-op
+        assert queue.service_rate_cycles_per_ms == pytest.approx(50.0)
+
+    def test_invalid_seed_ignored(self):
+        queue = AdmissionQueue(capacity=10)
+        queue.seed_service_rate(0.0)
+        queue.seed_service_rate(-5.0)
+        assert queue.service_rate_cycles_per_ms is None
+        assert not queue.service_rate_seeded
+
+    def test_first_observation_replaces_seed_outright(self):
+        queue = AdmissionQueue(capacity=10)
+        queue.seed_service_rate(50.0)
+        queue.observe_service(cycles=1000.0, wall_ms=10.0)  # 100 c/ms
+        # No EWMA blend with the seed: the rate is exactly 100.
+        assert queue.service_rate_cycles_per_ms == pytest.approx(100.0)
+        assert not queue.service_rate_seeded
+
+    def test_seed_makes_wait_gate_live_before_first_batch(self):
+        queue = AdmissionQueue(capacity=100, max_wait_ms=10.0)
+        queue.seed_service_rate(100.0)  # 100 cycles per ms
+        assert queue.try_submit(_job(cost=500.0)) is None  # 5 ms
+        assert queue.try_submit(_job(cost=900.0)) == SHED_WAIT_EXCEEDED
+
+
+class TestNsPricing:
+    def _priced(self, cost_ns, priority=0):
+        job = _job(priority=priority)
+        job.cost_ns = cost_ns
+        return job
+
+    def test_ns_backlog_prices_the_wait(self):
+        queue = AdmissionQueue(capacity=10)
+        queue.try_submit(self._priced(2e6))  # 2 ms of predicted work
+        queue.try_submit(self._priced(3e6))
+        assert queue.pending_ns == pytest.approx(5e6)
+        # Fully priced backlog + a priced arrival: no rate needed.
+        assert queue.estimated_wait_ms(extra_ns=1e6) \
+            == pytest.approx(6.0)
+
+    def test_one_unpriced_job_falls_back_to_cycles(self):
+        queue = AdmissionQueue(capacity=10)
+        queue.try_submit(self._priced(2e6))
+        queue.try_submit(_job(cost=500.0))  # no ns price
+        assert queue.estimated_wait_ms(extra_ns=1e6) is None
+        queue.observe_service(cycles=100.0, wall_ms=100.0)  # 1 c/ms
+        estimate = queue.estimated_wait_ms(extra_cycles=0.0,
+                                           extra_ns=1e6)
+        assert estimate == pytest.approx(queue.pending_cycles)
+
+    def test_calibration_scales_the_estimate(self):
+        queue = AdmissionQueue(capacity=10)
+        # Model says 1 ms, the wall said 2 ms: calibration drifts up.
+        queue.observe_service(cycles=10.0, wall_ms=2.0,
+                              predicted_ns=1e6)
+        queue.try_submit(self._priced(1e6))
+        estimate = queue.estimated_wait_ms(extra_ns=1e6)
+        assert estimate > 2.0  # 2 ms raw, scaled by calibration > 1
+
+    def test_consumption_forgets_ns_backlog(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=10)
+            jobs = [self._priced(1e6), self._priced(2e6)]
+            for job in jobs:
+                queue.try_submit(job)
+            await queue.get(0.01)
+            queue.take_compatible(jobs[0].compat_key(), 8)
+            assert queue.pending_ns == pytest.approx(0.0)
+        run(scenario())
+
+    def test_drain_resets_ns_accounting(self):
+        queue = AdmissionQueue(capacity=10)
+        queue.try_submit(self._priced(1e6))
+        queue.try_submit(_job())
+        queue.close()
+        drained = queue.drain()
+        assert len(drained) == 2
+        assert queue.pending_ns == pytest.approx(0.0)
+        assert queue.estimated_wait_ms(extra_ns=1e6) \
+            == pytest.approx(1.0)

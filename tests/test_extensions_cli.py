@@ -111,9 +111,12 @@ class TestCliExtras:
         assert "selftest: all passed" in capsys.readouterr().out
 
     def test_tune(self, capsys, tmp_path, monkeypatch):
-        # Isolate the persisted output: without this, the test retunes
-        # the *host's* thresholds file on every suite run.
+        # Isolate the persisted outputs: without this, the test retunes
+        # the *host's* thresholds file — and appends its bisection
+        # probes to the checked-in cost dataset — on every suite run.
         monkeypatch.setenv("REPRO_THRESHOLDS",
                            str(tmp_path / "thresholds.json"))
+        monkeypatch.setenv("REPRO_COST_DATASET",
+                           str(tmp_path / "cost.jsonl"))
         assert main(["tune", "--max-limbs", "96"]) == 0
         assert "schoolbook->karatsuba" in capsys.readouterr().out
